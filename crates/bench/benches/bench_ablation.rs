@@ -1,0 +1,50 @@
+//! Criterion micro-bench for the DESIGN.md §5 ablations: HG node orderings
+//! and the score-driven pruning rule (L vs LP).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dkc_core::{HgSolver, LightweightSolver, Solver};
+use dkc_datagen::registry::DatasetId;
+use dkc_graph::OrderingKind;
+use std::time::Duration;
+
+fn bench_orderings(c: &mut Criterion) {
+    let g = DatasetId::Fb.standin(0.02, 42);
+    let mut group = c.benchmark_group("ablation/hg-ordering");
+    group.sample_size(10).warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    for (name, kind) in [
+        ("identity", OrderingKind::Identity),
+        ("degree-asc", OrderingKind::DegreeAsc),
+        ("degree-desc", OrderingKind::DegreeDesc),
+        ("degeneracy", OrderingKind::Degeneracy),
+    ] {
+        group.bench_function(BenchmarkId::new(name, 3), |b| {
+            b.iter(|| {
+                HgSolver::with_ordering(kind)
+                    .solve(std::hint::black_box(&g), 3)
+                    .unwrap()
+                    .len()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_pruning(c: &mut Criterion) {
+    let g = DatasetId::Fb.standin(0.02, 42);
+    let mut group = c.benchmark_group("ablation/pruning");
+    group.sample_size(10).warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    for k in [3usize, 4] {
+        group.bench_with_input(BenchmarkId::new("L", k), &k, |b, &k| {
+            b.iter(|| LightweightSolver::l().solve(std::hint::black_box(&g), k).unwrap().len())
+        });
+        group.bench_with_input(BenchmarkId::new("LP", k), &k, |b, &k| {
+            b.iter(|| LightweightSolver::lp().solve(std::hint::black_box(&g), k).unwrap().len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_orderings, bench_pruning);
+criterion_main!(benches);

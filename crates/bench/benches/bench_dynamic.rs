@@ -1,0 +1,54 @@
+//! Criterion micro-bench behind Fig. 7: per-update cost of the dynamic
+//! maintenance (deletion / insertion churn on a warmed-up solver).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dkc_datagen::registry::DatasetId;
+use dkc_datagen::workload::sample_edges;
+use dkc_dynamic::DynamicSolver;
+use std::time::Duration;
+
+fn bench_updates(c: &mut Criterion) {
+    let g = DatasetId::Hst.standin(1.0, 42);
+    let victims = sample_edges(&g, 64, 7);
+
+    let mut group = c.benchmark_group("dynamic/HST");
+    group.sample_size(10).warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    for k in [3usize, 4] {
+        // Churn: delete the victim set and re-insert it; the amortised cost
+        // per update is elapsed / (2 * |victims|).
+        group.bench_with_input(BenchmarkId::new("churn", k), &k, |b, &k| {
+            let solver = DynamicSolver::new(&g, k).expect("bootstrap");
+            b.iter_batched(
+                || solver.clone(),
+                |mut s| {
+                    for &(a, bb) in &victims {
+                        s.delete_edge(a, bb);
+                    }
+                    for &(a, bb) in &victims {
+                        s.insert_edge(a, bb);
+                    }
+                    s.len()
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_bootstrap(c: &mut Criterion) {
+    let g = DatasetId::Hst.standin(1.0, 42);
+    let mut group = c.benchmark_group("dynamic/bootstrap");
+    group.sample_size(10).warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    for k in [3usize, 4] {
+        group.bench_with_input(BenchmarkId::new("HST", k), &k, |b, &k| {
+            b.iter(|| DynamicSolver::new(std::hint::black_box(&g), k).unwrap().len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_updates, bench_bootstrap);
+criterion_main!(benches);

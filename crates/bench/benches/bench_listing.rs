@@ -1,0 +1,36 @@
+//! Criterion micro-bench behind Table I: k-clique counting and node-score
+//! computation, sequential vs parallel.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dkc_clique::{count_kcliques, count_kcliques_parallel, node_scores, node_scores_parallel};
+use dkc_datagen::registry::DatasetId;
+use dkc_graph::{Dag, NodeOrder, OrderingKind};
+use std::time::Duration;
+
+fn bench_listing(c: &mut Criterion) {
+    let g = DatasetId::Fb.standin(0.05, 42);
+    let dag = Dag::from_graph(&g, NodeOrder::compute(&g, OrderingKind::Degeneracy));
+    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(2);
+
+    let mut group = c.benchmark_group("listing/FB@0.05");
+    group.sample_size(10).warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    for k in [3usize, 4] {
+        group.bench_with_input(BenchmarkId::new("count_seq", k), &k, |b, &k| {
+            b.iter(|| count_kcliques(std::hint::black_box(&dag), k))
+        });
+        group.bench_with_input(BenchmarkId::new("count_par", k), &k, |b, &k| {
+            b.iter(|| count_kcliques_parallel(std::hint::black_box(&dag), k, threads))
+        });
+        group.bench_with_input(BenchmarkId::new("scores_seq", k), &k, |b, &k| {
+            b.iter(|| node_scores(std::hint::black_box(&dag), k))
+        });
+        group.bench_with_input(BenchmarkId::new("scores_par", k), &k, |b, &k| {
+            b.iter(|| node_scores_parallel(std::hint::black_box(&dag), k, threads))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_listing);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion micro-bench behind Fig. 6 / Table II: the static solvers
+//! (HG, GC, L, LP) across k on dataset stand-ins.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dkc_core::{GcSolver, HgSolver, LightweightSolver, Solver};
+use dkc_datagen::registry::DatasetId;
+use std::time::Duration;
+
+fn bench_static_solvers(c: &mut Criterion) {
+    let configs = [(DatasetId::Ftb, 1.0), (DatasetId::Fb, 0.02)];
+    for (id, scale) in configs {
+        let g = id.standin(scale, 42);
+        let mut group = c.benchmark_group(format!("solvers/{}", id.name()));
+        group.sample_size(10).warm_up_time(Duration::from_millis(300));
+        group.measurement_time(Duration::from_secs(1));
+        for k in [3usize, 4] {
+            let solvers: Vec<(&str, Box<dyn Solver>)> = vec![
+                ("HG", Box::new(HgSolver::default())),
+                ("GC", Box::new(GcSolver::new())),
+                ("L", Box::new(LightweightSolver::l())),
+                ("LP", Box::new(LightweightSolver::lp())),
+            ];
+            for (name, solver) in solvers {
+                group.bench_with_input(
+                    BenchmarkId::new(name, k),
+                    &k,
+                    |b, &k| b.iter(|| solver.solve(std::hint::black_box(&g), k).unwrap().len()),
+                );
+            }
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_static_solvers);
+criterion_main!(benches);

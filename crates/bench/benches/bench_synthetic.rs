@@ -1,0 +1,26 @@
+//! Criterion micro-bench behind Tables V/VI: Watts–Strogatz scalability.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dkc_core::{HgSolver, LightweightSolver, Solver};
+use dkc_datagen::watts_strogatz;
+use std::time::Duration;
+
+fn bench_ws(c: &mut Criterion) {
+    let n = 5_000;
+    let mut group = c.benchmark_group("watts-strogatz");
+    group.sample_size(10).warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    for degree in [8usize, 16, 32] {
+        let g = watts_strogatz(n, degree, 0.1, 42);
+        group.bench_with_input(BenchmarkId::new("HG/k3", degree), &g, |b, g| {
+            b.iter(|| HgSolver::default().solve(std::hint::black_box(g), 3).unwrap().len())
+        });
+        group.bench_with_input(BenchmarkId::new("LP/k3", degree), &g, |b, g| {
+            b.iter(|| LightweightSolver::lp().solve(std::hint::black_box(g), 3).unwrap().len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ws);
+criterion_main!(benches);

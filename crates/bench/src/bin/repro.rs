@@ -1,0 +1,119 @@
+//! `repro` — regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! cargo run --release -p dkc-bench --bin repro -- <experiment> [flags]
+//!
+//! experiments:
+//!   table1 | table2 | table3 | table4 | table5 | table6 | table7 | table8
+//!   fig6 | fig7 | ablation | all
+//!
+//! flags:
+//!   --scale X          dataset scale, 1.0 = paper size       (default 0.01)
+//!   --seed N           generator seed                        (default 42)
+//!   --kmin N --kmax N  k sweep bounds                        (default 3..6)
+//!   --datasets A,B     restrict to named datasets (e.g. FTB,HST)
+//!   --updates N        updates per dynamic workload          (default 2000)
+//!   --opt-timeout-ms N exact-search budget before OOT        (default 10000)
+//!   --max-cliques N    stored-clique budget before OOM       (default 2e7)
+//! ```
+
+use dkc_bench::config::ReproConfig;
+use dkc_bench::experiments::{
+    ablation, dynamic_sweep, static_sweep, synthetic, table1, table4, table7,
+};
+use std::time::Duration;
+
+#[global_allocator]
+static ALLOC: dkc_bench::mem::TrackingAllocator = dkc_bench::mem::TrackingAllocator;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro <table1|table2|table3|table4|table5|table6|table7|table8|fig6|fig7|ablation|all> \
+         [--scale X] [--seed N] [--kmin N] [--kmax N] [--datasets A,B] \
+         [--updates N] [--opt-timeout-ms N] [--max-cliques N]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> (String, ReproConfig) {
+    let mut args = std::env::args().skip(1);
+    let Some(experiment) = args.next() else { usage() };
+    let mut cfg = ReproConfig::default();
+    let mut kmin = 3usize;
+    let mut kmax = 6usize;
+    while let Some(flag) = args.next() {
+        let mut value = || args.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--scale" => cfg.scale = value().parse().unwrap_or_else(|_| usage()),
+            "--seed" => cfg.seed = value().parse().unwrap_or_else(|_| usage()),
+            "--kmin" => kmin = value().parse().unwrap_or_else(|_| usage()),
+            "--kmax" => kmax = value().parse().unwrap_or_else(|_| usage()),
+            "--datasets" => {
+                cfg.datasets = Some(
+                    ReproConfig::parse_datasets(&value()).unwrap_or_else(|e| {
+                        eprintln!("{e}");
+                        std::process::exit(2);
+                    }),
+                )
+            }
+            "--updates" => cfg.updates = value().parse().unwrap_or_else(|_| usage()),
+            "--opt-timeout-ms" => {
+                cfg.opt_time_limit =
+                    Duration::from_millis(value().parse().unwrap_or_else(|_| usage()))
+            }
+            "--max-cliques" => {
+                cfg.max_stored_cliques = value().parse().unwrap_or_else(|_| usage())
+            }
+            _ => usage(),
+        }
+    }
+    if kmin < 3 || kmax < kmin {
+        eprintln!("need 3 <= kmin <= kmax");
+        std::process::exit(2);
+    }
+    cfg.ks = (kmin..=kmax).collect();
+    (experiment, cfg)
+}
+
+fn main() {
+    let (experiment, cfg) = parse_args();
+    eprintln!(
+        "# repro {experiment}: scale={} seed={} k={:?} updates={} (paper-shaped stand-ins; see DESIGN.md §4)",
+        cfg.scale, cfg.seed, cfg.ks, cfg.updates
+    );
+    match experiment.as_str() {
+        "table1" => print!("{}", table1::run(&cfg)),
+        "fig6" => print!("{}", static_sweep::render_fig6(&static_sweep::run_sweep(&cfg))),
+        "table2" => print!("{}", static_sweep::render_table2(&static_sweep::run_sweep(&cfg))),
+        "table3" => print!("{}", static_sweep::render_table3(&static_sweep::run_sweep(&cfg))),
+        "table4" => print!("{}", table4::run(&cfg)),
+        "table5" => print!("{}", synthetic::render_table5(&synthetic::run_sweep(&cfg))),
+        "table6" => print!("{}", synthetic::render_table6(&synthetic::run_sweep(&cfg))),
+        "table7" => print!("{}", table7::run(&cfg)),
+        "fig7" => print!("{}", dynamic_sweep::render_fig7(&dynamic_sweep::run_sweep(&cfg))),
+        "table8" => print!("{}", dynamic_sweep::render_table8(&dynamic_sweep::run_sweep(&cfg))),
+        "ablation" => {
+            print!("{}", ablation::run_ordering(&cfg));
+            println!();
+            print!("{}", ablation::run_pruning_and_scores(&cfg));
+        }
+        "all" => {
+            println!("{}", table1::run(&cfg));
+            let sweep = static_sweep::run_sweep(&cfg);
+            println!("{}", static_sweep::render_fig6(&sweep));
+            println!("{}", static_sweep::render_table2(&sweep));
+            println!("{}", static_sweep::render_table3(&sweep));
+            println!("{}", table4::run(&cfg));
+            let syn = synthetic::run_sweep(&cfg);
+            println!("{}", synthetic::render_table5(&syn));
+            println!("{}", synthetic::render_table6(&syn));
+            println!("{}", table7::run(&cfg));
+            let dy = dynamic_sweep::run_sweep(&cfg);
+            println!("{}", dynamic_sweep::render_fig7(&dy));
+            println!("{}", dynamic_sweep::render_table8(&dy));
+            println!("{}", ablation::run_ordering(&cfg));
+            print!("{}", ablation::run_pruning_and_scores(&cfg));
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,78 @@
+//! Shared configuration of the `repro` experiments.
+
+use dkc_datagen::registry::DatasetId;
+use std::time::Duration;
+
+/// Knobs shared by all experiments. Defaults are sized for a laptop run of
+/// a few minutes; `--scale 1.0` approaches paper-sized inputs (hours).
+#[derive(Debug, Clone)]
+pub struct ReproConfig {
+    /// Scale applied to the stand-in datasets (1.0 = paper size).
+    pub scale: f64,
+    /// Seed for every generator and workload.
+    pub seed: u64,
+    /// Clique sizes to sweep (the paper uses 3..=6).
+    pub ks: Vec<usize>,
+    /// Datasets to include (None = all ten).
+    pub datasets: Option<Vec<DatasetId>>,
+    /// Budget for the exact MIS search before reporting OOT.
+    pub opt_time_limit: Duration,
+    /// Clique-storage budget before reporting OOM for GC/OPT (emulates the
+    /// paper's 504 GB ceiling at laptop scale).
+    pub max_stored_cliques: usize,
+    /// Number of updates per dynamic workload (the paper uses 10K).
+    pub updates: usize,
+}
+
+impl Default for ReproConfig {
+    fn default() -> Self {
+        ReproConfig {
+            scale: 0.01,
+            seed: 42,
+            ks: vec![3, 4, 5, 6],
+            datasets: None,
+            opt_time_limit: Duration::from_secs(10),
+            max_stored_cliques: 20_000_000,
+            updates: 2_000,
+        }
+    }
+}
+
+impl ReproConfig {
+    /// The dataset list to run over.
+    pub fn dataset_list(&self) -> Vec<DatasetId> {
+        self.datasets.clone().unwrap_or_else(|| DatasetId::ALL.to_vec())
+    }
+
+    /// Parses a comma-separated dataset filter (`"FTB,HST"`).
+    pub fn parse_datasets(spec: &str) -> Result<Vec<DatasetId>, String> {
+        spec.split(',')
+            .map(|tok| {
+                let tok = tok.trim().to_ascii_uppercase();
+                DatasetId::ALL
+                    .into_iter()
+                    .find(|d| d.name() == tok)
+                    .ok_or_else(|| format!("unknown dataset {tok:?}"))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_covers_paper_sweep() {
+        let c = ReproConfig::default();
+        assert_eq!(c.ks, vec![3, 4, 5, 6]);
+        assert_eq!(c.dataset_list().len(), 10);
+    }
+
+    #[test]
+    fn dataset_filter_parsing() {
+        let list = ReproConfig::parse_datasets("ftb, or").unwrap();
+        assert_eq!(list, vec![DatasetId::Ftb, DatasetId::Or]);
+        assert!(ReproConfig::parse_datasets("NOPE").is_err());
+    }
+}

@@ -1,0 +1,125 @@
+//! Ablations for the design choices called out in DESIGN.md §5:
+//! node ordering inside HG (Section IV-A's discussion), score-driven
+//! pruning (L vs LP), and the clique-score approximation vs true
+//! clique-graph degrees (GC vs min-degree greedy MIS).
+
+use crate::config::ReproConfig;
+use crate::table::Table;
+use crate::{human_ms, timed};
+use dkc_cliquegraph::CliqueGraphLimits;
+use dkc_core::{GcSolver, GreedyCliqueGraphSolver, HgSolver, LightweightSolver, Solver};
+use dkc_graph::OrderingKind;
+
+/// HG under every node ordering: |S| and runtime.
+pub fn run_ordering(cfg: &ReproConfig) -> String {
+    let orderings = [
+        ("Identity", OrderingKind::Identity),
+        ("DegreeAsc", OrderingKind::DegreeAsc),
+        ("DegreeDesc", OrderingKind::DegreeDesc),
+        ("Degeneracy", OrderingKind::Degeneracy),
+    ];
+    let mut headers: Vec<String> = vec!["Dataset".into(), "Ordering".into()];
+    for k in &cfg.ks {
+        headers.push(format!("k={k} |S|"));
+        headers.push(format!("k={k} ms"));
+    }
+    let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let mut t = Table::new(
+        "Ablation: HG node ordering (Section IV-A's trade-off, measured)",
+        &headers_ref,
+    );
+    for id in cfg.dataset_list() {
+        let g = id.standin(cfg.scale, cfg.seed);
+        for (name, kind) in orderings {
+            let mut row = vec![id.name().to_string(), name.to_string()];
+            for &k in &cfg.ks {
+                let solver = HgSolver::with_ordering(kind);
+                let (result, elapsed) = timed(|| solver.solve(&g, k));
+                let s = result.expect("HG cannot fail");
+                row.push(s.len().to_string());
+                row.push(human_ms(elapsed));
+            }
+            t.add_row(row);
+        }
+    }
+    t.render()
+}
+
+/// L vs LP runtime (identical output, the pruning only saves work) and
+/// GC vs true min-degree greedy on the clique graph (how much quality the
+/// Theorem 2 score approximation gives up: usually none).
+pub fn run_pruning_and_scores(cfg: &ReproConfig) -> String {
+    let mut headers: Vec<String> = vec!["Dataset".into()];
+    for k in &cfg.ks {
+        headers.push(format!("k={k} L ms"));
+        headers.push(format!("k={k} LP ms"));
+        headers.push(format!("k={k} stale pops"));
+        headers.push(format!("k={k} GC |S|"));
+        headers.push(format!("k={k} CG-greedy |S|"));
+    }
+    let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let mut t = Table::new(
+        "Ablation: score-driven pruning (L vs LP) and score vs true clique-graph degree",
+        &headers_ref,
+    );
+    for id in cfg.dataset_list() {
+        let g = id.standin(cfg.scale, cfg.seed);
+        let mut row = vec![id.name().to_string()];
+        for &k in &cfg.ks {
+            let (l_res, l_time) = timed(|| LightweightSolver::l().solve(&g, k));
+            let (lp_res, lp_time) =
+                timed(|| LightweightSolver::lp().solve_with_stats(&g, k));
+            let l = l_res.expect("L");
+            let (lp, lp_stats) = lp_res.expect("LP");
+            assert_eq!(l.len(), lp.len(), "pruning must not change |S|");
+            row.push(human_ms(l_time));
+            row.push(human_ms(lp_time));
+            row.push(format!(
+                "{}/{}",
+                lp_stats.stale_pops, lp_stats.heap_pops
+            ));
+            let gc = GcSolver::with_budget(cfg.max_stored_cliques).solve(&g, k);
+            row.push(gc.map(|s| s.len().to_string()).unwrap_or_else(|_| "OOM".into()));
+            let cg = GreedyCliqueGraphSolver {
+                limits: CliqueGraphLimits {
+                    max_cliques: Some(cfg.max_stored_cliques),
+                    max_conflicts: Some(cfg.max_stored_cliques.saturating_mul(8)),
+                },
+            }
+            .solve(&g, k);
+            row.push(cg.map(|s| s.len().to_string()).unwrap_or_else(|_| "OOM".into()));
+        }
+        t.add_row(row);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dkc_datagen::registry::DatasetId;
+
+    fn tiny() -> ReproConfig {
+        ReproConfig {
+            scale: 0.5,
+            datasets: Some(vec![DatasetId::Ftb]),
+            ks: vec![3],
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn ordering_ablation_lists_all_orderings() {
+        let text = run_ordering(&tiny());
+        for name in ["Identity", "DegreeAsc", "DegreeDesc", "Degeneracy"] {
+            assert!(text.contains(name), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn pruning_ablation_runs() {
+        let text = run_pruning_and_scores(&tiny());
+        assert!(text.contains("LP ms"));
+        assert!(text.contains("CG-greedy"));
+    }
+}

@@ -1,0 +1,188 @@
+//! The dynamic-workload sweep behind **Fig. 7** (average update time in ns
+//! for deletion / insertion / mixed workloads) and **Table VIII** (quality
+//! of S after the updates, as Δ vs building from scratch).
+
+use crate::config::ReproConfig;
+use crate::table::Table;
+use crate::timed;
+use dkc_core::{LightweightSolver, Solver};
+use dkc_datagen::workload::{paper_mixed_workload, sample_edges, Update};
+use dkc_dynamic::DynamicSolver;
+use std::collections::HashMap;
+
+/// The three workloads of Section VI-E.
+pub const WORKLOADS: [&str; 3] = ["Deletion", "Insertion", "Mixed"];
+
+/// (dataset name, workload, k) → (avg ns per update, Δ|S| vs from-scratch).
+pub struct DynamicResults {
+    /// Dataset names in sweep order.
+    pub datasets: Vec<String>,
+    /// Swept k values.
+    pub ks: Vec<usize>,
+    /// Measured cells.
+    pub cells: HashMap<(String, &'static str, usize), (f64, i64)>,
+}
+
+/// Runs all three workloads for every (dataset, k).
+pub fn run_sweep(cfg: &ReproConfig) -> DynamicResults {
+    let mut cells = HashMap::new();
+    let mut names = Vec::new();
+    for id in cfg.dataset_list() {
+        let g = id.standin(cfg.scale, cfg.seed);
+        names.push(id.name().to_string());
+        for &k in &cfg.ks {
+            // The paper clamps workload sizes on the small graphs.
+            let count = cfg.updates.min(g.num_edges() / 4).max(1);
+
+            // --- Deletion workload: delete `count` random edges.
+            let victims = sample_edges(&g, count, cfg.seed ^ 0xD1);
+            let mut solver = DynamicSolver::new(&g, k).expect("bootstrap");
+            let (_, del_time) = timed(|| {
+                for &(a, b) in &victims {
+                    solver.delete_edge(a, b);
+                }
+            });
+            let deleted_graph = solver.graph().to_csr();
+            let scratch = LightweightSolver::lp().solve(&deleted_graph, k).unwrap();
+            cells.insert(
+                (id.name().to_string(), "Deletion", k),
+                (
+                    del_time.as_secs_f64() * 1e9 / victims.len() as f64,
+                    solver.len() as i64 - scratch.len() as i64,
+                ),
+            );
+
+            // --- Insertion workload: add the same edges back.
+            let (_, ins_time) = timed(|| {
+                for &(a, b) in &victims {
+                    solver.insert_edge(a, b);
+                }
+            });
+            let scratch = LightweightSolver::lp().solve(&g, k).unwrap();
+            cells.insert(
+                (id.name().to_string(), "Insertion", k),
+                (
+                    ins_time.as_secs_f64() * 1e9 / victims.len() as f64,
+                    solver.len() as i64 - scratch.len() as i64,
+                ),
+            );
+
+            // --- Mixed workload: half inserts (pre-removed) + half deletes.
+            let per_side = (count / 2).max(1);
+            let (g_prime, stream) = paper_mixed_workload(&g, per_side, cfg.seed ^ 0x317);
+            let mut solver = DynamicSolver::new(&g_prime, k).expect("bootstrap");
+            let (_, mix_time) = timed(|| {
+                for u in &stream {
+                    match *u {
+                        Update::Insert(a, b) => {
+                            solver.insert_edge(a, b);
+                        }
+                        Update::Delete(a, b) => {
+                            solver.delete_edge(a, b);
+                        }
+                    }
+                }
+            });
+            let final_graph = solver.graph().to_csr();
+            let scratch = LightweightSolver::lp().solve(&final_graph, k).unwrap();
+            cells.insert(
+                (id.name().to_string(), "Mixed", k),
+                (
+                    mix_time.as_secs_f64() * 1e9 / stream.len() as f64,
+                    solver.len() as i64 - scratch.len() as i64,
+                ),
+            );
+        }
+    }
+    DynamicResults { datasets: names, ks: cfg.ks.clone(), cells }
+}
+
+/// **Fig. 7**: average update time (ns) per workload.
+pub fn render_fig7(r: &DynamicResults) -> String {
+    let mut headers: Vec<String> = vec!["Dataset".into(), "Workload".into()];
+    headers.extend(r.ks.iter().map(|k| format!("k={k} (ns)")));
+    let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let mut t = Table::new("Fig. 7: average update time (ns) with varying k", &headers_ref);
+    for name in &r.datasets {
+        for wl in WORKLOADS {
+            let mut row = vec![name.clone(), wl.to_string()];
+            for &k in &r.ks {
+                let (ns, _) = r.cells[&(name.clone(), wl, k)];
+                row.push(format!("{ns:.0}"));
+            }
+            t.add_row(row);
+        }
+    }
+    t.render()
+}
+
+/// **Table VIII**: Δ|S| after each workload vs a from-scratch rebuild.
+pub fn render_table8(r: &DynamicResults) -> String {
+    let mut headers: Vec<String> = vec!["Dataset".into()];
+    for wl in WORKLOADS {
+        for k in &r.ks {
+            headers.push(format!("{} k={k}", &wl[..3]));
+        }
+    }
+    let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let mut t = Table::new(
+        "Table VIII: quality of S after updates (Δ vs building from scratch)",
+        &headers_ref,
+    );
+    for name in &r.datasets {
+        let mut row = vec![name.clone()];
+        for wl in WORKLOADS {
+            for &k in &r.ks {
+                let (_, delta) = r.cells[&(name.clone(), wl, k)];
+                row.push(format!("{delta:+}"));
+            }
+        }
+        t.add_row(row);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dkc_datagen::registry::DatasetId;
+
+    #[test]
+    fn sweep_produces_all_workload_cells() {
+        let cfg = ReproConfig {
+            scale: 1.0,
+            datasets: Some(vec![DatasetId::Ftb]),
+            ks: vec![3],
+            updates: 30,
+            ..Default::default()
+        };
+        let r = run_sweep(&cfg);
+        for wl in WORKLOADS {
+            assert!(r.cells.contains_key(&("FTB".to_string(), wl, 3)), "{wl}");
+            let (ns, _) = r.cells[&("FTB".to_string(), wl, 3)];
+            assert!(ns > 0.0);
+        }
+        let fig7 = render_fig7(&r);
+        assert!(fig7.contains("Deletion") && fig7.contains("Mixed"));
+        let t8 = render_table8(&r);
+        assert!(t8.contains("Table VIII"));
+    }
+
+    /// The paper's quality argument: after deleting and re-inserting the
+    /// same edges, the maintained S must not be worse than a from-scratch
+    /// LP run by more than a small margin (it is often better, because the
+    /// swaps reach a local optimum).
+    #[test]
+    fn insertion_roundtrip_quality_is_near_scratch() {
+        let cfg = ReproConfig {
+            scale: 1.0,
+            datasets: Some(vec![DatasetId::Ftb]),
+            ks: vec![3],
+            updates: 50,
+            ..Default::default()
+        };
+        let r = run_sweep(&cfg);
+        let (_, delta) = r.cells[&("FTB".to_string(), "Insertion", 3)];
+        assert!(delta.abs() <= 5, "|Δ| = {delta} too large for FTB-sized graphs");
+    }
+}

@@ -1,0 +1,10 @@
+//! One module per experiment of Section VI. Every `run` function returns
+//! the rendered table(s) as a string, so the `repro` binary just prints.
+
+pub mod ablation;
+pub mod dynamic_sweep;
+pub mod static_sweep;
+pub mod synthetic;
+pub mod table1;
+pub mod table4;
+pub mod table7;

@@ -1,0 +1,226 @@
+//! The shared static-solver sweep behind **Fig. 6** (running time),
+//! **Table II** (size of S) and **Table III** (space consumption).
+//!
+//! Every (dataset, k, algorithm) cell runs once; OOM/OOT budgets reproduce
+//! the paper's failure markers deterministically.
+
+use crate::config::ReproConfig;
+use crate::mem::with_peak_tracking;
+use crate::table::Table;
+use crate::{human_mb, human_ms, timed};
+use dkc_cliquegraph::CliqueGraphLimits;
+use dkc_core::{GcSolver, HgSolver, LightweightSolver, OptSolver, SolveError, Solver};
+use dkc_datagen::registry::DatasetId;
+use dkc_graph::CsrGraph;
+use dkc_mis::MisBudget;
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// The algorithms of Fig. 6, in the paper's ordering.
+pub const ALGOS: [&str; 5] = ["OPT", "HG", "GC", "L", "LP"];
+
+/// Outcome of one (dataset, k, algorithm) cell.
+#[derive(Debug, Clone)]
+pub struct CellOutcome {
+    /// Wall-clock runtime.
+    pub elapsed: Duration,
+    /// `Some(|S|)` on success.
+    pub size: Option<usize>,
+    /// `Some("OOM" | "OOT")` on budget failure.
+    pub marker: Option<&'static str>,
+    /// Extra peak heap bytes during the run (0 when the tracking allocator
+    /// is not installed, e.g. under `cargo test`).
+    pub peak_bytes: usize,
+}
+
+/// All sweep results, keyed by (dataset, k, algorithm).
+pub struct SweepResults {
+    /// Swept datasets.
+    pub datasets: Vec<DatasetId>,
+    /// Swept clique sizes.
+    pub ks: Vec<usize>,
+    /// Cell outcomes.
+    pub cells: HashMap<(DatasetId, usize, &'static str), CellOutcome>,
+}
+
+fn run_cell(solver: &dyn Solver, g: &CsrGraph, k: usize) -> CellOutcome {
+    let ((result, elapsed), peak_bytes) = with_peak_tracking(|| timed(|| solver.solve(g, k)));
+    match result {
+        Ok(s) => CellOutcome { elapsed, size: Some(s.len()), marker: None, peak_bytes },
+        Err(SolveError::Timeout { partial }) => CellOutcome {
+            elapsed,
+            size: Some(partial.len()),
+            marker: Some("OOT"),
+            peak_bytes,
+        },
+        Err(SolveError::CliqueBudget { .. }) | Err(SolveError::CliqueGraph(_)) => {
+            CellOutcome { elapsed, size: None, marker: Some("OOM"), peak_bytes }
+        }
+        Err(e) => panic!("unexpected solver failure: {e}"),
+    }
+}
+
+/// Runs the full sweep.
+pub fn run_sweep(cfg: &ReproConfig) -> SweepResults {
+    let datasets = cfg.dataset_list();
+    let mut cells = HashMap::new();
+    for &id in &datasets {
+        let g = id.standin(cfg.scale, cfg.seed);
+        for &k in &cfg.ks {
+            let opt = OptSolver::with_budgets(
+                CliqueGraphLimits {
+                    max_cliques: Some(cfg.max_stored_cliques),
+                    max_conflicts: Some(cfg.max_stored_cliques.saturating_mul(8)),
+                },
+                MisBudget::with_time(cfg.opt_time_limit),
+            );
+            let gc = GcSolver::with_budget(cfg.max_stored_cliques);
+            let solvers: Vec<(&'static str, Box<dyn Solver>)> = vec![
+                ("OPT", Box::new(opt)),
+                ("HG", Box::new(HgSolver::default())),
+                ("GC", Box::new(gc)),
+                ("L", Box::new(LightweightSolver::l())),
+                ("LP", Box::new(LightweightSolver::lp())),
+            ];
+            for (name, solver) in solvers {
+                let outcome = run_cell(solver.as_ref(), &g, k);
+                cells.insert((id, k, name), outcome);
+            }
+        }
+    }
+    SweepResults { datasets, ks: cfg.ks.clone(), cells }
+}
+
+/// **Fig. 6**: running time in ms, one row per (dataset, algorithm).
+pub fn render_fig6(r: &SweepResults) -> String {
+    let mut headers: Vec<String> = vec!["Dataset".into(), "Algo".into()];
+    headers.extend(r.ks.iter().map(|k| format!("k={k} (ms)")));
+    let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let mut t = Table::new("Fig. 6: average running time (ms) with varying k", &headers_ref);
+    for &id in &r.datasets {
+        for algo in ALGOS {
+            let mut row = vec![id.name().to_string(), algo.to_string()];
+            for &k in &r.ks {
+                let cell = &r.cells[&(id, k, algo)];
+                row.push(match cell.marker {
+                    Some(m) => m.to_string(),
+                    None => human_ms(cell.elapsed),
+                });
+            }
+            t.add_row(row);
+        }
+    }
+    t.render()
+}
+
+/// **Table II**: |S| — OPT and HG absolute, GC and LP as Δ against HG.
+pub fn render_table2(r: &SweepResults) -> String {
+    let mut headers: Vec<String> = vec!["Dataset".into()];
+    for k in &r.ks {
+        for col in ["OPT", "HG", "GC (Δ)", "LP (Δ)"] {
+            headers.push(format!("k={k} {col}"));
+        }
+    }
+    let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let mut t = Table::new(
+        "Table II: size of S (Δ = difference vs HG, the paper's convention)",
+        &headers_ref,
+    );
+    for &id in &r.datasets {
+        let mut row = vec![id.name().to_string()];
+        for &k in &r.ks {
+            let hg = r.cells[&(id, k, "HG")].size;
+            for algo in ["OPT", "HG", "GC", "LP"] {
+                let cell = &r.cells[&(id, k, algo)];
+                let text = match (cell.marker, cell.size) {
+                    (Some(m), _) => m.to_string(),
+                    (None, Some(s)) if algo == "GC" || algo == "LP" => {
+                        let hg = hg.expect("HG never fails") as i64;
+                        format!("{:+}", s as i64 - hg)
+                    }
+                    (None, Some(s)) => s.to_string(),
+                    (None, None) => "-".into(),
+                };
+                row.push(text);
+            }
+        }
+        t.add_row(row);
+    }
+    t.render()
+}
+
+/// **Table III**: extra peak heap in MB per algorithm.
+pub fn render_table3(r: &SweepResults) -> String {
+    let mut headers: Vec<String> = vec!["Dataset".into(), "Algo".into()];
+    headers.extend(r.ks.iter().map(|k| format!("k={k} (MB)")));
+    let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let mut t = Table::new(
+        "Table III: space consumption (extra peak heap, MB)",
+        &headers_ref,
+    );
+    for &id in &r.datasets {
+        for algo in ALGOS {
+            let mut row = vec![id.name().to_string(), algo.to_string()];
+            for &k in &r.ks {
+                let cell = &r.cells[&(id, k, algo)];
+                row.push(match cell.marker {
+                    Some(m) => m.to_string(),
+                    None => human_mb(cell.peak_bytes),
+                });
+            }
+            t.add_row(row);
+        }
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cfg() -> ReproConfig {
+        ReproConfig {
+            scale: 0.5,
+            datasets: Some(vec![DatasetId::Ftb]),
+            ks: vec![3],
+            opt_time_limit: Duration::from_millis(1500),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn sweep_produces_all_cells_and_tables() {
+        let cfg = tiny_cfg();
+        let results = run_sweep(&cfg);
+        assert_eq!(results.cells.len(), ALGOS.len());
+        for algo in ALGOS {
+            assert!(results.cells.contains_key(&(DatasetId::Ftb, 3, algo)));
+        }
+        // L and LP must agree in size.
+        let l = results.cells[&(DatasetId::Ftb, 3, "L")].size;
+        let lp = results.cells[&(DatasetId::Ftb, 3, "LP")].size;
+        assert_eq!(l, lp);
+        let fig6 = render_fig6(&results);
+        assert!(fig6.contains("FTB") && fig6.contains("LP"));
+        let t2 = render_table2(&results);
+        assert!(t2.contains("Δ"));
+        let t3 = render_table3(&results);
+        assert!(t3.contains("MB"));
+    }
+
+    #[test]
+    fn oom_budget_shows_marker() {
+        let cfg = ReproConfig {
+            max_stored_cliques: 1,
+            ..tiny_cfg()
+        };
+        let results = run_sweep(&cfg);
+        assert_eq!(results.cells[&(DatasetId::Ftb, 3, "GC")].marker, Some("OOM"));
+        assert_eq!(results.cells[&(DatasetId::Ftb, 3, "OPT")].marker, Some("OOM"));
+        // HG and LP are unaffected by storage budgets.
+        assert!(results.cells[&(DatasetId::Ftb, 3, "HG")].marker.is_none());
+        assert!(results.cells[&(DatasetId::Ftb, 3, "LP")].marker.is_none());
+        let fig6 = render_fig6(&results);
+        assert!(fig6.contains("OOM"));
+    }
+}

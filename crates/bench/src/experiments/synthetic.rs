@@ -1,0 +1,132 @@
+//! **Tables V and VI** — Watts–Strogatz scalability sweep (Section VI-D):
+//! `n = 1M` (scaled), average degree 8..64, algorithms HG / GC / LP.
+
+use crate::config::ReproConfig;
+use crate::table::Table;
+use crate::timed;
+use dkc_core::{GcSolver, HgSolver, LightweightSolver, SolveError, Solver};
+use dkc_datagen::watts_strogatz;
+use dkc_graph::CsrGraph;
+use std::collections::HashMap;
+
+/// The degree sweep of Tables V/VI.
+pub const DEGREES: [usize; 4] = [8, 16, 32, 64];
+
+/// Result of the synthetic sweep.
+pub struct SyntheticResults {
+    /// Graph size used (paper: 1M nodes, scaled here).
+    pub n: usize,
+    /// Swept k values.
+    pub ks: Vec<usize>,
+    /// (degree, k, algo) → (seconds, |S| or None on OOM).
+    pub cells: HashMap<(usize, usize, &'static str), (f64, Option<usize>)>,
+}
+
+/// Runs HG, GC and LP over the Watts–Strogatz sweep.
+pub fn run_sweep(cfg: &ReproConfig) -> SyntheticResults {
+    let n = ((1_000_000_f64 * cfg.scale) as usize).max(1_000);
+    let mut cells = HashMap::new();
+    for degree in DEGREES {
+        let g: CsrGraph = watts_strogatz(n, degree, 0.1, cfg.seed);
+        for &k in &cfg.ks {
+            let solvers: Vec<(&'static str, Box<dyn Solver>)> = vec![
+                ("HG", Box::new(HgSolver::default())),
+                ("GC", Box::new(GcSolver::with_budget(cfg.max_stored_cliques))),
+                ("LP", Box::new(LightweightSolver::lp())),
+            ];
+            for (name, solver) in solvers {
+                let (result, elapsed) = timed(|| solver.solve(&g, k));
+                let size = match result {
+                    Ok(s) => Some(s.len()),
+                    Err(SolveError::CliqueBudget { .. }) => None,
+                    Err(e) => panic!("unexpected: {e}"),
+                };
+                cells.insert((degree, k, name), (elapsed.as_secs_f64(), size));
+            }
+        }
+    }
+    SyntheticResults { n, ks: cfg.ks.clone(), cells }
+}
+
+/// **Table V**: running time in seconds.
+pub fn render_table5(r: &SyntheticResults) -> String {
+    let mut headers: Vec<String> = vec!["Degree".into()];
+    for k in &r.ks {
+        for algo in ["HG", "GC", "LP"] {
+            headers.push(format!("k={k} {algo}"));
+        }
+    }
+    let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let mut t = Table::new(
+        format!("Table V: running time (s) on Watts-Strogatz graphs, n = {}", r.n),
+        &headers_ref,
+    );
+    for degree in DEGREES {
+        let mut row = vec![degree.to_string()];
+        for &k in &r.ks {
+            for algo in ["HG", "GC", "LP"] {
+                let (secs, size) = &r.cells[&(degree, k, algo)];
+                row.push(if size.is_none() { "OOM".into() } else { format!("{secs:.2}") });
+            }
+        }
+        t.add_row(row);
+    }
+    t.render()
+}
+
+/// **Table VI**: size of S (HG absolute; GC/LP as Δ vs HG).
+pub fn render_table6(r: &SyntheticResults) -> String {
+    let mut headers: Vec<String> = vec!["Degree".into()];
+    for k in &r.ks {
+        for algo in ["HG", "GC (Δ)", "LP (Δ)"] {
+            headers.push(format!("k={k} {algo}"));
+        }
+    }
+    let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let mut t = Table::new(
+        format!("Table VI: size of S on Watts-Strogatz graphs, n = {}", r.n),
+        &headers_ref,
+    );
+    for degree in DEGREES {
+        let mut row = vec![degree.to_string()];
+        for &k in &r.ks {
+            let hg = r.cells[&(degree, k, "HG")].1;
+            for algo in ["HG", "GC", "LP"] {
+                let (_, size) = &r.cells[&(degree, k, algo)];
+                row.push(match (algo, size, hg) {
+                    (_, None, _) => "OOM".into(),
+                    ("HG", Some(s), _) => s.to_string(),
+                    (_, Some(s), Some(h)) => format!("{:+}", *s as i64 - h as i64),
+                    _ => "-".into(),
+                });
+            }
+        }
+        t.add_row(row);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_covers_all_degrees() {
+        let cfg = ReproConfig { scale: 0.001, ks: vec![3], ..Default::default() };
+        let r = run_sweep(&cfg);
+        assert_eq!(r.n, 1000);
+        for d in DEGREES {
+            assert!(r.cells.contains_key(&(d, 3, "LP")));
+            // GC and LP sizes must agree closely on WS graphs.
+            let gc = r.cells[&(d, 3, "GC")].1;
+            let lp = r.cells[&(d, 3, "LP")].1;
+            if let (Some(gc), Some(lp)) = (gc, lp) {
+                assert!(gc.abs_diff(lp) <= 2, "degree {d}: GC {gc} vs LP {lp}");
+            }
+        }
+        let t5 = render_table5(&r);
+        let t6 = render_table6(&r);
+        assert!(t5.contains("Table V"));
+        assert!(t6.contains("Table VI"));
+    }
+}

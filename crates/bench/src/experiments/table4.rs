@@ -1,0 +1,85 @@
+//! **Table IV** — LP vs the exact solution on six tiny datasets, with the
+//! error ratio `ER = (OPT - LP) / OPT`.
+
+use crate::config::ReproConfig;
+use crate::table::Table;
+use dkc_cliquegraph::CliqueGraphLimits;
+use dkc_core::{LightweightSolver, OptSolver, SolveError, Solver};
+use dkc_datagen::registry::TinyDatasetId;
+use dkc_mis::MisBudget;
+
+/// Runs LP and OPT over the Table IV stand-ins.
+pub fn run(cfg: &ReproConfig) -> String {
+    let mut headers: Vec<String> = vec!["Dataset".into(), "n".into(), "m".into()];
+    for k in &cfg.ks {
+        headers.push(format!("k={k} LP"));
+        headers.push(format!("k={k} OPT"));
+        headers.push(format!("k={k} ER"));
+    }
+    let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let mut t = Table::new(
+        "Table IV: comparison with the exact solution (ER = error ratio)",
+        &headers_ref,
+    );
+    for id in TinyDatasetId::ALL {
+        let g = id.standin(cfg.seed);
+        let mut row = vec![
+            id.name().to_string(),
+            g.num_nodes().to_string(),
+            g.num_edges().to_string(),
+        ];
+        for &k in &cfg.ks {
+            let lp = LightweightSolver::lp().solve(&g, k).expect("LP never exceeds budgets");
+            let opt_solver = OptSolver::with_budgets(
+                CliqueGraphLimits {
+                    max_cliques: Some(cfg.max_stored_cliques),
+                    max_conflicts: Some(cfg.max_stored_cliques.saturating_mul(8)),
+                },
+                MisBudget::with_time(cfg.opt_time_limit),
+            );
+            row.push(lp.len().to_string());
+            match opt_solver.solve(&g, k) {
+                Ok(opt) => {
+                    let er = if opt.is_empty() {
+                        0.0
+                    } else {
+                        (opt.len() as f64 - lp.len() as f64) / opt.len() as f64
+                    };
+                    row.push(opt.len().to_string());
+                    row.push(format!("{:.1}%", er * 100.0));
+                }
+                Err(SolveError::Timeout { .. }) => {
+                    row.push("OOT".into());
+                    row.push("-".into());
+                }
+                Err(SolveError::CliqueGraph(_)) => {
+                    row.push("OOM".into());
+                    row.push("-".into());
+                }
+                Err(e) => panic!("unexpected: {e}"),
+            }
+        }
+        t.add_row(row);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn covers_all_tiny_datasets() {
+        let cfg = ReproConfig {
+            ks: vec![3],
+            opt_time_limit: Duration::from_millis(1500),
+            ..Default::default()
+        };
+        let text = run(&cfg);
+        for id in TinyDatasetId::ALL {
+            assert!(text.contains(id.name()), "missing {}", id.name());
+        }
+        assert!(text.contains("ER"));
+    }
+}

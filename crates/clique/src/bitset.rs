@@ -1,0 +1,158 @@
+//! A minimal fixed-width bitset used by the subset clique enumerator.
+
+/// Dense bitset over `0..len` with 64-bit words.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub(crate) struct Bitset {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl Bitset {
+    pub(crate) fn new(len: usize) -> Self {
+        Bitset { words: vec![0; len.div_ceil(64)], len }
+    }
+
+    /// All bits in `0..len` set.
+    pub(crate) fn full(len: usize) -> Self {
+        let mut b = Bitset::new(len);
+        for i in 0..b.words.len() {
+            b.words[i] = u64::MAX;
+        }
+        // Clear the tail beyond `len`.
+        let tail = len % 64;
+        if tail != 0 {
+            if let Some(last) = b.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+        b
+    }
+
+    #[inline]
+    pub(crate) fn set(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    #[inline]
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn test(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    pub(crate) fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// `self = a & b`, then clears every bit `<= pivot` (used to enforce
+    /// increasing-id clique extension).
+    pub(crate) fn assign_and_above(&mut self, a: &Bitset, b: &Bitset, pivot: usize) {
+        debug_assert_eq!(a.len, b.len);
+        self.len = a.len;
+        self.words.resize(a.words.len(), 0);
+        for (o, (&x, &y)) in self.words.iter_mut().zip(a.words.iter().zip(&b.words)) {
+            *o = x & y;
+        }
+        // Zero bits 0..=pivot.
+        let word = pivot / 64;
+        let zero_upto = word.min(self.words.len());
+        for w in &mut self.words[..zero_upto] {
+            *w = 0;
+        }
+        if word < self.words.len() {
+            let keep_from = pivot % 64 + 1;
+            if keep_from >= 64 {
+                self.words[word] = 0;
+            } else {
+                self.words[word] &= !((1u64 << keep_from) - 1);
+            }
+        }
+    }
+
+    /// Iterates set bit positions ascending.
+    pub(crate) fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut w = w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let bit = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(wi * 64 + bit)
+                }
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_test_count() {
+        let mut b = Bitset::new(130);
+        assert_eq!(b.count_ones(), 0);
+        b.set(0);
+        b.set(64);
+        b.set(129);
+        assert!(b.test(0) && b.test(64) && b.test(129));
+        assert!(!b.test(1) && !b.test(128));
+        assert_eq!(b.count_ones(), 3);
+    }
+
+    #[test]
+    fn full_respects_length() {
+        let b = Bitset::full(70);
+        assert_eq!(b.count_ones(), 70);
+        assert!(b.test(69));
+        let b = Bitset::full(64);
+        assert_eq!(b.count_ones(), 64);
+        let b = Bitset::full(0);
+        assert_eq!(b.count_ones(), 0);
+    }
+
+    #[test]
+    fn and_above_masks_correctly() {
+        let mut a = Bitset::new(100);
+        let mut b = Bitset::new(100);
+        for i in 0..100 {
+            if i % 2 == 0 {
+                a.set(i);
+            }
+            if i % 3 == 0 {
+                b.set(i);
+            }
+        }
+        let mut out = Bitset::new(100);
+        out.assign_and_above(&a, &b, 30);
+        // multiples of 6 strictly above 30: 36, 42, ..., 96.
+        let ones: Vec<usize> = out.iter_ones().collect();
+        assert_eq!(ones, vec![36, 42, 48, 54, 60, 66, 72, 78, 84, 90, 96]);
+    }
+
+    #[test]
+    fn iter_ones_ascending() {
+        let mut b = Bitset::new(200);
+        for i in [3usize, 64, 65, 127, 128, 199] {
+            b.set(i);
+        }
+        let v: Vec<usize> = b.iter_ones().collect();
+        assert_eq!(v, vec![3, 64, 65, 127, 128, 199]);
+    }
+
+    #[test]
+    fn and_above_pivot_edge_cases() {
+        let a = Bitset::full(128);
+        let b = Bitset::full(128);
+        let mut out = Bitset::new(128);
+        out.assign_and_above(&a, &b, 63);
+        assert_eq!(out.iter_ones().next(), Some(64));
+        out.assign_and_above(&a, &b, 127);
+        assert_eq!(out.count_ones(), 0);
+        out.assign_and_above(&a, &b, 0);
+        assert_eq!(out.count_ones(), 127);
+    }
+}

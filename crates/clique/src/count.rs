@@ -1,0 +1,312 @@
+use crate::list::intersect_sorted;
+use dkc_graph::{Dag, NodeId};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Counts all k-cliques of the graph without materialising them.
+pub fn count_kcliques(dag: &Dag, k: usize) -> u64 {
+    let mut total = 0u64;
+    let mut counter = CountCtx::new(dag, k, None);
+    for u in 0..dag.num_nodes() as NodeId {
+        total += counter.run_root(u);
+    }
+    total
+}
+
+/// Computes per-node k-clique counts — the *node scores* `s_n(u)` of
+/// Definition 5 — in a single enumeration pass and `O(n + m)` memory.
+///
+/// This is Line 2 of Algorithm 3: scores are accumulated during the kClist
+/// recursion; no clique is ever stored. At the innermost level, every
+/// candidate completes a clique, so the counts are aggregated wholesale
+/// (`O(|cand| + k)` per parent instead of `O(k)` per clique).
+pub fn node_scores(dag: &Dag, k: usize) -> Vec<u64> {
+    let mut scores = vec![0u64; dag.num_nodes()];
+    let mut counter = CountCtx::new(dag, k, Some(&mut scores));
+    for u in 0..dag.num_nodes() as NodeId {
+        counter.run_root(u);
+    }
+    scores
+}
+
+/// Parallel [`node_scores`]: root nodes are distributed over `threads`
+/// workers via an atomic work counter; per-thread score arrays are summed at
+/// the end. Deterministic regardless of scheduling (addition commutes).
+pub fn node_scores_parallel(dag: &Dag, k: usize, threads: usize) -> Vec<u64> {
+    let n = dag.num_nodes();
+    let threads = threads.max(1).min(n.max(1));
+    if threads == 1 || n < 1024 {
+        return node_scores(dag, k);
+    }
+    let next = AtomicUsize::new(0);
+    const CHUNK: usize = 256;
+    let locals: Vec<Vec<u64>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let next = &next;
+                scope.spawn(move || {
+                    let mut scores = vec![0u64; n];
+                    let mut counter = CountCtx::new(dag, k, Some(&mut scores));
+                    loop {
+                        let start = next.fetch_add(CHUNK, Ordering::Relaxed);
+                        if start >= n {
+                            break;
+                        }
+                        for u in start..(start + CHUNK).min(n) {
+                            counter.run_root(u as NodeId);
+                        }
+                    }
+                    drop(counter);
+                    scores
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    });
+    let mut merged = vec![0u64; n];
+    for local in locals {
+        for (m, l) in merged.iter_mut().zip(local) {
+            *m += l;
+        }
+    }
+    merged
+}
+
+/// Parallel [`count_kcliques`] using the same work-stealing scheme.
+pub fn count_kcliques_parallel(dag: &Dag, k: usize, threads: usize) -> u64 {
+    let n = dag.num_nodes();
+    let threads = threads.max(1).min(n.max(1));
+    if threads == 1 || n < 1024 {
+        return count_kcliques(dag, k);
+    }
+    let next = AtomicUsize::new(0);
+    const CHUNK: usize = 256;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let next = &next;
+                scope.spawn(move || {
+                    let mut counter = CountCtx::new(dag, k, None);
+                    let mut total = 0u64;
+                    loop {
+                        let start = next.fetch_add(CHUNK, Ordering::Relaxed);
+                        if start >= n {
+                            break;
+                        }
+                        for u in start..(start + CHUNK).min(n) {
+                            total += counter.run_root(u as NodeId);
+                        }
+                    }
+                    total
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).sum()
+    })
+}
+
+/// Shared recursion state for counting, optionally accumulating per-node
+/// scores.
+struct CountCtx<'a, 'b> {
+    dag: &'a Dag,
+    k: usize,
+    stack: Vec<NodeId>,
+    bufs: Vec<Vec<NodeId>>,
+    scores: Option<&'b mut [u64]>,
+}
+
+impl<'a, 'b> CountCtx<'a, 'b> {
+    fn new(dag: &'a Dag, k: usize, scores: Option<&'b mut [u64]>) -> Self {
+        assert!(k >= 1, "k must be at least 1");
+        CountCtx {
+            dag,
+            k,
+            stack: Vec::with_capacity(k),
+            bufs: vec![Vec::new(); k.saturating_sub(1)],
+            scores,
+        }
+    }
+
+    /// Counts (and scores) the k-cliques rooted at `u`; returns the count.
+    fn run_root(&mut self, u: NodeId) -> u64 {
+        if self.k == 1 {
+            if let Some(s) = self.scores.as_deref_mut() {
+                s[u as usize] += 1;
+            }
+            return 1;
+        }
+        if self.dag.out_degree(u) < self.k - 1 {
+            return 0;
+        }
+        self.stack.clear();
+        self.stack.push(u);
+        let mut first = std::mem::take(&mut self.bufs[0]);
+        first.clear();
+        first.extend_from_slice(self.dag.out_neighbors(u));
+        let c = self.recurse(self.k - 1, &first);
+        self.bufs[0] = first;
+        c
+    }
+
+    fn recurse(&mut self, l: usize, cand: &[NodeId]) -> u64 {
+        if cand.len() < l {
+            return 0;
+        }
+        if l == 1 {
+            // Every candidate completes a clique with the current stack:
+            // aggregate instead of touching counters once per clique.
+            if let Some(scores) = self.scores.as_deref_mut() {
+                for &v in cand {
+                    scores[v as usize] += 1;
+                }
+                let found = cand.len() as u64;
+                for &c in &self.stack {
+                    scores[c as usize] += found;
+                }
+            }
+            return cand.len() as u64;
+        }
+        let depth = self.k - l;
+        let mut sub = std::mem::take(&mut self.bufs[depth]);
+        let mut total = 0u64;
+        for &v in cand {
+            intersect_sorted(cand, self.dag.out_neighbors(v), &mut sub);
+            if sub.len() >= l - 1 {
+                self.stack.push(v);
+                total += self.recurse(l - 1, &sub);
+                self.stack.pop();
+            }
+        }
+        self.bufs[depth] = sub;
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::list::for_each_kclique;
+    use dkc_graph::{CsrGraph, NodeOrder, OrderingKind};
+
+    fn paper_graph() -> CsrGraph {
+        CsrGraph::from_edges(
+            9,
+            vec![
+                (0, 2),
+                (0, 5),
+                (2, 5),
+                (2, 4),
+                (4, 5),
+                (4, 7),
+                (5, 7),
+                (4, 6),
+                (6, 7),
+                (6, 8),
+                (7, 8),
+                (3, 6),
+                (3, 8),
+                (1, 3),
+                (1, 8),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn dag(g: &CsrGraph) -> Dag {
+        Dag::from_graph(g, NodeOrder::compute(g, OrderingKind::Degeneracy))
+    }
+
+    #[test]
+    fn counts_match_example1() {
+        let g = paper_graph();
+        let d = dag(&g);
+        assert_eq!(count_kcliques(&d, 3), 7);
+        assert_eq!(count_kcliques(&d, 1), 9);
+        assert_eq!(count_kcliques(&d, 2), 15);
+        assert_eq!(count_kcliques(&d, 4), 0); // no 4-clique in Fig. 2
+    }
+
+    #[test]
+    fn node_scores_match_example3() {
+        // Example 3: s_n(v6) = s_n(v5) = s_n(v8) = 3.
+        let g = paper_graph();
+        let d = dag(&g);
+        let s = node_scores(&d, 3);
+        assert_eq!(s[5], 3); // v6
+        assert_eq!(s[4], 3); // v5
+        assert_eq!(s[7], 3); // v8
+        // Total score = k * number of cliques.
+        assert_eq!(s.iter().sum::<u64>(), 3 * 7);
+    }
+
+    #[test]
+    fn scores_agree_with_explicit_enumeration() {
+        let g = paper_graph();
+        let d = dag(&g);
+        for k in 1..=4 {
+            let fast = node_scores(&d, k);
+            let mut slow = vec![0u64; 9];
+            for_each_kclique(&d, k, |nodes| {
+                for &v in nodes {
+                    slow[v as usize] += 1;
+                }
+            });
+            assert_eq!(fast, slow, "k={k}");
+        }
+    }
+
+    #[test]
+    fn complete_graph_counts_are_binomials() {
+        let mut edges = Vec::new();
+        for a in 0..8u32 {
+            for b in (a + 1)..8 {
+                edges.push((a, b));
+            }
+        }
+        let g = CsrGraph::from_edges(8, edges).unwrap();
+        let d = dag(&g);
+        // C(8, k) cliques; every node participates in C(7, k-1).
+        let binom = |n: u64, k: u64| -> u64 {
+            (0..k).fold(1u64, |acc, i| acc * (n - i) / (i + 1))
+        };
+        for k in 1..=8usize {
+            assert_eq!(count_kcliques(&d, k), binom(8, k as u64), "k={k}");
+            let s = node_scores(&d, k);
+            for (u, &score) in s.iter().enumerate() {
+                assert_eq!(score, binom(7, k as u64 - 1), "k={k} u={u}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        // Random-ish graph built deterministically.
+        let mut edges = Vec::new();
+        for i in 0..600u32 {
+            edges.push((i % 200, (i * 7 + 3) % 200));
+            edges.push((i % 200, (i * 13 + 11) % 200));
+        }
+        let g = CsrGraph::from_edges(200, edges).unwrap();
+        let d = dag(&g);
+        for k in 3..=5 {
+            assert_eq!(
+                count_kcliques_parallel(&d, k, 4),
+                count_kcliques(&d, k),
+                "count k={k}"
+            );
+            assert_eq!(node_scores_parallel(&d, k, 4), node_scores(&d, k), "scores k={k}");
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny_graphs() {
+        let g = CsrGraph::empty();
+        let d = dag(&g);
+        assert_eq!(count_kcliques(&d, 3), 0);
+        assert!(node_scores(&d, 3).is_empty());
+
+        let g = CsrGraph::from_edges(2, vec![(0, 1)]).unwrap();
+        let d = dag(&g);
+        assert_eq!(count_kcliques(&d, 3), 0);
+        assert_eq!(node_scores(&d, 3), vec![0, 0]);
+    }
+}

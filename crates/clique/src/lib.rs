@@ -1,0 +1,41 @@
+//! # dkc-clique — k-clique listing, counting and search
+//!
+//! Implements the kClist-style machinery (Danisch, Balalau, Sozio — WWW'18,
+//! the paper's reference [13]) that every solver in the workspace relies on:
+//!
+//! * [`for_each_kclique`] / [`collect_kcliques`] — enumerate every k-clique
+//!   of a DAG-oriented graph exactly once, rooted at its highest-ranked
+//!   member, in `O(k · m · (d/2)^(k-2))`.
+//! * [`count_kcliques`] / [`node_scores`] — count k-cliques globally and per
+//!   node *without materialising them* (Definition 5 of the paper: the node
+//!   score `s_n(u)` is the number of k-cliques containing `u`). A parallel
+//!   variant splits the root nodes across threads.
+//! * [`FirstFinder`] — the `FindOne` procedure of Algorithm 1: return the
+//!   first (k-1)-clique inside a root's out-neighbourhood, restricted to
+//!   still-valid nodes.
+//! * [`MinScoreFinder`] — the `FindMin` procedure of Algorithm 3: return the
+//!   clique of minimum *clique score* (Definition 6) rooted at a node,
+//!   optionally applying the paper's score-driven pruning rule.
+//! * [`for_each_kclique_in_subset`] — bitset-based enumeration inside an
+//!   arbitrary node subset of a dynamic graph, used by the candidate-clique
+//!   index of Section V (Algorithm 5).
+//! * [`Clique`] — an inline, allocation-free clique value type.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bitset;
+mod count;
+mod find;
+mod list;
+mod subset;
+mod types;
+
+pub use count::{count_kcliques, count_kcliques_parallel, node_scores, node_scores_parallel};
+pub use find::{FirstFinder, MinScoreFinder, ScoredClique};
+pub use list::{
+    collect_kcliques, collect_kcliques_bounded, for_each_kclique, for_each_kclique_rooted,
+    for_each_kclique_while,
+};
+pub use subset::{collect_kcliques_in_subset, for_each_kclique_in_subset};
+pub use types::{Clique, MAX_K};

@@ -1,0 +1,365 @@
+use crate::types::Clique;
+use dkc_graph::{Dag, NodeId};
+
+/// Enumerates every k-clique of the DAG-oriented graph exactly once.
+///
+/// Each clique is reported as a slice whose first element is the clique's
+/// *root* — the member with the highest rank under the DAG's total order.
+/// The remaining members appear in recursion order. The slice is only valid
+/// for the duration of the callback.
+///
+/// `k = 1` reports every node, `k = 2` every edge; `k >= 3` is the paper's
+/// regime. The recursion intersects sorted candidate lists, giving the
+/// `O(k · m · (d/2)^(k-2))` bound of reference [13] when the order is a
+/// degeneracy order.
+pub fn for_each_kclique<F>(dag: &Dag, k: usize, mut cb: F)
+where
+    F: FnMut(&[NodeId]),
+{
+    let mut ctx = ListCtx::new(dag, k);
+    for u in 0..dag.num_nodes() as NodeId {
+        ctx.run_root(u, &mut |nodes| {
+            cb(nodes);
+            true
+        });
+    }
+}
+
+/// Like [`for_each_kclique`] but the callback returns `false` to stop the
+/// enumeration early — used by budgeted collectors so an over-limit clique
+/// population is detected without materialising (or even visiting) it all.
+pub fn for_each_kclique_while<F>(dag: &Dag, k: usize, mut cb: F)
+where
+    F: FnMut(&[NodeId]) -> bool,
+{
+    let mut ctx = ListCtx::new(dag, k);
+    for u in 0..dag.num_nodes() as NodeId {
+        if !ctx.run_root(u, &mut cb) {
+            return;
+        }
+    }
+}
+
+/// Enumerates only the k-cliques rooted at `root` (those in which `root` is
+/// the highest-ranked member).
+pub fn for_each_kclique_rooted<F>(dag: &Dag, root: NodeId, k: usize, mut cb: F)
+where
+    F: FnMut(&[NodeId]),
+{
+    let mut ctx = ListCtx::new(dag, k);
+    ctx.run_root(root, &mut |nodes| {
+        cb(nodes);
+        true
+    });
+}
+
+/// Collects all k-cliques into owned [`Clique`] values (the storage-heavy
+/// path used by Algorithm 2 / GC).
+pub fn collect_kcliques(dag: &Dag, k: usize) -> Vec<Clique> {
+    let mut out = Vec::new();
+    for_each_kclique(dag, k, |nodes| out.push(Clique::new(nodes)));
+    out
+}
+
+/// Budgeted [`collect_kcliques`]: aborts with `Err(limit)` as soon as more
+/// than `limit` cliques exist, without materialising the excess — the
+/// mechanism behind the harness's deterministic "OOM" markers.
+pub fn collect_kcliques_bounded(
+    dag: &Dag,
+    k: usize,
+    limit: usize,
+) -> Result<Vec<Clique>, usize> {
+    let mut out = Vec::new();
+    let mut overflow = false;
+    for_each_kclique_while(dag, k, |nodes| {
+        if out.len() >= limit {
+            overflow = true;
+            return false;
+        }
+        out.push(Clique::new(nodes));
+        true
+    });
+    if overflow {
+        Err(limit)
+    } else {
+        Ok(out)
+    }
+}
+
+/// Reusable recursion state: one candidate buffer per depth plus the member
+/// stack, so enumeration performs no per-clique allocation.
+struct ListCtx<'a> {
+    dag: &'a Dag,
+    k: usize,
+    stack: Vec<NodeId>,
+    /// `bufs[d]` holds the candidate set at recursion depth `d`.
+    bufs: Vec<Vec<NodeId>>,
+}
+
+impl<'a> ListCtx<'a> {
+    fn new(dag: &'a Dag, k: usize) -> Self {
+        assert!(k >= 1, "k must be at least 1");
+        ListCtx {
+            dag,
+            k,
+            stack: Vec::with_capacity(k),
+            bufs: vec![Vec::new(); k.saturating_sub(1)],
+        }
+    }
+
+    /// Runs the recursion for one root. The callback returns `false` to
+    /// stop; the return value propagates that request outward.
+    fn run_root<F: FnMut(&[NodeId]) -> bool>(&mut self, u: NodeId, cb: &mut F) -> bool {
+        if self.k == 1 {
+            return cb(&[u]);
+        }
+        if self.dag.out_degree(u) < self.k - 1 {
+            return true;
+        }
+        self.stack.clear();
+        self.stack.push(u);
+        let mut first = std::mem::take(&mut self.bufs[0]);
+        first.clear();
+        first.extend_from_slice(self.dag.out_neighbors(u));
+        let keep_going = self.recurse(self.k - 1, &first, cb);
+        self.bufs[0] = first;
+        keep_going
+    }
+
+    /// Extends the member stack with `l` more nodes drawn from `cand`.
+    /// Returns `false` when the callback requested a stop.
+    fn recurse<F: FnMut(&[NodeId]) -> bool>(
+        &mut self,
+        l: usize,
+        cand: &[NodeId],
+        cb: &mut F,
+    ) -> bool {
+        if cand.len() < l {
+            return true;
+        }
+        if l == 1 {
+            for &v in cand {
+                self.stack.push(v);
+                let keep_going = cb(&self.stack);
+                self.stack.pop();
+                if !keep_going {
+                    return false;
+                }
+            }
+            return true;
+        }
+        let depth = self.k - l; // 1-based depth into bufs
+        let mut sub = std::mem::take(&mut self.bufs[depth]);
+        let mut keep_going = true;
+        for &v in cand {
+            // Only descend through v's out-neighbours: this de-duplicates
+            // member selection the same way the DAG de-duplicates roots.
+            intersect_sorted(cand, self.dag.out_neighbors(v), &mut sub);
+            if sub.len() >= l - 1 {
+                self.stack.push(v);
+                keep_going = self.recurse(l - 1, &sub, cb);
+                self.stack.pop();
+                if !keep_going {
+                    break;
+                }
+            }
+        }
+        self.bufs[depth] = sub;
+        keep_going
+    }
+}
+
+/// `out = a ∩ b` for sorted slices; clears `out` first.
+pub(crate) fn intersect_sorted(a: &[NodeId], b: &[NodeId], out: &mut Vec<NodeId>) {
+    out.clear();
+    // Galloping is not worth it at these sizes; plain merge is branch-cheap.
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dkc_graph::{CsrGraph, NodeOrder, OrderingKind};
+    use std::collections::BTreeSet;
+
+    /// Fig. 2 graph of the paper (v1..v9 → 0..8), with seven 3-cliques.
+    pub(crate) fn paper_graph() -> CsrGraph {
+        CsrGraph::from_edges(
+            9,
+            vec![
+                (0, 2),
+                (0, 5),
+                (2, 5),
+                (2, 4),
+                (4, 5),
+                (4, 7),
+                (5, 7),
+                (4, 6),
+                (6, 7),
+                (6, 8),
+                (7, 8),
+                (3, 6),
+                (3, 8),
+                (1, 3),
+                (1, 8),
+            ],
+        )
+        .unwrap()
+    }
+
+    pub(crate) fn dag_of(g: &CsrGraph, kind: OrderingKind) -> Dag {
+        Dag::from_graph(g, NodeOrder::compute(g, kind))
+    }
+
+    fn clique_set(dag: &Dag, k: usize) -> BTreeSet<Vec<NodeId>> {
+        let mut out = BTreeSet::new();
+        for_each_kclique(dag, k, |nodes| {
+            let mut v = nodes.to_vec();
+            v.sort_unstable();
+            assert!(out.insert(v), "clique reported twice: {nodes:?}");
+        });
+        out
+    }
+
+    #[test]
+    fn paper_graph_has_exactly_the_seven_3cliques_of_example1() {
+        let g = paper_graph();
+        let dag = dag_of(&g, OrderingKind::Identity);
+        let expected: BTreeSet<Vec<NodeId>> = [
+            vec![0, 2, 5], // C1 = (v1, v3, v6)
+            vec![2, 4, 5], // C2 = (v3, v5, v6)
+            vec![4, 5, 7], // C3 = (v5, v6, v8)
+            vec![4, 6, 7], // C4 = (v5, v7, v8)
+            vec![6, 7, 8], // C5 = (v7, v8, v9)
+            vec![3, 6, 8], // C6 = (v4, v7, v9)
+            vec![1, 3, 8], // C7 = (v2, v4, v9)
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(clique_set(&dag, 3), expected);
+    }
+
+    #[test]
+    fn enumeration_is_order_invariant() {
+        let g = paper_graph();
+        let identity = clique_set(&dag_of(&g, OrderingKind::Identity), 3);
+        for kind in [OrderingKind::DegreeAsc, OrderingKind::DegreeDesc, OrderingKind::Degeneracy] {
+            assert_eq!(clique_set(&dag_of(&g, kind), 3), identity, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn k1_reports_nodes_and_k2_reports_edges() {
+        let g = paper_graph();
+        let dag = dag_of(&g, OrderingKind::Degeneracy);
+        assert_eq!(clique_set(&dag, 1).len(), 9);
+        assert_eq!(clique_set(&dag, 2).len(), 15);
+    }
+
+    #[test]
+    fn root_is_highest_ranked_member() {
+        let g = paper_graph();
+        let dag = dag_of(&g, OrderingKind::Degeneracy);
+        for_each_kclique(&dag, 3, |nodes| {
+            let root = nodes[0];
+            for &v in &nodes[1..] {
+                assert!(dag.rank(v) < dag.rank(root));
+            }
+        });
+    }
+
+    #[test]
+    fn rooted_enumeration_partitions_the_clique_set() {
+        let g = paper_graph();
+        let dag = dag_of(&g, OrderingKind::Identity);
+        let mut total = 0usize;
+        for u in 0..9 {
+            for_each_kclique_rooted(&dag, u, 3, |_| total += 1);
+        }
+        assert_eq!(total, 7);
+    }
+
+    #[test]
+    fn k4_in_complete_graph() {
+        // K6 has C(6,4) = 15 4-cliques, C(6,3) = 20 triangles.
+        let mut edges = Vec::new();
+        for a in 0..6u32 {
+            for b in (a + 1)..6 {
+                edges.push((a, b));
+            }
+        }
+        let g = CsrGraph::from_edges(6, edges).unwrap();
+        let dag = dag_of(&g, OrderingKind::Degeneracy);
+        assert_eq!(clique_set(&dag, 3).len(), 20);
+        assert_eq!(clique_set(&dag, 4).len(), 15);
+        assert_eq!(clique_set(&dag, 5).len(), 6);
+        assert_eq!(clique_set(&dag, 6).len(), 1);
+        assert_eq!(clique_set(&dag, 7).len(), 0);
+    }
+
+    #[test]
+    fn triangle_free_graph_has_no_3cliques() {
+        // C5 (5-cycle) is triangle-free.
+        let g = CsrGraph::from_edges(5, vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]).unwrap();
+        let dag = dag_of(&g, OrderingKind::Degeneracy);
+        assert!(clique_set(&dag, 3).is_empty());
+    }
+
+    #[test]
+    fn collect_matches_for_each() {
+        let g = paper_graph();
+        let dag = dag_of(&g, OrderingKind::Identity);
+        let collected = collect_kcliques(&dag, 3);
+        assert_eq!(collected.len(), 7);
+        let set: BTreeSet<Vec<NodeId>> =
+            collected.iter().map(|c| c.as_slice().to_vec()).collect();
+        assert_eq!(set, clique_set(&dag, 3));
+    }
+
+    #[test]
+    fn bounded_collection_respects_the_budget() {
+        let g = paper_graph();
+        let dag = dag_of(&g, OrderingKind::Degeneracy);
+        // Exactly at the limit succeeds.
+        let ok = collect_kcliques_bounded(&dag, 3, 7).unwrap();
+        assert_eq!(ok.len(), 7);
+        // Below the limit aborts without materialising everything.
+        assert_eq!(collect_kcliques_bounded(&dag, 3, 6), Err(6));
+        assert_eq!(collect_kcliques_bounded(&dag, 3, 0), Err(0));
+        // Generous limit behaves like the unbounded collector.
+        let all = collect_kcliques_bounded(&dag, 3, 1_000).unwrap();
+        assert_eq!(all.len(), collect_kcliques(&dag, 3).len());
+    }
+
+    #[test]
+    fn early_stop_enumeration_visits_a_prefix() {
+        let g = paper_graph();
+        let dag = dag_of(&g, OrderingKind::Identity);
+        let mut seen = 0;
+        for_each_kclique_while(&dag, 3, |_| {
+            seen += 1;
+            seen < 3
+        });
+        assert_eq!(seen, 3, "stopped after the third clique");
+    }
+
+    #[test]
+    fn intersect_sorted_basic() {
+        let mut out = Vec::new();
+        intersect_sorted(&[1, 3, 5, 7], &[2, 3, 4, 7, 9], &mut out);
+        assert_eq!(out, vec![3, 7]);
+        intersect_sorted(&[], &[1], &mut out);
+        assert!(out.is_empty());
+    }
+}

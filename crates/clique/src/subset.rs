@@ -1,0 +1,226 @@
+use crate::bitset::Bitset;
+use crate::types::Clique;
+use dkc_graph::{DynGraph, NodeId};
+
+/// Enumerates every k-clique of the subgraph induced on `nodes`.
+///
+/// This is the workhorse of the dynamic index (Algorithm 5): candidate
+/// cliques for a solution clique `C` are exactly the k-cliques of the
+/// induced subgraph on `B = C ∪ N_F(C)`. The subset is typically small
+/// (a clique plus its free neighbours), so adjacency is densified into
+/// bitsets and cliques are extended in increasing local id order, reporting
+/// each exactly once.
+///
+/// Duplicates in `nodes` are ignored. The callback receives *global* node
+/// ids, sorted ascending, valid only for the duration of the call.
+pub fn for_each_kclique_in_subset<F>(g: &DynGraph, nodes: &[NodeId], k: usize, mut cb: F)
+where
+    F: FnMut(&[NodeId]),
+{
+    assert!(k >= 1, "k must be at least 1");
+    let mut local: Vec<NodeId> = nodes.to_vec();
+    local.sort_unstable();
+    local.dedup();
+    let s = local.len();
+    if s < k {
+        return;
+    }
+    if k == 1 {
+        for &u in &local {
+            cb(&[u]);
+        }
+        return;
+    }
+    // Densify adjacency restricted to the subset.
+    let mut rows: Vec<Bitset> = (0..s).map(|_| Bitset::new(s)).collect();
+    for (i, &gu) in local.iter().enumerate() {
+        // Walk gu's (sorted) neighbour list against the (sorted) subset.
+        let nbrs = g.neighbors(gu);
+        let (mut a, mut b) = (0usize, 0usize);
+        while a < nbrs.len() && b < s {
+            match nbrs[a].cmp(&local[b]) {
+                std::cmp::Ordering::Less => a += 1,
+                std::cmp::Ordering::Greater => b += 1,
+                std::cmp::Ordering::Equal => {
+                    rows[i].set(b);
+                    a += 1;
+                    b += 1;
+                }
+            }
+        }
+    }
+    let mut ctx = SubsetCtx {
+        rows: &rows,
+        global: &local,
+        k,
+        stack: Vec::with_capacity(k),
+        out: Vec::with_capacity(k),
+        bufs: vec![Bitset::new(s); k],
+    };
+    let full = Bitset::full(s);
+    ctx.recurse(k, &full, &mut cb);
+}
+
+/// Collects the k-cliques of the induced subgraph into owned values.
+pub fn collect_kcliques_in_subset(g: &DynGraph, nodes: &[NodeId], k: usize) -> Vec<Clique> {
+    let mut out = Vec::new();
+    for_each_kclique_in_subset(g, nodes, k, |c| out.push(Clique::new(c)));
+    out
+}
+
+struct SubsetCtx<'a> {
+    rows: &'a [Bitset],
+    global: &'a [NodeId],
+    k: usize,
+    /// Chosen local ids, strictly increasing.
+    stack: Vec<usize>,
+    /// Scratch for the translated global ids.
+    out: Vec<NodeId>,
+    bufs: Vec<Bitset>,
+}
+
+impl SubsetCtx<'_> {
+    fn emit<F: FnMut(&[NodeId])>(&mut self, last: usize, cb: &mut F) {
+        self.out.clear();
+        self.out.extend(self.stack.iter().map(|&i| self.global[i]));
+        self.out.push(self.global[last]);
+        // Local ids are chosen in increasing order and `global` is sorted,
+        // so `out` is already ascending.
+        cb(&self.out);
+    }
+
+    fn recurse<F: FnMut(&[NodeId])>(&mut self, l: usize, cand: &Bitset, cb: &mut F) {
+        if l == 1 {
+            let ones: Vec<usize> = cand.iter_ones().collect();
+            for i in ones {
+                self.emit(i, cb);
+            }
+            return;
+        }
+        if cand.count_ones() < l {
+            return;
+        }
+        let depth = self.k - l;
+        let mut sub = std::mem::take(&mut self.bufs[depth]);
+        let picks: Vec<usize> = cand.iter_ones().collect();
+        for i in picks {
+            sub.assign_and_above(cand, &self.rows[i], i);
+            if sub.count_ones() >= l - 1 {
+                self.stack.push(i);
+                self.recurse(l - 1, &sub, cb);
+                self.stack.pop();
+            }
+        }
+        self.bufs[depth] = sub;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    fn paper_dyn_graph() -> DynGraph {
+        let mut g = DynGraph::new(9);
+        for (a, b) in [
+            (0, 2),
+            (0, 5),
+            (2, 5),
+            (2, 4),
+            (4, 5),
+            (4, 7),
+            (5, 7),
+            (4, 6),
+            (6, 7),
+            (6, 8),
+            (7, 8),
+            (3, 6),
+            (3, 8),
+            (1, 3),
+            (1, 8),
+        ] {
+            g.insert_edge(a, b);
+        }
+        g
+    }
+
+    fn subset_cliques(g: &DynGraph, nodes: &[NodeId], k: usize) -> BTreeSet<Vec<NodeId>> {
+        let mut set = BTreeSet::new();
+        for_each_kclique_in_subset(g, nodes, k, |c| {
+            assert!(set.insert(c.to_vec()), "duplicate clique {c:?}");
+        });
+        set
+    }
+
+    #[test]
+    fn full_subset_matches_known_cliques() {
+        let g = paper_dyn_graph();
+        let all: Vec<NodeId> = (0..9).collect();
+        let cliques = subset_cliques(&g, &all, 3);
+        assert_eq!(cliques.len(), 7);
+        assert!(cliques.contains(&vec![0, 2, 5]));
+        assert!(cliques.contains(&vec![1, 3, 8]));
+    }
+
+    #[test]
+    fn restricted_subset_filters_cliques() {
+        let g = paper_dyn_graph();
+        // Only the neighbourhood of v5/v6/v8 region.
+        let cliques = subset_cliques(&g, &[4, 5, 6, 7], 3);
+        assert_eq!(
+            cliques,
+            [vec![4, 5, 7], vec![4, 6, 7]].into_iter().collect::<BTreeSet<_>>()
+        );
+    }
+
+    #[test]
+    fn duplicates_in_subset_are_harmless() {
+        let g = paper_dyn_graph();
+        let a = subset_cliques(&g, &[4, 5, 7, 4, 5], 3);
+        let b = subset_cliques(&g, &[4, 5, 7], 3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn k_larger_than_subset_yields_nothing() {
+        let g = paper_dyn_graph();
+        assert!(subset_cliques(&g, &[4, 5], 3).is_empty());
+        assert!(subset_cliques(&g, &[], 3).is_empty());
+    }
+
+    #[test]
+    fn k1_and_k2_special_cases() {
+        let g = paper_dyn_graph();
+        assert_eq!(subset_cliques(&g, &[2, 4, 5], 1).len(), 3);
+        // Edges within {2,4,5}: (2,4), (2,5), (4,5).
+        assert_eq!(subset_cliques(&g, &[2, 4, 5], 2).len(), 3);
+    }
+
+    #[test]
+    fn collect_returns_sorted_clique_values() {
+        let g = paper_dyn_graph();
+        let cliques = collect_kcliques_in_subset(&g, &(0..9).collect::<Vec<_>>(), 3);
+        assert_eq!(cliques.len(), 7);
+        for c in &cliques {
+            assert_eq!(c.len(), 3);
+            assert!(c.as_slice().windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn large_subset_crossing_word_boundaries() {
+        // A clique of size 5 placed at ids 60..65 inside a 130-node subset
+        // exercises multi-word bitsets.
+        let mut g = DynGraph::new(130);
+        for a in 60..65u32 {
+            for b in (a + 1)..65 {
+                g.insert_edge(a, b);
+            }
+        }
+        let all: Vec<NodeId> = (0..130).collect();
+        let c5 = subset_cliques(&g, &all, 5);
+        assert_eq!(c5.len(), 1);
+        assert_eq!(c5.iter().next().unwrap(), &vec![60, 61, 62, 63, 64]);
+        assert_eq!(subset_cliques(&g, &all, 4).len(), 5);
+    }
+}

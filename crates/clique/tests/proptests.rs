@@ -1,0 +1,168 @@
+//! Property-based tests: the optimised listing/counting/search machinery is
+//! compared against brute-force references on small random graphs.
+
+use std::collections::BTreeSet;
+
+use dkc_clique::{
+    collect_kcliques, collect_kcliques_in_subset, count_kcliques, node_scores, Clique,
+    FirstFinder, MinScoreFinder,
+};
+use dkc_graph::{CsrGraph, Dag, DynGraph, NodeId, NodeOrder, OrderingKind};
+use proptest::prelude::*;
+
+fn graph_strategy(max_n: u32, max_m: usize) -> impl Strategy<Value = CsrGraph> {
+    (4..=max_n).prop_flat_map(move |n| {
+        proptest::collection::vec((0..n, 0..n), 0..max_m)
+            .prop_map(move |edges| CsrGraph::from_edges(n as usize, edges).unwrap())
+    })
+}
+
+/// Brute force: all k-subsets that are pairwise adjacent.
+fn brute_force_cliques(g: &CsrGraph, k: usize) -> BTreeSet<Vec<NodeId>> {
+    let n = g.num_nodes();
+    let mut out = BTreeSet::new();
+    let mut subset: Vec<NodeId> = Vec::new();
+    fn rec(
+        g: &CsrGraph,
+        k: usize,
+        start: NodeId,
+        subset: &mut Vec<NodeId>,
+        out: &mut BTreeSet<Vec<NodeId>>,
+    ) {
+        if subset.len() == k {
+            out.insert(subset.clone());
+            return;
+        }
+        for v in start..g.num_nodes() as NodeId {
+            if subset.iter().all(|&u| g.has_edge(u, v)) {
+                subset.push(v);
+                rec(g, k, v + 1, subset, out);
+                subset.pop();
+            }
+        }
+    }
+    if k <= n {
+        rec(g, k, 0, &mut subset, &mut out);
+    }
+    out
+}
+
+fn dag(g: &CsrGraph, kind: OrderingKind) -> Dag {
+    Dag::from_graph(g, NodeOrder::compute(g, kind))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn listing_matches_brute_force(g in graph_strategy(12, 50), k in 3usize..=5) {
+        let expected = brute_force_cliques(&g, k);
+        for kind in [OrderingKind::Identity, OrderingKind::Degeneracy, OrderingKind::DegreeAsc] {
+            let d = dag(&g, kind);
+            let got: BTreeSet<Vec<NodeId>> = collect_kcliques(&d, k)
+                .iter()
+                .map(|c| c.as_slice().to_vec())
+                .collect();
+            prop_assert_eq!(&got, &expected, "ordering {:?}", kind);
+            prop_assert_eq!(count_kcliques(&d, k), expected.len() as u64);
+        }
+    }
+
+    #[test]
+    fn node_scores_sum_to_k_times_count(g in graph_strategy(14, 70), k in 3usize..=5) {
+        let d = dag(&g, OrderingKind::Degeneracy);
+        let scores = node_scores(&d, k);
+        let total = count_kcliques(&d, k);
+        prop_assert_eq!(scores.iter().sum::<u64>(), k as u64 * total);
+        // Per-node cross-check against brute force.
+        let cliques = brute_force_cliques(&g, k);
+        for u in 0..g.num_nodes() as NodeId {
+            let expected = cliques.iter().filter(|c| c.contains(&u)).count() as u64;
+            prop_assert_eq!(scores[u as usize], expected, "node {}", u);
+        }
+    }
+
+    #[test]
+    fn subset_listing_equals_restricted_brute_force(
+        g in graph_strategy(14, 70),
+        k in 3usize..=4,
+        mask in proptest::collection::vec(any::<bool>(), 14),
+    ) {
+        let nodes: Vec<NodeId> = (0..g.num_nodes() as NodeId)
+            .filter(|&u| mask.get(u as usize).copied().unwrap_or(false))
+            .collect();
+        let dyn_g = DynGraph::from_csr(&g);
+        let got: BTreeSet<Vec<NodeId>> = collect_kcliques_in_subset(&dyn_g, &nodes, k)
+            .iter()
+            .map(|c| c.as_slice().to_vec())
+            .collect();
+        let expected: BTreeSet<Vec<NodeId>> = brute_force_cliques(&g, k)
+            .into_iter()
+            .filter(|c| c.iter().all(|u| nodes.contains(u)))
+            .collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn first_finder_finds_iff_a_rooted_clique_exists(
+        g in graph_strategy(12, 60),
+        k in 3usize..=4,
+    ) {
+        let d = dag(&g, OrderingKind::Degeneracy);
+        let valid = vec![true; g.num_nodes()];
+        let mut finder = FirstFinder::new(&d, k);
+        let all = brute_force_cliques(&g, k);
+        for u in 0..g.num_nodes() as NodeId {
+            let rooted_exists = all.iter().any(|c| {
+                c.contains(&u) && c.iter().all(|&v| d.rank(v) <= d.rank(u))
+            });
+            match finder.find(u, &valid) {
+                Some(c) => {
+                    prop_assert!(rooted_exists, "found {:?} though none expected", c);
+                    prop_assert!(c.contains(u));
+                    prop_assert!(all.contains(c.as_slice()));
+                }
+                None => prop_assert!(!rooted_exists, "missed a clique rooted at {}", u),
+            }
+        }
+    }
+
+    #[test]
+    fn min_finder_is_optimal_and_prune_invariant(
+        g in graph_strategy(12, 60),
+        k in 3usize..=4,
+    ) {
+        let d = dag(&g, OrderingKind::Degeneracy);
+        let scores = node_scores(&d, k);
+        let valid = vec![true; g.num_nodes()];
+        let mut pruned = MinScoreFinder::new(&d, &scores, k, true);
+        let mut exhaustive = MinScoreFinder::new(&d, &scores, k, false);
+        let all = brute_force_cliques(&g, k);
+        for u in 0..g.num_nodes() as NodeId {
+            let a = pruned.find(u, &valid);
+            let b = exhaustive.find(u, &valid);
+            prop_assert_eq!(a, b, "prune changed the result at root {}", u);
+            if let Some(sc) = a {
+                // No rooted clique may score lower.
+                let min_rooted = all
+                    .iter()
+                    .filter(|c| c.contains(&u) && c.iter().all(|&v| d.rank(v) <= d.rank(u)))
+                    .map(|c| c.iter().map(|&v| scores[v as usize]).sum::<u64>())
+                    .min();
+                prop_assert_eq!(Some(sc.score), min_rooted);
+            }
+        }
+    }
+
+    #[test]
+    fn clique_disjointness_matches_set_semantics(
+        a in proptest::collection::btree_set(0u32..30, 1..6),
+        b in proptest::collection::btree_set(0u32..30, 1..6),
+    ) {
+        let ca = Clique::new(&a.iter().copied().collect::<Vec<_>>());
+        let cb = Clique::new(&b.iter().copied().collect::<Vec<_>>());
+        let expect = a.intersection(&b).next().is_none();
+        prop_assert_eq!(ca.is_disjoint(&cb), expect);
+        prop_assert_eq!(cb.is_disjoint(&ca), expect);
+    }
+}

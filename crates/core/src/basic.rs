@@ -1,0 +1,147 @@
+use crate::{check_k, SolveError, Solution, Solver};
+use dkc_clique::FirstFinder;
+use dkc_graph::{CsrGraph, Dag, NodeOrder, OrderingKind};
+
+/// **HG** — the basic framework (Algorithm 1).
+///
+/// Orients `G` into a DAG under a total node ordering `η` and processes
+/// nodes in ascending `η`. For each still-valid node `u`, `FindOne` searches
+/// its out-neighbourhood `N⁺(u)` for the *first* (k-1)-clique; on success
+/// `{u} ∪ clique` joins `S` and its nodes are removed from the graph
+/// (invalidated). One pass suffices: any k-clique remaining at the end would
+/// be rooted at some valid node with `η` larger than all other members, and
+/// that node's scan would have found it — so `S` is maximal and therefore a
+/// k-approximation (Theorem 3).
+///
+/// Time `O(k · m · (d/2)^(k-2))`, space `O(n + m)` — HG stores no cliques.
+/// The ordering is configurable because Section IV-A shows both degree
+/// directions have adversarial cases; see the ordering ablation bench.
+#[derive(Debug, Clone, Copy)]
+pub struct HgSolver {
+    /// Total node ordering used for the DAG orientation and processing
+    /// sequence. The paper's running example uses `Identity`; degeneracy is
+    /// the strongest default for listing-style workloads.
+    pub ordering: OrderingKind,
+}
+
+impl Default for HgSolver {
+    fn default() -> Self {
+        HgSolver { ordering: OrderingKind::Degeneracy }
+    }
+}
+
+impl HgSolver {
+    /// Solver with an explicit ordering.
+    pub fn with_ordering(ordering: OrderingKind) -> Self {
+        HgSolver { ordering }
+    }
+}
+
+impl Solver for HgSolver {
+    fn name(&self) -> &'static str {
+        "HG"
+    }
+
+    fn solve(&self, g: &CsrGraph, k: usize) -> Result<Solution, SolveError> {
+        check_k(k)?;
+        let order = NodeOrder::compute(g, self.ordering);
+        let dag = Dag::from_graph(g, order);
+        let mut valid = vec![true; g.num_nodes()];
+        let mut finder = FirstFinder::new(&dag, k);
+        let mut solution = Solution::new(k);
+        // Ascending η: nodes whose N⁺ is complete come up exactly when every
+        // lower-ranked member has already been inspected.
+        for r in 0..dag.num_nodes() {
+            let u = dag.order().node_at(r);
+            if !valid[u as usize] || dag.out_degree(u) < k - 1 {
+                continue;
+            }
+            if let Some(clique) = finder.find(u, &valid) {
+                for v in clique.iter() {
+                    valid[v as usize] = false;
+                }
+                solution.push(clique);
+            }
+        }
+        Ok(solution)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testgraphs::{paper_fig2, planted_triangles};
+
+    #[test]
+    fn identity_order_on_example2_graph() {
+        // Example 2 walks Algorithm 1 over Fig. 2 with the identity order.
+        // The paper's FindOne trace happens to pick (v6,v5,v3) first and
+        // ends at |S| = 2; our FindOne scans candidates in ascending id and
+        // picks (v1,v3,v6) first, which cascades to |S| = 3. Both are legal
+        // first-found executions of Algorithm 1 — the point of the example
+        // (and of Section IV-B) is precisely that HG's result depends on
+        // arbitrary tie-breaking, unlike the score-ordered GC/LP.
+        let g = paper_fig2();
+        let s = HgSolver::with_ordering(OrderingKind::Identity).solve(&g, 3).unwrap();
+        assert!((2..=3).contains(&s.len()), "|S| = {}", s.len());
+        s.verify(&g).unwrap();
+        s.verify_maximal(&g).unwrap();
+    }
+
+    #[test]
+    fn all_orderings_yield_valid_maximal_solutions() {
+        let g = paper_fig2();
+        for kind in [
+            OrderingKind::Identity,
+            OrderingKind::DegreeAsc,
+            OrderingKind::DegreeDesc,
+            OrderingKind::Degeneracy,
+        ] {
+            let s = HgSolver::with_ordering(kind).solve(&g, 3).unwrap();
+            s.verify(&g).unwrap();
+            s.verify_maximal(&g).unwrap();
+            assert!((2..=3).contains(&s.len()), "{kind:?} gave |S| = {}", s.len());
+        }
+    }
+
+    #[test]
+    fn recovers_planted_triangles() {
+        let g = planted_triangles(10);
+        let s = HgSolver::default().solve(&g, 3).unwrap();
+        assert_eq!(s.len(), 10, "bridged triangles are the only 3-cliques");
+        s.verify(&g).unwrap();
+    }
+
+    #[test]
+    fn rejects_invalid_k() {
+        let g = paper_fig2();
+        assert!(matches!(
+            HgSolver::default().solve(&g, 2),
+            Err(SolveError::InvalidK { k: 2 })
+        ));
+        assert!(matches!(
+            HgSolver::default().solve(&g, 99),
+            Err(SolveError::InvalidK { k: 99 })
+        ));
+    }
+
+    #[test]
+    fn k_larger_than_any_clique_gives_empty_solution() {
+        let g = paper_fig2();
+        let s = HgSolver::default().solve(&g, 4).unwrap();
+        assert!(s.is_empty());
+        s.verify_maximal(&g).unwrap();
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = CsrGraph::empty();
+        let s = HgSolver::default().solve(&g, 3).unwrap();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn name_matches_paper() {
+        assert_eq!(HgSolver::default().name(), "HG");
+    }
+}

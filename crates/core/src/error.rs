@@ -1,0 +1,79 @@
+use crate::Solution;
+use dkc_cliquegraph::CliqueGraphError;
+
+/// Failures of the static solvers.
+#[derive(Debug)]
+pub enum SolveError {
+    /// `k` outside `MIN_K..=MAX_K`. `k = 2` is maximum matching (out of
+    /// scope, see Section III); `k > MAX_K` exceeds the inline clique
+    /// representation.
+    InvalidK {
+        /// The rejected clique size.
+        k: usize,
+    },
+    /// The materialised clique list outgrew the configured budget — the
+    /// deterministic analogue of the paper's "OOM" entries for GC.
+    CliqueBudget {
+        /// Number of cliques permitted.
+        limit: usize,
+    },
+    /// Clique-graph construction outgrew its budget (OPT's "OOM").
+    CliqueGraph(CliqueGraphError),
+    /// The exact MIS search exhausted its time/node budget (OPT's "OOT").
+    /// Carries the best (valid, but possibly sub-optimal) solution found.
+    Timeout {
+        /// Best solution when the budget tripped.
+        partial: Solution,
+    },
+}
+
+impl std::fmt::Display for SolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolveError::InvalidK { k } => write!(
+                f,
+                "k = {k} unsupported: the disjoint k-clique problem requires 3 <= k <= {}",
+                dkc_clique::MAX_K
+            ),
+            SolveError::CliqueBudget { limit } => {
+                write!(f, "clique storage budget of {limit} cliques exceeded (OOM)")
+            }
+            SolveError::CliqueGraph(e) => write!(f, "clique graph construction failed: {e}"),
+            SolveError::Timeout { partial } => write!(
+                f,
+                "exact search timed out (OOT); best found so far has {} cliques",
+                partial.len()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SolveError::CliqueGraph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CliqueGraphError> for SolveError {
+    fn from(e: CliqueGraphError) -> Self {
+        SolveError::CliqueGraph(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_the_paper_markers() {
+        let e = SolveError::InvalidK { k: 2 };
+        assert!(e.to_string().contains("k = 2"));
+        let e = SolveError::CliqueBudget { limit: 10 };
+        assert!(e.to_string().contains("OOM"));
+        let e = SolveError::Timeout { partial: Solution::new(3) };
+        assert!(e.to_string().contains("OOT"));
+    }
+}

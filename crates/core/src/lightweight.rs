@@ -1,0 +1,329 @@
+use crate::{check_k, SolveError, Solution, Solver};
+use dkc_clique::{node_scores_parallel, Clique, MinScoreFinder};
+use dkc_graph::{CsrGraph, Dag, NodeId, NodeOrder};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// **L / LP** — the lightweight implementation (Algorithm 3).
+///
+/// Produces the same greedy-by-clique-score result as [`crate::GcSolver`]
+/// *without storing the clique set*:
+///
+/// 1. One enumeration pass computes the node scores `s_n(u)` (Definition 5)
+///    in `O(n + m)` memory (Line 2).
+/// 2. Nodes are totally ordered by ascending score and the graph oriented
+///    into a DAG, so every k-clique is owned by exactly one *root* — its
+///    highest-ordered member (Lines 3-4).
+/// 3. `HeapInit`: for every root, `FindMin` locates the clique of locally
+///    minimum clique score; the local minima sit in a global min-heap
+///    (Lines 10-14), found in parallel across roots.
+/// 4. `Calculation`: repeatedly pop the global minimum. If its members are
+///    all still valid it joins `S`; otherwise, if its root is still valid,
+///    the root is re-probed against the shrunken graph and its new local
+///    minimum re-enters the heap (Lines 31-39).
+///
+/// With [`LightweightSolver::prune`] the `FindMin` search applies the
+/// score-driven pruning rule (the paper's **LP**); without it the search is
+/// exhaustive (**L**). Both return identical solutions — pruning only skips
+/// branches that cannot beat the incumbent — which the test-suite checks.
+///
+/// Time `O(n · m · (d/2)^(k-2))` worst case, space `O(n + m)`.
+#[derive(Debug, Clone, Copy)]
+pub struct LightweightSolver {
+    /// Apply score-driven pruning (LP) or search exhaustively (L).
+    pub prune: bool,
+    /// Worker threads for the score pass and `HeapInit`. Results are
+    /// deterministic regardless of thread count.
+    pub threads: usize,
+}
+
+impl Default for LightweightSolver {
+    fn default() -> Self {
+        LightweightSolver { prune: true, threads: default_threads() }
+    }
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+impl LightweightSolver {
+    /// The paper's **LP** configuration (pruning on).
+    pub fn lp() -> Self {
+        LightweightSolver { prune: true, threads: default_threads() }
+    }
+
+    /// The paper's **L** configuration (pruning off).
+    pub fn l() -> Self {
+        LightweightSolver { prune: false, threads: default_threads() }
+    }
+
+    /// Overrides the thread count (1 = fully sequential).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+}
+
+/// Heap entry: ordered by (score, clique) so ties break on the canonical
+/// clique order and the pop sequence is deterministic. The root (the
+/// clique's highest-ordered member) rides along for re-probing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct Entry {
+    score: u64,
+    clique: Clique,
+    root: NodeId,
+}
+
+/// Instrumentation of one L/LP run — the quantities behind the paper's
+/// "redundant computation is limited" argument (Section IV-C analysis).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LpRunStats {
+    /// Entries pushed during `HeapInit` (one per root with a clique).
+    pub initial_entries: u64,
+    /// Total heap pops.
+    pub heap_pops: u64,
+    /// Pops whose clique had an invalidated member (the redundant work the
+    /// score pruning keeps small).
+    pub stale_pops: u64,
+    /// `FindMin` re-probes triggered by stale pops with a live root.
+    pub reprobes: u64,
+    /// Re-probes that produced a replacement entry.
+    pub reprobe_hits: u64,
+    /// Cliques added to `S`.
+    pub cliques_added: u64,
+}
+
+impl Solver for LightweightSolver {
+    fn name(&self) -> &'static str {
+        if self.prune {
+            "LP"
+        } else {
+            "L"
+        }
+    }
+
+    fn solve(&self, g: &CsrGraph, k: usize) -> Result<Solution, SolveError> {
+        self.solve_with_stats(g, k).map(|(s, _)| s)
+    }
+}
+
+impl LightweightSolver {
+    /// [`Solver::solve`] plus run instrumentation.
+    pub fn solve_with_stats(
+        &self,
+        g: &CsrGraph,
+        k: usize,
+    ) -> Result<(Solution, LpRunStats), SolveError> {
+        check_k(k)?;
+        let n = g.num_nodes();
+        let mut stats = LpRunStats::default();
+        // Line 2: node scores from one (parallel) enumeration pass over a
+        // degeneracy-oriented DAG — the cheapest orientation for listing.
+        let score_dag = Dag::from_graph(
+            g,
+            NodeOrder::compute(g, dkc_graph::OrderingKind::Degeneracy),
+        );
+        let scores = node_scores_parallel(&score_dag, k, self.threads);
+        drop(score_dag);
+
+        // Lines 3-4: score-ascending total order; every clique is owned by
+        // its maximum-score member (ties by id).
+        let order = NodeOrder::from_scores_asc(&scores);
+        let dag = Dag::from_graph(g, order);
+
+        let valid = vec![true; n];
+        // Lines 10-14 (HeapInit, "for each node u in parallel").
+        let entries = self.heap_init(&dag, &scores, &valid, k);
+        stats.initial_entries = entries.len() as u64;
+        let mut heap: BinaryHeap<Reverse<Entry>> =
+            entries.into_iter().map(Reverse).collect();
+
+        // Lines 31-39 (Calculation).
+        let mut valid = valid;
+        let mut finder = MinScoreFinder::new(&dag, &scores, k, self.prune);
+        let mut solution = Solution::new(k);
+        while let Some(Reverse(entry)) = heap.pop() {
+            stats.heap_pops += 1;
+            if entry.clique.iter().all(|u| valid[u as usize]) {
+                for u in entry.clique.iter() {
+                    valid[u as usize] = false;
+                }
+                solution.push(entry.clique);
+                stats.cliques_added += 1;
+            } else {
+                stats.stale_pops += 1;
+                if valid[entry.root as usize] {
+                    // Stale local minimum: re-probe the root against the
+                    // current residual graph.
+                    stats.reprobes += 1;
+                    if let Some(found) = finder.find(entry.root, &valid) {
+                        stats.reprobe_hits += 1;
+                        heap.push(Reverse(Entry {
+                            score: found.score,
+                            clique: found.clique,
+                            root: entry.root,
+                        }));
+                    }
+                }
+            }
+        }
+        Ok((solution, stats))
+    }
+}
+
+impl LightweightSolver {
+    fn heap_init(
+        &self,
+        dag: &Dag,
+        scores: &[u64],
+        valid: &[bool],
+        k: usize,
+    ) -> Vec<Entry> {
+        let n = dag.num_nodes();
+        let threads = self.threads.max(1).min(n.max(1));
+        if threads == 1 || n < 1024 {
+            let mut finder = MinScoreFinder::new(dag, scores, k, self.prune);
+            let mut entries = Vec::new();
+            for u in 0..n as NodeId {
+                if dag.out_degree(u) < k - 1 {
+                    continue;
+                }
+                if let Some(found) = finder.find(u, valid) {
+                    entries.push(Entry { score: found.score, clique: found.clique, root: u });
+                }
+            }
+            return entries;
+        }
+        let next = AtomicUsize::new(0);
+        const CHUNK: usize = 256;
+        let chunks: Vec<Vec<Entry>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    let next = &next;
+                    scope.spawn(move || {
+                        let mut finder = MinScoreFinder::new(dag, scores, k, self.prune);
+                        let mut local = Vec::new();
+                        loop {
+                            let start = next.fetch_add(CHUNK, Ordering::Relaxed);
+                            if start >= n {
+                                break;
+                            }
+                            for u in start..(start + CHUNK).min(n) {
+                                let u = u as NodeId;
+                                if dag.out_degree(u) < k - 1 {
+                                    continue;
+                                }
+                                if let Some(found) = finder.find(u, valid) {
+                                    local.push(Entry {
+                                        score: found.score,
+                                        clique: found.clique,
+                                        root: u,
+                                    });
+                                }
+                            }
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        });
+        chunks.into_iter().flatten().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testgraphs::{paper_fig2, planted_triangles};
+    use crate::GcSolver;
+
+    #[test]
+    fn lp_finds_the_maximum_on_fig2() {
+        let g = paper_fig2();
+        let s = LightweightSolver::lp().solve(&g, 3).unwrap();
+        assert_eq!(s.len(), 3, "LP must find the maximum set S2 on Fig. 2");
+        s.verify(&g).unwrap();
+        s.verify_maximal(&g).unwrap();
+    }
+
+    #[test]
+    fn lp_matches_gc_on_fig2_exactly() {
+        // Theorem 4: with fixed total node and clique orders, Algorithms 2
+        // and 3 produce the same S. Our tie-breaking differs slightly from a
+        // strict global clique order (as does the paper's implementation),
+        // but on Fig. 2 all choices coincide.
+        let g = paper_fig2();
+        let gc = GcSolver::new().solve(&g, 3).unwrap();
+        let lp = LightweightSolver::lp().solve(&g, 3).unwrap();
+        assert_eq!(gc.sorted_cliques(), lp.sorted_cliques());
+    }
+
+    #[test]
+    fn l_and_lp_produce_identical_solutions() {
+        let g = paper_fig2();
+        for k in 3..=4 {
+            let l = LightweightSolver::l().solve(&g, k).unwrap();
+            let lp = LightweightSolver::lp().solve(&g, k).unwrap();
+            assert_eq!(l, lp, "k={k}");
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_result() {
+        let g = planted_triangles(40);
+        let base = LightweightSolver::lp().with_threads(1).solve(&g, 3).unwrap();
+        for threads in [2, 4, 8] {
+            let s = LightweightSolver::lp().with_threads(threads).solve(&g, 3).unwrap();
+            assert_eq!(s.sorted_cliques(), base.sorted_cliques(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn recovers_planted_triangles() {
+        let g = planted_triangles(12);
+        let s = LightweightSolver::lp().solve(&g, 3).unwrap();
+        assert_eq!(s.len(), 12);
+        s.verify(&g).unwrap();
+        s.verify_maximal(&g).unwrap();
+    }
+
+    #[test]
+    fn rejects_invalid_k() {
+        let g = paper_fig2();
+        assert!(matches!(
+            LightweightSolver::lp().solve(&g, 2),
+            Err(SolveError::InvalidK { .. })
+        ));
+    }
+
+    #[test]
+    fn run_stats_are_coherent() {
+        let g = paper_fig2();
+        let (s, st) = LightweightSolver::lp().solve_with_stats(&g, 3).unwrap();
+        assert_eq!(st.cliques_added, s.len() as u64);
+        assert_eq!(st.heap_pops, st.cliques_added + st.stale_pops);
+        assert!(st.reprobes <= st.stale_pops);
+        assert!(st.reprobe_hits <= st.reprobes);
+        assert!(st.initial_entries >= s.len() as u64);
+        // Total pushes = initial + reprobe hits = pops when the heap drains.
+        assert_eq!(st.initial_entries + st.reprobe_hits, st.heap_pops);
+    }
+
+    #[test]
+    fn names_match_paper() {
+        assert_eq!(LightweightSolver::lp().name(), "LP");
+        assert_eq!(LightweightSolver::l().name(), "L");
+    }
+
+    #[test]
+    fn empty_graph_and_oversized_k() {
+        let s = LightweightSolver::lp().solve(&CsrGraph::empty(), 3).unwrap();
+        assert!(s.is_empty());
+        let g = paper_fig2();
+        let s = LightweightSolver::lp().solve(&g, 5).unwrap();
+        assert!(s.is_empty());
+    }
+}

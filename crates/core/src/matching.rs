@@ -1,0 +1,207 @@
+//! Maximal matching — the `k = 2` boundary of the disjoint k-clique
+//! problem.
+//!
+//! For `k = 2` the problem degenerates to maximum matching in general
+//! graphs, which is polynomial (Edmonds' blossom algorithm — Section III of
+//! the paper). The solvers in this workspace deliberately require `k >= 3`;
+//! this module supplies the matching phase that [`crate::partition_all`]
+//! uses for leftover nodes, plus a greedy-with-augmentation variant that
+//! closes most of the gap to optimum without the full blossom machinery:
+//!
+//! * [`greedy_matching`] — scan nodes in ascending id, match each free node
+//!   to its first free neighbour. Maximal, hence a 2-approximation.
+//! * [`augmenting_matching`] — greedy followed by repeated length-3
+//!   augmenting-path improvement (`matched edge (u,v)` is flipped when two
+//!   distinct free nodes can absorb both endpoints). This is the classic
+//!   short-augmentation heuristic with a 3/2-ish practical quality.
+
+use dkc_graph::{CsrGraph, NodeId};
+
+/// A matching: pairwise node-disjoint edges.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Matching {
+    /// The matched edges, `(u, v)` with `u < v`.
+    pub edges: Vec<(NodeId, NodeId)>,
+}
+
+impl Matching {
+    /// Number of matched edges.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// True when nothing is matched.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Validates disjointness and edge existence.
+    pub fn verify(&self, g: &CsrGraph) -> Result<(), String> {
+        let mut used = vec![false; g.num_nodes()];
+        for &(u, v) in &self.edges {
+            if !g.has_edge(u, v) {
+                return Err(format!("({u}, {v}) is not an edge"));
+            }
+            for w in [u, v] {
+                if used[w as usize] {
+                    return Err(format!("node {w} matched twice"));
+                }
+                used[w as usize] = true;
+            }
+        }
+        Ok(())
+    }
+
+    /// True when no unmatched edge has two unmatched endpoints.
+    pub fn is_maximal(&self, g: &CsrGraph) -> bool {
+        let mut used = vec![false; g.num_nodes()];
+        for &(u, v) in &self.edges {
+            used[u as usize] = true;
+            used[v as usize] = true;
+        }
+        g.iter_edges().all(|(u, v)| used[u as usize] || used[v as usize])
+    }
+}
+
+/// Greedy maximal matching in `O(n + m)`: nodes in ascending id, first free
+/// neighbour wins.
+pub fn greedy_matching(g: &CsrGraph) -> Matching {
+    let n = g.num_nodes();
+    let mut mate: Vec<Option<NodeId>> = vec![None; n];
+    let mut edges = Vec::new();
+    for u in 0..n as NodeId {
+        if mate[u as usize].is_some() {
+            continue;
+        }
+        if let Some(&v) = g.neighbors(u).iter().find(|&&v| mate[v as usize].is_none()) {
+            mate[u as usize] = Some(v);
+            mate[v as usize] = Some(u);
+            edges.push((u.min(v), u.max(v)));
+        }
+    }
+    Matching { edges }
+}
+
+/// Greedy matching plus exhaustive length-3 augmentation: while some
+/// matched edge `(u, v)` has free neighbours `a` of `u` and `b ≠ a` of `v`,
+/// replace it by `(a, u)` and `(v, b)`, gaining one edge. Loops until no
+/// augmentation applies.
+pub fn augmenting_matching(g: &CsrGraph) -> Matching {
+    let n = g.num_nodes();
+    let mut mate: Vec<Option<NodeId>> = vec![None; n];
+    for (u, v) in greedy_matching(g).edges {
+        mate[u as usize] = Some(v);
+        mate[v as usize] = Some(u);
+    }
+    let free_neighbor = |mate: &[Option<NodeId>], x: NodeId, banned: Option<NodeId>| {
+        g.neighbors(x)
+            .iter()
+            .copied()
+            .find(|&w| mate[w as usize].is_none() && Some(w) != banned && w != x)
+    };
+    loop {
+        let mut improved = false;
+        for u in 0..n as NodeId {
+            let Some(v) = mate[u as usize] else { continue };
+            if v < u {
+                continue; // handle each matched edge once
+            }
+            let Some(a) = free_neighbor(&mate, u, None) else { continue };
+            // b must differ from a (they both become matched).
+            let Some(b) = free_neighbor(&mate, v, Some(a)) else { continue };
+            mate[u as usize] = Some(a);
+            mate[a as usize] = Some(u);
+            mate[v as usize] = Some(b);
+            mate[b as usize] = Some(v);
+            improved = true;
+        }
+        if !improved {
+            break;
+        }
+    }
+    let mut edges = Vec::new();
+    for u in 0..n as NodeId {
+        if let Some(v) = mate[u as usize] {
+            if u < v {
+                edges.push((u, v));
+            }
+        }
+    }
+    Matching { edges }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn greedy_on_path_of_four_can_be_suboptimal_then_augmented() {
+        // Path 0-1-2-3 plus pendant edges: greedy from node 0 takes (0,1),
+        // then (2,3) — already optimal here. A star shows maximality.
+        let g = CsrGraph::from_edges(4, vec![(0, 1), (1, 2), (2, 3)]).unwrap();
+        let m = greedy_matching(&g);
+        m.verify(&g).unwrap();
+        assert!(m.is_maximal(&g));
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn augmentation_recovers_the_classic_bad_case() {
+        // Greedy can take the middle edge of a path of 3 edges when scanning
+        // from the centre. Construct explicitly: star-ish gadget where
+        // greedy-by-id takes (0,1) and strands 2 and 3? Use the "H" graph:
+        // 2-0, 0-1, 1-3: greedy takes (0,1)? No: node 0's first neighbour is
+        // 1? neighbors sorted: 0: [1,2] → matches (0,1); node 2 and 3 left
+        // unmatched though (2,0),(1,3) would cover all. Augmentation fixes it.
+        let g = CsrGraph::from_edges(4, vec![(0, 1), (0, 2), (1, 3)]).unwrap();
+        let greedy = greedy_matching(&g);
+        assert_eq!(greedy.len(), 1, "greedy falls into the trap");
+        let better = augmenting_matching(&g);
+        better.verify(&g).unwrap();
+        assert_eq!(better.len(), 2, "length-3 augmentation escapes it");
+    }
+
+    #[test]
+    fn perfect_matching_on_even_cycle() {
+        let g = CsrGraph::from_edges(6, vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)])
+            .unwrap();
+        let m = augmenting_matching(&g);
+        m.verify(&g).unwrap();
+        assert_eq!(m.len(), 3);
+    }
+
+    #[test]
+    fn empty_and_edgeless_graphs() {
+        assert!(greedy_matching(&CsrGraph::empty()).is_empty());
+        let g = CsrGraph::from_edges(5, Vec::new()).unwrap();
+        let m = augmenting_matching(&g);
+        assert!(m.is_empty());
+        assert!(m.is_maximal(&g));
+    }
+
+    #[test]
+    fn augmented_is_never_smaller_than_greedy() {
+        // Deterministic pseudo-random graphs.
+        for seed in 0u64..10 {
+            let mut edges = Vec::new();
+            let mut state = seed.wrapping_mul(0x2545F4914F6CDD1D).wrapping_add(7);
+            for a in 0..30u32 {
+                for b in (a + 1)..30 {
+                    state ^= state << 13;
+                    state ^= state >> 7;
+                    state ^= state << 17;
+                    if state % 10 < 2 {
+                        edges.push((a, b));
+                    }
+                }
+            }
+            let g = CsrGraph::from_edges(30, edges).unwrap();
+            let greedy = greedy_matching(&g);
+            let aug = augmenting_matching(&g);
+            greedy.verify(&g).unwrap();
+            aug.verify(&g).unwrap();
+            assert!(aug.len() >= greedy.len(), "seed {seed}");
+            assert!(aug.is_maximal(&g));
+        }
+    }
+}

@@ -1,0 +1,190 @@
+use crate::{check_k, SolveError, Solution, Solver};
+use dkc_cliquegraph::{CliqueGraph, CliqueGraphLimits};
+use dkc_graph::CsrGraph;
+use dkc_mis::{greedy_mis, AdjGraph, ExactMis, MisBudget};
+
+/// **OPT** — the exact baseline.
+///
+/// Materialises the clique graph (Definition 2) and solves exact maximum
+/// independent set on it with branch-and-reduce: an MIS of the clique graph
+/// is precisely a maximum set of disjoint k-cliques. As the paper's
+/// Tables II/III show, this only completes on small inputs — the clique
+/// graph explodes ("OOM") or the search exceeds its budget ("OOT").
+/// Both failure modes surface as structured [`SolveError`]s here.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OptSolver {
+    /// Clique-graph materialisation budget (emulated OOM).
+    pub limits: CliqueGraphLimits,
+    /// Exact-search budget (emulated OOT).
+    pub mis_budget: MisBudget,
+}
+
+/// Detailed result of an OPT run.
+#[derive(Debug, Clone)]
+pub struct OptOutcome {
+    /// The solution (maximum iff `optimal`).
+    pub solution: Solution,
+    /// Whether the exact search completed.
+    pub optimal: bool,
+    /// Search-tree nodes explored by the MIS solver.
+    pub search_nodes: u64,
+    /// Clique-graph size: (number of k-cliques, number of conflict edges).
+    pub clique_graph_size: (usize, usize),
+}
+
+impl OptSolver {
+    /// Unbudgeted exact solver.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Exact solver with OOM/OOT budgets.
+    pub fn with_budgets(limits: CliqueGraphLimits, mis_budget: MisBudget) -> Self {
+        OptSolver { limits, mis_budget }
+    }
+
+    /// Runs OPT and reports the full outcome, including non-optimal
+    /// completions (budget trips) with their best-found solution.
+    pub fn solve_detailed(&self, g: &CsrGraph, k: usize) -> Result<OptOutcome, SolveError> {
+        check_k(k)?;
+        let cg = CliqueGraph::build(g, k, self.limits)?;
+        let conflicts: Vec<(u32, u32)> = cg.conflict_edges().collect();
+        let adj = AdjGraph::from_edges(cg.num_cliques(), &conflicts);
+        let mis = ExactMis::with_budget(self.mis_budget).solve(&adj);
+        let mut solution = Solution::new(k);
+        for id in &mis.set {
+            solution.push(*cg.clique(*id));
+        }
+        Ok(OptOutcome {
+            solution,
+            optimal: mis.optimal,
+            search_nodes: mis.search_nodes,
+            clique_graph_size: (cg.num_cliques(), cg.num_conflicts()),
+        })
+    }
+}
+
+impl Solver for OptSolver {
+    fn name(&self) -> &'static str {
+        "OPT"
+    }
+
+    /// Like [`OptSolver::solve_detailed`] but maps a non-optimal completion
+    /// to [`SolveError::Timeout`] carrying the partial solution — matching
+    /// the paper's convention of reporting OOT instead of a weaker answer.
+    fn solve(&self, g: &CsrGraph, k: usize) -> Result<Solution, SolveError> {
+        let outcome = self.solve_detailed(g, k)?;
+        if outcome.optimal {
+            Ok(outcome.solution)
+        } else {
+            Err(SolveError::Timeout { partial: outcome.solution })
+        }
+    }
+}
+
+/// Min-degree greedy MIS on the materialised clique graph.
+///
+/// This is the heuristic Section IV-B starts from ("iteratively adds the
+/// minimum-degree node … while removing the selected node and its
+/// neighbours") and then approximates with clique scores. It shares OPT's
+/// memory blow-up, so it only serves as an ablation baseline: comparing its
+/// |S| with GC/LP quantifies how much the score approximation loses
+/// relative to true clique-graph degrees.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GreedyCliqueGraphSolver {
+    /// Clique-graph materialisation budget (emulated OOM).
+    pub limits: CliqueGraphLimits,
+}
+
+impl Solver for GreedyCliqueGraphSolver {
+    fn name(&self) -> &'static str {
+        "GREEDY-CG"
+    }
+
+    fn solve(&self, g: &CsrGraph, k: usize) -> Result<Solution, SolveError> {
+        check_k(k)?;
+        let cg = CliqueGraph::build(g, k, self.limits)?;
+        let conflicts: Vec<(u32, u32)> = cg.conflict_edges().collect();
+        let adj = AdjGraph::from_edges(cg.num_cliques(), &conflicts);
+        let picked = greedy_mis(&adj);
+        let mut solution = Solution::new(k);
+        for id in picked {
+            solution.push(*cg.clique(id));
+        }
+        Ok(solution)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testgraphs::{paper_fig2, planted_triangles};
+    use dkc_cliquegraph::CliqueGraphError;
+
+    #[test]
+    fn opt_finds_the_true_maximum_on_fig2() {
+        let g = paper_fig2();
+        let outcome = OptSolver::new().solve_detailed(&g, 3).unwrap();
+        assert!(outcome.optimal);
+        assert_eq!(outcome.solution.len(), 3, "Fig. 2(d): the maximum has size 3");
+        outcome.solution.verify(&g).unwrap();
+        assert_eq!(outcome.clique_graph_size, (7, 11));
+    }
+
+    #[test]
+    fn opt_on_planted_instances_equals_plant_count() {
+        for t in [1, 4, 9] {
+            let g = planted_triangles(t);
+            let s = OptSolver::new().solve(&g, 3).unwrap();
+            assert_eq!(s.len(), t);
+        }
+    }
+
+    #[test]
+    fn oom_budget_surfaces_as_clique_graph_error() {
+        let g = paper_fig2();
+        let solver = OptSolver::with_budgets(
+            CliqueGraphLimits { max_cliques: Some(2), max_conflicts: None },
+            MisBudget::unlimited(),
+        );
+        match solver.solve(&g, 3) {
+            Err(SolveError::CliqueGraph(CliqueGraphError::TooManyCliques { limit: 2 })) => {}
+            other => panic!("expected OOM, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oot_budget_returns_timeout_with_partial() {
+        let g = planted_triangles(12);
+        let solver = OptSolver::with_budgets(
+            CliqueGraphLimits::unlimited(),
+            MisBudget { time_limit: None, node_limit: Some(1) },
+        );
+        match solver.solve(&g, 3) {
+            Err(SolveError::Timeout { partial }) => {
+                partial.verify(&g).unwrap();
+            }
+            other => panic!("expected OOT, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn greedy_clique_graph_solver_is_valid_and_maximal() {
+        let g = paper_fig2();
+        let s = GreedyCliqueGraphSolver::default().solve(&g, 3).unwrap();
+        s.verify(&g).unwrap();
+        s.verify_maximal(&g).unwrap();
+        assert!(s.len() >= 2);
+        assert_eq!(GreedyCliqueGraphSolver::default().name(), "GREEDY-CG");
+    }
+
+    #[test]
+    fn solvers_reject_invalid_k() {
+        let g = paper_fig2();
+        assert!(matches!(OptSolver::new().solve(&g, 0), Err(SolveError::InvalidK { .. })));
+        assert!(matches!(
+            GreedyCliqueGraphSolver::default().solve(&g, 2),
+            Err(SolveError::InvalidK { .. })
+        ));
+    }
+}

@@ -1,0 +1,185 @@
+//! Residual-graph iteration: assigning *every* node to a group.
+//!
+//! The paper's introduction notes that after extracting the maximum set of
+//! disjoint k-cliques, "the maximum set of disjoint dense-connected k nodes
+//! can be found iteratively in the residual graph which removes the already
+//! contained nodes, until all nodes are settled" — this is exactly what a
+//! production teaming system needs (every player gets a team). This module
+//! implements that loop: k-cliques first, then (k-1)-cliques, …, down to
+//! matched pairs and singletons.
+
+use crate::{LightweightSolver, SolveError, Solver};
+use dkc_graph::{CsrGraph, InducedSubgraph, NodeId};
+
+/// A complete partition of the node set into groups of size at most `k`.
+#[derive(Debug, Clone)]
+pub struct Partition {
+    /// Groups in discovery order; sizes are non-increasing over phases
+    /// (k-cliques first, singletons last). Each group of size `s >= 3` is an
+    /// s-clique; size-2 groups are edges; singletons are leftovers.
+    pub groups: Vec<Vec<NodeId>>,
+    /// The requested maximum group size.
+    pub k: usize,
+}
+
+impl Partition {
+    /// Number of groups.
+    pub fn num_groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Histogram `hist[s]` = number of groups with exactly `s` members.
+    pub fn size_histogram(&self) -> Vec<usize> {
+        let mut hist = vec![0usize; self.k + 1];
+        for g in &self.groups {
+            hist[g.len()] += 1;
+        }
+        hist
+    }
+
+    /// Fraction of nodes sitting in full k-clique groups.
+    pub fn full_group_coverage(&self, num_nodes: usize) -> f64 {
+        if num_nodes == 0 {
+            return 0.0;
+        }
+        let covered: usize =
+            self.groups.iter().filter(|g| g.len() == self.k).map(|g| g.len()).sum();
+        covered as f64 / num_nodes as f64
+    }
+}
+
+/// Partitions all nodes of `g` into disjoint dense groups of size <= `k`:
+/// repeatedly solves the disjoint s-clique problem (s = k, k-1, …, 3) on the
+/// residual graph with [`LightweightSolver`] (LP), then greedily matches
+/// remaining nodes into edges, then emits singletons.
+pub fn partition_all(g: &CsrGraph, k: usize) -> Result<Partition, SolveError> {
+    crate::check_k(k)?;
+    let n = g.num_nodes();
+    let mut covered = vec![false; n];
+    let mut groups: Vec<Vec<NodeId>> = Vec::new();
+    let solver = LightweightSolver::lp();
+
+    for s in (3..=k).rev() {
+        let free: Vec<NodeId> =
+            (0..n as NodeId).filter(|&u| !covered[u as usize]).collect();
+        if free.len() < s {
+            continue;
+        }
+        let sub = InducedSubgraph::of_csr(g, &free);
+        let sol = solver.solve(sub.graph(), s)?;
+        for c in sol.cliques() {
+            let global: Vec<NodeId> = c.iter().map(|l| sub.to_global(l)).collect();
+            for &u in &global {
+                debug_assert!(!covered[u as usize]);
+                covered[u as usize] = true;
+            }
+            groups.push(global);
+        }
+    }
+
+    // Greedy maximal matching on the residual graph (the s = 2 phase).
+    for u in 0..n as NodeId {
+        if covered[u as usize] {
+            continue;
+        }
+        if let Some(&v) = g
+            .neighbors(u)
+            .iter()
+            .find(|&&v| !covered[v as usize] && v != u)
+        {
+            covered[u as usize] = true;
+            covered[v as usize] = true;
+            groups.push(vec![u, v]);
+        }
+    }
+
+    // Singletons.
+    for u in 0..n as NodeId {
+        if !covered[u as usize] {
+            groups.push(vec![u]);
+        }
+    }
+
+    Ok(Partition { groups, k })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testgraphs::{paper_fig2, planted_triangles};
+
+    fn assert_partition_valid(g: &CsrGraph, p: &Partition) {
+        let mut seen = vec![false; g.num_nodes()];
+        for group in &p.groups {
+            assert!(!group.is_empty() && group.len() <= p.k);
+            for &u in group {
+                assert!(!seen[u as usize], "node {u} in two groups");
+                seen[u as usize] = true;
+            }
+            // Groups of size >= 2 must be cliques.
+            for (i, &a) in group.iter().enumerate() {
+                for &b in &group[i + 1..] {
+                    assert!(g.has_edge(a, b), "group {group:?} not a clique");
+                }
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "not all nodes covered");
+    }
+
+    #[test]
+    fn fig2_partition_covers_everything() {
+        let g = paper_fig2();
+        let p = partition_all(&g, 3).unwrap();
+        assert_partition_valid(&g, &p);
+        // LP finds the maximum of 3 triangles = 9 nodes = the whole graph.
+        let hist = p.size_histogram();
+        assert_eq!(hist[3], 3);
+        assert_eq!(p.num_groups(), 3);
+        assert!((p.full_group_coverage(9) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn planted_plus_isolated_nodes() {
+        // 4 triangles plus 3 isolated nodes appended.
+        let base = planted_triangles(4);
+        let mut edges = base.edges();
+        edges.push((12, 13)); // a matched pair among the extras
+        let g = CsrGraph::from_edges(15, edges).unwrap();
+        let p = partition_all(&g, 3).unwrap();
+        assert_partition_valid(&g, &p);
+        let hist = p.size_histogram();
+        assert_eq!(hist[3], 4, "four planted triangles");
+        assert_eq!(hist[2], 1, "the 12-13 pair");
+        assert_eq!(hist[1], 1, "node 14 left alone");
+    }
+
+    #[test]
+    fn k4_phase_cascades_to_smaller_groups() {
+        // K4 plus a triangle plus an edge: with k = 4 the K4 is taken as a
+        // 4-clique, the triangle in the 3-phase, the edge in the matching.
+        let mut edges = vec![(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)];
+        edges.extend([(4, 5), (5, 6), (4, 6)]);
+        edges.push((7, 8));
+        let g = CsrGraph::from_edges(9, edges).unwrap();
+        let p = partition_all(&g, 4).unwrap();
+        assert_partition_valid(&g, &p);
+        let hist = p.size_histogram();
+        assert_eq!(hist[4], 1);
+        assert_eq!(hist[3], 1);
+        assert_eq!(hist[2], 1);
+        assert_eq!(hist[1], 0);
+    }
+
+    #[test]
+    fn rejects_invalid_k() {
+        let g = paper_fig2();
+        assert!(matches!(partition_all(&g, 2), Err(SolveError::InvalidK { .. })));
+    }
+
+    #[test]
+    fn empty_graph_partition() {
+        let p = partition_all(&CsrGraph::empty(), 3).unwrap();
+        assert_eq!(p.num_groups(), 0);
+        assert_eq!(p.full_group_coverage(0), 0.0);
+    }
+}

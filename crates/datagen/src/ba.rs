@@ -1,0 +1,98 @@
+use crate::rng;
+use dkc_graph::{CsrGraph, NodeId};
+use rand::Rng;
+
+/// Barabási–Albert preferential attachment.
+///
+/// Starts from a small clique of `m_edges + 1` seed nodes; every subsequent
+/// node attaches to `m_edges` distinct existing nodes chosen with
+/// probability proportional to their current degree (implemented with the
+/// classic repeated-endpoints urn, which is `O(m)` and exact).
+///
+/// # Panics
+/// Panics unless `1 <= m_edges < n`.
+pub fn barabasi_albert(n: usize, m_edges: usize, seed: u64) -> CsrGraph {
+    assert!(m_edges >= 1 && m_edges < n, "need 1 <= m_edges < n");
+    let mut r = rng(seed);
+    let mut edges: Vec<(NodeId, NodeId)> = Vec::with_capacity(n * m_edges);
+    // Urn of endpoints: picking uniformly from it is degree-proportional.
+    let mut urn: Vec<NodeId> = Vec::with_capacity(2 * n * m_edges);
+    let seed_nodes = m_edges + 1;
+    for a in 0..seed_nodes as NodeId {
+        for b in (a + 1)..seed_nodes as NodeId {
+            edges.push((a, b));
+            urn.push(a);
+            urn.push(b);
+        }
+    }
+    let mut targets: Vec<NodeId> = Vec::with_capacity(m_edges);
+    for u in seed_nodes as NodeId..n as NodeId {
+        targets.clear();
+        let mut guard = 0;
+        while targets.len() < m_edges {
+            let t = urn[r.gen_range(0..urn.len())];
+            if t != u && !targets.contains(&t) {
+                targets.push(t);
+            }
+            guard += 1;
+            if guard > 64 * m_edges {
+                // Degenerate tiny urn: fall back to any unused node.
+                for v in 0..u {
+                    if !targets.contains(&v) && targets.len() < m_edges {
+                        targets.push(v);
+                    }
+                }
+            }
+        }
+        for &t in &targets {
+            edges.push((u, t));
+            urn.push(u);
+            urn.push(t);
+        }
+    }
+    CsrGraph::from_edges(n, edges).expect("all endpoints in range")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_count_matches_model() {
+        let (n, m_edges) = (300, 3);
+        let g = barabasi_albert(n, m_edges, 2);
+        let seed_nodes = m_edges + 1;
+        let expected = seed_nodes * (seed_nodes - 1) / 2 + (n - seed_nodes) * m_edges;
+        assert_eq!(g.num_edges(), expected);
+    }
+
+    #[test]
+    fn produces_skewed_degrees() {
+        let g = barabasi_albert(500, 2, 3);
+        let max = g.max_degree();
+        let avg = 2.0 * g.num_edges() as f64 / 500.0;
+        assert!(
+            max as f64 > 4.0 * avg,
+            "expected a hub: max {max} vs avg {avg:.1}"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(barabasi_albert(100, 2, 7), barabasi_albert(100, 2, 7));
+        assert_ne!(barabasi_albert(100, 2, 7), barabasi_albert(100, 2, 8));
+    }
+
+    #[test]
+    fn minimum_attachment() {
+        let g = barabasi_albert(50, 1, 0);
+        // Tree-like: n-1 edges (seed K2 has 1 edge, every new node adds 1).
+        assert_eq!(g.num_edges(), 49);
+    }
+
+    #[test]
+    #[should_panic(expected = "1 <= m_edges < n")]
+    fn rejects_zero_attachment() {
+        let _ = barabasi_albert(10, 0, 0);
+    }
+}

@@ -1,0 +1,85 @@
+use crate::rng;
+use dkc_graph::{CsrGraph, NodeId};
+use rand::Rng;
+
+/// Chung–Lu power-law random graph.
+///
+/// Node weights follow `w_i ∝ (i + i0)^(-1/(gamma-1))` (a discretised
+/// power-law with exponent `gamma`); `m` edges are sampled with endpoint
+/// probabilities proportional to weight, then de-duplicated. Expected
+/// degrees are proportional to the weights, reproducing the heavy-tailed
+/// degree distributions of the paper's social-network datasets.
+///
+/// # Panics
+/// Panics unless `gamma > 1` and `n >= 2`.
+pub fn chung_lu(n: usize, m: usize, gamma: f64, seed: u64) -> CsrGraph {
+    assert!(gamma > 1.0, "power-law exponent must exceed 1");
+    assert!(n >= 2, "need at least two nodes");
+    let mut r = rng(seed);
+    // Cumulative weight table for O(log n) endpoint sampling.
+    let exponent = -1.0 / (gamma - 1.0);
+    let mut cumulative: Vec<f64> = Vec::with_capacity(n);
+    let mut acc = 0.0f64;
+    for i in 0..n {
+        acc += ((i + 10) as f64).powf(exponent);
+        cumulative.push(acc);
+    }
+    let total = acc;
+    let sample = |r: &mut rand::rngs::SmallRng| -> NodeId {
+        let x = r.gen_range(0.0..total);
+        cumulative.partition_point(|&c| c < x) as NodeId
+    };
+    // Oversample to compensate for de-duplication losses, then trim.
+    let mut edges: Vec<(NodeId, NodeId)> = Vec::with_capacity(m * 2);
+    let mut guard = 0usize;
+    let mut set = std::collections::HashSet::with_capacity(m);
+    while set.len() < m && guard < 20 * m + 1000 {
+        guard += 1;
+        let a = sample(&mut r);
+        let b = sample(&mut r);
+        if a != b {
+            let key = (a.min(b), a.max(b));
+            if set.insert(key) {
+                edges.push(key);
+            }
+        }
+    }
+    CsrGraph::from_edges(n, edges).expect("sampled endpoints in range")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hits_the_edge_target() {
+        let g = chung_lu(400, 1500, 2.5, 4);
+        assert_eq!(g.num_nodes(), 400);
+        assert_eq!(g.num_edges(), 1500);
+    }
+
+    #[test]
+    fn low_ids_are_hubs() {
+        let g = chung_lu(1000, 4000, 2.2, 9);
+        let head_avg: f64 =
+            (0..10u32).map(|u| g.degree(u) as f64).sum::<f64>() / 10.0;
+        let tail_avg: f64 =
+            (990..1000u32).map(|u| g.degree(u) as f64).sum::<f64>() / 10.0;
+        assert!(
+            head_avg > 3.0 * tail_avg.max(1.0),
+            "head {head_avg:.1} vs tail {tail_avg:.1}"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(chung_lu(200, 600, 2.5, 1), chung_lu(200, 600, 2.5, 1));
+        assert_ne!(chung_lu(200, 600, 2.5, 1), chung_lu(200, 600, 2.5, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed 1")]
+    fn rejects_bad_gamma() {
+        let _ = chung_lu(10, 5, 1.0, 0);
+    }
+}

@@ -1,0 +1,156 @@
+use crate::rng;
+use dkc_graph::{CsrGraph, NodeId};
+use rand::Rng;
+use std::collections::HashSet;
+
+/// Erdős–Rényi `G(n, m)`: exactly `m` distinct edges sampled uniformly.
+///
+/// # Panics
+/// Panics if `m` exceeds the number of possible edges `n·(n-1)/2`.
+pub fn erdos_renyi_gnm(n: usize, m: usize, seed: u64) -> CsrGraph {
+    let possible = n.saturating_mul(n.saturating_sub(1)) / 2;
+    assert!(m <= possible, "m = {m} exceeds the {possible} possible edges");
+    let mut r = rng(seed);
+    let mut chosen: HashSet<(NodeId, NodeId)> = HashSet::with_capacity(m);
+    // Rejection sampling: fine while m is at most ~half the possible edges;
+    // above that, sample the complement instead.
+    if m * 2 <= possible {
+        while chosen.len() < m {
+            let a = r.gen_range(0..n as NodeId);
+            let b = r.gen_range(0..n as NodeId);
+            if a != b {
+                chosen.insert((a.min(b), a.max(b)));
+            }
+        }
+    } else {
+        let keep_out = possible - m;
+        let mut excluded: HashSet<(NodeId, NodeId)> = HashSet::with_capacity(keep_out);
+        while excluded.len() < keep_out {
+            let a = r.gen_range(0..n as NodeId);
+            let b = r.gen_range(0..n as NodeId);
+            if a != b {
+                excluded.insert((a.min(b), a.max(b)));
+            }
+        }
+        for a in 0..n as NodeId {
+            for b in (a + 1)..n as NodeId {
+                if !excluded.contains(&(a, b)) {
+                    chosen.insert((a, b));
+                }
+            }
+        }
+    }
+    CsrGraph::from_edges(n, chosen).expect("sampled edges are in range")
+}
+
+/// Erdős–Rényi `G(n, p)`: every edge present independently with probability
+/// `p`, via geometric skipping (`O(n + m)` expected).
+pub fn erdos_renyi_gnp(n: usize, p: f64, seed: u64) -> CsrGraph {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    let mut r = rng(seed);
+    let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
+    if p > 0.0 {
+        let log_q = (1.0 - p).ln();
+        // Iterate edge index space with geometric jumps.
+        let total = n as u64 * (n as u64 - 1) / 2;
+        let mut idx: u64 = 0;
+        loop {
+            if p >= 1.0 {
+                idx += 1;
+            } else {
+                let u: f64 = r.gen_range(f64::EPSILON..1.0);
+                idx += 1 + (u.ln() / log_q) as u64;
+            }
+            if idx > total {
+                break;
+            }
+            let (a, b) = edge_from_index(idx - 1, n as u64);
+            edges.push((a as NodeId, b as NodeId));
+        }
+    }
+    CsrGraph::from_edges(n, edges).expect("indices decode to valid edges")
+}
+
+/// Decodes linear index `i` in `0..n(n-1)/2` to the `i`-th pair `(a, b)`,
+/// `a < b`, in row-major order.
+fn edge_from_index(i: u64, n: u64) -> (u64, u64) {
+    // Row a owns (n-1-a) pairs; find the row by walking (the generators use
+    // modest n, and the loop is O(n) worst case only once per edge batch).
+    let mut a = 0u64;
+    let mut before = 0u64;
+    loop {
+        let row = n - 1 - a;
+        if before + row > i {
+            return (a, a + 1 + (i - before));
+        }
+        before += row;
+        a += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gnm_has_exactly_m_edges() {
+        let g = erdos_renyi_gnm(50, 200, 7);
+        assert_eq!(g.num_nodes(), 50);
+        assert_eq!(g.num_edges(), 200);
+    }
+
+    #[test]
+    fn gnm_dense_regime_uses_complement_sampling() {
+        let n = 20;
+        let possible = n * (n - 1) / 2;
+        let g = erdos_renyi_gnm(n, possible - 5, 11);
+        assert_eq!(g.num_edges(), possible - 5);
+        let complete = erdos_renyi_gnm(n, possible, 11);
+        assert_eq!(complete.num_edges(), possible);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn gnm_rejects_impossible_m() {
+        let _ = erdos_renyi_gnm(4, 7, 0);
+    }
+
+    #[test]
+    fn gnm_is_deterministic_per_seed() {
+        let a = erdos_renyi_gnm(30, 60, 42);
+        let b = erdos_renyi_gnm(30, 60, 42);
+        let c = erdos_renyi_gnm(30, 60, 43);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn gnp_edge_count_is_near_expectation() {
+        let n = 200;
+        let p = 0.1;
+        let g = erdos_renyi_gnp(n, p, 3);
+        let expected = (n * (n - 1) / 2) as f64 * p;
+        let got = g.num_edges() as f64;
+        assert!(
+            (got - expected).abs() < expected * 0.25,
+            "got {got}, expected ~{expected}"
+        );
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        assert_eq!(erdos_renyi_gnp(30, 0.0, 1).num_edges(), 0);
+        assert_eq!(erdos_renyi_gnp(10, 1.0, 1).num_edges(), 45);
+    }
+
+    #[test]
+    fn edge_index_decoding_is_bijective() {
+        let n = 7u64;
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..(n * (n - 1) / 2) {
+            let (a, b) = edge_from_index(i, n);
+            assert!(a < b && b < n);
+            assert!(seen.insert((a, b)));
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! # dkc-datagen — synthetic graphs, dataset stand-ins and update workloads
+//!
+//! The paper evaluates on ten public KONECT / Network-Repository graphs and
+//! on Watts–Strogatz random graphs. The public datasets are not shipped
+//! with this repository, so [`registry`] synthesises *stand-ins*: graphs
+//! with the same name, node/edge counts (optionally scaled) and a
+//! community + power-law structure that reproduces the properties the
+//! algorithms are sensitive to — degree skew and k-clique density. Real
+//! edge lists can still be loaded through `dkc_graph::io` and used with
+//! every solver.
+//!
+//! Generators (all seeded, all deterministic):
+//!
+//! * [`erdos_renyi_gnm`] / [`erdos_renyi_gnp`] — uniform random graphs.
+//! * [`watts_strogatz`] — the small-world model of Section VI-D.
+//! * [`barabasi_albert`] — preferential attachment.
+//! * [`chung_lu`] — power-law expected degrees.
+//! * [`relaxed_caveman`] — cliques with rewired edges (community structure).
+//! * [`planted_partition`] — hidden disjoint k-cliques with known ground
+//!   truth, for correctness and quality testing.
+//! * [`workload`] — edge-update streams (Section VI-E's deletion /
+//!   insertion / mixed workloads).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ba;
+mod caveman;
+mod chunglu;
+mod er;
+mod planted;
+pub mod registry;
+pub mod workload;
+mod ws;
+
+pub use ba::barabasi_albert;
+pub use caveman::relaxed_caveman;
+pub use chunglu::chung_lu;
+pub use er::{erdos_renyi_gnm, erdos_renyi_gnp};
+pub use planted::{planted_partition, PlantedGraph};
+pub use ws::watts_strogatz;
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Creates the deterministic RNG used by all generators.
+pub fn rng(seed: u64) -> SmallRng {
+    SmallRng::seed_from_u64(seed)
+}

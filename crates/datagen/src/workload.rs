@@ -1,0 +1,173 @@
+//! Edge-update workloads for the dynamic experiments (Section VI-E).
+//!
+//! The paper evaluates three workloads per dataset: 10K random edge
+//! deletions, the same 10K edges re-inserted, and a mixed stream of 20K
+//! updates (10K insertions + 10K deletions, where the insertion edges are
+//! first removed from `G` to form the starting graph `G'`).
+
+use crate::rng;
+use dkc_graph::{CsrGraph, Edge, NodeId};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::collections::HashSet;
+
+/// One graph update.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Update {
+    /// Insert the edge.
+    Insert(NodeId, NodeId),
+    /// Delete the edge.
+    Delete(NodeId, NodeId),
+}
+
+impl Update {
+    /// The endpoints, regardless of direction.
+    pub fn endpoints(&self) -> Edge {
+        match *self {
+            Update::Insert(a, b) | Update::Delete(a, b) => (a, b),
+        }
+    }
+}
+
+/// Samples `count` distinct existing edges uniformly (clamped to `m`).
+pub fn sample_edges(g: &CsrGraph, count: usize, seed: u64) -> Vec<Edge> {
+    let mut edges: Vec<Edge> = g.edges();
+    let mut r = rng(seed);
+    edges.shuffle(&mut r);
+    edges.truncate(count.min(edges.len()));
+    edges
+}
+
+/// Samples `count` distinct node pairs that are *not* edges of `g`
+/// (rejection sampling; panics if the graph is too dense to supply them).
+pub fn sample_non_edges(g: &CsrGraph, count: usize, seed: u64) -> Vec<Edge> {
+    let n = g.num_nodes();
+    let possible = n * n.saturating_sub(1) / 2;
+    let free = possible - g.num_edges();
+    assert!(count <= free, "graph has only {free} absent pairs, asked for {count}");
+    let mut r = rng(seed);
+    let mut out: Vec<Edge> = Vec::with_capacity(count);
+    let mut seen: HashSet<Edge> = HashSet::with_capacity(count);
+    let mut guard = 0usize;
+    while out.len() < count {
+        guard += 1;
+        assert!(guard < 1000 * count + 100_000, "non-edge sampling stalled");
+        let a = r.gen_range(0..n as NodeId);
+        let b = r.gen_range(0..n as NodeId);
+        if a == b {
+            continue;
+        }
+        let key = (a.min(b), a.max(b));
+        if !g.has_edge(a, b) && seen.insert(key) {
+            out.push(key);
+        }
+    }
+    out
+}
+
+/// Builds the paper's mixed workload: picks `2·count_each` distinct random
+/// edges of `g`, removes the first half to form the starting graph `G'`,
+/// and returns `(G', updates)` where `updates` interleaves the re-insertion
+/// of the removed half with the deletion of the second half, in random
+/// order.
+pub fn paper_mixed_workload(
+    g: &CsrGraph,
+    count_each: usize,
+    seed: u64,
+) -> (CsrGraph, Vec<Update>) {
+    let picked = sample_edges(g, 2 * count_each, seed);
+    assert!(
+        picked.len() == 2 * count_each,
+        "graph has only {} edges, need {}",
+        g.num_edges(),
+        2 * count_each
+    );
+    let (to_insert, to_delete) = picked.split_at(count_each);
+    let removed: HashSet<Edge> = to_insert.iter().copied().collect();
+    let start_edges: Vec<Edge> =
+        g.iter_edges().filter(|e| !removed.contains(e)).collect();
+    let g_prime = CsrGraph::from_edges(g.num_nodes(), start_edges)
+        .expect("subset of valid edges");
+    let mut updates: Vec<Update> = to_insert
+        .iter()
+        .map(|&(a, b)| Update::Insert(a, b))
+        .chain(to_delete.iter().map(|&(a, b)| Update::Delete(a, b)))
+        .collect();
+    let mut r = rng(seed.wrapping_add(0x5EED));
+    updates.shuffle(&mut r);
+    (g_prime, updates)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::erdos_renyi_gnm;
+
+    #[test]
+    fn sampled_edges_exist_and_are_distinct() {
+        let g = erdos_renyi_gnm(100, 400, 1);
+        let edges = sample_edges(&g, 50, 2);
+        assert_eq!(edges.len(), 50);
+        let set: HashSet<Edge> = edges.iter().copied().collect();
+        assert_eq!(set.len(), 50);
+        for (a, b) in edges {
+            assert!(g.has_edge(a, b));
+        }
+    }
+
+    #[test]
+    fn sample_count_clamped_to_edge_count() {
+        let g = erdos_renyi_gnm(10, 12, 3);
+        assert_eq!(sample_edges(&g, 1000, 0).len(), 12);
+    }
+
+    #[test]
+    fn sampled_non_edges_are_absent_and_distinct() {
+        let g = erdos_renyi_gnm(60, 300, 4);
+        let pairs = sample_non_edges(&g, 80, 5);
+        assert_eq!(pairs.len(), 80);
+        let set: HashSet<Edge> = pairs.iter().copied().collect();
+        assert_eq!(set.len(), 80);
+        for (a, b) in pairs {
+            assert!(!g.has_edge(a, b));
+            assert_ne!(a, b);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "absent pairs")]
+    fn non_edge_sampling_rejects_impossible_requests() {
+        // K5 has no absent pairs.
+        let g = erdos_renyi_gnm(5, 10, 0);
+        let _ = sample_non_edges(&g, 1, 0);
+    }
+
+    #[test]
+    fn mixed_workload_shape() {
+        let g = erdos_renyi_gnm(200, 2000, 6);
+        let (g_prime, updates) = paper_mixed_workload(&g, 100, 7);
+        assert_eq!(g_prime.num_edges(), 1900, "insert-half removed from G'");
+        assert_eq!(updates.len(), 200);
+        let inserts = updates.iter().filter(|u| matches!(u, Update::Insert(..))).count();
+        assert_eq!(inserts, 100);
+        // Every insert edge must be absent from G'; every delete edge present.
+        for u in &updates {
+            let (a, b) = u.endpoints();
+            match u {
+                Update::Insert(..) => assert!(!g_prime.has_edge(a, b)),
+                Update::Delete(..) => assert!(g_prime.has_edge(a, b)),
+            }
+        }
+    }
+
+    #[test]
+    fn workloads_are_deterministic() {
+        let g = erdos_renyi_gnm(80, 400, 8);
+        assert_eq!(sample_edges(&g, 30, 9), sample_edges(&g, 30, 9));
+        assert_eq!(sample_non_edges(&g, 30, 9), sample_non_edges(&g, 30, 9));
+        let (a1, w1) = paper_mixed_workload(&g, 40, 10);
+        let (a2, w2) = paper_mixed_workload(&g, 40, 10);
+        assert_eq!(a1, a2);
+        assert_eq!(w1, w2);
+    }
+}

@@ -1,0 +1,417 @@
+use crate::state::{CliqueId, SolutionState};
+use dkc_clique::{collect_kcliques_in_subset, Clique};
+use dkc_graph::{DynGraph, NodeId};
+use std::collections::BTreeSet;
+
+/// Identifier of a candidate clique inside the index (slot; reused).
+pub type CandId = u32;
+
+#[derive(Debug, Clone)]
+struct Candidate {
+    clique: Clique,
+    attached: CliqueId,
+}
+
+/// The candidate-clique index of Section V-B (Algorithm 5).
+///
+/// For every clique `C ∈ S`, stores the set `C(C)` of *candidate cliques*:
+/// k-cliques of the current graph that (i) contain at least one free node,
+/// (ii) contain at least one non-free node, and (iii) have all their
+/// non-free nodes inside `C`. These are precisely the cliques that a swap
+/// may trade `C` for — the "strong constraint [that] limits the index
+/// size" (Section VI-E, Table VII).
+///
+/// Besides the per-clique lists, an inverted node → candidates map supports
+/// the incremental repairs of Algorithms 6/7 (dropping candidates hit by an
+/// edge deletion or by nodes changing free status).
+#[derive(Debug, Clone)]
+pub struct CandidateIndex {
+    cands: Vec<Option<Candidate>>,
+    vacant: Vec<CandId>,
+    by_clique: Vec<Vec<CandId>>,
+    by_node: Vec<Vec<CandId>>,
+    len: usize,
+}
+
+/// Result of re-deriving one clique's candidate set.
+#[derive(Debug, Default)]
+pub(crate) struct RebuildReport {
+    /// Some candidate not present before appeared (triggers a swap attempt).
+    pub has_new: bool,
+    /// K-cliques found on `B` consisting *entirely* of free nodes. These
+    /// indicate the solution is not maximal (they can be added outright);
+    /// steady-state invariants keep this empty, but the solver handles them
+    /// defensively to stay self-healing.
+    pub all_free: Vec<Clique>,
+}
+
+impl CandidateIndex {
+    /// Builds the index from scratch — Algorithm 5 over every clique in `S`.
+    pub fn build(g: &DynGraph, state: &SolutionState) -> Self {
+        let mut idx = CandidateIndex {
+            cands: Vec::new(),
+            vacant: Vec::new(),
+            by_clique: vec![Vec::new(); state.slot_bound()],
+            by_node: vec![Vec::new(); g.num_nodes()],
+            len: 0,
+        };
+        let slots: Vec<CliqueId> = state.iter().map(|(id, _)| id).collect();
+        for slot in slots {
+            let report = idx.rebuild_for_clique(g, state, slot);
+            debug_assert!(
+                report.all_free.is_empty(),
+                "index built over a non-maximal solution"
+            );
+        }
+        idx
+    }
+
+    /// Number of live candidate cliques — the paper's "index size".
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no candidates are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Grows the node range.
+    pub(crate) fn ensure_node(&mut self, u: NodeId) {
+        if u as usize >= self.by_node.len() {
+            self.by_node.resize(u as usize + 1, Vec::new());
+        }
+    }
+
+    /// Grows the clique-slot range.
+    pub(crate) fn ensure_slot(&mut self, slot: CliqueId) {
+        if slot as usize >= self.by_clique.len() {
+            self.by_clique.resize(slot as usize + 1, Vec::new());
+        }
+    }
+
+    /// The live candidate cliques of `C(slot)`.
+    pub fn candidates_of(&self, slot: CliqueId) -> Vec<Clique> {
+        match self.by_clique.get(slot as usize) {
+            None => Vec::new(),
+            Some(ids) => ids
+                .iter()
+                .filter_map(|&id| self.cands[id as usize].as_ref().map(|c| c.clique))
+                .collect(),
+        }
+    }
+
+    fn insert(&mut self, clique: Clique, attached: CliqueId) {
+        self.ensure_slot(attached);
+        for u in clique.iter() {
+            self.ensure_node(u);
+        }
+        let id = match self.vacant.pop() {
+            Some(id) => {
+                self.cands[id as usize] = Some(Candidate { clique, attached });
+                id
+            }
+            None => {
+                self.cands.push(Some(Candidate { clique, attached }));
+                (self.cands.len() - 1) as CandId
+            }
+        };
+        self.by_clique[attached as usize].push(id);
+        for u in clique.iter() {
+            self.by_node[u as usize].push(id);
+        }
+        self.len += 1;
+    }
+
+    fn drop_candidate(&mut self, id: CandId) {
+        let Some(cand) = self.cands[id as usize].take() else {
+            return;
+        };
+        retain_id(&mut self.by_clique[cand.attached as usize], id);
+        for u in cand.clique.iter() {
+            retain_id(&mut self.by_node[u as usize], id);
+        }
+        self.vacant.push(id);
+        self.len -= 1;
+    }
+
+    /// Drops every candidate attached to `slot` (when its clique leaves `S`).
+    pub(crate) fn drop_attached(&mut self, slot: CliqueId) {
+        if (slot as usize) < self.by_clique.len() {
+            let ids = std::mem::take(&mut self.by_clique[slot as usize]);
+            for id in ids {
+                let Some(cand) = self.cands[id as usize].take() else { continue };
+                for u in cand.clique.iter() {
+                    retain_id(&mut self.by_node[u as usize], id);
+                }
+                self.vacant.push(id);
+                self.len -= 1;
+            }
+        }
+    }
+
+    /// Drops every candidate containing node `u` — used when `u` turns
+    /// non-free, which invalidates any candidate it participated in.
+    pub(crate) fn drop_containing_node(&mut self, u: NodeId) {
+        if (u as usize) < self.by_node.len() {
+            let ids: Vec<CandId> = self.by_node[u as usize].clone();
+            for id in ids {
+                self.drop_candidate(id);
+            }
+        }
+    }
+
+    /// Drops every candidate containing the edge `(u, v)` — used on edge
+    /// deletion, which destroys those cliques (Algorithm 7, Line 6).
+    pub(crate) fn drop_with_edge(&mut self, u: NodeId, v: NodeId) {
+        if (u as usize) >= self.by_node.len() {
+            return;
+        }
+        let ids: Vec<CandId> = self.by_node[u as usize].clone();
+        for id in ids {
+            if let Some(cand) = &self.cands[id as usize] {
+                if cand.clique.contains(v) {
+                    self.drop_candidate(id);
+                }
+            }
+        }
+    }
+
+    /// Re-derives `C(slot)` from scratch (Algorithm 5 for one clique):
+    /// drops the old set, enumerates all k-cliques on
+    /// `B = C ∪ N_F(C)` (the clique plus its free neighbours) and stores
+    /// every one that mixes free and non-free nodes.
+    pub(crate) fn rebuild_for_clique(
+        &mut self,
+        g: &DynGraph,
+        state: &SolutionState,
+        slot: CliqueId,
+    ) -> RebuildReport {
+        let Some(clique) = state.clique(slot).copied() else {
+            return RebuildReport::default();
+        };
+        self.ensure_slot(slot);
+        let old: BTreeSet<Clique> = self
+            .by_clique[slot as usize]
+            .iter()
+            .filter_map(|&id| self.cands[id as usize].as_ref().map(|c| c.clique))
+            .collect();
+        self.drop_attached(slot);
+
+        // B = C ∪ N_F(C).
+        let mut b: Vec<NodeId> = clique.as_slice().to_vec();
+        for u in clique.iter() {
+            for &w in g.neighbors(u) {
+                if state.is_free(w) {
+                    b.push(w);
+                }
+            }
+        }
+        let k = clique.len();
+        let mut report = RebuildReport::default();
+        for cand in collect_kcliques_in_subset(g, &b, k) {
+            if cand == clique {
+                continue;
+            }
+            let free_count = cand.iter().filter(|&u| state.is_free(u)).count();
+            if free_count == k {
+                report.all_free.push(cand);
+                continue;
+            }
+            // By construction of B, every non-free member lies in `clique`.
+            debug_assert!(cand
+                .iter()
+                .all(|u| state.is_free(u) || clique.contains(u)));
+            if !old.contains(&cand) {
+                report.has_new = true;
+            }
+            self.insert(cand, slot);
+        }
+        report
+    }
+
+    /// Audits the incremental index against a from-scratch Algorithm 5 run.
+    /// Returns a description of the first mismatch. Test/debug helper.
+    pub fn validate(&self, g: &DynGraph, state: &SolutionState) -> Result<(), String> {
+        let fresh = CandidateIndex::build(g, state);
+        if fresh.len() != self.len() {
+            return Err(format!(
+                "index size mismatch: incremental {} vs fresh {}",
+                self.len(),
+                fresh.len()
+            ));
+        }
+        for (slot, _) in state.iter() {
+            let mut mine: Vec<Clique> = self.candidates_of(slot);
+            let mut theirs: Vec<Clique> = fresh.candidates_of(slot);
+            mine.sort_unstable();
+            theirs.sort_unstable();
+            if mine != theirs {
+                return Err(format!(
+                    "candidate sets differ for clique slot {slot}: incremental {mine:?} vs fresh {theirs:?}"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+fn retain_id(list: &mut Vec<CandId>, id: CandId) {
+    if let Some(pos) = list.iter().position(|&x| x == id) {
+        list.swap_remove(pos);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dkc_graph::DynGraph;
+
+    /// Fig. 5(a) of the paper: G1 with S = {(v3,v4,v5), (v9,v10,v11)}
+    /// (0-based: {2,3,4} and {8,9,10}).
+    fn fig5_g1() -> (DynGraph, SolutionState) {
+        let mut g = DynGraph::new(11);
+        for (a, b) in [
+            (0, 1), // v1-v2
+            (0, 2), // v1-v3
+            (1, 2), // v2-v3
+            (2, 3), // v3-v4
+            (2, 4), // v3-v5
+            (3, 4), // v4-v5
+            (4, 5), // v5-v6
+            (5, 6), // v6-v7
+            (6, 7), // v7-v8
+            (7, 8), // v8-v9
+            (8, 9), // v9-v10
+            (8, 10), // v9-v11
+            (9, 10), // v10-v11
+        ] {
+            g.insert_edge(a, b);
+        }
+        let mut state = SolutionState::new(3, 11);
+        state.add(Clique::new(&[2, 3, 4]));
+        state.add(Clique::new(&[8, 9, 10]));
+        (g, state)
+    }
+
+    #[test]
+    fn fig5_candidates_match_the_paper() {
+        // The paper: C1 = (v3,v4,v5) has exactly one candidate (v1,v2,v3);
+        // C2 = (v9,v10,v11) has none (no free neighbours complete a clique).
+        let (g, state) = fig5_g1();
+        let idx = CandidateIndex::build(&g, &state);
+        assert_eq!(idx.len(), 1);
+        let c1 = state.owner(2).unwrap();
+        let c2 = state.owner(8).unwrap();
+        assert_eq!(idx.candidates_of(c1), vec![Clique::new(&[0, 1, 2])]);
+        assert!(idx.candidates_of(c2).is_empty());
+    }
+
+    #[test]
+    fn inserting_edge_v5_v7_creates_the_second_candidate() {
+        // Fig. 5(b): adding (v5, v7) forms candidate (v5, v6, v7) for C1.
+        let (mut g, state) = fig5_g1();
+        g.insert_edge(4, 6);
+        let mut idx = CandidateIndex::build(&g, &state);
+        let c1 = state.owner(2).unwrap();
+        let mut cands = idx.candidates_of(c1);
+        cands.sort_unstable();
+        assert_eq!(cands, vec![Clique::new(&[0, 1, 2]), Clique::new(&[4, 5, 6])]);
+
+        // Rebuild must be a no-op fixpoint.
+        let report = idx.rebuild_for_clique(&g, &state, c1);
+        assert!(!report.has_new);
+        assert!(report.all_free.is_empty());
+        idx.validate(&g, &state).unwrap();
+    }
+
+    #[test]
+    fn drop_with_edge_removes_hit_candidates_only() {
+        let (mut g, state) = fig5_g1();
+        g.insert_edge(4, 6);
+        let mut idx = CandidateIndex::build(&g, &state);
+        assert_eq!(idx.len(), 2);
+        idx.drop_with_edge(4, 6);
+        assert_eq!(idx.len(), 1);
+        let c1 = state.owner(2).unwrap();
+        assert_eq!(idx.candidates_of(c1), vec![Clique::new(&[0, 1, 2])]);
+    }
+
+    #[test]
+    fn drop_containing_node_clears_stale_candidates() {
+        let (g, state) = fig5_g1();
+        let mut idx = CandidateIndex::build(&g, &state);
+        idx.drop_containing_node(1); // v2 is free and inside (v1,v2,v3)
+        assert!(idx.is_empty());
+    }
+
+    #[test]
+    fn drop_attached_clears_a_cliques_candidates() {
+        let (g, state) = fig5_g1();
+        let mut idx = CandidateIndex::build(&g, &state);
+        let c1 = state.owner(2).unwrap();
+        idx.drop_attached(c1);
+        assert!(idx.is_empty());
+        // Dropping again is harmless.
+        idx.drop_attached(c1);
+        assert!(idx.is_empty());
+    }
+
+    #[test]
+    fn rebuild_reports_new_candidates() {
+        let (mut g, state) = fig5_g1();
+        let mut idx = CandidateIndex::build(&g, &state);
+        let c1 = state.owner(2).unwrap();
+        g.insert_edge(4, 6); // creates (v5, v6, v7)
+        let report = idx.rebuild_for_clique(&g, &state, c1);
+        assert!(report.has_new);
+        assert!(report.all_free.is_empty());
+        assert_eq!(idx.candidates_of(c1).len(), 2);
+        idx.validate(&g, &state).unwrap();
+    }
+
+    #[test]
+    fn all_free_cliques_are_reported_not_indexed() {
+        // Break maximality artificially: S holds triangle {0,1,2} while the
+        // free triangle {3,4,5} sits entirely inside N_F of node 2.
+        let mut g = DynGraph::new(6);
+        for (a, b) in [
+            (0, 1),
+            (1, 2),
+            (0, 2),
+            (2, 3),
+            (2, 4),
+            (2, 5),
+            (3, 4),
+            (4, 5),
+            (3, 5),
+        ] {
+            g.insert_edge(a, b);
+        }
+        let mut state = SolutionState::new(3, 6);
+        let slot = state.add(Clique::new(&[0, 1, 2]));
+        let mut idx = CandidateIndex {
+            cands: Vec::new(),
+            vacant: Vec::new(),
+            by_clique: vec![Vec::new(); state.slot_bound()],
+            by_node: vec![Vec::new(); 6],
+            len: 0,
+        };
+        let report = idx.rebuild_for_clique(&g, &state, slot);
+        // {3,4,5} is all-free: surfaced in the report, never stored.
+        assert_eq!(report.all_free, vec![Clique::new(&[3, 4, 5])]);
+        // Mixed cliques through node 2 are genuine candidates:
+        // (2,3,4), (2,3,5), (2,4,5).
+        let mut cands = idx.candidates_of(slot);
+        cands.sort_unstable();
+        assert_eq!(
+            cands,
+            vec![
+                Clique::new(&[2, 3, 4]),
+                Clique::new(&[2, 3, 5]),
+                Clique::new(&[2, 4, 5]),
+            ]
+        );
+    }
+}

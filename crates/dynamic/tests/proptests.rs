@@ -1,0 +1,99 @@
+//! Stress tests for the dynamic maintenance machinery: random update
+//! streams must preserve every invariant at every step, and the maintained
+//! solution must stay comparable to a from-scratch static solve.
+
+use dkc_core::{approx_guarantee_holds, LightweightSolver, OptSolver, Solver};
+use dkc_dynamic::DynamicSolver;
+use dkc_graph::CsrGraph;
+use proptest::prelude::*;
+
+fn graph_strategy(max_n: u32, max_m: usize) -> impl Strategy<Value = CsrGraph> {
+    (6..=max_n).prop_flat_map(move |n| {
+        proptest::collection::vec((0..n, 0..n), 0..max_m)
+            .prop_map(move |edges| CsrGraph::from_edges(n as usize, edges).unwrap())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The heavyweight invariant check: after EVERY update the solution is
+    /// valid, maximal, and the incremental index equals a fresh Algorithm 5
+    /// run.
+    #[test]
+    fn invariants_hold_after_every_update(
+        g in graph_strategy(14, 40),
+        ops in proptest::collection::vec((any::<bool>(), 0u32..14, 0u32..14), 1..40),
+        k in 3usize..=4,
+    ) {
+        let mut solver = DynamicSolver::new(&g, k).unwrap();
+        solver.validate().map_err(TestCaseError::fail)?;
+        for (insert, a, b) in ops {
+            let (a, b) = (a.min(13), b.min(13));
+            if insert {
+                solver.insert_edge(a, b);
+            } else {
+                solver.delete_edge(a, b);
+            }
+            solver.validate().map_err(|e| {
+                TestCaseError::fail(format!(
+                    "after {} ({a},{b}): {e}",
+                    if insert { "insert" } else { "delete" }
+                ))
+            })?;
+        }
+    }
+
+    /// After a random stream, the maintained |S| must be a k-approximation
+    /// of the true optimum on the final graph (it is maximal, so Theorem 3
+    /// applies), and within the same guarantee band as a static LP run.
+    #[test]
+    fn final_quality_is_k_approximate(
+        g in graph_strategy(12, 35),
+        ops in proptest::collection::vec((any::<bool>(), 0u32..12, 0u32..12), 1..25),
+    ) {
+        let k = 3;
+        let mut solver = DynamicSolver::new(&g, k).unwrap();
+        for (insert, a, b) in ops {
+            if insert {
+                solver.insert_edge(a, b);
+            } else {
+                solver.delete_edge(a, b);
+            }
+        }
+        let final_graph = solver.graph().to_csr();
+        let opt = OptSolver::new().solve(&final_graph, k).unwrap();
+        prop_assert!(
+            approx_guarantee_holds(opt.len(), solver.len(), k),
+            "dynamic |S| = {} vs OPT = {}",
+            solver.len(),
+            opt.len()
+        );
+        // A static LP re-solve is also maximal; both sit in [opt/k, opt].
+        let static_lp = LightweightSolver::lp().solve(&final_graph, k).unwrap();
+        prop_assert!(approx_guarantee_holds(opt.len(), static_lp.len(), k));
+    }
+
+    /// Deleting and re-inserting the same edge returns to a state with at
+    /// least the original solution size (swaps may have found a better one).
+    #[test]
+    fn delete_insert_roundtrip_never_degrades(
+        g in graph_strategy(14, 50),
+    ) {
+        let k = 3;
+        let mut solver = DynamicSolver::new(&g, k).unwrap();
+        let baseline = solver.len();
+        let edges = g.edges();
+        for &(a, b) in edges.iter().take(10) {
+            solver.delete_edge(a, b);
+            solver.insert_edge(a, b);
+        }
+        prop_assert!(
+            solver.len() >= baseline,
+            "round-trip shrank |S|: {} -> {}",
+            baseline,
+            solver.len()
+        );
+        solver.validate().map_err(TestCaseError::fail)?;
+    }
+}

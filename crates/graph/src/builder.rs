@@ -1,0 +1,108 @@
+use crate::{CsrGraph, Edge, GraphError, NodeId};
+
+/// Incremental accumulator for building a [`CsrGraph`].
+///
+/// Useful when edges arrive from a generator or parser and the final node
+/// count is not known upfront: the builder tracks the maximum node id seen
+/// and sizes the graph accordingly (or to an explicit [`GraphBuilder::with_nodes`]
+/// lower bound).
+#[derive(Debug, Default, Clone)]
+pub struct GraphBuilder {
+    edges: Vec<Edge>,
+    min_nodes: usize,
+}
+
+impl GraphBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a builder pre-sized for roughly `m` edges.
+    pub fn with_capacity(m: usize) -> Self {
+        GraphBuilder { edges: Vec::with_capacity(m), min_nodes: 0 }
+    }
+
+    /// Declares that the graph has at least `n` nodes even if no edge touches
+    /// the high ids (isolated trailing nodes).
+    pub fn with_nodes(mut self, n: usize) -> Self {
+        self.min_nodes = self.min_nodes.max(n);
+        self
+    }
+
+    /// Adds one undirected edge.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> &mut Self {
+        self.edges.push((u, v));
+        self
+    }
+
+    /// Adds every edge from an iterator.
+    pub fn extend_edges<I: IntoIterator<Item = Edge>>(&mut self, it: I) -> &mut Self {
+        self.edges.extend(it);
+        self
+    }
+
+    /// Number of edge records accumulated so far (before de-duplication).
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// True when no edges have been added.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Finalises into a [`CsrGraph`]. The node count is
+    /// `max(min_nodes, 1 + max node id seen)`.
+    pub fn build(self) -> Result<CsrGraph, GraphError> {
+        let n_from_edges = self
+            .edges
+            .iter()
+            .map(|&(a, b)| a.max(b) as usize + 1)
+            .max()
+            .unwrap_or(0);
+        let n = self.min_nodes.max(n_from_edges);
+        CsrGraph::from_edges(n, self.edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_from_scattered_edges() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(3, 1).add_edge(0, 3);
+        let g = b.build().unwrap();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.neighbors(3), &[0, 1]);
+    }
+
+    #[test]
+    fn with_nodes_reserves_isolated_tail() {
+        let mut b = GraphBuilder::new().with_nodes(10);
+        b.add_edge(0, 1);
+        let g = b.build().unwrap();
+        assert_eq!(g.num_nodes(), 10);
+        assert_eq!(g.degree(9), 0);
+    }
+
+    #[test]
+    fn empty_builder_gives_empty_graph() {
+        let g = GraphBuilder::new().build().unwrap();
+        assert_eq!(g.num_nodes(), 0);
+        assert!(GraphBuilder::new().is_empty());
+    }
+
+    #[test]
+    fn extend_edges_accumulates() {
+        let mut b = GraphBuilder::with_capacity(4);
+        b.extend_edges(vec![(0, 1), (1, 2)]);
+        b.extend_edges(vec![(2, 3)]);
+        assert_eq!(b.len(), 3);
+        let g = b.build().unwrap();
+        assert_eq!(g.num_edges(), 3);
+    }
+}

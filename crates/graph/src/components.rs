@@ -1,0 +1,123 @@
+//! Connectivity utilities: BFS-based connected components.
+//!
+//! Used by the CLI's `stats` output and by tests that need to reason about
+//! the reach of bridges between planted communities.
+
+use crate::{CsrGraph, NodeId};
+use std::collections::VecDeque;
+
+/// Connected-component labelling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Components {
+    /// `label[u]` is the component id of node `u` (ids are dense, assigned
+    /// in order of discovery from node 0 upward).
+    pub label: Vec<u32>,
+    /// `size[c]` is the number of nodes in component `c`.
+    pub size: Vec<usize>,
+}
+
+impl Components {
+    /// Number of connected components.
+    pub fn count(&self) -> usize {
+        self.size.len()
+    }
+
+    /// Id of the largest component (0 for the empty graph).
+    pub fn largest(&self) -> u32 {
+        self.size
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, s)| s)
+            .map(|(i, _)| i as u32)
+            .unwrap_or(0)
+    }
+
+    /// True when `u` and `v` are connected.
+    pub fn connected(&self, u: NodeId, v: NodeId) -> bool {
+        self.label[u as usize] == self.label[v as usize]
+    }
+
+    /// Nodes of component `c`, ascending.
+    pub fn members(&self, c: u32) -> Vec<NodeId> {
+        (0..self.label.len() as NodeId)
+            .filter(|&u| self.label[u as usize] == c)
+            .collect()
+    }
+}
+
+/// Labels connected components by BFS in `O(n + m)`.
+pub fn connected_components(g: &CsrGraph) -> Components {
+    let n = g.num_nodes();
+    let mut label = vec![u32::MAX; n];
+    let mut size = Vec::new();
+    let mut queue = VecDeque::new();
+    for start in 0..n as NodeId {
+        if label[start as usize] != u32::MAX {
+            continue;
+        }
+        let c = size.len() as u32;
+        let mut members = 0usize;
+        label[start as usize] = c;
+        queue.push_back(start);
+        while let Some(u) = queue.pop_front() {
+            members += 1;
+            for &v in g.neighbors(u) {
+                if label[v as usize] == u32::MAX {
+                    label[v as usize] = c;
+                    queue.push_back(v);
+                }
+            }
+        }
+        size.push(members);
+    }
+    Components { label, size }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_two_triangles_separately() {
+        let g = CsrGraph::from_edges(6, vec![(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)])
+            .unwrap();
+        let c = connected_components(&g);
+        assert_eq!(c.count(), 2);
+        assert!(c.connected(0, 2));
+        assert!(!c.connected(0, 3));
+        assert_eq!(c.size, vec![3, 3]);
+        assert_eq!(c.members(0), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn isolated_nodes_are_singleton_components() {
+        let g = CsrGraph::from_edges(4, vec![(0, 1)]).unwrap();
+        let c = connected_components(&g);
+        assert_eq!(c.count(), 3);
+        assert_eq!(c.size.iter().sum::<usize>(), 4);
+    }
+
+    #[test]
+    fn bridge_merges_components() {
+        let g = CsrGraph::from_edges(6, vec![(0, 1), (1, 2), (3, 4), (4, 5), (2, 3)]).unwrap();
+        let c = connected_components(&g);
+        assert_eq!(c.count(), 1);
+        assert_eq!(c.largest(), 0);
+        assert_eq!(c.size, vec![6]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let c = connected_components(&CsrGraph::empty());
+        assert_eq!(c.count(), 0);
+        assert_eq!(c.largest(), 0);
+    }
+
+    #[test]
+    fn largest_picks_the_biggest() {
+        let g = CsrGraph::from_edges(7, vec![(0, 1), (2, 3), (3, 4), (4, 5), (5, 6)]).unwrap();
+        let c = connected_components(&g);
+        let big = c.largest();
+        assert_eq!(c.members(big).len(), 5);
+    }
+}

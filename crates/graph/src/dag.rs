@@ -1,0 +1,183 @@
+use crate::{CsrGraph, NodeId, NodeOrder};
+
+/// A directed acyclic orientation of a [`CsrGraph`] under a total order.
+///
+/// Following Algorithm 1 of the paper: node `u` points to neighbour `v` iff
+/// `η(v) < η(u)`, so `N⁺(u)` is the set of *lower-ranked* neighbours. Every
+/// k-clique of the underlying graph appears exactly once as
+/// `{u} ∪ K` with `K ⊆ N⁺(u)` where `u` is the clique's highest-ranked
+/// member — the standard trick that de-duplicates clique enumeration.
+///
+/// Out-neighbour lists are sorted by node id so set intersections run as
+/// linear merges.
+#[derive(Debug, Clone)]
+pub struct Dag {
+    offsets: Vec<usize>,
+    targets: Vec<NodeId>,
+    order: NodeOrder,
+}
+
+impl Dag {
+    /// Orients `g` according to `order`.
+    pub fn from_graph(g: &CsrGraph, order: NodeOrder) -> Self {
+        let n = g.num_nodes();
+        assert_eq!(order.len(), n, "order must cover every node");
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0usize);
+        let mut targets = Vec::with_capacity(g.num_edges());
+        for u in 0..n as NodeId {
+            let ru = order.rank(u);
+            // Neighbour lists are id-sorted already; filtering preserves that.
+            targets.extend(g.neighbors(u).iter().copied().filter(|&v| order.rank(v) < ru));
+            offsets.push(targets.len());
+        }
+        Dag { offsets, targets, order }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Out-neighbours of `u` (lower-ranked neighbours), sorted by node id.
+    #[inline]
+    pub fn out_neighbors(&self, u: NodeId) -> &[NodeId] {
+        &self.targets[self.offsets[u as usize]..self.offsets[u as usize + 1]]
+    }
+
+    /// Out-degree of `u`.
+    #[inline]
+    pub fn out_degree(&self, u: NodeId) -> usize {
+        self.offsets[u as usize + 1] - self.offsets[u as usize]
+    }
+
+    /// The total order used for the orientation.
+    #[inline]
+    pub fn order(&self) -> &NodeOrder {
+        &self.order
+    }
+
+    /// Rank of node `u` under the orientation order.
+    #[inline]
+    pub fn rank(&self, u: NodeId) -> u32 {
+        self.order.rank(u)
+    }
+
+    /// Maximum out-degree — with a degeneracy order this equals at most the
+    /// graph's degeneracy, which bounds clique-listing work.
+    pub fn max_out_degree(&self) -> usize {
+        (0..self.num_nodes() as NodeId).map(|u| self.out_degree(u)).max().unwrap_or(0)
+    }
+
+    /// Directed adjacency test (`v ∈ N⁺(u)`), `O(log out_degree)`.
+    #[inline]
+    pub fn has_arc(&self, u: NodeId, v: NodeId) -> bool {
+        self.out_neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Total number of arcs (equals the number of undirected edges).
+    #[inline]
+    pub fn num_arcs(&self) -> usize {
+        self.targets.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::OrderingKind;
+
+    /// The 9-node, 15-edge graph of the paper's Fig. 2 (nodes renumbered
+    /// v1..v9 → 0..8). Its seven 3-cliques are C1..C7 of Example 1.
+    pub(crate) fn paper_fig2_graph() -> CsrGraph {
+        let edges = vec![
+            (0, 2), // v1-v3
+            (0, 5), // v1-v6
+            (2, 5), // v3-v6
+            (2, 4), // v3-v5
+            (4, 5), // v5-v6
+            (4, 7), // v5-v8
+            (5, 7), // v6-v8
+            (4, 6), // v5-v7
+            (6, 7), // v7-v8
+            (6, 8), // v7-v9
+            (7, 8), // v8-v9
+            (3, 6), // v4-v7
+            (3, 8), // v4-v9
+            (1, 3), // v2-v4
+            (1, 8), // v2-v9
+        ];
+        CsrGraph::from_edges(9, edges).unwrap()
+    }
+
+    #[test]
+    fn identity_orientation_matches_example2() {
+        // Example 2: with η(v_i) < η(v_j) for i < j, only v6, v7, v8, v9
+        // (ids 5, 6, 7, 8) have at least two out-neighbours.
+        let g = paper_fig2_graph();
+        let dag = Dag::from_graph(&g, NodeOrder::compute(&g, OrderingKind::Identity));
+        let with_two: Vec<NodeId> = (0..9)
+            .filter(|&u| dag.out_degree(u) >= 2)
+            .collect();
+        assert_eq!(with_two, vec![5, 6, 7, 8]);
+        // v6's out-neighbours are v1, v3, v5 (ids 0, 2, 4).
+        assert_eq!(dag.out_neighbors(5), &[0, 2, 4]);
+    }
+
+    #[test]
+    fn arcs_point_to_lower_ranks() {
+        let g = paper_fig2_graph();
+        for kind in [
+            OrderingKind::Identity,
+            OrderingKind::DegreeAsc,
+            OrderingKind::DegreeDesc,
+            OrderingKind::Degeneracy,
+            OrderingKind::Color,
+        ] {
+            let dag = Dag::from_graph(&g, NodeOrder::compute(&g, kind));
+            for u in 0..9 {
+                for &v in dag.out_neighbors(u) {
+                    assert!(dag.rank(v) < dag.rank(u), "{kind:?}: arc {u}->{v} not descending");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn arc_count_equals_edge_count() {
+        let g = paper_fig2_graph();
+        let dag = Dag::from_graph(&g, NodeOrder::compute(&g, OrderingKind::Degeneracy));
+        assert_eq!(dag.num_arcs(), g.num_edges());
+    }
+
+    #[test]
+    fn out_neighbors_sorted_by_id() {
+        let g = paper_fig2_graph();
+        let dag = Dag::from_graph(&g, NodeOrder::compute(&g, OrderingKind::DegreeDesc));
+        for u in 0..9 {
+            let out = dag.out_neighbors(u);
+            assert!(out.windows(2).all(|w| w[0] < w[1]), "node {u}: {out:?}");
+        }
+    }
+
+    #[test]
+    fn has_arc_agrees_with_listing() {
+        let g = paper_fig2_graph();
+        let dag = Dag::from_graph(&g, NodeOrder::compute(&g, OrderingKind::Identity));
+        for u in 0..9u32 {
+            for v in 0..9u32 {
+                let expect = dag.out_neighbors(u).contains(&v);
+                assert_eq!(dag.has_arc(u, v), expect);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_graph_dag() {
+        let g = CsrGraph::empty();
+        let dag = Dag::from_graph(&g, NodeOrder::compute(&g, OrderingKind::Identity));
+        assert_eq!(dag.num_nodes(), 0);
+        assert_eq!(dag.max_out_degree(), 0);
+    }
+}

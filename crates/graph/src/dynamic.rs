@@ -1,0 +1,244 @@
+use crate::{CsrGraph, Edge, NodeId};
+
+/// A mutable undirected graph with sorted adjacency vectors.
+///
+/// This is the representation used by the dynamic-maintenance algorithms of
+/// Section V: edge insertion and deletion cost `O(deg)` (shifting within the
+/// per-node vector), adjacency queries cost `O(log deg)`, and neighbourhood
+/// scans are contiguous. Real-world update streams (the paper cites ≥1% of
+/// all edges per day in the Tencent MOBA graph) are far cheaper to absorb
+/// here than by rebuilding a CSR image.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DynGraph {
+    adj: Vec<Vec<NodeId>>,
+    num_edges: usize,
+}
+
+impl DynGraph {
+    /// Creates an edgeless graph with `n` nodes.
+    pub fn new(n: usize) -> Self {
+        DynGraph { adj: vec![Vec::new(); n], num_edges: 0 }
+    }
+
+    /// Clones a static [`CsrGraph`] into a mutable graph.
+    pub fn from_csr(g: &CsrGraph) -> Self {
+        let adj = (0..g.num_nodes() as NodeId)
+            .map(|u| g.neighbors(u).to_vec())
+            .collect();
+        DynGraph { adj, num_edges: g.num_edges() }
+    }
+
+    /// Freezes the current state into a [`CsrGraph`].
+    pub fn to_csr(&self) -> CsrGraph {
+        CsrGraph::from_edges(self.num_nodes(), self.iter_edges().collect::<Vec<_>>())
+            .expect("DynGraph invariants guarantee in-range edges")
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Grows the node set so that `u` is a valid id.
+    pub fn ensure_node(&mut self, u: NodeId) {
+        if u as usize >= self.adj.len() {
+            self.adj.resize(u as usize + 1, Vec::new());
+        }
+    }
+
+    /// Degree of `u`.
+    #[inline]
+    pub fn degree(&self, u: NodeId) -> usize {
+        self.adj[u as usize].len()
+    }
+
+    /// Sorted neighbour slice of `u`.
+    #[inline]
+    pub fn neighbors(&self, u: NodeId) -> &[NodeId] {
+        &self.adj[u as usize]
+    }
+
+    /// Adjacency test, `O(log deg)`.
+    #[inline]
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        if u == v || u as usize >= self.adj.len() || v as usize >= self.adj.len() {
+            return false;
+        }
+        let (a, b) = if self.degree(u) <= self.degree(v) { (u, v) } else { (v, u) };
+        self.adj[a as usize].binary_search(&b).is_ok()
+    }
+
+    /// Inserts edge `(u, v)`. Returns `true` if the edge was new. Self-loops
+    /// are rejected (returns `false`). Node ids beyond the current range grow
+    /// the graph.
+    pub fn insert_edge(&mut self, u: NodeId, v: NodeId) -> bool {
+        if u == v {
+            return false;
+        }
+        self.ensure_node(u.max(v));
+        match self.adj[u as usize].binary_search(&v) {
+            Ok(_) => false,
+            Err(pos_u) => {
+                self.adj[u as usize].insert(pos_u, v);
+                let pos_v = self.adj[v as usize]
+                    .binary_search(&u)
+                    .expect_err("adjacency vectors out of sync");
+                self.adj[v as usize].insert(pos_v, u);
+                self.num_edges += 1;
+                true
+            }
+        }
+    }
+
+    /// Removes edge `(u, v)`. Returns `true` if the edge existed.
+    pub fn remove_edge(&mut self, u: NodeId, v: NodeId) -> bool {
+        if u == v || u as usize >= self.adj.len() || v as usize >= self.adj.len() {
+            return false;
+        }
+        match self.adj[u as usize].binary_search(&v) {
+            Err(_) => false,
+            Ok(pos_u) => {
+                self.adj[u as usize].remove(pos_u);
+                let pos_v = self.adj[v as usize]
+                    .binary_search(&u)
+                    .expect("adjacency vectors out of sync");
+                self.adj[v as usize].remove(pos_v);
+                self.num_edges -= 1;
+                true
+            }
+        }
+    }
+
+    /// Iterates every undirected edge once, as `(u, v)` with `u < v`.
+    pub fn iter_edges(&self) -> impl Iterator<Item = Edge> + '_ {
+        self.adj.iter().enumerate().flat_map(|(u, nbrs)| {
+            let u = u as NodeId;
+            nbrs.iter().copied().filter(move |&v| u < v).map(move |v| (u, v))
+        })
+    }
+
+    /// True when `nodes` are pairwise adjacent (i.e. form a clique).
+    pub fn is_clique(&self, nodes: &[NodeId]) -> bool {
+        for (i, &a) in nodes.iter().enumerate() {
+            for &b in &nodes[i + 1..] {
+                if !self.has_edge(a, b) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Sorted-merge count of common neighbours of `u` and `v`.
+    pub fn common_neighbor_count(&self, u: NodeId, v: NodeId) -> usize {
+        let (a, b) = (self.neighbors(u), self.neighbors(v));
+        let (mut i, mut j, mut cnt) = (0usize, 0usize, 0usize);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    cnt += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        cnt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_remove_roundtrip() {
+        let mut g = DynGraph::new(4);
+        assert!(g.insert_edge(0, 1));
+        assert!(g.insert_edge(1, 2));
+        assert!(!g.insert_edge(0, 1), "duplicate insert must be a no-op");
+        assert_eq!(g.num_edges(), 2);
+        assert!(g.has_edge(1, 0));
+        assert!(g.remove_edge(0, 1));
+        assert!(!g.remove_edge(0, 1), "double delete must be a no-op");
+        assert_eq!(g.num_edges(), 1);
+        assert!(!g.has_edge(0, 1));
+    }
+
+    #[test]
+    fn self_loops_rejected() {
+        let mut g = DynGraph::new(2);
+        assert!(!g.insert_edge(1, 1));
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn grows_on_demand() {
+        let mut g = DynGraph::new(0);
+        assert!(g.insert_edge(3, 7));
+        assert_eq!(g.num_nodes(), 8);
+        assert!(g.has_edge(7, 3));
+        assert_eq!(g.degree(5), 0);
+    }
+
+    #[test]
+    fn csr_roundtrip_preserves_structure() {
+        let csr = CsrGraph::from_edges(5, vec![(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)])
+            .unwrap();
+        let dyn_g = DynGraph::from_csr(&csr);
+        assert_eq!(dyn_g.num_edges(), 5);
+        let back = dyn_g.to_csr();
+        assert_eq!(back, csr);
+    }
+
+    #[test]
+    fn neighbors_stay_sorted_under_churn() {
+        let mut g = DynGraph::new(6);
+        for v in [5, 1, 3, 2, 4] {
+            g.insert_edge(0, v);
+        }
+        assert_eq!(g.neighbors(0), &[1, 2, 3, 4, 5]);
+        g.remove_edge(0, 3);
+        assert_eq!(g.neighbors(0), &[1, 2, 4, 5]);
+        g.insert_edge(0, 3);
+        assert_eq!(g.neighbors(0), &[1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn is_clique_checks_all_pairs() {
+        let mut g = DynGraph::new(4);
+        for (a, b) in [(0, 1), (0, 2), (1, 2), (2, 3)] {
+            g.insert_edge(a, b);
+        }
+        assert!(g.is_clique(&[0, 1, 2]));
+        assert!(!g.is_clique(&[0, 1, 2, 3]));
+        assert!(g.is_clique(&[2, 3]));
+        assert!(g.is_clique(&[1])); // trivially
+        assert!(g.is_clique(&[]));
+    }
+
+    #[test]
+    fn edge_iteration_is_canonical() {
+        let mut g = DynGraph::new(4);
+        g.insert_edge(2, 0);
+        g.insert_edge(3, 1);
+        let edges: Vec<Edge> = g.iter_edges().collect();
+        assert_eq!(edges, vec![(0, 2), (1, 3)]);
+    }
+
+    #[test]
+    fn out_of_range_queries_are_safe() {
+        let g = DynGraph::new(2);
+        assert!(!g.has_edge(0, 99));
+        let mut g = g;
+        assert!(!g.remove_edge(0, 99));
+    }
+}

@@ -1,0 +1,76 @@
+use std::fmt;
+
+/// Errors produced while constructing or loading graphs.
+#[derive(Debug)]
+pub enum GraphError {
+    /// An edge referenced a node id that is out of the declared range.
+    NodeOutOfRange {
+        /// The offending node id.
+        node: u64,
+        /// The number of nodes in the graph.
+        num_nodes: usize,
+    },
+    /// A text edge list contained a line that could not be parsed.
+    Parse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+    /// An underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, num_nodes } => {
+                write!(f, "node id {node} out of range for graph with {num_nodes} nodes")
+            }
+            GraphError::Parse { line, message } => {
+                write!(f, "edge list parse error on line {line}: {message}")
+            }
+            GraphError::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for GraphError {
+    fn from(e: std::io::Error) -> Self {
+        GraphError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = GraphError::NodeOutOfRange { node: 17, num_nodes: 5 };
+        assert!(e.to_string().contains("17"));
+        assert!(e.to_string().contains('5'));
+
+        let e = GraphError::Parse { line: 3, message: "bad token".into() };
+        assert!(e.to_string().contains("line 3"));
+        assert!(e.to_string().contains("bad token"));
+    }
+
+    #[test]
+    fn io_error_wraps_source() {
+        use std::error::Error as _;
+        let inner = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e = GraphError::from(inner);
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("gone"));
+    }
+}

@@ -1,0 +1,192 @@
+//! Plain-text edge-list I/O.
+//!
+//! The paper's datasets come from KONECT and the Network Repository, which
+//! ship whitespace-separated edge lists with `%` / `#` comment headers and
+//! optional weight/timestamp columns. [`read_edge_list`] accepts that format,
+//! remaps arbitrary (possibly sparse, 1-based) node labels onto dense
+//! `0..n` ids, and returns the mapping so results can be reported in the
+//! original labelling.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::{CsrGraph, GraphBuilder, GraphError, NodeId};
+
+/// Result of loading an edge list: the graph plus the original node labels.
+#[derive(Debug, Clone)]
+pub struct LoadedGraph {
+    /// The dense, simple graph.
+    pub graph: CsrGraph,
+    /// `labels[u]` is the label the input file used for dense node `u`.
+    pub labels: Vec<u64>,
+}
+
+impl LoadedGraph {
+    /// Looks up the dense id of an original label (linear scan; intended for
+    /// tests and small interactive use).
+    pub fn node_for_label(&self, label: u64) -> Option<NodeId> {
+        self.labels.iter().position(|&l| l == label).map(|i| i as NodeId)
+    }
+}
+
+/// Reads an edge list from any reader. See [`read_edge_list`].
+pub fn read_edge_list_from<R: Read>(reader: R) -> Result<LoadedGraph, GraphError> {
+    let reader = BufReader::new(reader);
+    let mut remap: HashMap<u64, NodeId> = HashMap::new();
+    let mut labels: Vec<u64> = Vec::new();
+    let mut builder = GraphBuilder::new();
+    let mut line_buf = String::new();
+    let mut line_no = 0usize;
+    let mut reader = reader;
+    loop {
+        line_buf.clear();
+        let read = reader.read_line(&mut line_buf)?;
+        if read == 0 {
+            break;
+        }
+        line_no += 1;
+        let line = line_buf.trim();
+        if line.is_empty() || line.starts_with('%') || line.starts_with('#') || line.starts_with("//") {
+            continue;
+        }
+        let mut tokens = line.split_whitespace();
+        let a = parse_token(tokens.next(), line_no)?;
+        let b = parse_token(tokens.next(), line_no)?;
+        // Any further columns (weights, timestamps) are ignored.
+        let ia = intern(a, &mut remap, &mut labels);
+        let ib = intern(b, &mut remap, &mut labels);
+        builder.add_edge(ia, ib);
+    }
+    let graph = builder.with_nodes(labels.len()).build()?;
+    Ok(LoadedGraph { graph, labels })
+}
+
+/// Reads a KONECT-style edge list file.
+///
+/// * blank lines and lines starting with `%`, `#` or `//` are skipped;
+/// * the first two whitespace-separated integer tokens of each line are the
+///   endpoints; extra columns are ignored;
+/// * node labels may be arbitrary `u64`s — they are remapped to dense ids.
+pub fn read_edge_list<P: AsRef<Path>>(path: P) -> Result<LoadedGraph, GraphError> {
+    let file = std::fs::File::open(path)?;
+    read_edge_list_from(file)
+}
+
+/// Parses an edge list held in a string (convenience for tests and docs).
+pub fn read_edge_list_str(text: &str) -> Result<LoadedGraph, GraphError> {
+    read_edge_list_from(text.as_bytes())
+}
+
+/// Writes `g` as a plain edge list (`u v` per line, dense ids, `u < v`).
+pub fn write_edge_list<W: Write>(g: &CsrGraph, writer: W) -> Result<(), GraphError> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "% {} nodes, {} edges", g.num_nodes(), g.num_edges())?;
+    for (u, v) in g.iter_edges() {
+        writeln!(w, "{u} {v}")?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Writes `g` to a file path. See [`write_edge_list`].
+pub fn write_edge_list_path<P: AsRef<Path>>(g: &CsrGraph, path: P) -> Result<(), GraphError> {
+    let file = std::fs::File::create(path)?;
+    write_edge_list(g, file)
+}
+
+fn parse_token(tok: Option<&str>, line: usize) -> Result<u64, GraphError> {
+    let tok = tok.ok_or_else(|| GraphError::Parse {
+        line,
+        message: "expected two node tokens".into(),
+    })?;
+    tok.parse::<u64>().map_err(|_| GraphError::Parse {
+        line,
+        message: format!("invalid node id {tok:?}"),
+    })
+}
+
+fn intern(label: u64, remap: &mut HashMap<u64, NodeId>, labels: &mut Vec<u64>) -> NodeId {
+    *remap.entry(label).or_insert_with(|| {
+        let id = labels.len() as NodeId;
+        labels.push(label);
+        id
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_konect_style_input() {
+        let text = "\
+% sym unweighted
+# another comment style
+// and a third
+1 2
+2 3 1.5 1234567
+3 1
+";
+        let loaded = read_edge_list_str(text).unwrap();
+        assert_eq!(loaded.graph.num_nodes(), 3);
+        assert_eq!(loaded.graph.num_edges(), 3);
+        assert_eq!(loaded.labels, vec![1, 2, 3]);
+        assert_eq!(loaded.node_for_label(3), Some(2));
+        assert_eq!(loaded.node_for_label(9), None);
+    }
+
+    #[test]
+    fn sparse_labels_are_remapped_densely() {
+        let loaded = read_edge_list_str("1000 7\n7 42\n").unwrap();
+        assert_eq!(loaded.graph.num_nodes(), 3);
+        assert_eq!(loaded.labels, vec![1000, 7, 42]);
+        // 1000-7 and 7-42 edges must exist under dense ids.
+        let g = &loaded.graph;
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 2));
+        assert!(!g.has_edge(0, 2));
+    }
+
+    #[test]
+    fn malformed_line_reports_position() {
+        let err = read_edge_list_str("1 2\nfoo bar\n").unwrap_err();
+        match err {
+            GraphError::Parse { line, message } => {
+                assert_eq!(line, 2);
+                assert!(message.contains("foo"));
+            }
+            other => panic!("unexpected: {other}"),
+        }
+    }
+
+    #[test]
+    fn missing_second_token_is_an_error() {
+        let err = read_edge_list_str("5\n").unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn duplicate_and_reversed_edges_collapse() {
+        let loaded = read_edge_list_str("1 2\n2 1\n1 2\n").unwrap();
+        assert_eq!(loaded.graph.num_edges(), 1);
+    }
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let g = CsrGraph::from_edges(4, vec![(0, 1), (1, 2), (2, 3), (0, 3)]).unwrap();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let loaded = read_edge_list_str(&text).unwrap();
+        assert_eq!(loaded.graph.num_edges(), g.num_edges());
+        assert_eq!(loaded.graph.num_nodes(), g.num_nodes());
+    }
+
+    #[test]
+    fn empty_input_yields_empty_graph() {
+        let loaded = read_edge_list_str("% nothing here\n").unwrap();
+        assert_eq!(loaded.graph.num_nodes(), 0);
+        assert_eq!(loaded.graph.num_edges(), 0);
+    }
+}

@@ -1,0 +1,362 @@
+use crate::{CsrGraph, NodeId};
+
+/// Built-in total node orderings.
+///
+/// The ordering assigns each node a rank `η(u) ∈ 0..n`. Following
+/// Algorithm 1 of the paper, the DAG orientation points every edge from the
+/// higher-ranked endpoint to the lower-ranked one, so `N⁺(u)` contains
+/// exactly the neighbours `v` with `η(v) < η(u)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OrderingKind {
+    /// `η(u) = u`. The ordering used in the paper's running example (Fig. 4).
+    Identity,
+    /// Ascending degree, ties broken by node id. Nodes with large degree get
+    /// large ranks, so the (k-1)-clique search for a hub scans its
+    /// lower-degree neighbours — the ordering discussed in Section IV-A.
+    DegreeAsc,
+    /// Descending degree, ties broken by node id.
+    DegreeDesc,
+    /// Degeneracy (k-core) ordering. Ranks are assigned so that
+    /// `|N⁺(u)| <= degeneracy(G)` for every node, which bounds the k-clique
+    /// listing recursion (Danisch et al., WWW'18 — reference [13]).
+    Degeneracy,
+    /// Greedy-colouring ordering (Li et al., VLDB'20 — the paper's
+    /// reference [14]): nodes are greedily coloured in core order and
+    /// ranked by ascending colour. Since adjacent nodes never share a
+    /// colour, the orientation is well-defined, and a node can only root a
+    /// k-clique if its colour is at least `k - 1` — a strong pruning signal
+    /// for listing-heavy workloads.
+    Color,
+}
+
+/// A total order on the nodes of a graph.
+///
+/// Stores both directions of the bijection: `rank[u]` is the position of
+/// node `u`, and `order[r]` is the node at position `r`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeOrder {
+    rank: Vec<u32>,
+    order: Vec<NodeId>,
+}
+
+impl NodeOrder {
+    /// Computes one of the built-in orderings for `g`.
+    pub fn compute(g: &CsrGraph, kind: OrderingKind) -> Self {
+        let n = g.num_nodes();
+        match kind {
+            OrderingKind::Identity => Self::from_order((0..n as NodeId).collect()),
+            OrderingKind::DegreeAsc => {
+                let mut order: Vec<NodeId> = (0..n as NodeId).collect();
+                order.sort_by_key(|&u| (g.degree(u), u));
+                Self::from_order(order)
+            }
+            OrderingKind::DegreeDesc => {
+                let mut order: Vec<NodeId> = (0..n as NodeId).collect();
+                order.sort_by_key(|&u| (std::cmp::Reverse(g.degree(u)), u));
+                Self::from_order(order)
+            }
+            OrderingKind::Degeneracy => {
+                let removal = degeneracy_removal_order(g).0;
+                // Node removed first gets the *largest* rank so that
+                // out-neighbours (rank < own rank) are the later-removed
+                // nodes, giving |N⁺(u)| <= degeneracy.
+                let mut order = removal;
+                order.reverse();
+                Self::from_order(order)
+            }
+            OrderingKind::Color => {
+                let colors = greedy_coloring(g);
+                let mut order: Vec<NodeId> = (0..n as NodeId).collect();
+                order.sort_by_key(|&u| (colors[u as usize], u));
+                Self::from_order(order)
+            }
+        }
+    }
+
+    /// Builds an order from per-node scores, ascending, ties by node id —
+    /// the ordering of Algorithm 3: `η(u) < η(v)  ⇔  (s(u), u) < (s(v), v)`.
+    pub fn from_scores_asc(scores: &[u64]) -> Self {
+        let mut order: Vec<NodeId> = (0..scores.len() as NodeId).collect();
+        order.sort_by_key(|&u| (scores[u as usize], u));
+        Self::from_order(order)
+    }
+
+    /// Builds an order from an explicit permutation `order[r] = node`.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if `order` is not a permutation of `0..n`.
+    pub fn from_order(order: Vec<NodeId>) -> Self {
+        let n = order.len();
+        let mut rank = vec![u32::MAX; n];
+        for (r, &u) in order.iter().enumerate() {
+            debug_assert_eq!(rank[u as usize], u32::MAX, "order is not a permutation");
+            rank[u as usize] = r as u32;
+        }
+        debug_assert!(rank.iter().all(|&r| r != u32::MAX), "order is not a permutation");
+        NodeOrder { rank, order }
+    }
+
+    /// Rank (position) of node `u`.
+    #[inline]
+    pub fn rank(&self, u: NodeId) -> u32 {
+        self.rank[u as usize]
+    }
+
+    /// The node occupying position `r`.
+    #[inline]
+    pub fn node_at(&self, r: usize) -> NodeId {
+        self.order[r]
+    }
+
+    /// Nodes in ascending rank order.
+    #[inline]
+    pub fn iter_ascending(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.order.iter().copied()
+    }
+
+    /// Number of nodes covered by the order.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// True for the order of the empty graph.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// Raw rank array, indexed by node id.
+    #[inline]
+    pub fn ranks(&self) -> &[u32] {
+        &self.rank
+    }
+}
+
+/// Greedily colours the graph, visiting nodes in reverse degeneracy-removal
+/// order (core order), which uses at most `degeneracy + 1` colours. Each
+/// node receives the smallest colour absent from its already-coloured
+/// neighbourhood. Adjacent nodes always receive distinct colours.
+pub fn greedy_coloring(g: &CsrGraph) -> Vec<u32> {
+    let n = g.num_nodes();
+    let (removal, degen) = degeneracy_removal_order(g);
+    let mut colors = vec![u32::MAX; n];
+    let mut used = vec![false; degen + 2];
+    for &u in removal.iter().rev() {
+        for &v in g.neighbors(u) {
+            let c = colors[v as usize];
+            if c != u32::MAX {
+                used[c as usize] = true;
+            }
+        }
+        let mut pick = 0u32;
+        while used[pick as usize] {
+            pick += 1;
+        }
+        colors[u as usize] = pick;
+        for &v in g.neighbors(u) {
+            let c = colors[v as usize];
+            if c != u32::MAX {
+                used[c as usize] = false;
+            }
+        }
+    }
+    colors
+}
+
+/// Computes the degeneracy removal order and the degeneracy value.
+///
+/// Classic bucket-queue peeling in `O(n + m)`: repeatedly removes a node of
+/// minimum remaining degree. The returned vector lists nodes in removal
+/// order; the second element is the degeneracy (maximum degree at removal
+/// time over all nodes).
+pub fn degeneracy_removal_order(g: &CsrGraph) -> (Vec<NodeId>, usize) {
+    let n = g.num_nodes();
+    if n == 0 {
+        return (Vec::new(), 0);
+    }
+    let max_deg = g.max_degree();
+    let mut deg: Vec<usize> = (0..n as NodeId).map(|u| g.degree(u)).collect();
+    // bucket[d] holds nodes with current degree d.
+    let mut bucket_heads: Vec<Vec<NodeId>> = vec![Vec::new(); max_deg + 1];
+    for u in 0..n as NodeId {
+        bucket_heads[deg[u as usize]].push(u);
+    }
+    let mut removed = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    let mut degeneracy = 0usize;
+    let mut cur = 0usize;
+    while order.len() < n {
+        // Find the lowest non-empty bucket. `cur` only needs to back up by
+        // one per removal because degrees drop by at most one per neighbour.
+        while cur <= max_deg && bucket_heads[cur].is_empty() {
+            cur += 1;
+        }
+        // Lazy deletion: entries may be stale (node already removed or its
+        // degree changed); skip those.
+        let u = match bucket_heads[cur].pop() {
+            Some(u) => u,
+            None => continue,
+        };
+        if removed[u as usize] || deg[u as usize] != cur {
+            continue;
+        }
+        removed[u as usize] = true;
+        degeneracy = degeneracy.max(cur);
+        order.push(u);
+        for &v in g.neighbors(u) {
+            if !removed[v as usize] {
+                let d = deg[v as usize];
+                deg[v as usize] = d - 1;
+                bucket_heads[d - 1].push(v);
+                if d - 1 < cur {
+                    cur = d - 1;
+                }
+            }
+        }
+    }
+    (order, degeneracy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path4() -> CsrGraph {
+        CsrGraph::from_edges(4, vec![(0, 1), (1, 2), (2, 3)]).unwrap()
+    }
+
+    fn k4_plus_tail() -> CsrGraph {
+        // K4 on 0..4, with a path 4-5 hanging off node 0.
+        CsrGraph::from_edges(
+            6,
+            vec![(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (0, 4), (4, 5)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn identity_ranks_equal_ids() {
+        let g = path4();
+        let o = NodeOrder::compute(&g, OrderingKind::Identity);
+        for u in 0..4 {
+            assert_eq!(o.rank(u), u);
+            assert_eq!(o.node_at(u as usize), u);
+        }
+    }
+
+    #[test]
+    fn degree_orders_are_inverse_of_each_other_modulo_ties() {
+        let g = k4_plus_tail();
+        let asc = NodeOrder::compute(&g, OrderingKind::DegreeAsc);
+        let desc = NodeOrder::compute(&g, OrderingKind::DegreeDesc);
+        // Node 5 has the unique minimum degree (1); node 0 the unique max (5).
+        assert_eq!(asc.node_at(0), 5);
+        assert_eq!(desc.node_at(0), 0);
+        assert_eq!(asc.rank(0), 5);
+    }
+
+    #[test]
+    fn degeneracy_of_k4_is_three() {
+        let g = k4_plus_tail();
+        let (order, d) = degeneracy_removal_order(&g);
+        assert_eq!(d, 3);
+        assert_eq!(order.len(), 6);
+        // Peeling must remove the tail (5 then 4) before breaking into K4.
+        assert_eq!(order[0], 5);
+        assert_eq!(order[1], 4);
+    }
+
+    #[test]
+    fn degeneracy_order_bounds_out_degree() {
+        let g = k4_plus_tail();
+        let o = NodeOrder::compute(&g, OrderingKind::Degeneracy);
+        let (_, degen) = degeneracy_removal_order(&g);
+        for u in 0..g.num_nodes() as NodeId {
+            let out = g
+                .neighbors(u)
+                .iter()
+                .filter(|&&v| o.rank(v) < o.rank(u))
+                .count();
+            assert!(out <= degen, "node {u} has out-degree {out} > degeneracy {degen}");
+        }
+    }
+
+    #[test]
+    fn degeneracy_of_path_is_one_and_of_cycle_is_two() {
+        let path = path4();
+        assert_eq!(degeneracy_removal_order(&path).1, 1);
+        let cycle = CsrGraph::from_edges(4, vec![(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+        assert_eq!(degeneracy_removal_order(&cycle).1, 2);
+    }
+
+    #[test]
+    fn score_order_sorts_ascending_with_id_ties() {
+        let scores = vec![5, 2, 2, 9];
+        let o = NodeOrder::from_scores_asc(&scores);
+        assert_eq!(o.node_at(0), 1); // score 2, id 1
+        assert_eq!(o.node_at(1), 2); // score 2, id 2
+        assert_eq!(o.node_at(2), 0); // score 5
+        assert_eq!(o.node_at(3), 3); // score 9
+    }
+
+    #[test]
+    fn iter_ascending_matches_ranks() {
+        let g = k4_plus_tail();
+        let o = NodeOrder::compute(&g, OrderingKind::DegreeAsc);
+        let seq: Vec<NodeId> = o.iter_ascending().collect();
+        for (r, &u) in seq.iter().enumerate() {
+            assert_eq!(o.rank(u) as usize, r);
+        }
+    }
+
+    #[test]
+    fn coloring_is_proper_and_bounded() {
+        let g = k4_plus_tail();
+        let colors = greedy_coloring(&g);
+        for (u, v) in g.edges() {
+            assert_ne!(colors[u as usize], colors[v as usize], "edge ({u},{v}) monochrome");
+        }
+        let (_, degen) = degeneracy_removal_order(&g);
+        assert!(colors.iter().all(|&c| c as usize <= degen));
+        // K4 needs exactly 4 colours.
+        let k4_colors: std::collections::HashSet<u32> =
+            (0..4).map(|u| colors[u as usize]).collect();
+        assert_eq!(k4_colors.len(), 4);
+    }
+
+    #[test]
+    fn color_ordering_ranks_by_color() {
+        let g = k4_plus_tail();
+        let colors = greedy_coloring(&g);
+        let o = NodeOrder::compute(&g, OrderingKind::Color);
+        // Ranks must be monotone in (color, id).
+        for r in 1..o.len() {
+            let (a, b) = (o.node_at(r - 1), o.node_at(r));
+            assert!(
+                (colors[a as usize], a) < (colors[b as usize], b),
+                "order not sorted by (color, id)"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_graph_order() {
+        let g = CsrGraph::empty();
+        let o = NodeOrder::compute(&g, OrderingKind::Degeneracy);
+        assert!(o.is_empty());
+        assert_eq!(o.len(), 0);
+        assert_eq!(degeneracy_removal_order(&g).1, 0);
+    }
+
+    #[test]
+    fn star_graph_degeneracy_is_one() {
+        let g =
+            CsrGraph::from_edges(5, vec![(0, 1), (0, 2), (0, 3), (0, 4)]).unwrap();
+        let (order, d) = degeneracy_removal_order(&g);
+        assert_eq!(d, 1);
+        // The hub can only be removed once its remaining degree is <= 1,
+        // i.e. after at least three of the four leaves.
+        let hub_pos = order.iter().position(|&u| u == 0).unwrap();
+        assert!(hub_pos >= 3, "hub removed too early: position {hub_pos} in {order:?}");
+    }
+}

@@ -1,0 +1,78 @@
+use crate::order::degeneracy_removal_order;
+use crate::CsrGraph;
+
+/// Summary statistics of a graph, as reported in the paper's Table I.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphStats {
+    /// Number of nodes `n`.
+    pub num_nodes: usize,
+    /// Number of undirected edges `m`.
+    pub num_edges: usize,
+    /// Maximum degree `d`.
+    pub max_degree: usize,
+    /// Average degree `2m / n` (0 for the empty graph).
+    pub avg_degree: f64,
+    /// Graph degeneracy (maximum core number).
+    pub degeneracy: usize,
+}
+
+impl GraphStats {
+    /// Computes all statistics in `O(n + m)`.
+    pub fn of(g: &CsrGraph) -> Self {
+        let n = g.num_nodes();
+        let m = g.num_edges();
+        let avg = if n == 0 { 0.0 } else { 2.0 * m as f64 / n as f64 };
+        let (_, degeneracy) = degeneracy_removal_order(g);
+        GraphStats {
+            num_nodes: n,
+            num_edges: m,
+            max_degree: g.max_degree(),
+            avg_degree: avg,
+            degeneracy,
+        }
+    }
+}
+
+impl std::fmt::Display for GraphStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} m={} max_deg={} avg_deg={:.2} degeneracy={}",
+            self.num_nodes, self.num_edges, self.max_degree, self.avg_degree, self.degeneracy
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_of_k4() {
+        let g = CsrGraph::from_edges(4, vec![(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)])
+            .unwrap();
+        let s = GraphStats::of(&g);
+        assert_eq!(s.num_nodes, 4);
+        assert_eq!(s.num_edges, 6);
+        assert_eq!(s.max_degree, 3);
+        assert!((s.avg_degree - 3.0).abs() < 1e-12);
+        assert_eq!(s.degeneracy, 3);
+    }
+
+    #[test]
+    fn stats_of_empty_graph() {
+        let s = GraphStats::of(&CsrGraph::empty());
+        assert_eq!(s.num_nodes, 0);
+        assert_eq!(s.avg_degree, 0.0);
+        assert_eq!(s.degeneracy, 0);
+    }
+
+    #[test]
+    fn display_contains_all_fields() {
+        let g = CsrGraph::from_edges(3, vec![(0, 1), (1, 2)]).unwrap();
+        let text = GraphStats::of(&g).to_string();
+        assert!(text.contains("n=3"));
+        assert!(text.contains("m=2"));
+        assert!(text.contains("degeneracy=1"));
+    }
+}

@@ -1,0 +1,151 @@
+use crate::{CsrGraph, DynGraph, NodeId};
+
+/// A subgraph induced on a node subset, with local↔global id translation.
+///
+/// Used by the dynamic algorithms (Algorithm 5 builds candidate cliques on
+/// the set `B = C ∪ N_F(C)`) and by the OPT pipeline when decomposing work.
+#[derive(Debug, Clone)]
+pub struct InducedSubgraph {
+    graph: CsrGraph,
+    /// `global[local]` is the original node id; sorted ascending so that the
+    /// inverse mapping is a binary search.
+    global: Vec<NodeId>,
+}
+
+impl InducedSubgraph {
+    /// Induces on `nodes` (duplicates are removed) of a static graph.
+    pub fn of_csr(g: &CsrGraph, nodes: &[NodeId]) -> Self {
+        let global = normalize(nodes);
+        let edges = induced_edges(&global, |u| g.neighbors(u));
+        let graph = CsrGraph::from_edges(global.len(), edges)
+            .expect("local ids are dense by construction");
+        InducedSubgraph { graph, global }
+    }
+
+    /// Induces on `nodes` of a dynamic graph snapshot.
+    pub fn of_dyn(g: &DynGraph, nodes: &[NodeId]) -> Self {
+        let global = normalize(nodes);
+        let edges = induced_edges(&global, |u| g.neighbors(u));
+        let graph = CsrGraph::from_edges(global.len(), edges)
+            .expect("local ids are dense by construction");
+        InducedSubgraph { graph, global }
+    }
+
+    /// The local graph on `0..len` ids.
+    #[inline]
+    pub fn graph(&self) -> &CsrGraph {
+        &self.graph
+    }
+
+    /// Number of nodes in the subgraph.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.global.len()
+    }
+
+    /// True when induced on an empty set.
+    pub fn is_empty(&self) -> bool {
+        self.global.is_empty()
+    }
+
+    /// Translates a local id back to the original graph.
+    #[inline]
+    pub fn to_global(&self, local: NodeId) -> NodeId {
+        self.global[local as usize]
+    }
+
+    /// Translates an original id to the local id, if the node is included.
+    #[inline]
+    pub fn to_local(&self, global: NodeId) -> Option<NodeId> {
+        self.global.binary_search(&global).ok().map(|i| i as NodeId)
+    }
+
+    /// Translates a slice of local ids to global ids.
+    pub fn to_global_vec(&self, locals: &[NodeId]) -> Vec<NodeId> {
+        locals.iter().map(|&l| self.to_global(l)).collect()
+    }
+}
+
+fn normalize(nodes: &[NodeId]) -> Vec<NodeId> {
+    let mut v = nodes.to_vec();
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+fn induced_edges<'a, F>(global: &'a [NodeId], neighbors: F) -> Vec<(NodeId, NodeId)>
+where
+    F: Fn(NodeId) -> &'a [NodeId],
+{
+    let mut edges = Vec::new();
+    for (lu, &gu) in global.iter().enumerate() {
+        // Both lists are sorted: walk the neighbour list against `global`.
+        for &gv in neighbors(gu) {
+            if gv <= gu {
+                continue; // count each edge once, from the smaller endpoint
+            }
+            if let Ok(lv) = global.binary_search(&gv) {
+                edges.push((lu as NodeId, lv as NodeId));
+            }
+        }
+    }
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CsrGraph {
+        // Two triangles sharing node 2: {0,1,2} and {2,3,4}; plus isolated 5.
+        CsrGraph::from_edges(6, vec![(0, 1), (0, 2), (1, 2), (2, 3), (2, 4), (3, 4)])
+            .unwrap()
+    }
+
+    #[test]
+    fn induces_correct_edges() {
+        let g = sample();
+        let sub = InducedSubgraph::of_csr(&g, &[2, 3, 4]);
+        assert_eq!(sub.len(), 3);
+        assert_eq!(sub.graph().num_edges(), 3); // full triangle
+        let sub2 = InducedSubgraph::of_csr(&g, &[0, 3, 4]);
+        assert_eq!(sub2.graph().num_edges(), 1); // only 3-4 survives
+    }
+
+    #[test]
+    fn id_translation_roundtrips() {
+        let g = sample();
+        let sub = InducedSubgraph::of_csr(&g, &[4, 0, 2]);
+        for local in 0..sub.len() as NodeId {
+            let global = sub.to_global(local);
+            assert_eq!(sub.to_local(global), Some(local));
+        }
+        assert_eq!(sub.to_local(5), None);
+        assert_eq!(sub.to_global_vec(&[0, 1, 2]), vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn duplicates_in_node_set_are_ignored() {
+        let g = sample();
+        let sub = InducedSubgraph::of_csr(&g, &[1, 1, 2, 2, 0]);
+        assert_eq!(sub.len(), 3);
+        assert_eq!(sub.graph().num_edges(), 3);
+    }
+
+    #[test]
+    fn dyn_graph_induction_matches_csr() {
+        let g = sample();
+        let dg = DynGraph::from_csr(&g);
+        let a = InducedSubgraph::of_csr(&g, &[0, 1, 2, 3]);
+        let b = InducedSubgraph::of_dyn(&dg, &[0, 1, 2, 3]);
+        assert_eq!(a.graph(), b.graph());
+    }
+
+    #[test]
+    fn empty_induction() {
+        let g = sample();
+        let sub = InducedSubgraph::of_csr(&g, &[]);
+        assert!(sub.is_empty());
+        assert_eq!(sub.graph().num_nodes(), 0);
+    }
+}

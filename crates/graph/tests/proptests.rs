@@ -1,0 +1,113 @@
+//! Property-based tests for the graph substrate.
+
+use std::collections::HashSet;
+
+use dkc_graph::{CsrGraph, Dag, DynGraph, NodeOrder, OrderingKind};
+use proptest::prelude::*;
+
+/// Strategy: a random edge set over up to `n` nodes.
+fn edges_strategy(max_n: u32, max_m: usize) -> impl Strategy<Value = (u32, Vec<(u32, u32)>)> {
+    (2..=max_n).prop_flat_map(move |n| {
+        let edge = (0..n, 0..n);
+        (Just(n), proptest::collection::vec(edge, 0..max_m))
+    })
+}
+
+proptest! {
+    #[test]
+    fn csr_adjacency_matches_input((n, edges) in edges_strategy(40, 120)) {
+        let g = CsrGraph::from_edges(n as usize, edges.clone()).unwrap();
+        let set: HashSet<(u32, u32)> = edges
+            .iter()
+            .filter(|(a, b)| a != b)
+            .map(|&(a, b)| if a < b { (a, b) } else { (b, a) })
+            .collect();
+        prop_assert_eq!(g.num_edges(), set.len());
+        for u in 0..n {
+            for v in 0..n {
+                let expect = u != v && set.contains(&(u.min(v), u.max(v)));
+                prop_assert_eq!(g.has_edge(u, v), expect, "edge ({}, {})", u, v);
+            }
+        }
+    }
+
+    #[test]
+    fn csr_degrees_sum_to_twice_edges((n, edges) in edges_strategy(50, 200)) {
+        let g = CsrGraph::from_edges(n as usize, edges).unwrap();
+        let sum: usize = (0..n).map(|u| g.degree(u)).sum();
+        prop_assert_eq!(sum, 2 * g.num_edges());
+    }
+
+    #[test]
+    fn all_orderings_are_permutations((n, edges) in edges_strategy(40, 100)) {
+        let g = CsrGraph::from_edges(n as usize, edges).unwrap();
+        for kind in [
+            OrderingKind::Identity,
+            OrderingKind::DegreeAsc,
+            OrderingKind::DegreeDesc,
+            OrderingKind::Degeneracy,
+            OrderingKind::Color,
+        ] {
+            let o = NodeOrder::compute(&g, kind);
+            let mut seen = vec![false; n as usize];
+            for r in 0..n as usize {
+                let u = o.node_at(r);
+                prop_assert!(!seen[u as usize]);
+                seen[u as usize] = true;
+                prop_assert_eq!(o.rank(u) as usize, r);
+            }
+        }
+    }
+
+    #[test]
+    fn dag_partitions_each_edge_once((n, edges) in edges_strategy(40, 100)) {
+        let g = CsrGraph::from_edges(n as usize, edges).unwrap();
+        let dag = Dag::from_graph(&g, NodeOrder::compute(&g, OrderingKind::Degeneracy));
+        // Each undirected edge appears as exactly one arc, oriented to the
+        // lower-ranked endpoint.
+        prop_assert_eq!(dag.num_arcs(), g.num_edges());
+        for (u, v) in g.iter_edges() {
+            let u_to_v = dag.has_arc(u, v);
+            let v_to_u = dag.has_arc(v, u);
+            prop_assert!(u_to_v ^ v_to_u, "edge ({}, {}) must be oriented exactly once", u, v);
+            if u_to_v {
+                prop_assert!(dag.rank(v) < dag.rank(u));
+            } else {
+                prop_assert!(dag.rank(u) < dag.rank(v));
+            }
+        }
+    }
+
+    #[test]
+    fn dyn_graph_matches_model(ops in proptest::collection::vec(
+        (any::<bool>(), 0u32..20, 0u32..20), 1..200))
+    {
+        let mut g = DynGraph::new(20);
+        let mut model: HashSet<(u32, u32)> = HashSet::new();
+        for (insert, a, b) in ops {
+            let key = (a.min(b), a.max(b));
+            if insert {
+                let added = g.insert_edge(a, b);
+                let model_added = a != b && model.insert(key);
+                prop_assert_eq!(added, model_added);
+            } else {
+                let removed = g.remove_edge(a, b);
+                let model_removed = model.remove(&key);
+                prop_assert_eq!(removed, model_removed);
+            }
+            prop_assert_eq!(g.num_edges(), model.len());
+        }
+        for u in 0..20 {
+            for v in 0..20 {
+                prop_assert_eq!(g.has_edge(u, v), u != v && model.contains(&(u.min(v), u.max(v))));
+            }
+        }
+    }
+
+    #[test]
+    fn csr_dyn_roundtrip((n, edges) in edges_strategy(30, 90)) {
+        let g = CsrGraph::from_edges(n as usize, edges).unwrap();
+        let round = DynGraph::from_csr(&g).to_csr();
+        prop_assert_eq!(g, round);
+    }
+}

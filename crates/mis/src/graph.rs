@@ -1,0 +1,95 @@
+/// A minimal adjacency-list graph for the MIS solvers.
+///
+/// Kept dependency-free so `dkc-mis` stands alone. Neighbour lists are
+/// sorted and de-duplicated; self-loops are dropped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdjGraph {
+    adj: Vec<Vec<u32>>,
+    num_edges: usize,
+}
+
+impl AdjGraph {
+    /// Creates an edgeless graph on `n` vertices.
+    pub fn new(n: usize) -> Self {
+        AdjGraph { adj: vec![Vec::new(); n], num_edges: 0 }
+    }
+
+    /// Builds a simple graph from an edge slice.
+    ///
+    /// # Panics
+    /// Panics if an endpoint is `>= n`.
+    pub fn from_edges(n: usize, edges: &[(u32, u32)]) -> Self {
+        let mut g = AdjGraph::new(n);
+        for &(a, b) in edges {
+            assert!((a as usize) < n && (b as usize) < n, "edge ({a},{b}) out of range");
+            if a == b {
+                continue;
+            }
+            g.adj[a as usize].push(b);
+            g.adj[b as usize].push(a);
+        }
+        let mut m = 0usize;
+        for list in &mut g.adj {
+            list.sort_unstable();
+            list.dedup();
+            m += list.len();
+        }
+        g.num_edges = m / 2;
+        g
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Degree of `u`.
+    #[inline]
+    pub fn degree(&self, u: u32) -> usize {
+        self.adj[u as usize].len()
+    }
+
+    /// Sorted neighbour slice of `u`.
+    #[inline]
+    pub fn neighbors(&self, u: u32) -> &[u32] {
+        &self.adj[u as usize]
+    }
+
+    /// Adjacency test.
+    pub fn has_edge(&self, u: u32, v: u32) -> bool {
+        u != v && self.adj[u as usize].binary_search(&v).is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_edges_dedups_and_drops_loops() {
+        let g = AdjGraph::from_edges(3, &[(0, 1), (1, 0), (2, 2), (0, 1)]);
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.degree(2), 0);
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(2, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        let _ = AdjGraph::from_edges(2, &[(0, 2)]);
+    }
+
+    #[test]
+    fn neighbor_lists_sorted() {
+        let g = AdjGraph::from_edges(5, &[(0, 4), (0, 2), (0, 1), (0, 3)]);
+        assert_eq!(g.neighbors(0), &[1, 2, 3, 4]);
+    }
+}

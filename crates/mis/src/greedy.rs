@@ -1,0 +1,121 @@
+use crate::AdjGraph;
+
+/// Min-degree greedy maximum-independent-set heuristic.
+///
+/// Repeatedly selects a vertex of minimum remaining degree, adds it to the
+/// solution, and deletes its closed neighbourhood — the "simple heuristic"
+/// the paper's Section IV-B describes for the clique graph, whose degree it
+/// then approximates with clique scores. Runs in `O(n + m)` using a lazy
+/// bucket queue.
+pub fn greedy_mis(g: &AdjGraph) -> Vec<u32> {
+    let n = g.num_nodes();
+    if n == 0 {
+        return Vec::new();
+    }
+    let max_deg = (0..n as u32).map(|u| g.degree(u)).max().unwrap_or(0);
+    let mut deg: Vec<usize> = (0..n as u32).map(|u| g.degree(u)).collect();
+    let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); max_deg + 1];
+    for u in 0..n as u32 {
+        buckets[deg[u as usize]].push(u);
+    }
+    let mut removed = vec![false; n];
+    let mut solution = Vec::new();
+    let mut cur = 0usize;
+    let mut picked = 0usize;
+    let mut alive = n;
+    while alive > 0 {
+        while cur <= max_deg && buckets[cur].is_empty() {
+            cur += 1;
+        }
+        let u = match buckets[cur].pop() {
+            Some(u) => u,
+            None => continue,
+        };
+        // Lazy entries: skip stale ones.
+        if removed[u as usize] || deg[u as usize] != cur {
+            continue;
+        }
+        solution.push(u);
+        picked += 1;
+        let _ = picked;
+        removed[u as usize] = true;
+        alive -= 1;
+        // Delete N(u); decrement degrees of second-tier neighbours.
+        for &v in g.neighbors(u) {
+            if removed[v as usize] {
+                continue;
+            }
+            removed[v as usize] = true;
+            alive -= 1;
+            for &w in g.neighbors(v) {
+                if !removed[w as usize] {
+                    let d = deg[w as usize];
+                    deg[w as usize] = d - 1;
+                    buckets[d - 1].push(w);
+                    if d - 1 < cur {
+                        cur = d - 1;
+                    }
+                }
+            }
+        }
+    }
+    solution.sort_unstable();
+    solution
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify_independent;
+
+    #[test]
+    fn greedy_on_path_takes_alternating_nodes() {
+        // Path 0-1-2-3-4: optimum is 3 ({0,2,4}); min-degree greedy achieves it.
+        let g = AdjGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let s = greedy_mis(&g);
+        assert!(verify_independent(&g, &s));
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn greedy_on_complete_graph_takes_one() {
+        let edges: Vec<(u32, u32)> =
+            (0..5).flat_map(|a| ((a + 1)..5).map(move |b| (a, b))).collect();
+        let g = AdjGraph::from_edges(5, &edges);
+        let s = greedy_mis(&g);
+        assert!(verify_independent(&g, &s));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn greedy_takes_all_isolated_nodes() {
+        let g = AdjGraph::new(7);
+        assert_eq!(greedy_mis(&g).len(), 7);
+    }
+
+    #[test]
+    fn greedy_is_maximal() {
+        // The result must be maximal: every non-member has a member neighbour.
+        let g = AdjGraph::from_edges(
+            8,
+            &[(0, 1), (1, 2), (2, 3), (3, 0), (4, 5), (5, 6), (6, 7), (7, 4), (0, 4)],
+        );
+        let s = greedy_mis(&g);
+        assert!(verify_independent(&g, &s));
+        let in_set = |u: u32| s.binary_search(&u).is_ok();
+        for u in 0..8u32 {
+            if !in_set(u) {
+                assert!(
+                    g.neighbors(u).iter().any(|&v| in_set(v)),
+                    "node {u} could be added — greedy result not maximal"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = AdjGraph::new(0);
+        assert!(greedy_mis(&g).is_empty());
+    }
+}

@@ -1,0 +1,159 @@
+//! (1,2)-swap local search for independent sets.
+//!
+//! Starting from any maximal independent set, repeatedly look for a member
+//! `v` whose removal lets *two* new vertices enter — the classic
+//! 2-improvement that powers the set-packing local-search literature the
+//! paper surveys (Section III: Hurkens–Schrijver, Sviridenko–Ward, Cygan).
+//! On clique graphs this mirrors the dynamic `TrySwap` of Section V, which
+//! trades one clique for two disjoint candidates.
+
+use crate::{greedy_mis, AdjGraph};
+
+/// Improves a maximal independent set with (1,2)-swaps until a local
+/// optimum is reached. Starts from [`greedy_mis`]. Returns a maximal
+/// independent set at least as large as the greedy one.
+pub fn local_search_mis(g: &AdjGraph) -> Vec<u32> {
+    let n = g.num_nodes();
+    let mut in_set = vec![false; n];
+    for v in greedy_mis(g) {
+        in_set[v as usize] = true;
+    }
+    // blockers[u] = number of solution members adjacent to u.
+    let mut blockers = vec![0u32; n];
+    for u in 0..n as u32 {
+        for &w in g.neighbors(u) {
+            if in_set[w as usize] {
+                blockers[u as usize] += 1;
+            }
+        }
+    }
+    let flip = |v: u32,
+                enter: bool,
+                in_set: &mut Vec<bool>,
+                blockers: &mut Vec<u32>| {
+        in_set[v as usize] = enter;
+        for &w in g.neighbors(v) {
+            if enter {
+                blockers[w as usize] += 1;
+            } else {
+                blockers[w as usize] -= 1;
+            }
+        }
+    };
+    loop {
+        let mut improved = false;
+        for v in 0..n as u32 {
+            if !in_set[v as usize] {
+                continue;
+            }
+            // Candidates that would become free if only v left: non-members
+            // blocked exactly by v. They must be v's neighbours (otherwise
+            // they would already be insertable, contradicting maximality).
+            let freed: Vec<u32> = g
+                .neighbors(v)
+                .iter()
+                .copied()
+                .filter(|&u| !in_set[u as usize] && blockers[u as usize] == 1)
+                .collect();
+            if freed.len() < 2 {
+                continue;
+            }
+            // Find two pairwise non-adjacent freed vertices.
+            let mut pair = None;
+            'outer: for (i, &a) in freed.iter().enumerate() {
+                for &b in &freed[i + 1..] {
+                    if !g.has_edge(a, b) {
+                        pair = Some((a, b));
+                        break 'outer;
+                    }
+                }
+            }
+            if let Some((a, b)) = pair {
+                flip(v, false, &mut in_set, &mut blockers);
+                flip(a, true, &mut in_set, &mut blockers);
+                flip(b, true, &mut in_set, &mut blockers);
+                improved = true;
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    // Re-maximalise: swaps can open room for additional vertices.
+    for u in 0..n as u32 {
+        if !in_set[u as usize] && blockers[u as usize] == 0 {
+            flip(u, true, &mut in_set, &mut blockers);
+        }
+    }
+    let mut out: Vec<u32> =
+        (0..n as u32).filter(|&u| in_set[u as usize]).collect();
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{verify_independent, ExactMis};
+
+    #[test]
+    fn improves_the_classic_greedy_trap() {
+        // A "bowtie handle": greedy (min-degree) may take the articulation
+        // vertex; local search must recover the two-endpoint optimum.
+        // Path 0-1-2 with 1 also connected to 3; MIS = {0,2,3}.
+        let g = AdjGraph::from_edges(4, &[(0, 1), (1, 2), (1, 3)]);
+        let s = local_search_mis(&g);
+        assert!(verify_independent(&g, &s));
+        assert_eq!(s, vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn never_worse_than_greedy_and_bounded_by_exact() {
+        for seed in 0u64..15 {
+            let n = 18;
+            let mut edges = Vec::new();
+            let mut state = seed.wrapping_mul(0xA24BAED4963EE407).wrapping_add(3);
+            for a in 0..n as u32 {
+                for b in (a + 1)..n as u32 {
+                    state ^= state << 13;
+                    state ^= state >> 7;
+                    state ^= state << 17;
+                    if state % 10 < 3 {
+                        edges.push((a, b));
+                    }
+                }
+            }
+            let g = AdjGraph::from_edges(n, &edges);
+            let greedy = greedy_mis(&g);
+            let local = local_search_mis(&g);
+            let exact = ExactMis::new().solve(&g);
+            assert!(verify_independent(&g, &local), "seed {seed}");
+            assert!(local.len() >= greedy.len(), "seed {seed}");
+            assert!(local.len() <= exact.set.len(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn result_is_maximal() {
+        let g = AdjGraph::from_edges(
+            7,
+            &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 0)],
+        );
+        let s = local_search_mis(&g);
+        assert!(verify_independent(&g, &s));
+        let member = |u: u32| s.binary_search(&u).is_ok();
+        for u in 0..7u32 {
+            if !member(u) {
+                assert!(g.neighbors(u).iter().any(|&v| member(v)), "node {u} insertable");
+            }
+        }
+        // C7's optimum is 3.
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn trivial_graphs() {
+        assert!(local_search_mis(&AdjGraph::new(0)).is_empty());
+        assert_eq!(local_search_mis(&AdjGraph::new(4)).len(), 4);
+    }
+}

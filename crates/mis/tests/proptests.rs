@@ -1,0 +1,73 @@
+//! Property tests for the MIS solvers against a brute-force reference.
+
+use dkc_mis::{greedy_mis, verify_independent, AdjGraph, ExactMis, MisBudget};
+use proptest::prelude::*;
+
+fn graph_strategy(max_n: usize) -> impl Strategy<Value = AdjGraph> {
+    (4..=max_n).prop_flat_map(|n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..(n * 2))
+            .prop_map(move |edges| AdjGraph::from_edges(n, &edges))
+    })
+}
+
+fn brute_force_mis(g: &AdjGraph) -> usize {
+    fn rec(g: &AdjGraph, v: u32, blocked: &mut Vec<bool>) -> usize {
+        if v as usize == g.num_nodes() {
+            return 0;
+        }
+        let skip = rec(g, v + 1, blocked);
+        if blocked[v as usize] {
+            return skip;
+        }
+        let newly: Vec<u32> = g
+            .neighbors(v)
+            .iter()
+            .copied()
+            .filter(|&w| w > v && !blocked[w as usize])
+            .collect();
+        for &w in &newly {
+            blocked[w as usize] = true;
+        }
+        let take = 1 + rec(g, v + 1, blocked);
+        for &w in &newly {
+            blocked[w as usize] = false;
+        }
+        take.max(skip)
+    }
+    rec(g, 0, &mut vec![false; g.num_nodes()])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn exact_matches_brute_force(g in graph_strategy(13)) {
+        let r = ExactMis::new().solve(&g);
+        prop_assert!(r.optimal);
+        prop_assert!(verify_independent(&g, &r.set));
+        prop_assert_eq!(r.set.len(), brute_force_mis(&g));
+    }
+
+    #[test]
+    fn greedy_is_valid_and_bounded_by_exact(g in graph_strategy(13)) {
+        let greedy = greedy_mis(&g);
+        prop_assert!(verify_independent(&g, &greedy));
+        let exact = ExactMis::new().solve(&g);
+        prop_assert!(greedy.len() <= exact.set.len());
+        // Greedy output must be maximal.
+        let in_set = |u: u32| greedy.binary_search(&u).is_ok();
+        for u in 0..g.num_nodes() as u32 {
+            if !in_set(u) {
+                prop_assert!(g.neighbors(u).iter().any(|&v| in_set(v)),
+                    "greedy result not maximal at node {}", u);
+            }
+        }
+    }
+
+    #[test]
+    fn budgeted_solver_always_returns_valid_sets(g in graph_strategy(16)) {
+        let r = ExactMis::with_budget(MisBudget { time_limit: None, node_limit: Some(3) })
+            .solve(&g);
+        prop_assert!(verify_independent(&g, &r.set));
+    }
+}

@@ -1,0 +1,158 @@
+//! `dkc` — command-line front end for the disjoint k-clique toolkit.
+//!
+//! ```text
+//! dkc stats     <edgelist> [--kmax K]            graph statistics + k-clique counts
+//! dkc solve     <edgelist> --k K [--algo A]      maximal disjoint k-clique set
+//! dkc partition <edgelist> --k K                 assign EVERY node to a group (≤ K)
+//! ```
+//!
+//! Edge lists are KONECT-style text files (`u v` per line, `%`/`#` comments,
+//! arbitrary integer labels). Output uses the file's original labels.
+
+use disjoint_kcliques::clique::count_kcliques_parallel;
+use disjoint_kcliques::core::{GcSolver, GreedyCliqueGraphSolver, OptSolver};
+use disjoint_kcliques::graph::io::{read_edge_list, LoadedGraph};
+use disjoint_kcliques::graph::{Dag, NodeOrder};
+use disjoint_kcliques::prelude::*;
+use std::time::Instant;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  dkc stats <edgelist> [--kmax K]\n  dkc solve <edgelist> --k K [--algo hg|gc|l|lp|opt|greedy-cg]\n  dkc partition <edgelist> --k K"
+    );
+    std::process::exit(2);
+}
+
+struct Args {
+    command: String,
+    path: String,
+    k: usize,
+    kmax: usize,
+    algo: String,
+}
+
+fn parse_args() -> Args {
+    let mut it = std::env::args().skip(1);
+    let Some(command) = it.next() else { usage() };
+    let Some(path) = it.next() else { usage() };
+    let mut args = Args { command, path, k: 0, kmax: 6, algo: "lp".into() };
+    while let Some(flag) = it.next() {
+        let mut value = || it.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--k" => args.k = value().parse().unwrap_or_else(|_| usage()),
+            "--kmax" => args.kmax = value().parse().unwrap_or_else(|_| usage()),
+            "--algo" => args.algo = value().to_ascii_lowercase(),
+            _ => usage(),
+        }
+    }
+    args
+}
+
+fn load(path: &str) -> LoadedGraph {
+    match read_edge_list(path) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("failed to load {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn solver_for(algo: &str) -> Box<dyn Solver> {
+    match algo {
+        "hg" => Box::new(HgSolver::default()),
+        "gc" => Box::new(GcSolver::new()),
+        "l" => Box::new(LightweightSolver::l()),
+        "lp" => Box::new(LightweightSolver::lp()),
+        "opt" => Box::new(OptSolver::new()),
+        "greedy-cg" => Box::new(GreedyCliqueGraphSolver::default()),
+        other => {
+            eprintln!("unknown algorithm {other:?} (try hg|gc|l|lp|opt|greedy-cg)");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    match args.command.as_str() {
+        "stats" => cmd_stats(&args),
+        "solve" => cmd_solve(&args),
+        "partition" => cmd_partition(&args),
+        _ => usage(),
+    }
+}
+
+fn cmd_stats(args: &Args) {
+    let loaded = load(&args.path);
+    let g = &loaded.graph;
+    println!("{}", GraphStats::of(g));
+    let dag = Dag::from_graph(g, NodeOrder::compute(g, OrderingKind::Degeneracy));
+    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    for k in 3..=args.kmax {
+        let t = Instant::now();
+        let count = count_kcliques_parallel(&dag, k, threads);
+        println!(
+            "{k}-cliques: {count} ({:.1} ms)",
+            t.elapsed().as_secs_f64() * 1e3
+        );
+    }
+}
+
+fn cmd_solve(args: &Args) {
+    if args.k == 0 {
+        usage();
+    }
+    let loaded = load(&args.path);
+    let solver = solver_for(&args.algo);
+    let t = Instant::now();
+    match solver.solve(&loaded.graph, args.k) {
+        Ok(s) => {
+            eprintln!(
+                "# {}: |S| = {} ({} nodes covered, {:.1} ms)",
+                solver.name(),
+                s.len(),
+                s.covered_nodes(),
+                t.elapsed().as_secs_f64() * 1e3
+            );
+            s.verify(&loaded.graph).expect("solver produced an invalid set");
+            for c in s.cliques() {
+                let labels: Vec<String> =
+                    c.iter().map(|u| loaded.labels[u as usize].to_string()).collect();
+                println!("{}", labels.join(" "));
+            }
+        }
+        Err(e) => {
+            eprintln!("solve failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn cmd_partition(args: &Args) {
+    if args.k == 0 {
+        usage();
+    }
+    let loaded = load(&args.path);
+    let t = Instant::now();
+    match disjoint_kcliques::core::partition_all(&loaded.graph, args.k) {
+        Ok(p) => {
+            let hist = p.size_histogram();
+            eprintln!(
+                "# {} groups in {:.1} ms — histogram {:?}",
+                p.num_groups(),
+                t.elapsed().as_secs_f64() * 1e3,
+                hist
+            );
+            for group in &p.groups {
+                let labels: Vec<String> =
+                    group.iter().map(|&u| loaded.labels[u as usize].to_string()).collect();
+                println!("{}", labels.join(" "));
+            }
+        }
+        Err(e) => {
+            eprintln!("partition failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

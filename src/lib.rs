@@ -1,0 +1,66 @@
+//! # disjoint-kcliques — near-optimal maximum sets of disjoint k-cliques
+//!
+//! A faithful, production-grade Rust implementation of
+//! *"Finding Near-Optimal Maximum Set of Disjoint k-Cliques in Real-World
+//! Social Networks"* (ICDE 2025): static solvers with a k-approximation
+//! guarantee (HG / GC / L / LP), the exact clique-graph + MIS baseline
+//! (OPT), and dynamic maintenance under edge updates with a candidate-clique
+//! index and swap operations.
+//!
+//! This crate is a facade that re-exports the workspace:
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`graph`] | `dkc-graph` | CSR/dynamic graphs, orderings, DAGs, edge-list I/O |
+//! | [`clique`] | `dkc-clique` | k-clique listing, counting, node scores, searches |
+//! | [`mis`] | `dkc-mis` | exact branch-and-reduce and greedy MIS |
+//! | [`cliquegraph`] | `dkc-cliquegraph` | the materialised conflict graph |
+//! | [`core`] | `dkc-core` | the solvers and solution types |
+//! | [`dynamic`] | `dkc-dynamic` | candidate index, swaps, insert/delete |
+//! | [`datagen`] | `dkc-datagen` | generators, dataset stand-ins, workloads |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use disjoint_kcliques::prelude::*;
+//!
+//! // Three triangles in a row, bridged so they form one component.
+//! let g = CsrGraph::from_edges(9, vec![
+//!     (0, 1), (1, 2), (0, 2),
+//!     (3, 4), (4, 5), (3, 5),
+//!     (6, 7), (7, 8), (6, 8),
+//!     (2, 3), (5, 6),
+//! ]).unwrap();
+//!
+//! // LP: the paper's flagship solver (Algorithm 3 + score pruning).
+//! let s = LightweightSolver::lp().solve(&g, 3).unwrap();
+//! assert_eq!(s.len(), 3);
+//! s.verify(&g).unwrap();
+//! s.verify_maximal(&g).unwrap();
+//!
+//! // Maintain the result under churn.
+//! let mut dynamic = DynamicSolver::from_solution(&g, s);
+//! dynamic.delete_edge(0, 1);
+//! assert_eq!(dynamic.len(), 2);
+//! dynamic.insert_edge(0, 1);
+//! assert_eq!(dynamic.len(), 3);
+//! ```
+
+pub use dkc_clique as clique;
+pub use dkc_cliquegraph as cliquegraph;
+pub use dkc_core as core;
+pub use dkc_datagen as datagen;
+pub use dkc_dynamic as dynamic;
+pub use dkc_graph as graph;
+pub use dkc_mis as mis;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use dkc_clique::{Clique, MAX_K};
+    pub use dkc_core::{
+        partition_all, GcSolver, HgSolver, LightweightSolver, OptSolver, SolveError, Solution,
+        Solver,
+    };
+    pub use dkc_dynamic::DynamicSolver;
+    pub use dkc_graph::{CsrGraph, DynGraph, GraphStats, NodeId, OrderingKind};
+}

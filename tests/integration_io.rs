@@ -1,0 +1,60 @@
+//! Edge-list I/O round-trips feeding the solvers — the path a user takes
+//! with a real KONECT download.
+
+use disjoint_kcliques::datagen::registry::social_standin;
+use disjoint_kcliques::graph::io::{read_edge_list, read_edge_list_str, write_edge_list_path};
+use disjoint_kcliques::prelude::*;
+
+#[test]
+fn file_roundtrip_preserves_solver_results() {
+    let g = social_standin(500, 3000, 77);
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!("dkc_io_test_{}.txt", std::process::id()));
+    write_edge_list_path(&g, &path).unwrap();
+    let loaded = read_edge_list(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+
+    assert_eq!(loaded.graph.num_edges(), g.num_edges());
+    // Node ids are permuted by interning order (and isolated nodes are not
+    // representable in an edge list), which legitimately shifts greedy
+    // tie-breaks — so compare solution sizes within a small band, not
+    // exact cliques.
+    let a = LightweightSolver::lp().solve(&g, 3).unwrap();
+    let b = LightweightSolver::lp().solve(&loaded.graph, 3).unwrap();
+    let band = (a.len() / 20).max(2);
+    assert!(
+        a.len().abs_diff(b.len()) <= band,
+        "sizes diverged: {} vs {}",
+        a.len(),
+        b.len()
+    );
+    b.verify(&loaded.graph).unwrap();
+    b.verify_maximal(&loaded.graph).unwrap();
+}
+
+#[test]
+fn konect_style_header_and_one_based_ids() {
+    let text = "\
+% asym positive
+% 7 5
+1 2 1 1167609600
+2 3 1 1167609601
+3 1 1 1167609602
+4 5 1 1167609603
+5 6 1 1167609604
+6 4 1 1167609605
+";
+    let loaded = read_edge_list_str(text).unwrap();
+    assert_eq!(loaded.graph.num_nodes(), 6);
+    assert_eq!(loaded.graph.num_edges(), 6);
+    let s = LightweightSolver::lp().solve(&loaded.graph, 3).unwrap();
+    assert_eq!(s.len(), 2, "two disjoint triangles in the file");
+}
+
+#[test]
+fn malformed_files_fail_loudly_not_silently() {
+    assert!(read_edge_list_str("1 2\nnot numbers\n").is_err());
+    assert!(read_edge_list_str("3\n").is_err());
+    let missing = read_edge_list(std::path::Path::new("/definitely/not/here.txt"));
+    assert!(missing.is_err());
+}
