@@ -20,10 +20,7 @@ fn bench_orderings(c: &mut Criterion) {
     ] {
         group.bench_function(BenchmarkId::new(name, 3), |b| {
             b.iter(|| {
-                HgSolver::with_ordering(kind)
-                    .solve(std::hint::black_box(&g), 3)
-                    .unwrap()
-                    .len()
+                HgSolver::with_ordering(kind).solve(std::hint::black_box(&g), 3).unwrap().len()
             })
         });
     }

@@ -21,11 +21,9 @@ fn bench_static_solvers(c: &mut Criterion) {
                 ("LP", Box::new(LightweightSolver::lp())),
             ];
             for (name, solver) in solvers {
-                group.bench_with_input(
-                    BenchmarkId::new(name, k),
-                    &k,
-                    |b, &k| b.iter(|| solver.solve(std::hint::black_box(&g), k).unwrap().len()),
-                );
+                group.bench_with_input(BenchmarkId::new(name, k), &k, |b, &k| {
+                    b.iter(|| solver.solve(std::hint::black_box(&g), k).unwrap().len())
+                });
             }
         }
         group.finish();

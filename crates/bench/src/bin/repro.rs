@@ -49,21 +49,17 @@ fn parse_args() -> (String, ReproConfig) {
             "--kmin" => kmin = value().parse().unwrap_or_else(|_| usage()),
             "--kmax" => kmax = value().parse().unwrap_or_else(|_| usage()),
             "--datasets" => {
-                cfg.datasets = Some(
-                    ReproConfig::parse_datasets(&value()).unwrap_or_else(|e| {
-                        eprintln!("{e}");
-                        std::process::exit(2);
-                    }),
-                )
+                cfg.datasets = Some(ReproConfig::parse_datasets(&value()).unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                }))
             }
             "--updates" => cfg.updates = value().parse().unwrap_or_else(|_| usage()),
             "--opt-timeout-ms" => {
                 cfg.opt_time_limit =
                     Duration::from_millis(value().parse().unwrap_or_else(|_| usage()))
             }
-            "--max-cliques" => {
-                cfg.max_stored_cliques = value().parse().unwrap_or_else(|_| usage())
-            }
+            "--max-cliques" => cfg.max_stored_cliques = value().parse().unwrap_or_else(|_| usage()),
             _ => usage(),
         }
     }

@@ -24,10 +24,8 @@ pub fn run_ordering(cfg: &ReproConfig) -> String {
         headers.push(format!("k={k} ms"));
     }
     let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
-    let mut t = Table::new(
-        "Ablation: HG node ordering (Section IV-A's trade-off, measured)",
-        &headers_ref,
-    );
+    let mut t =
+        Table::new("Ablation: HG node ordering (Section IV-A's trade-off, measured)", &headers_ref);
     for id in cfg.dataset_list() {
         let g = id.standin(cfg.scale, cfg.seed);
         for (name, kind) in orderings {
@@ -67,17 +65,13 @@ pub fn run_pruning_and_scores(cfg: &ReproConfig) -> String {
         let mut row = vec![id.name().to_string()];
         for &k in &cfg.ks {
             let (l_res, l_time) = timed(|| LightweightSolver::l().solve(&g, k));
-            let (lp_res, lp_time) =
-                timed(|| LightweightSolver::lp().solve_with_stats(&g, k));
+            let (lp_res, lp_time) = timed(|| LightweightSolver::lp().solve_with_stats(&g, k));
             let l = l_res.expect("L");
             let (lp, lp_stats) = lp_res.expect("LP");
             assert_eq!(l.len(), lp.len(), "pruning must not change |S|");
             row.push(human_ms(l_time));
             row.push(human_ms(lp_time));
-            row.push(format!(
-                "{}/{}",
-                lp_stats.stale_pops, lp_stats.heap_pops
-            ));
+            row.push(format!("{}/{}", lp_stats.stale_pops, lp_stats.heap_pops));
             let gc = GcSolver::with_budget(cfg.max_stored_cliques).solve(&g, k);
             row.push(gc.map(|s| s.len().to_string()).unwrap_or_else(|_| "OOM".into()));
             let cg = GreedyCliqueGraphSolver {

@@ -47,12 +47,9 @@ fn run_cell(solver: &dyn Solver, g: &CsrGraph, k: usize) -> CellOutcome {
     let ((result, elapsed), peak_bytes) = with_peak_tracking(|| timed(|| solver.solve(g, k)));
     match result {
         Ok(s) => CellOutcome { elapsed, size: Some(s.len()), marker: None, peak_bytes },
-        Err(SolveError::Timeout { partial }) => CellOutcome {
-            elapsed,
-            size: Some(partial.len()),
-            marker: Some("OOT"),
-            peak_bytes,
-        },
+        Err(SolveError::Timeout { partial }) => {
+            CellOutcome { elapsed, size: Some(partial.len()), marker: Some("OOT"), peak_bytes }
+        }
         Err(SolveError::CliqueBudget { .. }) | Err(SolveError::CliqueGraph(_)) => {
             CellOutcome { elapsed, size: None, marker: Some("OOM"), peak_bytes }
         }
@@ -154,10 +151,7 @@ pub fn render_table3(r: &SweepResults) -> String {
     let mut headers: Vec<String> = vec!["Dataset".into(), "Algo".into()];
     headers.extend(r.ks.iter().map(|k| format!("k={k} (MB)")));
     let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
-    let mut t = Table::new(
-        "Table III: space consumption (extra peak heap, MB)",
-        &headers_ref,
-    );
+    let mut t = Table::new("Table III: space consumption (extra peak heap, MB)", &headers_ref);
     for &id in &r.datasets {
         for algo in ALGOS {
             let mut row = vec![id.name().to_string(), algo.to_string()];
@@ -210,10 +204,7 @@ mod tests {
 
     #[test]
     fn oom_budget_shows_marker() {
-        let cfg = ReproConfig {
-            max_stored_cliques: 1,
-            ..tiny_cfg()
-        };
+        let cfg = ReproConfig { max_stored_cliques: 1, ..tiny_cfg() };
         let results = run_sweep(&cfg);
         assert_eq!(results.cells[&(DatasetId::Ftb, 3, "GC")].marker, Some("OOM"));
         assert_eq!(results.cells[&(DatasetId::Ftb, 3, "OPT")].marker, Some("OOM"));

@@ -9,10 +9,7 @@ use dkc_graph::{Dag, NodeOrder, OrderingKind};
 /// Generates every stand-in and counts its k-cliques.
 pub fn run(cfg: &ReproConfig) -> String {
     let mut table = Table::new(
-        format!(
-            "Table I: dataset statistics (stand-ins, scale={}, seed={})",
-            cfg.scale, cfg.seed
-        ),
+        format!("Table I: dataset statistics (stand-ins, scale={}, seed={})", cfg.scale, cfg.seed),
         &["Name", "n", "m", "k=3", "k=4", "k=5", "k=6", "gen+count ms"],
     );
     for id in cfg.dataset_list() {
@@ -20,10 +17,7 @@ pub fn run(cfg: &ReproConfig) -> String {
         let (counts, elapsed) = timed(|| {
             let dag = Dag::from_graph(&g, NodeOrder::compute(&g, OrderingKind::Degeneracy));
             let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
-            cfg.ks
-                .iter()
-                .map(|&k| count_kcliques_parallel(&dag, k, threads))
-                .collect::<Vec<u64>>()
+            cfg.ks.iter().map(|&k| count_kcliques_parallel(&dag, k, threads)).collect::<Vec<u64>>()
         });
         let mut row = vec![
             id.name().to_string(),

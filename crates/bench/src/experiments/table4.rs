@@ -17,17 +17,12 @@ pub fn run(cfg: &ReproConfig) -> String {
         headers.push(format!("k={k} ER"));
     }
     let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
-    let mut t = Table::new(
-        "Table IV: comparison with the exact solution (ER = error ratio)",
-        &headers_ref,
-    );
+    let mut t =
+        Table::new("Table IV: comparison with the exact solution (ER = error ratio)", &headers_ref);
     for id in TinyDatasetId::ALL {
         let g = id.standin(cfg.seed);
-        let mut row = vec![
-            id.name().to_string(),
-            g.num_nodes().to_string(),
-            g.num_edges().to_string(),
-        ];
+        let mut row =
+            vec![id.name().to_string(), g.num_nodes().to_string(), g.num_edges().to_string()];
         for &k in &cfg.ks {
             let lp = LightweightSolver::lp().solve(&g, k).expect("LP never exceeds budgets");
             let opt_solver = OptSolver::with_budgets(

@@ -234,7 +234,7 @@ mod tests {
         assert_eq!(s[5], 3); // v6
         assert_eq!(s[4], 3); // v5
         assert_eq!(s[7], 3); // v8
-        // Total score = k * number of cliques.
+                             // Total score = k * number of cliques.
         assert_eq!(s.iter().sum::<u64>(), 3 * 7);
     }
 
@@ -265,9 +265,7 @@ mod tests {
         let g = CsrGraph::from_edges(8, edges).unwrap();
         let d = dag(&g);
         // C(8, k) cliques; every node participates in C(7, k-1).
-        let binom = |n: u64, k: u64| -> u64 {
-            (0..k).fold(1u64, |acc, i| acc * (n - i) / (i + 1))
-        };
+        let binom = |n: u64, k: u64| -> u64 { (0..k).fold(1u64, |acc, i| acc * (n - i) / (i + 1)) };
         for k in 1..=8usize {
             assert_eq!(count_kcliques(&d, k), binom(8, k as u64), "k={k}");
             let s = node_scores(&d, k);
@@ -288,11 +286,7 @@ mod tests {
         let g = CsrGraph::from_edges(200, edges).unwrap();
         let d = dag(&g);
         for k in 3..=5 {
-            assert_eq!(
-                count_kcliques_parallel(&d, k, 4),
-                count_kcliques(&d, k),
-                "count k={k}"
-            );
+            assert_eq!(count_kcliques_parallel(&d, k, 4), count_kcliques(&d, k), "count k={k}");
             assert_eq!(node_scores_parallel(&d, k, 4), node_scores(&d, k), "scores k={k}");
         }
     }

@@ -42,13 +42,7 @@ impl<'a> FirstFinder<'a> {
         self.stack.push(root);
         let mut cand = std::mem::take(&mut self.bufs[0]);
         cand.clear();
-        cand.extend(
-            self.dag
-                .out_neighbors(root)
-                .iter()
-                .copied()
-                .filter(|&v| valid[v as usize]),
-        );
+        cand.extend(self.dag.out_neighbors(root).iter().copied().filter(|&v| valid[v as usize]));
         let found = self.recurse(self.k - 1, &cand);
         self.bufs[0] = cand;
         if found {
@@ -135,13 +129,7 @@ impl<'a> MinScoreFinder<'a> {
         self.stack.push(root);
         let mut cand = std::mem::take(&mut self.bufs[0]);
         cand.clear();
-        cand.extend(
-            self.dag
-                .out_neighbors(root)
-                .iter()
-                .copied()
-                .filter(|&v| valid[v as usize]),
-        );
+        cand.extend(self.dag.out_neighbors(root).iter().copied().filter(|&v| valid[v as usize]));
         self.recurse(self.k - 1, &cand, self.scores[root as usize]);
         self.bufs[0] = cand;
         self.best.take()
@@ -156,7 +144,8 @@ impl<'a> MinScoreFinder<'a> {
                 let total = cur_sum + self.scores[v as usize];
                 if self.best.is_none_or(|b| total < b.score) {
                     self.stack.push(v);
-                    self.best = Some(ScoredClique { clique: Clique::new(&self.stack), score: total });
+                    self.best =
+                        Some(ScoredClique { clique: Clique::new(&self.stack), score: total });
                     self.stack.pop();
                 }
             }

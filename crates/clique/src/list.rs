@@ -64,11 +64,7 @@ pub fn collect_kcliques(dag: &Dag, k: usize) -> Vec<Clique> {
 /// Budgeted [`collect_kcliques`]: aborts with `Err(limit)` as soon as more
 /// than `limit` cliques exist, without materialising the excess — the
 /// mechanism behind the harness's deterministic "OOM" markers.
-pub fn collect_kcliques_bounded(
-    dag: &Dag,
-    k: usize,
-    limit: usize,
-) -> Result<Vec<Clique>, usize> {
+pub fn collect_kcliques_bounded(dag: &Dag, k: usize, limit: usize) -> Result<Vec<Clique>, usize> {
     let mut out = Vec::new();
     let mut overflow = false;
     for_each_kclique_while(dag, k, |nodes| {
@@ -322,8 +318,7 @@ mod tests {
         let dag = dag_of(&g, OrderingKind::Identity);
         let collected = collect_kcliques(&dag, 3);
         assert_eq!(collected.len(), 7);
-        let set: BTreeSet<Vec<NodeId>> =
-            collected.iter().map(|c| c.as_slice().to_vec()).collect();
+        let set: BTreeSet<Vec<NodeId>> = collected.iter().map(|c| c.as_slice().to_vec()).collect();
         assert_eq!(set, clique_set(&dag, 3));
     }
 

@@ -167,10 +167,7 @@ mod tests {
         let g = paper_dyn_graph();
         // Only the neighbourhood of v5/v6/v8 region.
         let cliques = subset_cliques(&g, &[4, 5, 6, 7], 3);
-        assert_eq!(
-            cliques,
-            [vec![4, 5, 7], vec![4, 6, 7]].into_iter().collect::<BTreeSet<_>>()
-        );
+        assert_eq!(cliques, [vec![4, 5, 7], vec![4, 6, 7]].into_iter().collect::<BTreeSet<_>>());
     }
 
     #[test]

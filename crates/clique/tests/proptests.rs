@@ -4,8 +4,8 @@
 use std::collections::BTreeSet;
 
 use dkc_clique::{
-    collect_kcliques, collect_kcliques_in_subset, count_kcliques, node_scores, Clique,
-    FirstFinder, MinScoreFinder,
+    collect_kcliques, collect_kcliques_in_subset, count_kcliques, node_scores, Clique, FirstFinder,
+    MinScoreFinder,
 };
 use dkc_graph::{CsrGraph, Dag, DynGraph, NodeId, NodeOrder, OrderingKind};
 use proptest::prelude::*;

@@ -194,11 +194,7 @@ impl CliqueGraph {
     /// Table III shows exploding for OPT/GC.
     pub fn memory_bytes(&self) -> usize {
         self.cliques.len() * std::mem::size_of::<Clique>()
-            + self
-                .adj
-                .iter()
-                .map(|l| l.capacity() * std::mem::size_of::<u32>())
-                .sum::<usize>()
+            + self.adj.iter().map(|l| l.capacity() * std::mem::size_of::<u32>()).sum::<usize>()
     }
 }
 

@@ -1,4 +1,4 @@
-use crate::{check_k, SolveError, Solution, Solver};
+use crate::{check_k, Solution, SolveError, Solver};
 use dkc_clique::FirstFinder;
 use dkc_graph::{CsrGraph, Dag, NodeOrder, OrderingKind};
 
@@ -115,14 +115,8 @@ mod tests {
     #[test]
     fn rejects_invalid_k() {
         let g = paper_fig2();
-        assert!(matches!(
-            HgSolver::default().solve(&g, 2),
-            Err(SolveError::InvalidK { k: 2 })
-        ));
-        assert!(matches!(
-            HgSolver::default().solve(&g, 99),
-            Err(SolveError::InvalidK { k: 99 })
-        ));
+        assert!(matches!(HgSolver::default().solve(&g, 2), Err(SolveError::InvalidK { k: 2 })));
+        assert!(matches!(HgSolver::default().solve(&g, 99), Err(SolveError::InvalidK { k: 99 })));
     }
 
     #[test]

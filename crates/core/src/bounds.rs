@@ -30,10 +30,7 @@ impl DegreeBounds {
 /// participates in at least that clique itself (`s_n >= 1`).
 pub fn clique_degree_bounds(score: u64, k: usize) -> DegreeBounds {
     assert!(k >= 2, "bounds are defined for k >= 2");
-    assert!(
-        score >= k as u64,
-        "clique score {score} < k = {k}: not a score of an actual clique"
-    );
+    assert!(score >= k as u64, "clique score {score} < k = {k}: not a score of an actual clique");
     let excess = score - k as u64;
     DegreeBounds { lower: excess.div_ceil(k as u64 - 1), upper: excess }
 }

@@ -1,4 +1,4 @@
-use crate::{check_k, SolveError, Solution, Solver};
+use crate::{check_k, Solution, SolveError, Solver};
 use dkc_clique::{collect_kcliques, collect_kcliques_bounded, node_scores, Clique};
 use dkc_graph::{CsrGraph, Dag, NodeOrder, OrderingKind};
 

@@ -1,4 +1,4 @@
-use crate::{check_k, SolveError, Solution, Solver};
+use crate::{check_k, Solution, SolveError, Solver};
 use dkc_clique::{node_scores_parallel, Clique, MinScoreFinder};
 use dkc_graph::{CsrGraph, Dag, NodeId, NodeOrder};
 use std::cmp::Reverse;
@@ -121,10 +121,8 @@ impl LightweightSolver {
         let mut stats = LpRunStats::default();
         // Line 2: node scores from one (parallel) enumeration pass over a
         // degeneracy-oriented DAG — the cheapest orientation for listing.
-        let score_dag = Dag::from_graph(
-            g,
-            NodeOrder::compute(g, dkc_graph::OrderingKind::Degeneracy),
-        );
+        let score_dag =
+            Dag::from_graph(g, NodeOrder::compute(g, dkc_graph::OrderingKind::Degeneracy));
         let scores = node_scores_parallel(&score_dag, k, self.threads);
         drop(score_dag);
 
@@ -137,8 +135,7 @@ impl LightweightSolver {
         // Lines 10-14 (HeapInit, "for each node u in parallel").
         let entries = self.heap_init(&dag, &scores, &valid, k);
         stats.initial_entries = entries.len() as u64;
-        let mut heap: BinaryHeap<Reverse<Entry>> =
-            entries.into_iter().map(Reverse).collect();
+        let mut heap: BinaryHeap<Reverse<Entry>> = entries.into_iter().map(Reverse).collect();
 
         // Lines 31-39 (Calculation).
         let mut valid = valid;
@@ -174,13 +171,7 @@ impl LightweightSolver {
 }
 
 impl LightweightSolver {
-    fn heap_init(
-        &self,
-        dag: &Dag,
-        scores: &[u64],
-        valid: &[bool],
-        k: usize,
-    ) -> Vec<Entry> {
+    fn heap_init(&self, dag: &Dag, scores: &[u64], valid: &[bool], k: usize) -> Vec<Entry> {
         let n = dag.num_nodes();
         let threads = self.threads.max(1).min(n.max(1));
         if threads == 1 || n < 1024 {
@@ -293,10 +284,7 @@ mod tests {
     #[test]
     fn rejects_invalid_k() {
         let g = paper_fig2();
-        assert!(matches!(
-            LightweightSolver::lp().solve(&g, 2),
-            Err(SolveError::InvalidK { .. })
-        ));
+        assert!(matches!(LightweightSolver::lp().solve(&g, 2), Err(SolveError::InvalidK { .. })));
     }
 
     #[test]

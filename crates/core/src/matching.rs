@@ -163,8 +163,8 @@ mod tests {
 
     #[test]
     fn perfect_matching_on_even_cycle() {
-        let g = CsrGraph::from_edges(6, vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)])
-            .unwrap();
+        let g =
+            CsrGraph::from_edges(6, vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]).unwrap();
         let m = augmenting_matching(&g);
         m.verify(&g).unwrap();
         assert_eq!(m.len(), 3);

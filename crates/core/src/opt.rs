@@ -1,4 +1,4 @@
-use crate::{check_k, SolveError, Solution, Solver};
+use crate::{check_k, Solution, SolveError, Solver};
 use dkc_cliquegraph::{CliqueGraph, CliqueGraphLimits};
 use dkc_graph::CsrGraph;
 use dkc_mis::{greedy_mis, AdjGraph, ExactMis, MisBudget};

@@ -60,8 +60,7 @@ pub fn partition_all(g: &CsrGraph, k: usize) -> Result<Partition, SolveError> {
     let solver = LightweightSolver::lp();
 
     for s in (3..=k).rev() {
-        let free: Vec<NodeId> =
-            (0..n as NodeId).filter(|&u| !covered[u as usize]).collect();
+        let free: Vec<NodeId> = (0..n as NodeId).filter(|&u| !covered[u as usize]).collect();
         if free.len() < s {
             continue;
         }
@@ -82,11 +81,7 @@ pub fn partition_all(g: &CsrGraph, k: usize) -> Result<Partition, SolveError> {
         if covered[u as usize] {
             continue;
         }
-        if let Some(&v) = g
-            .neighbors(u)
-            .iter()
-            .find(|&&v| !covered[v as usize] && v != u)
-        {
+        if let Some(&v) = g.neighbors(u).iter().find(|&&v| !covered[v as usize] && v != u) {
             covered[u as usize] = true;
             covered[v as usize] = true;
             groups.push(vec![u, v]);

@@ -168,10 +168,7 @@ impl Solution {
                 }
                 for &b in &nodes[ai + 1..] {
                     if !has_edge(a, b) {
-                        return Err(InvalidSolution::NotAClique {
-                            index: i,
-                            missing_edge: (a, b),
-                        });
+                        return Err(InvalidSolution::NotAClique { index: i, missing_edge: (a, b) });
                     }
                 }
             }
@@ -184,11 +181,11 @@ impl Solution {
     /// graph, so it is intended for tests and audits, not hot paths.
     pub fn verify_maximal(&self, g: &CsrGraph) -> Result<(), InvalidSolution> {
         let assign = self.node_assignment(g.num_nodes());
-        let free: Vec<NodeId> = (0..g.num_nodes() as NodeId)
-            .filter(|&u| assign[u as usize].is_none())
-            .collect();
+        let free: Vec<NodeId> =
+            (0..g.num_nodes() as NodeId).filter(|&u| assign[u as usize].is_none()).collect();
         let sub = dkc_graph::InducedSubgraph::of_csr(g, &free);
-        let dag = Dag::from_graph(sub.graph(), NodeOrder::compute(sub.graph(), OrderingKind::Degeneracy));
+        let dag =
+            Dag::from_graph(sub.graph(), NodeOrder::compute(sub.graph(), OrderingKind::Degeneracy));
         if count_kcliques(&dag, self.k) > 0 {
             return Err(InvalidSolution::NotMaximal);
         }

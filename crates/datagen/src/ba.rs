@@ -71,10 +71,7 @@ mod tests {
         let g = barabasi_albert(500, 2, 3);
         let max = g.max_degree();
         let avg = 2.0 * g.num_edges() as f64 / 500.0;
-        assert!(
-            max as f64 > 4.0 * avg,
-            "expected a hub: max {max} vs avg {avg:.1}"
-        );
+        assert!(max as f64 > 4.0 * avg, "expected a hub: max {max} vs avg {avg:.1}");
     }
 
     #[test]

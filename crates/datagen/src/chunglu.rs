@@ -61,14 +61,9 @@ mod tests {
     #[test]
     fn low_ids_are_hubs() {
         let g = chung_lu(1000, 4000, 2.2, 9);
-        let head_avg: f64 =
-            (0..10u32).map(|u| g.degree(u) as f64).sum::<f64>() / 10.0;
-        let tail_avg: f64 =
-            (990..1000u32).map(|u| g.degree(u) as f64).sum::<f64>() / 10.0;
-        assert!(
-            head_avg > 3.0 * tail_avg.max(1.0),
-            "head {head_avg:.1} vs tail {tail_avg:.1}"
-        );
+        let head_avg: f64 = (0..10u32).map(|u| g.degree(u) as f64).sum::<f64>() / 10.0;
+        let tail_avg: f64 = (990..1000u32).map(|u| g.degree(u) as f64).sum::<f64>() / 10.0;
+        assert!(head_avg > 3.0 * tail_avg.max(1.0), "head {head_avg:.1} vs tail {tail_avg:.1}");
     }
 
     #[test]

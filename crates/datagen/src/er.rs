@@ -131,10 +131,7 @@ mod tests {
         let g = erdos_renyi_gnp(n, p, 3);
         let expected = (n * (n - 1) / 2) as f64 * p;
         let got = g.num_edges() as f64;
-        assert!(
-            (got - expected).abs() < expected * 0.25,
-            "got {got}, expected ~{expected}"
-        );
+        assert!((got - expected).abs() < expected * 0.25, "got {got}, expected ~{expected}");
     }
 
     #[test]

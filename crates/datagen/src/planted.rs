@@ -83,10 +83,7 @@ mod tests {
         let p = planted_partition(6, 4, 5, 0.0, 1);
         assert_eq!(p.graph.num_nodes(), 29);
         assert_eq!(p.graph.num_edges(), 6 * 6); // 6 K4s
-        let dag = Dag::from_graph(
-            &p.graph,
-            NodeOrder::compute(&p.graph, OrderingKind::Degeneracy),
-        );
+        let dag = Dag::from_graph(&p.graph, NodeOrder::compute(&p.graph, OrderingKind::Degeneracy));
         assert_eq!(count_kcliques(&dag, 4), 6);
         assert_eq!(p.planted_count(), 6);
     }

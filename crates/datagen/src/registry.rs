@@ -204,9 +204,7 @@ fn scaled(value: usize, scale: f64) -> usize {
 
 /// Deterministic name hash so each dataset gets distinct randomness per seed.
 fn fxhash(s: &str) -> u64 {
-    s.bytes().fold(0xcbf29ce484222325u64, |h, b| {
-        (h ^ b as u64).wrapping_mul(0x100000001b3)
-    })
+    s.bytes().fold(0xcbf29ce484222325u64, |h, b| (h ^ b as u64).wrapping_mul(0x100000001b3))
 }
 
 /// The stand-in generator: communities + power-law hubs.

@@ -70,11 +70,7 @@ pub fn sample_non_edges(g: &CsrGraph, count: usize, seed: u64) -> Vec<Edge> {
 /// and returns `(G', updates)` where `updates` interleaves the re-insertion
 /// of the removed half with the deletion of the second half, in random
 /// order.
-pub fn paper_mixed_workload(
-    g: &CsrGraph,
-    count_each: usize,
-    seed: u64,
-) -> (CsrGraph, Vec<Update>) {
+pub fn paper_mixed_workload(g: &CsrGraph, count_each: usize, seed: u64) -> (CsrGraph, Vec<Update>) {
     let picked = sample_edges(g, 2 * count_each, seed);
     assert!(
         picked.len() == 2 * count_each,
@@ -84,10 +80,8 @@ pub fn paper_mixed_workload(
     );
     let (to_insert, to_delete) = picked.split_at(count_each);
     let removed: HashSet<Edge> = to_insert.iter().copied().collect();
-    let start_edges: Vec<Edge> =
-        g.iter_edges().filter(|e| !removed.contains(e)).collect();
-    let g_prime = CsrGraph::from_edges(g.num_nodes(), start_edges)
-        .expect("subset of valid edges");
+    let start_edges: Vec<Edge> = g.iter_edges().filter(|e| !removed.contains(e)).collect();
+    let g_prime = CsrGraph::from_edges(g.num_nodes(), start_edges).expect("subset of valid edges");
     let mut updates: Vec<Update> = to_insert
         .iter()
         .map(|&(a, b)| Update::Insert(a, b))

@@ -58,10 +58,7 @@ impl CandidateIndex {
         let slots: Vec<CliqueId> = state.iter().map(|(id, _)| id).collect();
         for slot in slots {
             let report = idx.rebuild_for_clique(g, state, slot);
-            debug_assert!(
-                report.all_free.is_empty(),
-                "index built over a non-maximal solution"
-            );
+            debug_assert!(report.all_free.is_empty(), "index built over a non-maximal solution");
         }
         idx
     }
@@ -192,8 +189,7 @@ impl CandidateIndex {
             return RebuildReport::default();
         };
         self.ensure_slot(slot);
-        let old: BTreeSet<Clique> = self
-            .by_clique[slot as usize]
+        let old: BTreeSet<Clique> = self.by_clique[slot as usize]
             .iter()
             .filter_map(|&id| self.cands[id as usize].as_ref().map(|c| c.clique))
             .collect();
@@ -220,9 +216,7 @@ impl CandidateIndex {
                 continue;
             }
             // By construction of B, every non-free member lies in `clique`.
-            debug_assert!(cand
-                .iter()
-                .all(|u| state.is_free(u) || clique.contains(u)));
+            debug_assert!(cand.iter().all(|u| state.is_free(u) || clique.contains(u)));
             if !old.contains(&cand) {
                 report.has_new = true;
             }
@@ -273,17 +267,17 @@ mod tests {
     fn fig5_g1() -> (DynGraph, SolutionState) {
         let mut g = DynGraph::new(11);
         for (a, b) in [
-            (0, 1), // v1-v2
-            (0, 2), // v1-v3
-            (1, 2), // v2-v3
-            (2, 3), // v3-v4
-            (2, 4), // v3-v5
-            (3, 4), // v4-v5
-            (4, 5), // v5-v6
-            (5, 6), // v6-v7
-            (6, 7), // v7-v8
-            (7, 8), // v8-v9
-            (8, 9), // v9-v10
+            (0, 1),  // v1-v2
+            (0, 2),  // v1-v3
+            (1, 2),  // v2-v3
+            (2, 3),  // v3-v4
+            (2, 4),  // v3-v5
+            (3, 4),  // v4-v5
+            (4, 5),  // v5-v6
+            (5, 6),  // v6-v7
+            (6, 7),  // v7-v8
+            (7, 8),  // v8-v9
+            (8, 9),  // v9-v10
             (8, 10), // v9-v11
             (9, 10), // v10-v11
         ] {
@@ -376,17 +370,7 @@ mod tests {
         // Break maximality artificially: S holds triangle {0,1,2} while the
         // free triangle {3,4,5} sits entirely inside N_F of node 2.
         let mut g = DynGraph::new(6);
-        for (a, b) in [
-            (0, 1),
-            (1, 2),
-            (0, 2),
-            (2, 3),
-            (2, 4),
-            (2, 5),
-            (3, 4),
-            (4, 5),
-            (3, 5),
-        ] {
+        for (a, b) in [(0, 1), (1, 2), (0, 2), (2, 3), (2, 4), (2, 5), (3, 4), (4, 5), (3, 5)] {
             g.insert_edge(a, b);
         }
         let mut state = SolutionState::new(3, 6);
@@ -407,11 +391,7 @@ mod tests {
         cands.sort_unstable();
         assert_eq!(
             cands,
-            vec![
-                Clique::new(&[2, 3, 4]),
-                Clique::new(&[2, 3, 5]),
-                Clique::new(&[2, 4, 5]),
-            ]
+            vec![Clique::new(&[2, 3, 4]), Clique::new(&[2, 3, 5]), Clique::new(&[2, 4, 5]),]
         );
     }
 }

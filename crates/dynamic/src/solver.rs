@@ -1,7 +1,7 @@
 use crate::index::CandidateIndex;
 use crate::state::{CliqueId, SolutionState};
 use dkc_clique::Clique;
-use dkc_core::{LightweightSolver, SolveError, Solution, Solver};
+use dkc_core::{LightweightSolver, Solution, SolveError, Solver};
 use dkc_graph::{CsrGraph, DynGraph, NodeId};
 use std::collections::{BTreeSet, VecDeque};
 
@@ -259,9 +259,8 @@ impl DynamicSolver {
         let removed = self.remove_clique(slot);
         // Greedy refill: any pairwise-disjoint subset is pure gain because
         // every candidate's nodes are now free.
-        let filled = greedy_disjoint(candidates, |c| {
-            c.iter().filter(|&n| removed.contains(n)).count()
-        });
+        let filled =
+            greedy_disjoint(candidates, |c| c.iter().filter(|&n| removed.contains(n)).count());
         let mut queue = VecDeque::new();
         let mut new_slots = Vec::new();
         for c in filled {
@@ -424,9 +423,8 @@ impl DynamicSolver {
             .verify_with(self.graph.num_nodes(), |a, b| self.graph.has_edge(a, b))
             .map_err(|e| format!("solution invalid: {e}"))?;
         // 2. Maximality: no k-clique among free nodes.
-        let free: Vec<NodeId> = (0..self.graph.num_nodes() as NodeId)
-            .filter(|&u| self.state.is_free(u))
-            .collect();
+        let free: Vec<NodeId> =
+            (0..self.graph.num_nodes() as NodeId).filter(|&u| self.state.is_free(u)).collect();
         let mut residual_clique = None;
         dkc_clique::for_each_kclique_in_subset(&self.graph, &free, self.k, |c| {
             if residual_clique.is_none() {
@@ -453,8 +451,7 @@ fn greedy_disjoint<W>(mut candidates: Vec<Clique>, weight: W) -> Vec<Clique>
 where
     W: Fn(&Clique) -> usize,
 {
-    let mut keyed: Vec<(usize, Clique)> =
-        candidates.drain(..).map(|c| (weight(&c), c)).collect();
+    let mut keyed: Vec<(usize, Clique)> = candidates.drain(..).map(|c| (weight(&c), c)).collect();
     keyed.sort_unstable();
     let mut used: BTreeSet<NodeId> = BTreeSet::new();
     let mut chosen = Vec::new();
@@ -481,11 +478,8 @@ fn find_clique_among(g: &DynGraph, cand: &[NodeId], need: usize, acc: &mut Vec<N
         return false;
     }
     for (i, &x) in cand.iter().enumerate() {
-        let rest: Vec<NodeId> = cand[i + 1..]
-            .iter()
-            .copied()
-            .filter(|&y| g.has_edge(x, y))
-            .collect();
+        let rest: Vec<NodeId> =
+            cand[i + 1..].iter().copied().filter(|&y| g.has_edge(x, y)).collect();
         if rest.len() + 1 >= need {
             acc.push(x);
             if find_clique_among(g, &rest, need - 1, acc) {
@@ -601,10 +595,7 @@ mod tests {
         let out = solver.insert_edge(5, 7);
         assert!(out.applied);
         assert_eq!(out.size_delta, 1);
-        assert!(solver
-            .solution()
-            .sorted_cliques()
-            .contains(&Clique::new(&[5, 6, 7])));
+        assert!(solver.solution().sorted_cliques().contains(&Clique::new(&[5, 6, 7])));
         solver.validate().unwrap();
     }
 
@@ -628,10 +619,7 @@ mod tests {
         solver.insert_edge(6, 11);
         let out = solver.insert_edge(6, 12);
         assert!(out.applied);
-        assert!(solver
-            .solution()
-            .sorted_cliques()
-            .contains(&Clique::new(&[6, 11, 12])));
+        assert!(solver.solution().sorted_cliques().contains(&Clique::new(&[6, 11, 12])));
         solver.validate().unwrap();
     }
 
@@ -655,10 +643,7 @@ mod tests {
         let removed = solver.remove_node(3);
         assert_eq!(removed, 2, "v4 has neighbours v3 and v5");
         assert_eq!(solver.len(), 2);
-        assert!(solver
-            .solution()
-            .sorted_cliques()
-            .contains(&Clique::new(&[0, 1, 2])));
+        assert!(solver.solution().sorted_cliques().contains(&Clique::new(&[0, 1, 2])));
         solver.validate().unwrap();
         // Removing an out-of-range node is a no-op.
         assert_eq!(solver.remove_node(999), 0);

@@ -89,10 +89,7 @@ impl SolutionState {
 
     /// Iterates `(slot, clique)` for every live clique.
     pub fn iter(&self) -> impl Iterator<Item = (CliqueId, &Clique)> {
-        self.slots
-            .iter()
-            .enumerate()
-            .filter_map(|(i, s)| s.as_ref().map(|c| (i as CliqueId, c)))
+        self.slots.iter().enumerate().filter_map(|(i, s)| s.as_ref().map(|c| (i as CliqueId, c)))
     }
 
     /// Adds a clique; all members must currently be free.

@@ -55,12 +55,8 @@ impl GraphBuilder {
     /// Finalises into a [`CsrGraph`]. The node count is
     /// `max(min_nodes, 1 + max node id seen)`.
     pub fn build(self) -> Result<CsrGraph, GraphError> {
-        let n_from_edges = self
-            .edges
-            .iter()
-            .map(|&(a, b)| a.max(b) as usize + 1)
-            .max()
-            .unwrap_or(0);
+        let n_from_edges =
+            self.edges.iter().map(|&(a, b)| a.max(b) as usize + 1).max().unwrap_or(0);
         let n = self.min_nodes.max(n_from_edges);
         CsrGraph::from_edges(n, self.edges)
     }

@@ -24,12 +24,7 @@ impl Components {
 
     /// Id of the largest component (0 for the empty graph).
     pub fn largest(&self) -> u32 {
-        self.size
-            .iter()
-            .enumerate()
-            .max_by_key(|&(_, s)| s)
-            .map(|(i, _)| i as u32)
-            .unwrap_or(0)
+        self.size.iter().enumerate().max_by_key(|&(_, s)| s).map(|(i, _)| i as u32).unwrap_or(0)
     }
 
     /// True when `u` and `v` are connected.
@@ -39,9 +34,7 @@ impl Components {
 
     /// Nodes of component `c`, ascending.
     pub fn members(&self, c: u32) -> Vec<NodeId> {
-        (0..self.label.len() as NodeId)
-            .filter(|&u| self.label[u as usize] == c)
-            .collect()
+        (0..self.label.len() as NodeId).filter(|&u| self.label[u as usize] == c).collect()
     }
 }
 
@@ -79,8 +72,8 @@ mod tests {
 
     #[test]
     fn labels_two_triangles_separately() {
-        let g = CsrGraph::from_edges(6, vec![(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)])
-            .unwrap();
+        let g =
+            CsrGraph::from_edges(6, vec![(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)]).unwrap();
         let c = connected_components(&g);
         assert_eq!(c.count(), 2);
         assert!(c.connected(0, 2));

@@ -118,11 +118,7 @@ impl CsrGraph {
     /// Iterates every undirected edge exactly once as `(u, v)` with `u < v`.
     pub fn iter_edges(&self) -> impl Iterator<Item = Edge> + '_ {
         (0..self.num_nodes() as NodeId).flat_map(move |u| {
-            self.neighbors(u)
-                .iter()
-                .copied()
-                .filter(move |&v| u < v)
-                .map(move |v| (u, v))
+            self.neighbors(u).iter().copied().filter(move |&v| u < v).map(move |v| (u, v))
         })
     }
 
@@ -251,8 +247,7 @@ mod tests {
     #[test]
     fn neighbors_always_sorted() {
         // Insert edges in scrambled order; the per-node lists must be sorted.
-        let g =
-            CsrGraph::from_edges(6, vec![(5, 0), (3, 0), (0, 4), (0, 1), (2, 0)]).unwrap();
+        let g = CsrGraph::from_edges(6, vec![(5, 0), (3, 0), (0, 4), (0, 1), (2, 0)]).unwrap();
         assert_eq!(g.neighbors(0), &[1, 2, 3, 4, 5]);
     }
 }

@@ -117,9 +117,7 @@ mod tests {
         // (ids 5, 6, 7, 8) have at least two out-neighbours.
         let g = paper_fig2_graph();
         let dag = Dag::from_graph(&g, NodeOrder::compute(&g, OrderingKind::Identity));
-        let with_two: Vec<NodeId> = (0..9)
-            .filter(|&u| dag.out_degree(u) >= 2)
-            .collect();
+        let with_two: Vec<NodeId> = (0..9).filter(|&u| dag.out_degree(u) >= 2).collect();
         assert_eq!(with_two, vec![5, 6, 7, 8]);
         // v6's out-neighbours are v1, v3, v5 (ids 0, 2, 4).
         assert_eq!(dag.out_neighbors(5), &[0, 2, 4]);

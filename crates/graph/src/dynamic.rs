@@ -22,9 +22,7 @@ impl DynGraph {
 
     /// Clones a static [`CsrGraph`] into a mutable graph.
     pub fn from_csr(g: &CsrGraph) -> Self {
-        let adj = (0..g.num_nodes() as NodeId)
-            .map(|u| g.neighbors(u).to_vec())
-            .collect();
+        let adj = (0..g.num_nodes() as NodeId).map(|u| g.neighbors(u).to_vec()).collect();
         DynGraph { adj, num_edges: g.num_edges() }
     }
 
@@ -106,9 +104,8 @@ impl DynGraph {
             Err(_) => false,
             Ok(pos_u) => {
                 self.adj[u as usize].remove(pos_u);
-                let pos_v = self.adj[v as usize]
-                    .binary_search(&u)
-                    .expect("adjacency vectors out of sync");
+                let pos_v =
+                    self.adj[v as usize].binary_search(&u).expect("adjacency vectors out of sync");
                 self.adj[v as usize].remove(pos_v);
                 self.num_edges -= 1;
                 true
@@ -191,8 +188,7 @@ mod tests {
 
     #[test]
     fn csr_roundtrip_preserves_structure() {
-        let csr = CsrGraph::from_edges(5, vec![(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)])
-            .unwrap();
+        let csr = CsrGraph::from_edges(5, vec![(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)]).unwrap();
         let dyn_g = DynGraph::from_csr(&csr);
         assert_eq!(dyn_g.num_edges(), 5);
         let back = dyn_g.to_csr();

@@ -47,7 +47,11 @@ pub fn read_edge_list_from<R: Read>(reader: R) -> Result<LoadedGraph, GraphError
         }
         line_no += 1;
         let line = line_buf.trim();
-        if line.is_empty() || line.starts_with('%') || line.starts_with('#') || line.starts_with("//") {
+        if line.is_empty()
+            || line.starts_with('%')
+            || line.starts_with('#')
+            || line.starts_with("//")
+        {
             continue;
         }
         let mut tokens = line.split_whitespace();
@@ -96,14 +100,10 @@ pub fn write_edge_list_path<P: AsRef<Path>>(g: &CsrGraph, path: P) -> Result<(),
 }
 
 fn parse_token(tok: Option<&str>, line: usize) -> Result<u64, GraphError> {
-    let tok = tok.ok_or_else(|| GraphError::Parse {
-        line,
-        message: "expected two node tokens".into(),
-    })?;
-    tok.parse::<u64>().map_err(|_| GraphError::Parse {
-        line,
-        message: format!("invalid node id {tok:?}"),
-    })
+    let tok =
+        tok.ok_or_else(|| GraphError::Parse { line, message: "expected two node tokens".into() })?;
+    tok.parse::<u64>()
+        .map_err(|_| GraphError::Parse { line, message: format!("invalid node id {tok:?}") })
 }
 
 fn intern(label: u64, remap: &mut HashMap<u64, NodeId>, labels: &mut Vec<u64>) -> NodeId {

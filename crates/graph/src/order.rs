@@ -272,11 +272,7 @@ mod tests {
         let o = NodeOrder::compute(&g, OrderingKind::Degeneracy);
         let (_, degen) = degeneracy_removal_order(&g);
         for u in 0..g.num_nodes() as NodeId {
-            let out = g
-                .neighbors(u)
-                .iter()
-                .filter(|&&v| o.rank(v) < o.rank(u))
-                .count();
+            let out = g.neighbors(u).iter().filter(|&&v| o.rank(v) < o.rank(u)).count();
             assert!(out <= degen, "node {u} has out-degree {out} > degeneracy {degen}");
         }
     }
@@ -350,8 +346,7 @@ mod tests {
 
     #[test]
     fn star_graph_degeneracy_is_one() {
-        let g =
-            CsrGraph::from_edges(5, vec![(0, 1), (0, 2), (0, 3), (0, 4)]).unwrap();
+        let g = CsrGraph::from_edges(5, vec![(0, 1), (0, 2), (0, 3), (0, 4)]).unwrap();
         let (order, d) = degeneracy_removal_order(&g);
         assert_eq!(d, 1);
         // The hub can only be removed once its remaining degree is <= 1,

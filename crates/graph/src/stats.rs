@@ -49,8 +49,8 @@ mod tests {
 
     #[test]
     fn stats_of_k4() {
-        let g = CsrGraph::from_edges(4, vec![(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)])
-            .unwrap();
+        let g =
+            CsrGraph::from_edges(4, vec![(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]).unwrap();
         let s = GraphStats::of(&g);
         assert_eq!(s.num_nodes, 4);
         assert_eq!(s.num_edges, 6);

@@ -17,8 +17,8 @@ impl InducedSubgraph {
     pub fn of_csr(g: &CsrGraph, nodes: &[NodeId]) -> Self {
         let global = normalize(nodes);
         let edges = induced_edges(&global, |u| g.neighbors(u));
-        let graph = CsrGraph::from_edges(global.len(), edges)
-            .expect("local ids are dense by construction");
+        let graph =
+            CsrGraph::from_edges(global.len(), edges).expect("local ids are dense by construction");
         InducedSubgraph { graph, global }
     }
 
@@ -26,8 +26,8 @@ impl InducedSubgraph {
     pub fn of_dyn(g: &DynGraph, nodes: &[NodeId]) -> Self {
         let global = normalize(nodes);
         let edges = induced_edges(&global, |u| g.neighbors(u));
-        let graph = CsrGraph::from_edges(global.len(), edges)
-            .expect("local ids are dense by construction");
+        let graph =
+            CsrGraph::from_edges(global.len(), edges).expect("local ids are dense by construction");
         InducedSubgraph { graph, global }
     }
 
@@ -98,8 +98,7 @@ mod tests {
 
     fn sample() -> CsrGraph {
         // Two triangles sharing node 2: {0,1,2} and {2,3,4}; plus isolated 5.
-        CsrGraph::from_edges(6, vec![(0, 1), (0, 2), (1, 2), (2, 3), (2, 4), (3, 4)])
-            .unwrap()
+        CsrGraph::from_edges(6, vec![(0, 1), (0, 2), (1, 2), (2, 3), (2, 4), (3, 4)]).unwrap()
     }
 
     #[test]

@@ -291,12 +291,8 @@ mod tests {
             if blocked[v as usize] {
                 return skip;
             }
-            let newly: Vec<u32> = g
-                .neighbors(v)
-                .iter()
-                .copied()
-                .filter(|&w| w > v && !blocked[w as usize])
-                .collect();
+            let newly: Vec<u32> =
+                g.neighbors(v).iter().copied().filter(|&w| w > v && !blocked[w as usize]).collect();
             for &w in &newly {
                 blocked[w as usize] = true;
             }
@@ -393,8 +389,8 @@ mod tests {
             }
         }
         let g = AdjGraph::from_edges(21, &edges);
-        let r = ExactMis::with_budget(MisBudget { time_limit: None, node_limit: Some(2) })
-            .solve(&g);
+        let r =
+            ExactMis::with_budget(MisBudget { time_limit: None, node_limit: Some(2) }).solve(&g);
         assert!(!r.optimal, "tiny node budget must abort");
         assert!(verify_independent(&g, &r.set));
         assert!(r.search_nodes >= 2);

@@ -27,10 +27,7 @@ pub fn local_search_mis(g: &AdjGraph) -> Vec<u32> {
             }
         }
     }
-    let flip = |v: u32,
-                enter: bool,
-                in_set: &mut Vec<bool>,
-                blockers: &mut Vec<u32>| {
+    let flip = |v: u32, enter: bool, in_set: &mut Vec<bool>, blockers: &mut Vec<u32>| {
         in_set[v as usize] = enter;
         for &w in g.neighbors(v) {
             if enter {
@@ -85,8 +82,7 @@ pub fn local_search_mis(g: &AdjGraph) -> Vec<u32> {
             flip(u, true, &mut in_set, &mut blockers);
         }
     }
-    let mut out: Vec<u32> =
-        (0..n as u32).filter(|&u| in_set[u as usize]).collect();
+    let mut out: Vec<u32> = (0..n as u32).filter(|&u| in_set[u as usize]).collect();
     out.sort_unstable();
     out
 }
@@ -135,10 +131,7 @@ mod tests {
 
     #[test]
     fn result_is_maximal() {
-        let g = AdjGraph::from_edges(
-            7,
-            &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 0)],
-        );
+        let g = AdjGraph::from_edges(7, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 0)]);
         let s = local_search_mis(&g);
         assert!(verify_independent(&g, &s));
         let member = |u: u32| s.binary_search(&u).is_ok();

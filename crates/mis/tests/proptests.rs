@@ -19,12 +19,8 @@ fn brute_force_mis(g: &AdjGraph) -> usize {
         if blocked[v as usize] {
             return skip;
         }
-        let newly: Vec<u32> = g
-            .neighbors(v)
-            .iter()
-            .copied()
-            .filter(|&w| w > v && !blocked[w as usize])
-            .collect();
+        let newly: Vec<u32> =
+            g.neighbors(v).iter().copied().filter(|&w| w > v && !blocked[w as usize]).collect();
         for &w in &newly {
             blocked[w as usize] = true;
         }

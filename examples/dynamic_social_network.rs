@@ -22,7 +22,10 @@ fn main() {
     // A mixed day: 1% of edges churn — half deletions, half insertions.
     let churn_each = g.num_edges() / 200;
     let (start_graph, updates) = paper_mixed_workload(&g, churn_each, 99);
-    println!("workload: {} updates ({churn_each} insertions + {churn_each} deletions)", updates.len());
+    println!(
+        "workload: {} updates ({churn_each} insertions + {churn_each} deletions)",
+        updates.len()
+    );
 
     // --- Bootstrap.
     let t0 = Instant::now();

@@ -45,12 +45,7 @@ fn main() {
         let s = solver.solve(&g, k).expect("Fig. 2 is tiny; nothing can fail");
         s.verify(&g).expect("every solver returns a valid disjoint set");
         s.verify_maximal(&g).expect("…and a maximal one");
-        println!(
-            "{:>4}: |S| = {}  cliques = {:?}",
-            solver.name(),
-            s.len(),
-            s.sorted_cliques()
-        );
+        println!("{:>4}: |S| = {}  cliques = {:?}", solver.name(), s.len(), s.sorted_cliques());
         if solver.name() == "OPT" {
             opt_size = s.len();
         }

@@ -26,8 +26,8 @@ fn count_compatible_pairs(g: &CsrGraph, room: &[NodeId]) -> usize {
 
 fn main() {
     let k = 4; // 4 beds per room
-    // 150 friend circles of 8 students, 15% of friendships rewired across
-    // circles — a preference graph with plenty of 4-cliques but no free lunch.
+               // 150 friend circles of 8 students, 15% of friendships rewired across
+               // circles — a preference graph with plenty of 4-cliques but no free lunch.
     let g = relaxed_caveman(150, 8, 0.15, 2024);
     let n = g.num_nodes();
     println!("preference graph: {}", GraphStats::of(&g));

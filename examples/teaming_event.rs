@@ -110,7 +110,14 @@ fn main() {
 
     let clique_rate = clique_conv_sum / clique_players as f64;
     let random_rate = random_conv_sum / random_players as f64;
-    println!("\nexpected conversion: clique teams {:.1}% vs random teams {:.1}%", clique_rate * 100.0, random_rate * 100.0);
-    println!("lift from disjoint k-clique teaming: {:.1}%", 100.0 * (clique_rate - random_rate) / random_rate);
+    println!(
+        "\nexpected conversion: clique teams {:.1}% vs random teams {:.1}%",
+        clique_rate * 100.0,
+        random_rate * 100.0
+    );
+    println!(
+        "lift from disjoint k-clique teaming: {:.1}%",
+        100.0 * (clique_rate - random_rate) / random_rate
+    );
     assert!(clique_rate > random_rate, "clique teaming must beat random assignment");
 }

@@ -92,10 +92,7 @@ fn cmd_stats(args: &Args) {
     for k in 3..=args.kmax {
         let t = Instant::now();
         let count = count_kcliques_parallel(&dag, k, threads);
-        println!(
-            "{k}-cliques: {count} ({:.1} ms)",
-            t.elapsed().as_secs_f64() * 1e3
-        );
+        println!("{k}-cliques: {count} ({:.1} ms)", t.elapsed().as_secs_f64() * 1e3);
     }
 }
 

@@ -58,7 +58,7 @@ pub use dkc_mis as mis;
 pub mod prelude {
     pub use dkc_clique::{Clique, MAX_K};
     pub use dkc_core::{
-        partition_all, GcSolver, HgSolver, LightweightSolver, OptSolver, SolveError, Solution,
+        partition_all, GcSolver, HgSolver, LightweightSolver, OptSolver, Solution, SolveError,
         Solver,
     };
     pub use dkc_dynamic::DynamicSolver;

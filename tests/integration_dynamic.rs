@@ -54,9 +54,7 @@ fn mixed_workload_matches_scratch_quality_closely() {
         }
     }
     solver.validate().unwrap();
-    let scratch = LightweightSolver::lp()
-        .solve(&solver.graph().to_csr(), k)
-        .unwrap();
+    let scratch = LightweightSolver::lp().solve(&solver.graph().to_csr(), k).unwrap();
     let delta = solver.len() as i64 - scratch.len() as i64;
     // Table VIII's observation: the maintained S stays within a small band
     // of a rebuild (sometimes above it, thanks to local swaps).
@@ -77,11 +75,7 @@ fn insertions_only_grow_or_preserve_s() {
     let mut last = solver.len();
     for (a, b) in sample_non_edges(&g, 150, 37) {
         solver.insert_edge(a, b);
-        assert!(
-            solver.len() >= last,
-            "an insertion shrank |S| from {last} to {}",
-            solver.len()
-        );
+        assert!(solver.len() >= last, "an insertion shrank |S| from {last} to {}", solver.len());
         last = solver.len();
     }
     solver.validate().unwrap();
@@ -126,9 +120,7 @@ fn heavy_churn_on_k4() {
         solver.insert_edge(inss[i].0, inss[i].1);
     }
     solver.validate().unwrap();
-    let scratch = LightweightSolver::lp()
-        .solve(&solver.graph().to_csr(), k)
-        .unwrap();
+    let scratch = LightweightSolver::lp().solve(&solver.graph().to_csr(), k).unwrap();
     assert!(
         disjoint_kcliques::core::approx_guarantee_holds(
             // scratch is itself maximal, not optimal; use it as a floor probe

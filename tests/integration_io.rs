@@ -22,12 +22,7 @@ fn file_roundtrip_preserves_solver_results() {
     let a = LightweightSolver::lp().solve(&g, 3).unwrap();
     let b = LightweightSolver::lp().solve(&loaded.graph, 3).unwrap();
     let band = (a.len() / 20).max(2);
-    assert!(
-        a.len().abs_diff(b.len()) <= band,
-        "sizes diverged: {} vs {}",
-        a.len(),
-        b.len()
-    );
+    assert!(a.len().abs_diff(b.len()) <= band, "sizes diverged: {} vs {}", a.len(), b.len());
     b.verify(&loaded.graph).unwrap();
     b.verify_maximal(&loaded.graph).unwrap();
 }

@@ -31,12 +31,10 @@ fn every_solver_is_valid_and_maximal_on_generated_graphs() {
     for (name, g) in &graphs {
         for k in 3..=4 {
             for solver in all_heuristics() {
-                let s = solver
-                    .solve(g, k)
-                    .unwrap_or_else(|e| panic!("{name}/{}: {e}", solver.name()));
+                let s =
+                    solver.solve(g, k).unwrap_or_else(|e| panic!("{name}/{}: {e}", solver.name()));
                 s.verify(g).unwrap_or_else(|e| panic!("{name}/{}: {e}", solver.name()));
-                s.verify_maximal(g)
-                    .unwrap_or_else(|e| panic!("{name}/{}: {e}", solver.name()));
+                s.verify_maximal(g).unwrap_or_else(|e| panic!("{name}/{}: {e}", solver.name()));
             }
         }
     }

@@ -1,0 +1,97 @@
+//! End-to-end parity check: every solver in the toolkit — the four
+//! heuristics (HG, GC, L, LP), the exact baseline (OPT), and the greedy
+//! clique-graph baseline — runs on the same graphs, produces a valid and
+//! maximal solution, and never does worse than the HG baseline (each is
+//! either a refinement of HG's greedy framework or an exact search).
+
+use disjoint_kcliques::core::{GcSolver, GreedyCliqueGraphSolver, OptSolver};
+use disjoint_kcliques::datagen::registry::social_standin;
+use disjoint_kcliques::prelude::*;
+
+fn all_solvers() -> Vec<Box<dyn Solver>> {
+    vec![
+        Box::new(HgSolver::default()),
+        Box::new(GcSolver::new()),
+        Box::new(LightweightSolver::l()),
+        Box::new(LightweightSolver::lp()),
+        Box::new(OptSolver::new()),
+        Box::new(GreedyCliqueGraphSolver::default()),
+    ]
+}
+
+fn check_parity_on(g: &CsrGraph, k: usize) {
+    let baseline = HgSolver::default().solve(g, k).expect("HG must solve");
+    baseline.verify(g).expect("HG solution invalid");
+
+    for solver in all_solvers() {
+        let s = solver.solve(g, k).unwrap_or_else(|e| panic!("{} failed: {e}", solver.name()));
+        s.verify(g)
+            .unwrap_or_else(|e| panic!("{} produced an invalid solution: {e}", solver.name()));
+        s.verify_maximal(g)
+            .unwrap_or_else(|e| panic!("{} produced a non-maximal solution: {e}", solver.name()));
+        assert_eq!(s.k(), k, "{} reported wrong k", solver.name());
+        assert!(
+            s.len() >= baseline.len(),
+            "{} found {} cliques, worse than HG's {} (k = {k})",
+            solver.name(),
+            s.len(),
+            baseline.len()
+        );
+    }
+}
+
+#[test]
+fn every_solver_matches_or_beats_hg_on_a_social_standin() {
+    // Small enough that OPT's unbudgeted exact MIS search stays fast.
+    let g = social_standin(26, 95, 11);
+    for k in [3, 4] {
+        check_parity_on(&g, k);
+    }
+}
+
+#[test]
+fn every_solver_matches_or_beats_hg_on_the_paper_example() {
+    // Three bridged triangles — the graph from the crate-level doc example:
+    // the unique optimum is all three triangles.
+    let g = CsrGraph::from_edges(
+        9,
+        vec![
+            (0, 1),
+            (1, 2),
+            (0, 2),
+            (3, 4),
+            (4, 5),
+            (3, 5),
+            (6, 7),
+            (7, 8),
+            (6, 8),
+            (2, 3),
+            (5, 6),
+        ],
+    )
+    .unwrap();
+    check_parity_on(&g, 3);
+    for solver in all_solvers() {
+        let s = solver.solve(&g, 3).unwrap();
+        assert_eq!(s.len(), 3, "{} must find all three triangles", solver.name());
+    }
+}
+
+#[test]
+fn every_solver_handles_degenerate_graphs() {
+    // No edges at all: every solver must return a valid empty solution.
+    let empty = CsrGraph::from_edges(6, vec![]).unwrap();
+    // A single k-clique exactly.
+    let lone = CsrGraph::from_edges(4, vec![(0, 1), (0, 2), (1, 2)]).unwrap();
+    for solver in all_solvers() {
+        let s = solver.solve(&empty, 3).unwrap();
+        assert_eq!(s.len(), 0, "{} on the empty graph", solver.name());
+        s.verify(&empty).unwrap();
+        s.verify_maximal(&empty).unwrap();
+
+        let s = solver.solve(&lone, 3).unwrap();
+        assert_eq!(s.len(), 1, "{} on a lone triangle", solver.name());
+        s.verify(&lone).unwrap();
+        s.verify_maximal(&lone).unwrap();
+    }
+}

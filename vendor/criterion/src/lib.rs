@@ -1,0 +1,385 @@
+//! A vendored, dependency-free stand-in for the crates.io [`criterion`]
+//! benchmarking crate (API subset used by this workspace's benches).
+//!
+//! It implements a plain wall-clock harness: per benchmark it warms up,
+//! then takes `sample_size` samples within roughly `measurement_time` and
+//! prints the mean/min/max per-iteration time. No HTML reports, no
+//! statistics beyond that — but the `cargo bench` entry points, group
+//! configuration chains, [`Bencher::iter`] / [`Bencher::iter_batched`],
+//! and [`criterion_group!`] / [`criterion_main!`] all behave, so benches
+//! compile and run unchanged against the real crate.
+//!
+//! [`criterion`]: https://crates.io/crates/criterion
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// The top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Applies CLI arguments. Recognises a positional `<filter>` substring
+    /// (as `cargo bench -- <filter>`); harness flags like `--bench` are
+    /// ignored.
+    #[must_use]
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1).peekable();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--bench" | "--test" | "--profile-time" => {
+                    // `--profile-time` consumes a value; the bool flags do not.
+                    if arg == "--profile-time" {
+                        args.next();
+                    }
+                }
+                s if s.starts_with("--") => {
+                    // Unknown criterion option: skip a following value.
+                    if args.peek().is_some_and(|v| !v.starts_with("--")) {
+                        args.next();
+                    }
+                }
+                s => self.filter = Some(s.to_string()),
+            }
+        }
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 100,
+            warm_up_time: Duration::from_secs(3),
+            measurement_time: Duration::from_secs(5),
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut group = self.benchmark_group(String::new());
+        group.bench_function(id, f);
+        group.finish();
+        self
+    }
+
+    fn matches(&self, full_name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| full_name.contains(f))
+    }
+}
+
+/// A named benchmark within a group: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter rendered via [`Display`].
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        Self { function: function.into(), parameter: Some(parameter.to_string()) }
+    }
+
+    /// An id carrying only a parameter (the group supplies the name).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self { function: String::new(), parameter: Some(parameter.to_string()) }
+    }
+
+    fn render(&self, group: &str) -> String {
+        let mut parts: Vec<&str> = Vec::new();
+        if !group.is_empty() {
+            parts.push(group);
+        }
+        if !self.function.is_empty() {
+            parts.push(&self.function);
+        }
+        if let Some(p) = &self.parameter {
+            parts.push(p);
+        }
+        parts.join("/")
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(function: &str) -> Self {
+        Self { function: function.to_string(), parameter: None }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(function: String) -> Self {
+        Self { function, parameter: None }
+    }
+}
+
+/// How [`Bencher::iter_batched`] amortises setup cost. All variants behave
+/// identically here (one setup per measured invocation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+    /// A fixed number of batches.
+    NumBatches(u64),
+    /// A fixed number of iterations per batch.
+    NumIterations(u64),
+}
+
+/// A group of benchmarks sharing a name prefix and timing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl std::fmt::Debug for BenchmarkGroup<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BenchmarkGroup").field("name", &self.name).finish()
+    }
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of measured samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 1, "sample_size must be >= 1");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets how long to warm up before measuring.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the measurement-time target for all samples together.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Benchmarks `f`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = id.into().render(&self.name);
+        if self.criterion.matches(&full) {
+            let mut b = Bencher {
+                warm_up_time: self.warm_up_time,
+                measurement_time: self.measurement_time,
+                sample_size: self.sample_size,
+                samples: Vec::new(),
+            };
+            f(&mut b);
+            b.report(&full);
+        }
+        self
+    }
+
+    /// Benchmarks `f` against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group. (Dropping without calling this is also fine.)
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; runs and times the measured routine.
+#[derive(Debug)]
+pub struct Bencher {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+    /// Mean per-iteration time of each sample.
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `routine`, called back-to-back in timed batches.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warm-up: run until the warm-up budget is spent, counting
+        // iterations to size the measured batches.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up_time || warm_iters == 0 {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        let budget = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+        let batch = ((budget / per_iter.max(1e-9)) as u64).clamp(1, 1_000_000);
+
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed().as_secs_f64() / batch as f64);
+        }
+    }
+
+    /// Times `routine` on fresh values from `setup`; only `routine` is
+    /// on the clock.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let warm_start = Instant::now();
+        let mut warm_time = Duration::ZERO;
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up_time || warm_iters == 0 {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            warm_time += t.elapsed();
+            warm_iters += 1;
+        }
+        let per_iter = (warm_time.as_secs_f64() / warm_iters as f64).max(1e-9);
+        let budget = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+        let batch = ((budget / per_iter) as u64).clamp(1, 100_000);
+
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let mut elapsed = Duration::ZERO;
+            for _ in 0..batch {
+                let input = setup();
+                let t = Instant::now();
+                black_box(routine(input));
+                elapsed += t.elapsed();
+            }
+            self.samples.push(elapsed.as_secs_f64() / batch as f64);
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.samples.is_empty() {
+            println!("{name:<40} (no samples)");
+            return;
+        }
+        let mean = self.samples.iter().sum::<f64>() / self.samples.len() as f64;
+        let min = self.samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = self.samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        println!(
+            "{name:<40} time: [{} {} {}]",
+            format_time(min),
+            format_time(mean),
+            format_time(max)
+        );
+    }
+}
+
+fn format_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.4} s")
+    } else if secs >= 1e-3 {
+        format!("{:.4} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.4} µs", secs * 1e6)
+    } else {
+        format!("{:.4} ns", secs * 1e9)
+    }
+}
+
+/// Declares a benchmark group runner: `criterion_group!(name, target, …)`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench `main` from one or more group runners.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_render_with_group_function_and_parameter() {
+        let id = BenchmarkId::new("HG", 3);
+        assert_eq!(id.render("solvers"), "solvers/HG/3");
+        let id: BenchmarkId = "plain".into();
+        assert_eq!(id.render(""), "plain");
+        assert_eq!(BenchmarkId::from_parameter(7).render("g"), "g/7");
+    }
+
+    #[test]
+    fn bencher_measures_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("unit");
+        group
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(2));
+        let mut ran = false;
+        group.bench_function("noop", |b| {
+            ran = true;
+            b.iter(|| 1 + 1);
+        });
+        group.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn iter_batched_consumes_fresh_inputs() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("unit");
+        group
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(2));
+        group.bench_with_input(BenchmarkId::new("sum", 4), &4u64, |b, &n| {
+            b.iter_batched(|| vec![n; 8], |v| v.iter().sum::<u64>(), BatchSize::LargeInput)
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn filter_skips_non_matching_benchmarks() {
+        let mut c = Criterion { filter: Some("nomatch".into()) };
+        let mut group = c.benchmark_group("unit");
+        let mut ran = false;
+        group.bench_function("other", |_b| ran = true);
+        group.finish();
+        assert!(!ran);
+    }
+}

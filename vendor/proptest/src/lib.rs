@@ -1,0 +1,659 @@
+//! A vendored, dependency-free stand-in for the crates.io [`proptest`]
+//! crate, implementing the API subset this workspace's property tests use:
+//!
+//! - the [`proptest!`] macro (with `#![proptest_config(..)]`, multiple
+//!   `#[test]` functions, `pat in strategy` bindings, and `?` on
+//!   [`test_runner::TestCaseError`])
+//! - [`prop_assert!`] / [`prop_assert_eq!`]
+//! - integer-range, tuple, [`strategy::Just`], and [`arbitrary::any`]
+//!   strategies with `prop_map` / `prop_flat_map`
+//! - [`collection::vec`] and [`collection::btree_set`]
+//!
+//! Differences from the real crate: cases are generated from a fixed
+//! deterministic seed (override with `PROPTEST_SEED=<u64>`), and failing
+//! cases are reported with their seed/case number but are **not shrunk**.
+//! That trade keeps the vendored implementation small while preserving the
+//! reproducibility CI needs.
+//!
+//! [`proptest`]: https://crates.io/crates/proptest
+
+pub mod strategy {
+    //! The [`Strategy`] trait and its combinators.
+
+    use crate::test_runner::TestRng;
+
+    /// A recipe for producing random values of one type.
+    ///
+    /// Unlike real proptest there is no intermediate `ValueTree`; a
+    /// strategy directly yields values (no shrinking).
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+
+        /// Draws one value.
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps produced values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Produces a value, then draws from the strategy `f` builds from
+        /// it — the way to make one strategy's distribution depend on
+        /// another's output.
+        fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { inner: self, f }
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn new_value(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.new_value(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    #[derive(Debug, Clone)]
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, T, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        T: Strategy,
+        F: Fn(S::Value) -> T,
+    {
+        type Value = T::Value;
+
+        fn new_value(&self, rng: &mut TestRng) -> T::Value {
+            (self.f)(self.inner.new_value(rng)).new_value(rng)
+        }
+    }
+
+    /// Always produces a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn new_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+
+        fn new_value(&self, rng: &mut TestRng) -> S::Value {
+            (**self).new_value(rng)
+        }
+    }
+
+    macro_rules! impl_strategy_for_range {
+        ($($t:ty),* $(,)?) => {$(
+            impl Strategy for ::std::ops::Range<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for ::std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_strategy_for_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_strategy_for_tuple {
+        ($($s:ident . $idx:tt),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.new_value(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_strategy_for_tuple!(A.0);
+    impl_strategy_for_tuple!(A.0, B.1);
+    impl_strategy_for_tuple!(A.0, B.1, C.2);
+    impl_strategy_for_tuple!(A.0, B.1, C.2, D.3);
+    impl_strategy_for_tuple!(A.0, B.1, C.2, D.3, E.4);
+    impl_strategy_for_tuple!(A.0, B.1, C.2, D.3, E.4, F.5);
+}
+
+pub mod arbitrary {
+    //! `any::<T>()`: the canonical strategy for a type.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws one value from the full domain.
+        fn arbitrary_value(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary_value(rng: &mut TestRng) -> Self {
+            rng.gen_bool()
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),* $(,)?) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary_value(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// Strategy returned by [`any`].
+    pub struct Any<T>(PhantomData<fn() -> T>);
+
+    impl<T> std::fmt::Debug for Any<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("Any")
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            T::arbitrary_value(rng)
+        }
+    }
+
+    /// The canonical strategy for `T` (`any::<bool>()`, `any::<u32>()`, …).
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::collections::BTreeSet;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A target size band for generated collections.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        /// Inclusive lower bound.
+        pub min: usize,
+        /// Inclusive upper bound.
+        pub max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { min: n, max: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            Self { min: r.start, max: r.end - 1 }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            let (min, max) = r.into_inner();
+            assert!(min <= max, "empty size range");
+            Self { min, max }
+        }
+    }
+
+    impl SizeRange {
+        fn sample(&self, rng: &mut TestRng) -> usize {
+            rng.gen_range(self.min..=self.max)
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+            let len = self.size.sample(rng);
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+
+    /// `proptest::collection::vec`: a vector whose elements come from
+    /// `element` and whose length falls in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    /// Strategy for `BTreeSet<S::Value>`.
+    #[derive(Debug, Clone)]
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+            let target = self.size.sample(rng);
+            let mut out = BTreeSet::new();
+            // The element domain may be smaller than `target`; bail out
+            // after a bounded number of duplicate draws.
+            let mut misses = 0usize;
+            while out.len() < target && misses < 100 + 10 * target {
+                if !out.insert(self.element.new_value(rng)) {
+                    misses += 1;
+                }
+            }
+            out
+        }
+    }
+
+    /// `proptest::collection::btree_set`: a set whose elements come from
+    /// `element`, aiming for a size in `size` (smaller only when the
+    /// element domain is exhausted).
+    pub fn btree_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S> {
+        BTreeSetStrategy { element, size: size.into() }
+    }
+}
+
+pub mod test_runner {
+    //! Config, errors, and the deterministic RNG behind the macro.
+
+    use rand::rngs::SmallRng;
+    use rand::{Rng as _, RngCore as _, SeedableRng as _};
+
+    /// Run-time knobs for a `proptest!` block.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per test.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases (the usual constructor).
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    /// Why a single case failed.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub enum TestCaseError {
+        /// The property does not hold.
+        Fail(String),
+        /// The inputs were rejected (unused here, kept for API parity).
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// A failure with the given message.
+        pub fn fail(reason: impl Into<String>) -> Self {
+            TestCaseError::Fail(reason.into())
+        }
+
+        /// A rejection with the given message.
+        pub fn reject(reason: impl Into<String>) -> Self {
+            TestCaseError::Reject(reason.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TestCaseError::Fail(r) => write!(f, "{r}"),
+                TestCaseError::Reject(r) => write!(f, "input rejected: {r}"),
+            }
+        }
+    }
+
+    /// `Ok` or a case-level error; what a test body evaluates to.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// The deterministic generator strategies draw from.
+    #[derive(Debug, Clone)]
+    pub struct TestRng(SmallRng);
+
+    impl TestRng {
+        /// RNG for case `case` of the test named `name` under `seed`.
+        pub fn for_case(seed: u64, name: &str, case: u32) -> Self {
+            let mut h = seed ^ 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            Self(SmallRng::seed_from_u64(h.wrapping_add(case as u64)))
+        }
+
+        /// Uniform draw from an integer or float range.
+        pub fn gen_range<T, R>(&mut self, range: R) -> T
+        where
+            R: rand::distributions::uniform::SampleRange<T>,
+        {
+            self.0.gen_range(range)
+        }
+
+        /// Fair coin.
+        pub fn gen_bool(&mut self) -> bool {
+            self.0.gen_bool(0.5)
+        }
+
+        /// Next 64 raw bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+    }
+
+    /// The seed for this process: `PROPTEST_SEED` env var or a fixed
+    /// default, so failures always print a way to reproduce.
+    pub fn resolve_seed() -> u64 {
+        match std::env::var("PROPTEST_SEED") {
+            Ok(s) => s.parse().unwrap_or_else(|_| panic!("PROPTEST_SEED must be a u64, got {s:?}")),
+            Err(_) => 0x1CDE_2025,
+        }
+    }
+
+    /// Runs one test-case body, converting any panic it raises into a
+    /// [`TestCaseError::Fail`] so the macro's failure arm can attach the
+    /// seed/case repro context — `.unwrap()` on library calls inside a
+    /// property must be as reproducible as a `prop_assert!`.
+    pub fn run_case(body: impl FnOnce() -> TestCaseResult) -> TestCaseResult {
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(body)) {
+            Ok(outcome) => outcome,
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+                    .unwrap_or_else(|| "non-string panic payload".to_string());
+                Err(TestCaseError::fail(format!("test body panicked: {msg}")))
+            }
+        }
+    }
+
+    /// The case count for a test: `PROPTEST_CASES` env var (a global
+    /// override, e.g. for a deeper CI run) or the config's value.
+    pub fn resolve_cases(config: &ProptestConfig) -> u32 {
+        match std::env::var("PROPTEST_CASES") {
+            Ok(s) => {
+                s.parse().unwrap_or_else(|_| panic!("PROPTEST_CASES must be a u32, got {s:?}"))
+            }
+            Err(_) => config.cases,
+        }
+    }
+}
+
+pub mod prelude {
+    //! The glob-import surface: `use proptest::prelude::*;`.
+
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Defines property tests.
+///
+/// ```
+/// use proptest::prelude::*;
+///
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))]
+///
+///     // Under `#[test]` in real code; called directly in this doctest.
+///     fn addition_commutes(a in 0u32..1000, b in 0u32..1000) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// addition_commutes();
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { config = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! {
+            config = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (config = ($cfg:expr);
+     $($(#[$meta:meta])*
+       fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let seed = $crate::test_runner::resolve_seed();
+                let cases = $crate::test_runner::resolve_cases(&config);
+                for case in 0..cases {
+                    let mut __rng = $crate::test_runner::TestRng::for_case(
+                        seed,
+                        stringify!($name),
+                        case,
+                    );
+                    $(
+                        let $pat = $crate::strategy::Strategy::new_value(
+                            &($strat),
+                            &mut __rng,
+                        );
+                    )+
+                    let outcome: $crate::test_runner::TestCaseResult =
+                        $crate::test_runner::run_case(|| {
+                            $body
+                            #[allow(unreachable_code)]
+                            Ok(())
+                        });
+                    match outcome {
+                        Ok(()) => {}
+                        Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                        Err($crate::test_runner::TestCaseError::Fail(reason)) => panic!(
+                            "proptest {} failed at case {case}/{cases} \
+                             (rerun with PROPTEST_SEED={seed}): {reason}",
+                            stringify!($name),
+                        ),
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// `assert!` that fails the current proptest case instead of panicking.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// `assert_eq!` that fails the current proptest case instead of panicking.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`\n{}",
+            left,
+            right,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// `assert_ne!` that fails the current proptest case instead of panicking.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `left != right`\n  both: `{:?}`",
+            left
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `left != right`\n  both: `{:?}`\n{}",
+            left,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    fn rng() -> TestRng {
+        TestRng::for_case(42, "unit", 0)
+    }
+
+    #[test]
+    fn ranges_tuples_and_maps_compose() {
+        let mut r = rng();
+        let strat = (2u32..=10).prop_flat_map(|n| {
+            crate::collection::vec((0..n, 0..n), 0..20usize).prop_map(move |edges| (n, edges))
+        });
+        for _ in 0..200 {
+            let (n, edges) = strat.new_value(&mut r);
+            assert!((2..=10).contains(&n));
+            assert!(edges.len() < 20);
+            for (a, b) in edges {
+                assert!(a < n && b < n);
+            }
+        }
+    }
+
+    #[test]
+    fn btree_set_hits_requested_band() {
+        let mut r = rng();
+        let strat = crate::collection::btree_set(0u32..30, 1..6usize);
+        for _ in 0..100 {
+            let s = strat.new_value(&mut r);
+            assert!((1..=5).contains(&s.len()), "len {}", s.len());
+            assert!(s.iter().all(|&x| x < 30));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_case() {
+        let strat = crate::collection::vec(0u32..1000, 5..10usize);
+        let a = strat.new_value(&mut TestRng::for_case(1, "t", 3));
+        let b = strat.new_value(&mut TestRng::for_case(1, "t", 3));
+        let c = strat.new_value(&mut TestRng::for_case(1, "t", 4));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_smoke(v in crate::collection::vec(0u32..50, 0..8usize), flag in any::<bool>()) {
+            prop_assert!(v.len() < 8);
+            let _ = flag;
+            for x in v {
+                prop_assert!(x < 50, "x = {}", x);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failing_property_panics_with_case_info() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(8))]
+            fn always_fails(x in 0u32..10) {
+                prop_assert!(x > 100, "x = {}", x);
+            }
+        }
+        always_fails();
+    }
+}

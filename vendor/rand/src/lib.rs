@@ -1,0 +1,350 @@
+//! A vendored, dependency-free stand-in for the crates.io [`rand`] crate.
+//!
+//! The workspace builds hermetically (no network at build time), so this
+//! crate re-implements exactly the API subset the workspace consumes:
+//!
+//! - [`Rng::gen_range`] over integer and `f64` ranges
+//! - [`Rng::gen_bool`] and [`Rng::gen`] for a few primitives
+//! - [`rngs::SmallRng`] (xoshiro256++, seeded via SplitMix64) with
+//!   [`SeedableRng::seed_from_u64`]
+//! - [`seq::SliceRandom::shuffle`] / [`seq::SliceRandom::choose`]
+//!
+//! Output streams are deterministic per seed but are NOT bit-compatible
+//! with crates.io `rand`; everything downstream treats the generator as an
+//! opaque deterministic source, which is all the paper reproduction needs.
+//!
+//! [`rand`]: https://crates.io/crates/rand
+
+/// A source of random `u64`s. Mirror of `rand_core::RngCore` (subset).
+pub trait RngCore {
+    /// Returns the next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Deterministic construction from seeds. Mirror of `rand_core::SeedableRng`
+/// (subset).
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// User-facing sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples uniformly from `range` (half-open or inclusive).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: distributions::uniform::SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    /// Panics when `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p = {p} out of range");
+        unit_f64(self.next_u64()) < p
+    }
+
+    /// Samples a value of a primitive type from the full uniform
+    /// distribution (`f64` in `[0, 1)`).
+    fn gen<T: distributions::Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Converts 64 random bits into a uniform `f64` in `[0, 1)`.
+fn unit_f64(bits: u64) -> f64 {
+    // 53 high bits -> [0, 1) with full double precision.
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{RngCore, SeedableRng};
+
+    /// A small, fast, deterministic generator: xoshiro256++ seeded through
+    /// SplitMix64 (the construction the xoshiro authors recommend).
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            Self { s: [next(), next(), next(), next()] }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let out = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            out
+        }
+    }
+}
+
+pub mod distributions {
+    //! Sampling distributions (subset: `Standard` + uniform ranges).
+
+    use super::{unit_f64, RngCore};
+
+    /// Types samplable from their "standard" distribution via
+    /// [`super::Rng::gen`].
+    pub trait Standard: Sized {
+        /// Draws one value.
+        fn sample<R: RngCore>(rng: &mut R) -> Self;
+    }
+
+    impl Standard for bool {
+        fn sample<R: RngCore>(rng: &mut R) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Standard for f64 {
+        fn sample<R: RngCore>(rng: &mut R) -> Self {
+            unit_f64(rng.next_u64())
+        }
+    }
+
+    impl Standard for u32 {
+        fn sample<R: RngCore>(rng: &mut R) -> Self {
+            rng.next_u32()
+        }
+    }
+
+    impl Standard for u64 {
+        fn sample<R: RngCore>(rng: &mut R) -> Self {
+            rng.next_u64()
+        }
+    }
+
+    pub mod uniform {
+        //! Uniform range sampling.
+
+        use crate::{unit_f64, RngCore};
+        use std::ops::{Range, RangeInclusive};
+
+        /// Integer types [`crate::Rng::gen_range`] accepts.
+        pub trait SampleUniform: Copy + PartialOrd {
+            /// Uniform draw from `[low, high]` (both inclusive).
+            fn sample_inclusive<R: RngCore>(rng: &mut R, low: Self, high: Self) -> Self;
+        }
+
+        macro_rules! impl_uniform_int {
+            ($($t:ty => $u:ty),* $(,)?) => {$(
+                impl SampleUniform for $t {
+                    fn sample_inclusive<R: RngCore>(rng: &mut R, low: Self, high: Self) -> Self {
+                        debug_assert!(low <= high);
+                        // Span fits in $u because the domain is at most the
+                        // unsigned range of the same width.
+                        let span = (high as $u).wrapping_sub(low as $u) as u64;
+                        if span == u64::MAX {
+                            return rng.next_u64() as $t;
+                        }
+                        // Multiply-shift bounded sampling (Lemire); a single
+                        // widening multiply keeps bias below 2^-64.
+                        let m = (rng.next_u64() as u128) * ((span + 1) as u128);
+                        low.wrapping_add(((m >> 64) as u64) as $t)
+                    }
+                }
+            )*};
+        }
+
+        impl_uniform_int!(
+            u8 => u8, u16 => u16, u32 => u32, u64 => u64, usize => usize,
+            i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize,
+        );
+
+        /// Range arguments accepted by [`crate::Rng::gen_range`].
+        pub trait SampleRange<T> {
+            /// Draws one value from the range.
+            fn sample_single<R: RngCore>(self, rng: &mut R) -> T;
+        }
+
+        impl<T: SampleUniform + Dec> SampleRange<T> for Range<T> {
+            fn sample_single<R: RngCore>(self, rng: &mut R) -> T {
+                assert!(self.start < self.end, "gen_range: empty range");
+                T::sample_inclusive(rng, self.start, self.end.dec())
+            }
+        }
+
+        impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+            fn sample_single<R: RngCore>(self, rng: &mut R) -> T {
+                let (low, high) = self.into_inner();
+                assert!(low <= high, "gen_range: empty range");
+                T::sample_inclusive(rng, low, high)
+            }
+        }
+
+        impl SampleRange<f64> for Range<f64> {
+            fn sample_single<R: RngCore>(self, rng: &mut R) -> f64 {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let x = self.start + (self.end - self.start) * unit_f64(rng.next_u64());
+                // Floating rounding may land exactly on `end`; clamp back
+                // into the half-open interval.
+                if x >= self.end {
+                    self.start
+                } else {
+                    x
+                }
+            }
+        }
+
+        /// Integer decrement, used to turn half-open ranges inclusive.
+        pub trait Dec {
+            /// `self - 1`.
+            fn dec(self) -> Self;
+        }
+
+        macro_rules! impl_dec {
+            ($($t:ty),*) => {$(
+                impl Dec for $t {
+                    fn dec(self) -> Self { self - 1 }
+                }
+            )*};
+        }
+
+        impl_dec!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+    }
+}
+
+pub mod seq {
+    //! Sequence helpers.
+
+    use super::{Rng, RngCore};
+
+    /// Mirror of `rand::seq::SliceRandom` (subset).
+    pub trait SliceRandom {
+        /// The element type.
+        type Item;
+
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R);
+
+        /// Uniformly random element, `None` on an empty slice.
+        fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::seq::SliceRandom;
+    use super::{rngs::SmallRng, Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    use super::RngCore;
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut r = SmallRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x: u32 = r.gen_range(3..17);
+            assert!((3..17).contains(&x));
+            let y: usize = r.gen_range(0..=5);
+            assert!(y <= 5);
+            let f: f64 = r.gen_range(0.25..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_domain() {
+        let mut r = SmallRng::seed_from_u64(2);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            seen[r.gen_range(0usize..8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all 8 values should appear");
+    }
+
+    #[test]
+    fn gen_bool_extremes_and_rate() {
+        let mut r = SmallRng::seed_from_u64(3);
+        assert!(!(0..1000).any(|_| r.gen_bool(0.0)));
+        assert!((0..1000).all(|_| r.gen_bool(1.0)));
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.3)).count();
+        assert!((2500..3500).contains(&hits), "p=0.3 gave {hits}/10000");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = SmallRng::seed_from_u64(4);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut r);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50 elements should not shuffle to identity");
+    }
+
+    #[test]
+    fn choose_none_on_empty() {
+        let mut r = SmallRng::seed_from_u64(5);
+        let empty: [u32; 0] = [];
+        assert_eq!(empty.choose(&mut r), None);
+        assert_eq!([42u32].choose(&mut r), Some(&42));
+    }
+}
