@@ -5,12 +5,13 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dkc_clique::{count_kcliques, count_kcliques_parallel, node_scores, node_scores_parallel};
 use dkc_datagen::registry::DatasetId;
 use dkc_graph::{Dag, NodeOrder, OrderingKind};
+use dkc_par::ParConfig;
 use std::time::Duration;
 
 fn bench_listing(c: &mut Criterion) {
     let g = DatasetId::Fb.standin(0.05, 42);
     let dag = Dag::from_graph(&g, NodeOrder::compute(&g, OrderingKind::Degeneracy));
-    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(2);
+    let par = ParConfig::default();
 
     let mut group = c.benchmark_group("listing/FB@0.05");
     group.sample_size(10).warm_up_time(Duration::from_millis(300));
@@ -20,13 +21,13 @@ fn bench_listing(c: &mut Criterion) {
             b.iter(|| count_kcliques(std::hint::black_box(&dag), k))
         });
         group.bench_with_input(BenchmarkId::new("count_par", k), &k, |b, &k| {
-            b.iter(|| count_kcliques_parallel(std::hint::black_box(&dag), k, threads))
+            b.iter(|| count_kcliques_parallel(std::hint::black_box(&dag), k, par))
         });
         group.bench_with_input(BenchmarkId::new("scores_seq", k), &k, |b, &k| {
             b.iter(|| node_scores(std::hint::black_box(&dag), k))
         });
         group.bench_with_input(BenchmarkId::new("scores_par", k), &k, |b, &k| {
-            b.iter(|| node_scores_parallel(std::hint::black_box(&dag), k, threads))
+            b.iter(|| node_scores_parallel(std::hint::black_box(&dag), k, par))
         });
     }
     group.finish();

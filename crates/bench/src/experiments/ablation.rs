@@ -79,6 +79,7 @@ pub fn run_pruning_and_scores(cfg: &ReproConfig) -> String {
                     max_cliques: Some(cfg.max_stored_cliques),
                     max_conflicts: Some(cfg.max_stored_cliques.saturating_mul(8)),
                 },
+                ..Default::default()
             }
             .solve(&g, k);
             row.push(cg.map(|s| s.len().to_string()).unwrap_or_else(|_| "OOM".into()));

@@ -5,6 +5,7 @@ use crate::table::Table;
 use crate::{human_count, timed};
 use dkc_clique::count_kcliques_parallel;
 use dkc_graph::{Dag, NodeOrder, OrderingKind};
+use dkc_par::ParConfig;
 
 /// Generates every stand-in and counts its k-cliques.
 pub fn run(cfg: &ReproConfig) -> String {
@@ -16,8 +17,8 @@ pub fn run(cfg: &ReproConfig) -> String {
         let g = id.standin(cfg.scale, cfg.seed);
         let (counts, elapsed) = timed(|| {
             let dag = Dag::from_graph(&g, NodeOrder::compute(&g, OrderingKind::Degeneracy));
-            let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
-            cfg.ks.iter().map(|&k| count_kcliques_parallel(&dag, k, threads)).collect::<Vec<u64>>()
+            let par = ParConfig::default();
+            cfg.ks.iter().map(|&k| count_kcliques_parallel(&dag, k, par)).collect::<Vec<u64>>()
         });
         let mut row = vec![
             id.name().to_string(),

@@ -1,15 +1,10 @@
 use crate::list::intersect_sorted;
 use dkc_graph::{Dag, NodeId};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use dkc_par::{par_reduce, ParConfig};
 
 /// Counts all k-cliques of the graph without materialising them.
 pub fn count_kcliques(dag: &Dag, k: usize) -> u64 {
-    let mut total = 0u64;
-    let mut counter = CountCtx::new(dag, k, None);
-    for u in 0..dag.num_nodes() as NodeId {
-        total += counter.run_root(u);
-    }
-    total
+    count_kcliques_parallel(dag, k, ParConfig::sequential())
 }
 
 /// Computes per-node k-clique counts — the *node scores* `s_n(u)` of
@@ -20,116 +15,77 @@ pub fn count_kcliques(dag: &Dag, k: usize) -> u64 {
 /// candidate completes a clique, so the counts are aggregated wholesale
 /// (`O(|cand| + k)` per parent instead of `O(k)` per clique).
 pub fn node_scores(dag: &Dag, k: usize) -> Vec<u64> {
-    let mut scores = vec![0u64; dag.num_nodes()];
-    let mut counter = CountCtx::new(dag, k, Some(&mut scores));
-    for u in 0..dag.num_nodes() as NodeId {
-        counter.run_root(u);
-    }
-    scores
+    node_scores_parallel(dag, k, ParConfig::sequential())
 }
 
-/// Parallel [`node_scores`]: root nodes are distributed over `threads`
-/// workers via an atomic work counter; per-thread score arrays are summed at
-/// the end. Deterministic regardless of scheduling (addition commutes).
-pub fn node_scores_parallel(dag: &Dag, k: usize, threads: usize) -> Vec<u64> {
+/// Parallel [`node_scores`] on the [`dkc_par`] executor: root nodes are
+/// distributed over workers in chunks; per-worker score arrays are summed
+/// element-wise at the end. Bit-identical to the sequential pass for any
+/// thread count (`u64` addition commutes).
+pub fn node_scores_parallel(dag: &Dag, k: usize, par: ParConfig) -> Vec<u64> {
     let n = dag.num_nodes();
-    let threads = threads.max(1).min(n.max(1));
-    if threads == 1 || n < 1024 {
-        return node_scores(dag, k);
-    }
-    let next = AtomicUsize::new(0);
-    const CHUNK: usize = 256;
-    let locals: Vec<Vec<u64>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                let next = &next;
-                scope.spawn(move || {
-                    let mut scores = vec![0u64; n];
-                    let mut counter = CountCtx::new(dag, k, Some(&mut scores));
-                    loop {
-                        let start = next.fetch_add(CHUNK, Ordering::Relaxed);
-                        if start >= n {
-                            break;
-                        }
-                        for u in start..(start + CHUNK).min(n) {
-                            counter.run_root(u as NodeId);
-                        }
-                    }
-                    drop(counter);
-                    scores
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-    });
-    let mut merged = vec![0u64; n];
-    for local in locals {
-        for (m, l) in merged.iter_mut().zip(local) {
-            *m += l;
-        }
-    }
-    merged
+    par_reduce(
+        par,
+        n,
+        || CountCtx::new(dag, k),
+        || vec![0u64; n],
+        |ctx, scores, range| {
+            for u in range {
+                ctx.run_root(u as NodeId, Some(scores));
+            }
+        },
+        |merged, local| {
+            for (m, l) in merged.iter_mut().zip(local) {
+                *m += l;
+            }
+        },
+    )
 }
 
-/// Parallel [`count_kcliques`] using the same work-stealing scheme.
-pub fn count_kcliques_parallel(dag: &Dag, k: usize, threads: usize) -> u64 {
-    let n = dag.num_nodes();
-    let threads = threads.max(1).min(n.max(1));
-    if threads == 1 || n < 1024 {
-        return count_kcliques(dag, k);
-    }
-    let next = AtomicUsize::new(0);
-    const CHUNK: usize = 256;
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                let next = &next;
-                scope.spawn(move || {
-                    let mut counter = CountCtx::new(dag, k, None);
-                    let mut total = 0u64;
-                    loop {
-                        let start = next.fetch_add(CHUNK, Ordering::Relaxed);
-                        if start >= n {
-                            break;
-                        }
-                        for u in start..(start + CHUNK).min(n) {
-                            total += counter.run_root(u as NodeId);
-                        }
-                    }
-                    total
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).sum()
-    })
+/// Parallel [`count_kcliques`] on the [`dkc_par`] executor; per-worker
+/// totals are summed, so the count is thread-count invariant.
+pub fn count_kcliques_parallel(dag: &Dag, k: usize, par: ParConfig) -> u64 {
+    par_reduce(
+        par,
+        dag.num_nodes(),
+        || CountCtx::new(dag, k),
+        || 0u64,
+        |ctx, total, range| {
+            for u in range {
+                *total += ctx.run_root(u as NodeId, None);
+            }
+        },
+        |a, b| *a += b,
+    )
 }
 
-/// Shared recursion state for counting, optionally accumulating per-node
-/// scores.
-struct CountCtx<'a, 'b> {
+/// Reusable recursion state for counting, optionally accumulating per-node
+/// scores into a caller-provided array (kept outside the context so one
+/// context can serve as per-worker scratch while the accumulator lives in
+/// the executor's reduction slot).
+struct CountCtx<'a> {
     dag: &'a Dag,
     k: usize,
     stack: Vec<NodeId>,
     bufs: Vec<Vec<NodeId>>,
-    scores: Option<&'b mut [u64]>,
 }
 
-impl<'a, 'b> CountCtx<'a, 'b> {
-    fn new(dag: &'a Dag, k: usize, scores: Option<&'b mut [u64]>) -> Self {
+impl<'a> CountCtx<'a> {
+    fn new(dag: &'a Dag, k: usize) -> Self {
         assert!(k >= 1, "k must be at least 1");
         CountCtx {
             dag,
             k,
             stack: Vec::with_capacity(k),
             bufs: vec![Vec::new(); k.saturating_sub(1)],
-            scores,
         }
     }
 
-    /// Counts (and scores) the k-cliques rooted at `u`; returns the count.
-    fn run_root(&mut self, u: NodeId) -> u64 {
+    /// Counts (and scores, when `scores` is given) the k-cliques rooted at
+    /// `u`; returns the count.
+    fn run_root(&mut self, u: NodeId, mut scores: Option<&mut [u64]>) -> u64 {
         if self.k == 1 {
-            if let Some(s) = self.scores.as_deref_mut() {
+            if let Some(s) = scores.as_deref_mut() {
                 s[u as usize] += 1;
             }
             return 1;
@@ -142,19 +98,19 @@ impl<'a, 'b> CountCtx<'a, 'b> {
         let mut first = std::mem::take(&mut self.bufs[0]);
         first.clear();
         first.extend_from_slice(self.dag.out_neighbors(u));
-        let c = self.recurse(self.k - 1, &first);
+        let c = self.recurse(self.k - 1, &first, scores);
         self.bufs[0] = first;
         c
     }
 
-    fn recurse(&mut self, l: usize, cand: &[NodeId]) -> u64 {
+    fn recurse(&mut self, l: usize, cand: &[NodeId], mut scores: Option<&mut [u64]>) -> u64 {
         if cand.len() < l {
             return 0;
         }
         if l == 1 {
             // Every candidate completes a clique with the current stack:
             // aggregate instead of touching counters once per clique.
-            if let Some(scores) = self.scores.as_deref_mut() {
+            if let Some(scores) = scores.as_deref_mut() {
                 for &v in cand {
                     scores[v as usize] += 1;
                 }
@@ -172,7 +128,7 @@ impl<'a, 'b> CountCtx<'a, 'b> {
             intersect_sorted(cand, self.dag.out_neighbors(v), &mut sub);
             if sub.len() >= l - 1 {
                 self.stack.push(v);
-                total += self.recurse(l - 1, &sub);
+                total += self.recurse(l - 1, &sub, scores.as_deref_mut());
                 self.stack.pop();
             }
         }
@@ -277,7 +233,8 @@ mod tests {
 
     #[test]
     fn parallel_matches_sequential() {
-        // Random-ish graph built deterministically.
+        // Random-ish graph built deterministically. A small chunk forces
+        // genuinely parallel execution despite the modest size.
         let mut edges = Vec::new();
         for i in 0..600u32 {
             edges.push((i % 200, (i * 7 + 3) % 200));
@@ -285,9 +242,20 @@ mod tests {
         }
         let g = CsrGraph::from_edges(200, edges).unwrap();
         let d = dag(&g);
-        for k in 3..=5 {
-            assert_eq!(count_kcliques_parallel(&d, k, 4), count_kcliques(&d, k), "count k={k}");
-            assert_eq!(node_scores_parallel(&d, k, 4), node_scores(&d, k), "scores k={k}");
+        for threads in [2usize, 4, 8] {
+            let par = ParConfig::new(threads).with_chunk(16);
+            for k in 3..=5 {
+                assert_eq!(
+                    count_kcliques_parallel(&d, k, par),
+                    count_kcliques(&d, k),
+                    "count k={k} threads={threads}"
+                );
+                assert_eq!(
+                    node_scores_parallel(&d, k, par),
+                    node_scores(&d, k),
+                    "scores k={k} threads={threads}"
+                );
+            }
         }
     }
 

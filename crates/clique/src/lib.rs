@@ -8,8 +8,11 @@
 //!   member, in `O(k · m · (d/2)^(k-2))`.
 //! * [`count_kcliques`] / [`node_scores`] — count k-cliques globally and per
 //!   node *without materialising them* (Definition 5 of the paper: the node
-//!   score `s_n(u)` is the number of k-cliques containing `u`). A parallel
-//!   variant splits the root nodes across threads.
+//!   score `s_n(u)` is the number of k-cliques containing `u`). Parallel
+//!   variants ([`count_kcliques_parallel`], [`node_scores_parallel`],
+//!   [`collect_kcliques_parallel`]) fan the root nodes out over the
+//!   deterministic `dkc-par` executor and are bit-identical to the
+//!   sequential passes for any thread count.
 //! * [`FirstFinder`] — the `FindOne` procedure of Algorithm 1: return the
 //!   first (k-1)-clique inside a root's out-neighbourhood, restricted to
 //!   still-valid nodes.
@@ -34,8 +37,8 @@ mod types;
 pub use count::{count_kcliques, count_kcliques_parallel, node_scores, node_scores_parallel};
 pub use find::{FirstFinder, MinScoreFinder, ScoredClique};
 pub use list::{
-    collect_kcliques, collect_kcliques_bounded, for_each_kclique, for_each_kclique_rooted,
-    for_each_kclique_while,
+    collect_kcliques, collect_kcliques_bounded, collect_kcliques_budgeted,
+    collect_kcliques_parallel, for_each_kclique, for_each_kclique_rooted, for_each_kclique_while,
 };
 pub use subset::{collect_kcliques_in_subset, for_each_kclique_in_subset};
 pub use types::{Clique, MAX_K};

@@ -1,5 +1,6 @@
 use crate::types::Clique;
 use dkc_graph::{Dag, NodeId};
+use dkc_par::{par_for_each_root, ParConfig};
 
 /// Enumerates every k-clique of the DAG-oriented graph exactly once.
 ///
@@ -59,6 +60,41 @@ pub fn collect_kcliques(dag: &Dag, k: usize) -> Vec<Clique> {
     let mut out = Vec::new();
     for_each_kclique(dag, k, |nodes| out.push(Clique::new(nodes)));
     out
+}
+
+/// Parallel [`collect_kcliques`] on the [`dkc_par`] executor: roots fan out
+/// over workers (each with its own reusable [`ListCtx`] recursion scratch)
+/// and per-chunk clique segments are merged in ascending root order — the
+/// output `Vec` is **bit-identical** to the sequential collector for any
+/// thread count.
+pub fn collect_kcliques_parallel(dag: &Dag, k: usize, par: ParConfig) -> Vec<Clique> {
+    par_for_each_root(
+        par,
+        dag.num_nodes(),
+        || ListCtx::new(dag, k),
+        |ctx, u, out| {
+            ctx.run_root(u as NodeId, &mut |nodes| {
+                out.push(Clique::new(nodes));
+                true
+            });
+        },
+    )
+}
+
+/// Budget-aware collection used by the GC solver and clique-graph
+/// construction: `Some(limit)` runs the sequential early-stop bounded
+/// collector (its abort semantics depend on enumeration order), `None`
+/// fans out over the executor.
+pub fn collect_kcliques_budgeted(
+    dag: &Dag,
+    k: usize,
+    max_cliques: Option<usize>,
+    par: ParConfig,
+) -> Result<Vec<Clique>, usize> {
+    match max_cliques {
+        Some(limit) => collect_kcliques_bounded(dag, k, limit),
+        None => Ok(collect_kcliques_parallel(dag, k, par)),
+    }
 }
 
 /// Budgeted [`collect_kcliques`]: aborts with `Err(limit)` as soon as more

@@ -4,10 +4,12 @@
 use std::collections::BTreeSet;
 
 use dkc_clique::{
-    collect_kcliques, collect_kcliques_in_subset, count_kcliques, node_scores, Clique, FirstFinder,
+    collect_kcliques, collect_kcliques_in_subset, collect_kcliques_parallel, count_kcliques,
+    count_kcliques_parallel, node_scores, node_scores_parallel, Clique, FirstFinder,
     MinScoreFinder,
 };
 use dkc_graph::{CsrGraph, Dag, DynGraph, NodeId, NodeOrder, OrderingKind};
+use dkc_par::ParConfig;
 use proptest::prelude::*;
 
 fn graph_strategy(max_n: u32, max_m: usize) -> impl Strategy<Value = CsrGraph> {
@@ -151,6 +153,28 @@ proptest! {
                     .min();
                 prop_assert_eq!(Some(sc.score), min_rooted);
             }
+        }
+    }
+
+    #[test]
+    fn parallel_machinery_is_thread_invariant(
+        g in graph_strategy(40, 250),
+        k in 3usize..=5,
+    ) {
+        let d = dag(&g, OrderingKind::Degeneracy);
+        let count = count_kcliques(&d, k);
+        let scores = node_scores(&d, k);
+        let listed = collect_kcliques(&d, k);
+        for threads in [1usize, 2, 8] {
+            // Tiny chunks force genuine fan-out on these small graphs.
+            let par = ParConfig::new(threads).with_chunk(3);
+            prop_assert_eq!(
+                count_kcliques_parallel(&d, k, par), count, "count, threads {}", threads);
+            prop_assert_eq!(
+                &node_scores_parallel(&d, k, par), &scores, "scores, threads {}", threads);
+            // Listing must match element-for-element (order included).
+            prop_assert_eq!(
+                &collect_kcliques_parallel(&d, k, par), &listed, "listing, threads {}", threads);
         }
     }
 

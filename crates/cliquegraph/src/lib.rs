@@ -11,12 +11,19 @@
 //! paper's OOM behaviour deterministically: construction aborts with a
 //! structured error as soon as the clique or conflict-edge count exceeds
 //! the budget, instead of exhausting physical memory.
+//!
+//! Construction fans out over the deterministic `dkc-par` executor (one
+//! conflict list per clique, merged from an inverted node→clique index), so
+//! building the graph no longer dominates the GC/OPT pipelines at scale;
+//! results — including budget trips — are identical for any thread count.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use dkc_clique::{collect_kcliques, collect_kcliques_bounded, Clique};
+use dkc_clique::{collect_kcliques_budgeted, Clique};
 use dkc_graph::{CsrGraph, Dag, NodeOrder, OrderingKind};
+use dkc_par::{par_try_collect, ParConfig};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Construction budget, emulating the paper's memory ("OOM") limits.
 #[derive(Debug, Clone, Copy, Default)]
@@ -77,67 +84,106 @@ pub struct CliqueGraph {
 
 impl CliqueGraph {
     /// Lists all k-cliques of `g` (via a degeneracy-ordered DAG) and builds
-    /// the conflict graph, respecting `limits`.
+    /// the conflict graph, respecting `limits`, with the default executor
+    /// configuration. See [`CliqueGraph::build_par`].
     pub fn build(
         g: &CsrGraph,
         k: usize,
         limits: CliqueGraphLimits,
     ) -> Result<Self, CliqueGraphError> {
+        Self::build_par(g, k, limits, ParConfig::default())
+    }
+
+    /// [`CliqueGraph::build`] with an explicit executor configuration: both
+    /// the clique listing and the conflict-edge construction fan out over
+    /// `par`, and the result (including the `Err`/`Ok` budget decision) is
+    /// identical for any thread count.
+    pub fn build_par(
+        g: &CsrGraph,
+        k: usize,
+        limits: CliqueGraphLimits,
+        par: ParConfig,
+    ) -> Result<Self, CliqueGraphError> {
         let dag = Dag::from_graph(g, NodeOrder::compute(g, OrderingKind::Degeneracy));
         // Enforce the clique budget during collection so an over-limit
         // population aborts before materialising (deterministic OOM).
-        let cliques = match limits.max_cliques {
-            Some(limit) => collect_kcliques_bounded(&dag, k, limit)
-                .map_err(|limit| CliqueGraphError::TooManyCliques { limit })?,
-            None => collect_kcliques(&dag, k),
-        };
-        Self::from_cliques(g.num_nodes(), k, cliques, limits)
+        let cliques = collect_kcliques_budgeted(&dag, k, limits.max_cliques, par)
+            .map_err(|limit| CliqueGraphError::TooManyCliques { limit })?;
+        Self::from_cliques_par(g.num_nodes(), k, cliques, limits, par)
     }
 
     /// Builds the conflict graph from an explicit clique list (exposed so
-    /// tests and the dynamic index can reuse the conflict machinery).
+    /// tests and the dynamic index can reuse the conflict machinery), with
+    /// the default executor configuration.
     pub fn from_cliques(
         num_nodes: usize,
         k: usize,
         cliques: Vec<Clique>,
         limits: CliqueGraphLimits,
     ) -> Result<Self, CliqueGraphError> {
-        // Inverted index: node -> ids of cliques containing it.
+        Self::from_cliques_par(num_nodes, k, cliques, limits, ParConfig::default())
+    }
+
+    /// [`CliqueGraph::from_cliques`] on an explicit executor: each clique's
+    /// conflict list is assembled independently by merging the inverted
+    /// per-node index over its members, so construction parallelises per
+    /// clique with no shared mutable adjacency.
+    ///
+    /// Determinism: adjacency lists are sorted/deduped per clique and
+    /// placed by clique id, so the structure is bit-identical for any
+    /// thread count. The conflict budget counts *raw gathered entries* (one
+    /// per shared-node co-occurrence, from each endpoint) against
+    /// `2 × max_conflicts` via a shared running total — exactly the
+    /// sequential builder's raw-pair accounting, and monotone, so the
+    /// `Err`/`Ok` decision is schedule-independent too.
+    pub fn from_cliques_par(
+        num_nodes: usize,
+        k: usize,
+        cliques: Vec<Clique>,
+        limits: CliqueGraphLimits,
+        par: ParConfig,
+    ) -> Result<Self, CliqueGraphError> {
+        // Inverted index: node -> ids of cliques containing it (ascending).
         let mut by_node: Vec<Vec<u32>> = vec![Vec::new(); num_nodes];
         for (i, c) in cliques.iter().enumerate() {
             for u in c.iter() {
                 by_node[u as usize].push(i as u32);
             }
         }
-        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); cliques.len()];
-        let mut budget = limits.max_conflicts;
-        for list in &by_node {
-            // Every pair of cliques sharing this node conflicts.
-            for (i, &a) in list.iter().enumerate() {
-                for &b in &list[i + 1..] {
-                    adj[a as usize].push(b);
-                    adj[b as usize].push(a);
-                    if let Some(ref mut budget) = budget {
-                        // Conservative: count raw pairs before de-dup; a pair
-                        // sharing two nodes is counted twice, which only makes
-                        // the OOM emulation trip earlier, like real memory.
-                        if *budget == 0 {
+        // Raw-pair budget: like the paper's OOM emulation, a pair sharing
+        // two nodes counts twice, tripping the budget earlier — like real
+        // memory would.
+        let raw_budget = limits.max_conflicts.map(|c| c.saturating_mul(2));
+        let raw_total = AtomicUsize::new(0);
+        let adj: Vec<Vec<u32>> =
+            par_try_collect(par, cliques.len(), Vec::<u32>::new, |gather, range, out| {
+                for i in range {
+                    let id = i as u32;
+                    gather.clear();
+                    for u in cliques[i].iter() {
+                        gather.extend_from_slice(&by_node[u as usize]);
+                    }
+                    // `id` itself shows up once per member; everything else
+                    // is a shared-node co-occurrence with another clique.
+                    let raw = gather.len() - cliques[i].len();
+                    if let Some(budget) = raw_budget {
+                        let total = raw_total.fetch_add(raw, Ordering::Relaxed) + raw;
+                        if total > budget {
                             return Err(CliqueGraphError::TooManyConflicts {
                                 limit: limits.max_conflicts.unwrap_or(0),
                             });
                         }
-                        *budget -= 1;
                     }
+                    gather.sort_unstable();
+                    gather.dedup();
+                    let mut list = Vec::with_capacity(gather.len().saturating_sub(1));
+                    list.extend(gather.iter().copied().filter(|&b| b != id));
+                    out.push(list);
                 }
-            }
-        }
-        let mut num_conflicts = 0usize;
-        for list in &mut adj {
-            list.sort_unstable();
-            list.dedup();
-            num_conflicts += list.len();
-        }
-        Ok(CliqueGraph { k, cliques, adj, num_conflicts: num_conflicts / 2 })
+                Ok(())
+            })?;
+        let num_conflicts = adj.iter().map(|l| l.len()).sum::<usize>() / 2;
+        Ok(CliqueGraph { k, cliques, adj, num_conflicts })
     }
 
     /// The clique size `k`.

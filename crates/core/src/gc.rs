@@ -1,6 +1,7 @@
 use crate::{check_k, Solution, SolveError, Solver};
-use dkc_clique::{collect_kcliques, collect_kcliques_bounded, node_scores, Clique};
+use dkc_clique::{collect_kcliques_budgeted, node_scores_parallel, Clique};
 use dkc_graph::{CsrGraph, Dag, NodeOrder, OrderingKind};
+use dkc_par::ParConfig;
 
 /// **GC** — the clique-score ordered greedy (Algorithm 2).
 ///
@@ -20,6 +21,9 @@ pub struct GcSolver {
     /// Abort with [`SolveError::CliqueBudget`] when more cliques than this
     /// would have to be stored (`None` = unlimited).
     pub max_cliques: Option<usize>,
+    /// Executor configuration for the listing/scoring phases. Results are
+    /// deterministic regardless of thread count.
+    pub par: ParConfig,
 }
 
 impl GcSolver {
@@ -30,7 +34,13 @@ impl GcSolver {
 
     /// Solver with a clique-storage budget (emulated OOM).
     pub fn with_budget(max_cliques: usize) -> Self {
-        GcSolver { max_cliques: Some(max_cliques) }
+        GcSolver { max_cliques: Some(max_cliques), ..Self::default() }
+    }
+
+    /// Overrides the executor configuration.
+    pub fn with_par(mut self, par: ParConfig) -> Self {
+        self.par = par;
+        self
     }
 }
 
@@ -44,14 +54,13 @@ impl Solver for GcSolver {
         let dag = Dag::from_graph(g, NodeOrder::compute(g, OrderingKind::Degeneracy));
         // The budget is enforced *during* collection: an over-limit clique
         // population aborts before materialising (deterministic OOM).
-        let cliques = match self.max_cliques {
-            Some(limit) => collect_kcliques_bounded(&dag, k, limit)
-                .map_err(|limit| SolveError::CliqueBudget { limit })?,
-            None => collect_kcliques(&dag, k),
-        };
-        let scores = node_scores(&dag, k);
+        let cliques = collect_kcliques_budgeted(&dag, k, self.max_cliques, self.par)
+            .map_err(|limit| SolveError::CliqueBudget { limit })?;
+        let scores = node_scores_parallel(&dag, k, self.par);
         // Fixed total clique order: ascending score, ties by canonical
-        // member order — deterministic across runs.
+        // member order — deterministic across runs. Tupling the scores is a
+        // trivial per-clique lookup; the sort right after dominates, so
+        // this stays a plain sequential map.
         let mut scored: Vec<(u64, Clique)> =
             cliques.into_iter().map(|c| (c.score(&scores), c)).collect();
         scored.sort_unstable();
@@ -129,5 +138,16 @@ mod tests {
         let a = GcSolver::new().solve(&g, 3).unwrap();
         let b = GcSolver::new().solve(&g, 3).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_result() {
+        let g = planted_triangles(40);
+        let base = GcSolver::new().with_par(ParConfig::sequential()).solve(&g, 3).unwrap();
+        for threads in [2, 4, 8] {
+            let par = ParConfig::new(threads).with_chunk(8);
+            let s = GcSolver::new().with_par(par).solve(&g, 3).unwrap();
+            assert_eq!(s, base, "threads={threads}");
+        }
     }
 }

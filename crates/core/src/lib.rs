@@ -49,7 +49,7 @@ pub use error::SolveError;
 pub use gc::GcSolver;
 pub use lightweight::{LightweightSolver, LpRunStats};
 pub use opt::{GreedyCliqueGraphSolver, OptOutcome, OptSolver};
-pub use residual::{partition_all, Partition};
+pub use residual::{partition_all, partition_all_par, Partition};
 pub use solution::{InvalidSolution, Solution};
 
 use dkc_graph::CsrGraph;

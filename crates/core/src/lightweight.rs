@@ -1,9 +1,9 @@
 use crate::{check_k, Solution, SolveError, Solver};
 use dkc_clique::{node_scores_parallel, Clique, MinScoreFinder};
 use dkc_graph::{CsrGraph, Dag, NodeId, NodeOrder};
+use dkc_par::{par_for_each_root, ParConfig};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// **L / LP** — the lightweight implementation (Algorithm 3).
 ///
@@ -33,35 +33,37 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 pub struct LightweightSolver {
     /// Apply score-driven pruning (LP) or search exhaustively (L).
     pub prune: bool,
-    /// Worker threads for the score pass and `HeapInit`. Results are
-    /// deterministic regardless of thread count.
-    pub threads: usize,
+    /// Executor configuration for the score pass and `HeapInit`. Results
+    /// are deterministic regardless of thread count.
+    pub par: ParConfig,
 }
 
 impl Default for LightweightSolver {
     fn default() -> Self {
-        LightweightSolver { prune: true, threads: default_threads() }
+        LightweightSolver { prune: true, par: ParConfig::default() }
     }
-}
-
-fn default_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
 }
 
 impl LightweightSolver {
     /// The paper's **LP** configuration (pruning on).
     pub fn lp() -> Self {
-        LightweightSolver { prune: true, threads: default_threads() }
+        LightweightSolver { prune: true, par: ParConfig::default() }
     }
 
     /// The paper's **L** configuration (pruning off).
     pub fn l() -> Self {
-        LightweightSolver { prune: false, threads: default_threads() }
+        LightweightSolver { prune: false, par: ParConfig::default() }
     }
 
     /// Overrides the thread count (1 = fully sequential).
     pub fn with_threads(mut self, threads: usize) -> Self {
-        self.threads = threads.max(1);
+        self.par = self.par.with_threads(threads);
+        self
+    }
+
+    /// Overrides the full executor configuration.
+    pub fn with_par(mut self, par: ParConfig) -> Self {
+        self.par = par;
         self
     }
 }
@@ -123,7 +125,7 @@ impl LightweightSolver {
         // degeneracy-oriented DAG — the cheapest orientation for listing.
         let score_dag =
             Dag::from_graph(g, NodeOrder::compute(g, dkc_graph::OrderingKind::Degeneracy));
-        let scores = node_scores_parallel(&score_dag, k, self.threads);
+        let scores = node_scores_parallel(&score_dag, k, self.par);
         drop(score_dag);
 
         // Lines 3-4: score-ascending total order; every clique is owned by
@@ -171,57 +173,25 @@ impl LightweightSolver {
 }
 
 impl LightweightSolver {
+    /// Lines 10-14 of Algorithm 3: one `FindMin` probe per root, fanned out
+    /// on the executor. Each worker reuses a single [`MinScoreFinder`]
+    /// (recursion buffers grow once); entries come back in ascending root
+    /// order, identical to a sequential scan, for any thread count.
     fn heap_init(&self, dag: &Dag, scores: &[u64], valid: &[bool], k: usize) -> Vec<Entry> {
-        let n = dag.num_nodes();
-        let threads = self.threads.max(1).min(n.max(1));
-        if threads == 1 || n < 1024 {
-            let mut finder = MinScoreFinder::new(dag, scores, k, self.prune);
-            let mut entries = Vec::new();
-            for u in 0..n as NodeId {
+        par_for_each_root(
+            self.par,
+            dag.num_nodes(),
+            || MinScoreFinder::new(dag, scores, k, self.prune),
+            |finder, u, out| {
+                let u = u as NodeId;
                 if dag.out_degree(u) < k - 1 {
-                    continue;
+                    return;
                 }
                 if let Some(found) = finder.find(u, valid) {
-                    entries.push(Entry { score: found.score, clique: found.clique, root: u });
+                    out.push(Entry { score: found.score, clique: found.clique, root: u });
                 }
-            }
-            return entries;
-        }
-        let next = AtomicUsize::new(0);
-        const CHUNK: usize = 256;
-        let chunks: Vec<Vec<Entry>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..threads)
-                .map(|_| {
-                    let next = &next;
-                    scope.spawn(move || {
-                        let mut finder = MinScoreFinder::new(dag, scores, k, self.prune);
-                        let mut local = Vec::new();
-                        loop {
-                            let start = next.fetch_add(CHUNK, Ordering::Relaxed);
-                            if start >= n {
-                                break;
-                            }
-                            for u in start..(start + CHUNK).min(n) {
-                                let u = u as NodeId;
-                                if dag.out_degree(u) < k - 1 {
-                                    continue;
-                                }
-                                if let Some(found) = finder.find(u, valid) {
-                                    local.push(Entry {
-                                        score: found.score,
-                                        clique: found.clique,
-                                        root: u,
-                                    });
-                                }
-                            }
-                        }
-                        local
-                    })
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-        });
-        chunks.into_iter().flatten().collect()
+            },
+        )
     }
 }
 
@@ -267,8 +237,24 @@ mod tests {
         let g = planted_triangles(40);
         let base = LightweightSolver::lp().with_threads(1).solve(&g, 3).unwrap();
         for threads in [2, 4, 8] {
-            let s = LightweightSolver::lp().with_threads(threads).solve(&g, 3).unwrap();
+            // The small chunk forces real fan-out even on this small graph.
+            let par = ParConfig::new(threads).with_chunk(8);
+            let s = LightweightSolver::lp().with_par(par).solve(&g, 3).unwrap();
             assert_eq!(s.sorted_cliques(), base.sorted_cliques(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn run_stats_are_thread_count_invariant() {
+        let g = planted_triangles(40);
+        let (base_sol, base_stats) =
+            LightweightSolver::lp().with_threads(1).solve_with_stats(&g, 3).unwrap();
+        for threads in [2, 4, 8] {
+            let par = ParConfig::new(threads).with_chunk(8);
+            let (sol, stats) =
+                LightweightSolver::lp().with_par(par).solve_with_stats(&g, 3).unwrap();
+            assert_eq!(sol, base_sol, "threads={threads}");
+            assert_eq!(stats, base_stats, "LpRunStats must not depend on threads={threads}");
         }
     }
 

@@ -2,6 +2,7 @@ use crate::{check_k, Solution, SolveError, Solver};
 use dkc_cliquegraph::{CliqueGraph, CliqueGraphLimits};
 use dkc_graph::CsrGraph;
 use dkc_mis::{greedy_mis, AdjGraph, ExactMis, MisBudget};
+use dkc_par::ParConfig;
 
 /// **OPT** — the exact baseline.
 ///
@@ -11,12 +12,24 @@ use dkc_mis::{greedy_mis, AdjGraph, ExactMis, MisBudget};
 /// Tables II/III show, this only completes on small inputs — the clique
 /// graph explodes ("OOM") or the search exceeds its budget ("OOT").
 /// Both failure modes surface as structured [`SolveError`]s here.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy)]
 pub struct OptSolver {
     /// Clique-graph materialisation budget (emulated OOM).
     pub limits: CliqueGraphLimits,
     /// Exact-search budget (emulated OOT).
     pub mis_budget: MisBudget,
+    /// Executor configuration for the clique-graph construction phase.
+    pub par: ParConfig,
+}
+
+impl Default for OptSolver {
+    fn default() -> Self {
+        OptSolver {
+            limits: CliqueGraphLimits::unlimited(),
+            mis_budget: MisBudget::unlimited(),
+            par: ParConfig::default(),
+        }
+    }
 }
 
 /// Detailed result of an OPT run.
@@ -40,14 +53,49 @@ impl OptSolver {
 
     /// Exact solver with OOM/OOT budgets.
     pub fn with_budgets(limits: CliqueGraphLimits, mis_budget: MisBudget) -> Self {
-        OptSolver { limits, mis_budget }
+        OptSolver { limits, mis_budget, ..Self::default() }
+    }
+
+    /// Exact solver with sane default budgets, for tests, benches and
+    /// interactive use: past roughly real-world-graph scale the clique
+    /// graph trips the OOM limits and the branch-and-reduce search trips
+    /// the node limit, so runs degrade to a structured
+    /// [`SolveError::CliqueGraph`] / [`SolveError::Timeout`] in bounded
+    /// time instead of hanging or exhausting memory. Both budgets are
+    /// deterministic (no wall-clock component).
+    pub fn budgeted() -> Self {
+        OptSolver {
+            limits: CliqueGraphLimits {
+                max_cliques: Some(Self::DEFAULT_MAX_CLIQUES),
+                max_conflicts: Some(Self::DEFAULT_MAX_CONFLICTS),
+            },
+            mis_budget: MisBudget {
+                time_limit: None,
+                node_limit: Some(Self::DEFAULT_MIS_NODE_LIMIT),
+            },
+            par: ParConfig::default(),
+        }
+    }
+
+    /// Clique budget of [`OptSolver::budgeted`] (~tens of MB materialised).
+    pub const DEFAULT_MAX_CLIQUES: usize = 200_000;
+    /// Conflict budget of [`OptSolver::budgeted`].
+    pub const DEFAULT_MAX_CONFLICTS: usize = 5_000_000;
+    /// Search-node budget of [`OptSolver::budgeted`] (sub-second on laptop
+    /// hardware, deterministic across machines).
+    pub const DEFAULT_MIS_NODE_LIMIT: u64 = 500_000;
+
+    /// Overrides the executor configuration.
+    pub fn with_par(mut self, par: ParConfig) -> Self {
+        self.par = par;
+        self
     }
 
     /// Runs OPT and reports the full outcome, including non-optimal
     /// completions (budget trips) with their best-found solution.
     pub fn solve_detailed(&self, g: &CsrGraph, k: usize) -> Result<OptOutcome, SolveError> {
         check_k(k)?;
-        let cg = CliqueGraph::build(g, k, self.limits)?;
+        let cg = CliqueGraph::build_par(g, k, self.limits, self.par)?;
         let conflicts: Vec<(u32, u32)> = cg.conflict_edges().collect();
         let adj = AdjGraph::from_edges(cg.num_cliques(), &conflicts);
         let mis = ExactMis::with_budget(self.mis_budget).solve(&adj);
@@ -90,10 +138,29 @@ impl Solver for OptSolver {
 /// memory blow-up, so it only serves as an ablation baseline: comparing its
 /// |S| with GC/LP quantifies how much the score approximation loses
 /// relative to true clique-graph degrees.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy)]
 pub struct GreedyCliqueGraphSolver {
     /// Clique-graph materialisation budget (emulated OOM).
     pub limits: CliqueGraphLimits,
+    /// Executor configuration for the clique-graph construction phase.
+    pub par: ParConfig,
+}
+
+impl Default for GreedyCliqueGraphSolver {
+    fn default() -> Self {
+        GreedyCliqueGraphSolver {
+            limits: CliqueGraphLimits::unlimited(),
+            par: ParConfig::default(),
+        }
+    }
+}
+
+impl GreedyCliqueGraphSolver {
+    /// Overrides the executor configuration.
+    pub fn with_par(mut self, par: ParConfig) -> Self {
+        self.par = par;
+        self
+    }
 }
 
 impl Solver for GreedyCliqueGraphSolver {
@@ -103,7 +170,7 @@ impl Solver for GreedyCliqueGraphSolver {
 
     fn solve(&self, g: &CsrGraph, k: usize) -> Result<Solution, SolveError> {
         check_k(k)?;
-        let cg = CliqueGraph::build(g, k, self.limits)?;
+        let cg = CliqueGraph::build_par(g, k, self.limits, self.par)?;
         let conflicts: Vec<(u32, u32)> = cg.conflict_edges().collect();
         let adj = AdjGraph::from_edges(cg.num_cliques(), &conflicts);
         let picked = greedy_mis(&adj);
@@ -176,6 +243,20 @@ mod tests {
         s.verify_maximal(&g).unwrap();
         assert!(s.len() >= 2);
         assert_eq!(GreedyCliqueGraphSolver::default().name(), "GREEDY-CG");
+    }
+
+    #[test]
+    fn budgeted_defaults_are_finite_and_optimal_on_small_graphs() {
+        let solver = OptSolver::budgeted();
+        assert_eq!(solver.limits.max_cliques, Some(OptSolver::DEFAULT_MAX_CLIQUES));
+        assert_eq!(solver.limits.max_conflicts, Some(OptSolver::DEFAULT_MAX_CONFLICTS));
+        assert_eq!(solver.mis_budget.node_limit, Some(OptSolver::DEFAULT_MIS_NODE_LIMIT));
+        assert_eq!(solver.mis_budget.time_limit, None, "budgets must be deterministic");
+        // Well under the budgets, budgeted() behaves exactly like new().
+        let g = paper_fig2();
+        let outcome = solver.solve_detailed(&g, 3).unwrap();
+        assert!(outcome.optimal);
+        assert_eq!(outcome.solution.len(), 3);
     }
 
     #[test]

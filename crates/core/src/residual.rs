@@ -10,6 +10,7 @@
 
 use crate::{LightweightSolver, SolveError, Solver};
 use dkc_graph::{CsrGraph, InducedSubgraph, NodeId};
+use dkc_par::ParConfig;
 
 /// A complete partition of the node set into groups of size at most `k`.
 #[derive(Debug, Clone)]
@@ -53,11 +54,18 @@ impl Partition {
 /// residual graph with [`LightweightSolver`] (LP), then greedily matches
 /// remaining nodes into edges, then emits singletons.
 pub fn partition_all(g: &CsrGraph, k: usize) -> Result<Partition, SolveError> {
+    partition_all_par(g, k, ParConfig::default())
+}
+
+/// [`partition_all`] with an explicit executor configuration for the inner
+/// LP solves; like every executor consumer, the partition is identical for
+/// any thread count.
+pub fn partition_all_par(g: &CsrGraph, k: usize, par: ParConfig) -> Result<Partition, SolveError> {
     crate::check_k(k)?;
     let n = g.num_nodes();
     let mut covered = vec![false; n];
     let mut groups: Vec<Vec<NodeId>> = Vec::new();
-    let solver = LightweightSolver::lp();
+    let solver = LightweightSolver::lp().with_par(par);
 
     for s in (3..=k).rev() {
         let free: Vec<NodeId> = (0..n as NodeId).filter(|&u| !covered[u as usize]).collect();

@@ -7,6 +7,7 @@ use dkc_core::{
     LightweightSolver, OptSolver, Solver,
 };
 use dkc_graph::{CsrGraph, OrderingKind};
+use dkc_par::ParConfig;
 use proptest::prelude::*;
 
 fn graph_strategy(max_n: u32, max_m: usize) -> impl Strategy<Value = CsrGraph> {
@@ -70,9 +71,28 @@ proptest! {
 
     #[test]
     fn lightweight_is_thread_invariant(g in graph_strategy(20, 100)) {
-        let a = LightweightSolver::lp().with_threads(1).solve(&g, 3).unwrap();
-        let b = LightweightSolver::lp().with_threads(4).solve(&g, 3).unwrap();
-        prop_assert_eq!(a.sorted_cliques(), b.sorted_cliques());
+        // Baseline: strictly sequential. Tiny chunks force real fan-out on
+        // these small graphs; solutions AND run statistics must match the
+        // sequential run bit-for-bit at every thread count.
+        let (base, base_stats) =
+            LightweightSolver::lp().with_threads(1).solve_with_stats(&g, 3).unwrap();
+        for threads in [2usize, 4, 8] {
+            let par = ParConfig::new(threads).with_chunk(2);
+            let (s, stats) =
+                LightweightSolver::lp().with_par(par).solve_with_stats(&g, 3).unwrap();
+            prop_assert_eq!(&s, &base, "solution varies at threads={}", threads);
+            prop_assert_eq!(stats, base_stats, "LpRunStats varies at threads={}", threads);
+        }
+    }
+
+    #[test]
+    fn gc_is_thread_invariant(g in graph_strategy(20, 100), k in 3usize..=4) {
+        let base = GcSolver::new().with_par(ParConfig::sequential()).solve(&g, k).unwrap();
+        for threads in [2usize, 8] {
+            let par = ParConfig::new(threads).with_chunk(2);
+            let s = GcSolver::new().with_par(par).solve(&g, k).unwrap();
+            prop_assert_eq!(&s, &base, "threads={}", threads);
+        }
     }
 
     #[test]

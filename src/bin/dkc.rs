@@ -1,24 +1,28 @@
 //! `dkc` — command-line front end for the disjoint k-clique toolkit.
 //!
 //! ```text
-//! dkc stats     <edgelist> [--kmax K]            graph statistics + k-clique counts
-//! dkc solve     <edgelist> --k K [--algo A]      maximal disjoint k-clique set
-//! dkc partition <edgelist> --k K                 assign EVERY node to a group (≤ K)
+//! dkc stats     <edgelist> [--kmax K] [--threads N]            graph statistics + k-clique counts
+//! dkc solve     <edgelist> --k K [--algo A] [--threads N]      maximal disjoint k-clique set
+//! dkc partition <edgelist> --k K [--threads N]                 assign EVERY node to a group (≤ K)
 //! ```
 //!
-//! Edge lists are KONECT-style text files (`u v` per line, `%`/`#` comments,
-//! arbitrary integer labels). Output uses the file's original labels.
+//! `--threads` defaults to the available parallelism (or the `DKC_THREADS`
+//! environment variable when set); every parallel phase is deterministic,
+//! so the output is identical for any thread count. Edge lists are
+//! KONECT-style text files (`u v` per line, `%`/`#` comments, arbitrary
+//! integer labels). Output uses the file's original labels.
 
 use disjoint_kcliques::clique::count_kcliques_parallel;
-use disjoint_kcliques::core::{GcSolver, GreedyCliqueGraphSolver, OptSolver};
+use disjoint_kcliques::core::{partition_all_par, GcSolver, GreedyCliqueGraphSolver, OptSolver};
 use disjoint_kcliques::graph::io::{read_edge_list, LoadedGraph};
 use disjoint_kcliques::graph::{Dag, NodeOrder};
+use disjoint_kcliques::par::ParConfig;
 use disjoint_kcliques::prelude::*;
 use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  dkc stats <edgelist> [--kmax K]\n  dkc solve <edgelist> --k K [--algo hg|gc|l|lp|opt|greedy-cg]\n  dkc partition <edgelist> --k K"
+        "usage:\n  dkc stats <edgelist> [--kmax K] [--threads N]\n  dkc solve <edgelist> --k K [--algo hg|gc|l|lp|opt|greedy-cg] [--threads N]\n  dkc partition <edgelist> --k K [--threads N]\n\n--threads defaults to the available parallelism (env DKC_THREADS overrides);\nresults are identical for any thread count."
     );
     std::process::exit(2);
 }
@@ -29,19 +33,28 @@ struct Args {
     k: usize,
     kmax: usize,
     algo: String,
+    par: ParConfig,
 }
 
 fn parse_args() -> Args {
     let mut it = std::env::args().skip(1);
     let Some(command) = it.next() else { usage() };
     let Some(path) = it.next() else { usage() };
-    let mut args = Args { command, path, k: 0, kmax: 6, algo: "lp".into() };
+    let mut args =
+        Args { command, path, k: 0, kmax: 6, algo: "lp".into(), par: ParConfig::default() };
     while let Some(flag) = it.next() {
         let mut value = || it.next().unwrap_or_else(|| usage());
         match flag.as_str() {
             "--k" => args.k = value().parse().unwrap_or_else(|_| usage()),
             "--kmax" => args.kmax = value().parse().unwrap_or_else(|_| usage()),
             "--algo" => args.algo = value().to_ascii_lowercase(),
+            "--threads" => {
+                let threads: usize = value().parse().unwrap_or_else(|_| usage());
+                if threads == 0 {
+                    usage();
+                }
+                args.par = args.par.with_threads(threads);
+            }
             _ => usage(),
         }
     }
@@ -58,14 +71,16 @@ fn load(path: &str) -> LoadedGraph {
     }
 }
 
-fn solver_for(algo: &str) -> Box<dyn Solver> {
+fn solver_for(algo: &str, par: ParConfig) -> Box<dyn Solver> {
     match algo {
         "hg" => Box::new(HgSolver::default()),
-        "gc" => Box::new(GcSolver::new()),
-        "l" => Box::new(LightweightSolver::l()),
-        "lp" => Box::new(LightweightSolver::lp()),
-        "opt" => Box::new(OptSolver::new()),
-        "greedy-cg" => Box::new(GreedyCliqueGraphSolver::default()),
+        "gc" => Box::new(GcSolver::new().with_par(par)),
+        "l" => Box::new(LightweightSolver::l().with_par(par)),
+        "lp" => Box::new(LightweightSolver::lp().with_par(par)),
+        // Budgeted OPT: degrade to a structured OOM/OOT error instead of
+        // hanging on graphs beyond exact-search scale.
+        "opt" => Box::new(OptSolver::budgeted().with_par(par)),
+        "greedy-cg" => Box::new(GreedyCliqueGraphSolver::default().with_par(par)),
         other => {
             eprintln!("unknown algorithm {other:?} (try hg|gc|l|lp|opt|greedy-cg)");
             std::process::exit(2);
@@ -88,10 +103,9 @@ fn cmd_stats(args: &Args) {
     let g = &loaded.graph;
     println!("{}", GraphStats::of(g));
     let dag = Dag::from_graph(g, NodeOrder::compute(g, OrderingKind::Degeneracy));
-    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
     for k in 3..=args.kmax {
         let t = Instant::now();
-        let count = count_kcliques_parallel(&dag, k, threads);
+        let count = count_kcliques_parallel(&dag, k, args.par);
         println!("{k}-cliques: {count} ({:.1} ms)", t.elapsed().as_secs_f64() * 1e3);
     }
 }
@@ -101,7 +115,7 @@ fn cmd_solve(args: &Args) {
         usage();
     }
     let loaded = load(&args.path);
-    let solver = solver_for(&args.algo);
+    let solver = solver_for(&args.algo, args.par);
     let t = Instant::now();
     match solver.solve(&loaded.graph, args.k) {
         Ok(s) => {
@@ -132,7 +146,7 @@ fn cmd_partition(args: &Args) {
     }
     let loaded = load(&args.path);
     let t = Instant::now();
-    match disjoint_kcliques::core::partition_all(&loaded.graph, args.k) {
+    match partition_all_par(&loaded.graph, args.k, args.par) {
         Ok(p) => {
             let hist = p.size_histogram();
             eprintln!(

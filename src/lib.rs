@@ -11,6 +11,7 @@
 //!
 //! | Module | Crate | Contents |
 //! |---|---|---|
+//! | [`par`] | `dkc-par` | deterministic scoped parallel executor (`ParConfig`) |
 //! | [`graph`] | `dkc-graph` | CSR/dynamic graphs, orderings, DAGs, edge-list I/O |
 //! | [`clique`] | `dkc-clique` | k-clique listing, counting, node scores, searches |
 //! | [`mis`] | `dkc-mis` | exact branch-and-reduce and greedy MIS |
@@ -53,6 +54,7 @@ pub use dkc_datagen as datagen;
 pub use dkc_dynamic as dynamic;
 pub use dkc_graph as graph;
 pub use dkc_mis as mis;
+pub use dkc_par as par;
 
 /// The most common imports in one place.
 pub mod prelude {
@@ -63,4 +65,5 @@ pub mod prelude {
     };
     pub use dkc_dynamic::DynamicSolver;
     pub use dkc_graph::{CsrGraph, DynGraph, GraphStats, NodeId, OrderingKind};
+    pub use dkc_par::ParConfig;
 }

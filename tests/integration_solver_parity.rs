@@ -14,7 +14,10 @@ fn all_solvers() -> Vec<Box<dyn Solver>> {
         Box::new(GcSolver::new()),
         Box::new(LightweightSolver::l()),
         Box::new(LightweightSolver::lp()),
-        Box::new(OptSolver::new()),
+        // Budgeted OPT: on these small graphs it completes optimally, and on
+        // anything larger it degrades to a structured OOM/OOT error instead
+        // of hanging the suite.
+        Box::new(OptSolver::budgeted()),
         Box::new(GreedyCliqueGraphSolver::default()),
     ]
 }
@@ -42,10 +45,32 @@ fn check_parity_on(g: &CsrGraph, k: usize) {
 
 #[test]
 fn every_solver_matches_or_beats_hg_on_a_social_standin() {
-    // Small enough that OPT's unbudgeted exact MIS search stays fast.
+    // Small enough that OPT's exact MIS search completes within its default
+    // budgets.
     let g = social_standin(26, 95, 11);
     for k in [3, 4] {
         check_parity_on(&g, k);
+    }
+}
+
+#[test]
+fn budgeted_opt_degrades_structurally_beyond_exact_scale() {
+    // Far past the 26-node comfort zone of the exact baseline: budgeted OPT
+    // must either finish (optimally or not) with a valid solution or
+    // surface a structured OOM/OOT error — never hang or panic.
+    let g = social_standin(320, 2_400, 7);
+    let baseline = HgSolver::default().solve(&g, 3).expect("HG must solve");
+    match OptSolver::budgeted().solve(&g, 3) {
+        Ok(s) => {
+            s.verify(&g).expect("OPT solution invalid");
+            assert!(s.len() >= baseline.len(), "exact completion can't be worse than HG");
+        }
+        Err(SolveError::Timeout { partial }) => {
+            // Structured OOT: the partial solution still has to be valid.
+            partial.verify(&g).expect("OOT partial invalid");
+        }
+        Err(SolveError::CliqueGraph(_)) => {} // structured OOM
+        Err(e) => panic!("unexpected failure mode: {e}"),
     }
 }
 
