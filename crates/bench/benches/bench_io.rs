@@ -1,0 +1,54 @@
+//! Ingestion-path comparison: sequential text parse vs parallel chunked
+//! text parse vs binary `.dkcsr` snapshot load, on the same social
+//! stand-in written to disk. This is the measured claim behind the dataset
+//! pipeline: parallel parsing speeds up the first load, the snapshot cache
+//! amortises every load after it (snapshot-load ≪ text-parse).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dkc_datagen::registry::social_standin;
+use dkc_graph::io::{
+    read_edge_list_parallel, read_snapshot_path, write_edge_list_path, write_snapshot_path,
+    LoadedGraph,
+};
+use dkc_par::ParConfig;
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn temp_file(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("dkc_bench_io_{}_{tag}", std::process::id()))
+}
+
+fn bench_io(c: &mut Criterion) {
+    // ~50K nodes / 400K edges: big enough that parse time dominates, small
+    // enough to set up in seconds.
+    let g = social_standin(50_000, 400_000, 42);
+    let text_path = temp_file("graph.txt");
+    let snap_path = temp_file("graph.dkcsr");
+    write_edge_list_path(&g, &text_path).expect("write edge list");
+    write_snapshot_path(&LoadedGraph::identity(g.clone()), &snap_path).expect("write snapshot");
+
+    let mut group = c.benchmark_group("io/standin-50k-400k");
+    group.sample_size(10).warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+
+    for threads in [1usize, 2, 4, 8] {
+        let par = ParConfig::new(threads);
+        group.bench_with_input(BenchmarkId::new("text-parse", threads), &par, |b, &par| {
+            b.iter(|| {
+                let (loaded, _stats) =
+                    read_edge_list_parallel(std::hint::black_box(&text_path), par).unwrap();
+                loaded.graph.num_edges()
+            })
+        });
+    }
+    group.bench_function("snapshot-load", |b| {
+        b.iter(|| read_snapshot_path(std::hint::black_box(&snap_path)).unwrap().graph.num_edges())
+    });
+    group.finish();
+
+    std::fs::remove_file(&text_path).ok();
+    std::fs::remove_file(&snap_path).ok();
+}
+
+criterion_group!(benches, bench_io);
+criterion_main!(benches);

@@ -15,6 +15,10 @@
 //!   --updates N        updates per dynamic workload          (default 2000)
 //!   --opt-timeout-ms N exact-search budget before OOT        (default 10000)
 //!   --max-cliques N    stored-clique budget before OOM       (default 2e7)
+//!   --data-dir D       dataset directory: stand-ins are cached there as
+//!                      .dkcsr snapshots and real edge lists dropped into D
+//!                      are picked up instead of synthetics (default: none,
+//!                      regenerate in memory every run)
 //! ```
 
 use dkc_bench::config::ReproConfig;
@@ -30,7 +34,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: repro <table1|table2|table3|table4|table5|table6|table7|table8|fig6|fig7|ablation|all> \
          [--scale X] [--seed N] [--kmin N] [--kmax N] [--datasets A,B] \
-         [--updates N] [--opt-timeout-ms N] [--max-cliques N]"
+         [--updates N] [--opt-timeout-ms N] [--max-cliques N] [--data-dir D]"
     );
     std::process::exit(2);
 }
@@ -60,6 +64,7 @@ fn parse_args() -> (String, ReproConfig) {
                     Duration::from_millis(value().parse().unwrap_or_else(|_| usage()))
             }
             "--max-cliques" => cfg.max_stored_cliques = value().parse().unwrap_or_else(|_| usage()),
+            "--data-dir" => cfg.data_dir = Some(value().into()),
             _ => usage(),
         }
     }

@@ -1,6 +1,8 @@
 //! Shared configuration of the `repro` experiments.
 
 use dkc_datagen::registry::DatasetId;
+use dkc_datagen::DatasetRegistry;
+use std::path::PathBuf;
 use std::time::Duration;
 
 /// Knobs shared by all experiments. Defaults are sized for a laptop run of
@@ -22,6 +24,11 @@ pub struct ReproConfig {
     pub max_stored_cliques: usize,
     /// Number of updates per dynamic workload (the paper uses 10K).
     pub updates: usize,
+    /// Data directory for the dataset registry (`--data-dir`). `None`
+    /// resolves every dataset in memory (no snapshot cache); `Some(dir)`
+    /// caches stand-ins as `.dkcsr` snapshots under `dir/cache` and picks
+    /// up real edge lists dropped into `dir`.
+    pub data_dir: Option<PathBuf>,
 }
 
 impl Default for ReproConfig {
@@ -34,6 +41,7 @@ impl Default for ReproConfig {
             opt_time_limit: Duration::from_secs(10),
             max_stored_cliques: 20_000_000,
             updates: 2_000,
+            data_dir: None,
         }
     }
 }
@@ -42,6 +50,26 @@ impl ReproConfig {
     /// The dataset list to run over.
     pub fn dataset_list(&self) -> Vec<DatasetId> {
         self.datasets.clone().unwrap_or_else(|| DatasetId::ALL.to_vec())
+    }
+
+    /// The dataset registry every experiment resolves graphs through —
+    /// cache-backed when `--data-dir` is set, in-memory otherwise.
+    pub fn registry(&self) -> DatasetRegistry {
+        match &self.data_dir {
+            Some(dir) => DatasetRegistry::new(dir),
+            None => DatasetRegistry::in_memory(),
+        }
+    }
+
+    /// Resolves one stand-in through `registry` at this config's
+    /// scale/seed, panicking with context on I/O failure (experiments have
+    /// no error channel — a broken data dir should fail loudly).
+    pub fn graph(&self, registry: &DatasetRegistry, id: DatasetId) -> dkc_graph::CsrGraph {
+        registry
+            .resolve_standin(id, self.scale, self.seed)
+            .unwrap_or_else(|e| panic!("resolving dataset {}: {e}", id.name()))
+            .loaded
+            .graph
     }
 
     /// Parses a comma-separated dataset filter (`"FTB,HST"`).

@@ -26,8 +26,9 @@ pub fn run_ordering(cfg: &ReproConfig) -> String {
     let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
     let mut t =
         Table::new("Ablation: HG node ordering (Section IV-A's trade-off, measured)", &headers_ref);
+    let registry = cfg.registry();
     for id in cfg.dataset_list() {
-        let g = id.standin(cfg.scale, cfg.seed);
+        let g = cfg.graph(&registry, id);
         for (name, kind) in orderings {
             let mut row = vec![id.name().to_string(), name.to_string()];
             for &k in &cfg.ks {
@@ -60,8 +61,9 @@ pub fn run_pruning_and_scores(cfg: &ReproConfig) -> String {
         "Ablation: score-driven pruning (L vs LP) and score vs true clique-graph degree",
         &headers_ref,
     );
+    let registry = cfg.registry();
     for id in cfg.dataset_list() {
-        let g = id.standin(cfg.scale, cfg.seed);
+        let g = cfg.graph(&registry, id);
         let mut row = vec![id.name().to_string()];
         for &k in &cfg.ks {
             let (l_res, l_time) = timed(|| LightweightSolver::l().solve(&g, k));

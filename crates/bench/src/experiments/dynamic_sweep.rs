@@ -27,8 +27,9 @@ pub struct DynamicResults {
 pub fn run_sweep(cfg: &ReproConfig) -> DynamicResults {
     let mut cells = HashMap::new();
     let mut names = Vec::new();
+    let registry = cfg.registry();
     for id in cfg.dataset_list() {
-        let g = id.standin(cfg.scale, cfg.seed);
+        let g = cfg.graph(&registry, id);
         names.push(id.name().to_string());
         for &k in &cfg.ks {
             // The paper clamps workload sizes on the small graphs.

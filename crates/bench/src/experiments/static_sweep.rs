@@ -60,9 +60,10 @@ fn run_cell(solver: &dyn Solver, g: &CsrGraph, k: usize) -> CellOutcome {
 /// Runs the full sweep.
 pub fn run_sweep(cfg: &ReproConfig) -> SweepResults {
     let datasets = cfg.dataset_list();
+    let registry = cfg.registry();
     let mut cells = HashMap::new();
     for &id in &datasets {
-        let g = id.standin(cfg.scale, cfg.seed);
+        let g = cfg.graph(&registry, id);
         for &k in &cfg.ks {
             let opt = OptSolver::with_budgets(
                 CliqueGraphLimits {

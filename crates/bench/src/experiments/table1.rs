@@ -7,14 +7,15 @@ use dkc_clique::count_kcliques_parallel;
 use dkc_graph::{Dag, NodeOrder, OrderingKind};
 use dkc_par::ParConfig;
 
-/// Generates every stand-in and counts its k-cliques.
+/// Resolves every dataset through the registry and counts its k-cliques.
 pub fn run(cfg: &ReproConfig) -> String {
     let mut table = Table::new(
         format!("Table I: dataset statistics (stand-ins, scale={}, seed={})", cfg.scale, cfg.seed),
         &["Name", "n", "m", "k=3", "k=4", "k=5", "k=6", "gen+count ms"],
     );
+    let registry = cfg.registry();
     for id in cfg.dataset_list() {
-        let g = id.standin(cfg.scale, cfg.seed);
+        let g = cfg.graph(&registry, id);
         let (counts, elapsed) = timed(|| {
             let dag = Dag::from_graph(&g, NodeOrder::compute(&g, OrderingKind::Degeneracy));
             let par = ParConfig::default();
@@ -29,7 +30,9 @@ pub fn run(cfg: &ReproConfig) -> String {
         row.push(format!("{:.0}", elapsed.as_secs_f64() * 1e3));
         table.add_row(row);
     }
-    table.render()
+    // Greppable resolution footer: the CI io-smoke step asserts that a
+    // second cached run reports synthetic-builds=0.
+    format!("{}(dataset resolution: {})\n", table.render(), registry.stats_line())
 }
 
 #[cfg(test)]
@@ -49,5 +52,24 @@ mod tests {
         assert!(text.contains("FTB"));
         assert!(!text.contains("HST"));
         assert!(text.contains("Table I"));
+        assert!(text.contains("synthetic-builds=1"), "in-memory run regenerates: {text}");
+    }
+
+    #[test]
+    fn cached_rerun_does_not_regenerate() {
+        let dir = std::env::temp_dir().join(format!("dkc_table1_cache_{}", std::process::id()));
+        let cfg = ReproConfig {
+            scale: 0.5,
+            datasets: Some(vec![DatasetId::Ftb]),
+            ks: vec![3],
+            data_dir: Some(dir.clone()),
+            ..Default::default()
+        };
+        let first = run(&cfg);
+        assert!(first.contains("synthetic-builds=1 cache-writes=1"), "{first}");
+        let second = run(&cfg);
+        assert!(second.contains("snapshot-hits=1"), "{second}");
+        assert!(second.contains("synthetic-builds=0"), "{second}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -19,8 +19,13 @@ pub fn run(cfg: &ReproConfig) -> String {
     let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
     let mut t =
         Table::new("Table IV: comparison with the exact solution (ER = error ratio)", &headers_ref);
+    let registry = cfg.registry();
     for id in TinyDatasetId::ALL {
-        let g = id.standin(cfg.seed);
+        let g = registry
+            .resolve_tiny(id, cfg.seed)
+            .unwrap_or_else(|e| panic!("resolving dataset {}: {e}", id.name()))
+            .loaded
+            .graph;
         let mut row =
             vec![id.name().to_string(), g.num_nodes().to_string(), g.num_edges().to_string()];
         for &k in &cfg.ks {

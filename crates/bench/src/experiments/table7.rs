@@ -19,8 +19,9 @@ pub fn run(cfg: &ReproConfig) -> String {
     }
     let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
     let mut t = Table::new("Table VII: indexing time and index size", &headers_ref);
+    let registry = cfg.registry();
     for id in cfg.dataset_list() {
-        let g = id.standin(cfg.scale, cfg.seed);
+        let g = cfg.graph(&registry, id);
         let mut times = Vec::new();
         let mut sizes = Vec::new();
         for &k in &cfg.ks {

@@ -20,6 +20,11 @@
 //!   truth, for correctness and quality testing.
 //! * [`workload`] — edge-update streams (Section VI-E's deletion /
 //!   insertion / mixed workloads).
+//!
+//! [`dataset::DatasetRegistry`] ties the stand-ins to the `dkc-graph`
+//! ingestion layer: it resolves a dataset name through binary snapshot
+//! cache → user-supplied text file → synthetic stand-in (with cache
+//! write-back), so repeated experiment runs stop regenerating graphs.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -27,11 +32,14 @@
 mod ba;
 mod caveman;
 mod chunglu;
+pub mod dataset;
 mod er;
 mod planted;
 pub mod registry;
 pub mod workload;
 mod ws;
+
+pub use dataset::{DatasetRegistry, RegistryStats, ResolvedDataset, ResolvedFrom};
 
 pub use ba::barabasi_albert;
 pub use caveman::relaxed_caveman;

@@ -70,9 +70,68 @@ impl CsrGraph {
         Ok(g)
     }
 
+    /// Rebuilds a graph from pre-built CSR arrays, as produced by
+    /// [`CsrGraph::offsets`] / [`CsrGraph::adjacency`] (the binary snapshot
+    /// path). Every structural invariant is re-validated in `O(n + m log d)`
+    /// — monotone offsets, sorted duplicate-free neighbour lists, no
+    /// self-loops, in-range ids and symmetry — so untrusted input can never
+    /// produce a malformed graph.
+    pub fn from_raw_parts(offsets: Vec<usize>, neighbors: Vec<NodeId>) -> Result<Self, GraphError> {
+        let invalid = |message: String| GraphError::InvalidCsr { message };
+        if offsets.first() != Some(&0) {
+            return Err(invalid("offsets must start with 0".into()));
+        }
+        if *offsets.last().expect("non-empty") != neighbors.len() {
+            return Err(invalid(format!(
+                "last offset {} != neighbour array length {}",
+                offsets.last().unwrap(),
+                neighbors.len()
+            )));
+        }
+        if offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err(invalid("offsets must be non-decreasing".into()));
+        }
+        let n = offsets.len() - 1;
+        let g = CsrGraph { offsets, neighbors };
+        for u in 0..n as NodeId {
+            let list = g.neighbors(u);
+            if list.windows(2).any(|w| w[0] >= w[1]) {
+                return Err(invalid(format!("neighbour list of {u} not strictly sorted")));
+            }
+            if let Some(&v) = list.last() {
+                if v as usize >= n {
+                    return Err(GraphError::NodeOutOfRange { node: v as u64, num_nodes: n });
+                }
+            }
+            if list.binary_search(&u).is_ok() {
+                return Err(invalid(format!("self-loop on node {u}")));
+            }
+            // Check symmetry once per undirected edge (u < v side).
+            for &v in list.iter().filter(|&&v| v > u) {
+                if g.neighbors(v).binary_search(&u).is_err() {
+                    return Err(invalid(format!("edge ({u}, {v}) has no reverse entry")));
+                }
+            }
+        }
+        Ok(g)
+    }
+
     /// The empty graph on zero nodes.
     pub fn empty() -> Self {
         CsrGraph { offsets: vec![0], neighbors: Vec::new() }
+    }
+
+    /// The raw CSR offset array (length `n + 1`), for serialisation.
+    #[inline]
+    pub fn offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
+    /// The raw concatenated neighbour array (length `2m`), for
+    /// serialisation. Per-node slices are exposed by [`CsrGraph::neighbors`].
+    #[inline]
+    pub fn adjacency(&self) -> &[NodeId] {
+        &self.neighbors
     }
 
     /// Number of nodes `n`.
@@ -242,6 +301,40 @@ mod tests {
         assert_eq!(g.common_neighbor_count(0, 2), 1); // node 1
         assert_eq!(g.common_neighbor_count(0, 3), 1); // node 2
         assert_eq!(g.common_neighbor_count(1, 3), 1); // node 2
+    }
+
+    #[test]
+    fn raw_parts_roundtrip() {
+        let g = triangle_plus_pendant();
+        let back = CsrGraph::from_raw_parts(g.offsets().to_vec(), g.adjacency().to_vec()).unwrap();
+        assert_eq!(g, back);
+        assert_eq!(CsrGraph::from_raw_parts(vec![0], vec![]).unwrap(), CsrGraph::empty());
+    }
+
+    #[test]
+    fn raw_parts_validation_rejects_malformed_arrays() {
+        // Empty offsets.
+        assert!(CsrGraph::from_raw_parts(vec![], vec![]).is_err());
+        // First offset non-zero.
+        assert!(CsrGraph::from_raw_parts(vec![1, 2], vec![0, 0]).is_err());
+        // Last offset disagrees with neighbour length.
+        assert!(CsrGraph::from_raw_parts(vec![0, 1], vec![]).is_err());
+        // Non-monotone offsets.
+        assert!(CsrGraph::from_raw_parts(vec![0, 2, 1, 2], vec![1, 0]).is_err());
+        // Unsorted neighbour list.
+        assert!(CsrGraph::from_raw_parts(vec![0, 2, 3, 4], vec![2, 1, 0, 0]).is_err());
+        // Self-loop.
+        assert!(CsrGraph::from_raw_parts(vec![0, 1, 2], vec![0, 0]).is_err());
+        // Out-of-range id.
+        assert!(CsrGraph::from_raw_parts(vec![0, 1, 2], vec![1, 9]).is_err());
+        // Asymmetric adjacency: 0 lists 1 but 1 lists nothing back.
+        assert!(CsrGraph::from_raw_parts(vec![0, 1, 1], vec![1]).is_err());
+        for bad in [
+            CsrGraph::from_raw_parts(vec![0, 2, 1, 2], vec![1, 0]).unwrap_err(),
+            CsrGraph::from_raw_parts(vec![0, 1, 1], vec![1]).unwrap_err(),
+        ] {
+            assert!(matches!(bad, GraphError::InvalidCsr { .. }), "unexpected: {bad}");
+        }
     }
 
     #[test]

@@ -17,8 +17,70 @@ pub enum GraphError {
         /// Human-readable description of the problem.
         message: String,
     },
+    /// Raw CSR arrays violated a structural invariant (offsets not
+    /// monotone, neighbour lists unsorted/asymmetric, self-loops, …).
+    InvalidCsr {
+        /// Human-readable description of the violated invariant.
+        message: String,
+    },
+    /// A binary `.dkcsr` snapshot was rejected before any graph was built.
+    Snapshot(SnapshotError),
     /// An underlying I/O failure.
     Io(std::io::Error),
+}
+
+/// The ways a binary CSR snapshot can be rejected. Every variant is
+/// detected *before* a graph is handed to the caller, so a corrupted cache
+/// file can never produce a silently wrong graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The file does not start with the `.dkcsr` magic bytes.
+    BadMagic,
+    /// The format version is newer than this build understands.
+    UnsupportedVersion {
+        /// Version number found in the header.
+        found: u32,
+    },
+    /// The file ended before the header-declared payload was complete.
+    Truncated {
+        /// Bytes the header promised.
+        expected: u64,
+        /// Bytes actually present.
+        actual: u64,
+    },
+    /// The payload checksum does not match the header.
+    ChecksumMismatch {
+        /// Checksum stored in the header.
+        stored: u64,
+        /// Checksum computed over the payload that was read.
+        computed: u64,
+    },
+    /// A header field or section is internally inconsistent.
+    Corrupt {
+        /// Human-readable description of the inconsistency.
+        message: String,
+    },
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::BadMagic => write!(f, "not a .dkcsr snapshot (bad magic)"),
+            SnapshotError::UnsupportedVersion { found } => {
+                write!(f, "unsupported snapshot version {found}")
+            }
+            SnapshotError::Truncated { expected, actual } => {
+                write!(f, "snapshot truncated: expected {expected} payload bytes, got {actual}")
+            }
+            SnapshotError::ChecksumMismatch { stored, computed } => {
+                write!(
+                    f,
+                    "snapshot checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"
+                )
+            }
+            SnapshotError::Corrupt { message } => write!(f, "snapshot corrupt: {message}"),
+        }
+    }
 }
 
 impl fmt::Display for GraphError {
@@ -30,6 +92,8 @@ impl fmt::Display for GraphError {
             GraphError::Parse { line, message } => {
                 write!(f, "edge list parse error on line {line}: {message}")
             }
+            GraphError::InvalidCsr { message } => write!(f, "invalid CSR arrays: {message}"),
+            GraphError::Snapshot(e) => write!(f, "{e}"),
             GraphError::Io(e) => write!(f, "I/O error: {e}"),
         }
     }
@@ -41,6 +105,12 @@ impl std::error::Error for GraphError {
             GraphError::Io(e) => Some(e),
             _ => None,
         }
+    }
+}
+
+impl From<SnapshotError> for GraphError {
+    fn from(e: SnapshotError) -> Self {
+        GraphError::Snapshot(e)
     }
 }
 
@@ -63,6 +133,20 @@ mod tests {
         let e = GraphError::Parse { line: 3, message: "bad token".into() };
         assert!(e.to_string().contains("line 3"));
         assert!(e.to_string().contains("bad token"));
+    }
+
+    #[test]
+    fn snapshot_errors_are_informative() {
+        let e = GraphError::from(SnapshotError::UnsupportedVersion { found: 9 });
+        assert!(e.to_string().contains("version 9"));
+        let e = GraphError::from(SnapshotError::Truncated { expected: 100, actual: 7 });
+        assert!(e.to_string().contains("100"));
+        assert!(e.to_string().contains('7'));
+        let e = GraphError::from(SnapshotError::ChecksumMismatch { stored: 1, computed: 2 });
+        assert!(e.to_string().contains("checksum"));
+        let e = GraphError::InvalidCsr { message: "offsets not monotone".into() };
+        assert!(e.to_string().contains("monotone"));
+        assert!(GraphError::from(SnapshotError::BadMagic).to_string().contains("magic"));
     }
 
     #[test]

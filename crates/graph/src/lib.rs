@@ -16,8 +16,10 @@
 //!   node with the *larger* order value to the node with the *smaller* one,
 //!   i.e. `v ∈ N⁺(u)` implies `η(v) < η(u)`. Every k-clique is therefore
 //!   enumerated exactly once, rooted at its highest-ranked member.
-//! * [`io`] — plain-text edge-list reading/writing compatible with the
-//!   KONECT / Network-Repository formats used by the paper's datasets.
+//! * [`io`] — layered graph ingestion: a chunked parallel text edge-list
+//!   parser compatible with the KONECT / Network-Repository formats, a
+//!   versioned checksummed binary CSR snapshot format (`.dkcsr`), and a
+//!   format-detecting loader ([`io::load_graph`]).
 //!
 //! Node identifiers are dense `u32` values in `0..n`. The graph is simple:
 //! self-loops are dropped and parallel edges de-duplicated at construction.
@@ -41,7 +43,7 @@ pub use components::{connected_components, Components};
 pub use csr::CsrGraph;
 pub use dag::Dag;
 pub use dynamic::DynGraph;
-pub use error::GraphError;
+pub use error::{GraphError, SnapshotError};
 pub use order::{degeneracy_removal_order, greedy_coloring, NodeOrder, OrderingKind};
 pub use stats::GraphStats;
 pub use subgraph::InducedSubgraph;

@@ -2,7 +2,11 @@
 
 use std::collections::HashSet;
 
-use dkc_graph::{CsrGraph, Dag, DynGraph, NodeOrder, OrderingKind};
+use dkc_graph::io::{
+    parse_edge_list, parse_edge_list_chunked, read_snapshot, write_snapshot, LoadedGraph,
+};
+use dkc_graph::{CsrGraph, Dag, DynGraph, GraphError, NodeOrder, OrderingKind, SnapshotError};
+use dkc_par::ParConfig;
 use proptest::prelude::*;
 
 /// Strategy: a random edge set over up to `n` nodes.
@@ -109,5 +113,133 @@ proptest! {
         let g = CsrGraph::from_edges(n as usize, edges).unwrap();
         let round = DynGraph::from_csr(&g).to_csr();
         prop_assert_eq!(g, round);
+    }
+}
+
+/// Renders an edge list text with sparse labels, comments, and self-loops
+/// preserved as written — the adversarial input for the parser tests.
+fn render_text(edges: &[(u32, u32)], label_stride: u64) -> String {
+    let mut text = String::from("% generated header\n# second comment\n");
+    for (i, &(a, b)) in edges.iter().enumerate() {
+        if i % 7 == 3 {
+            text.push_str("// interleaved comment\n");
+        }
+        text.push_str(&format!(
+            "{} {}\n",
+            a as u64 * label_stride + 1,
+            b as u64 * label_stride + 1
+        ));
+    }
+    text
+}
+
+proptest! {
+    /// text → CSR → snapshot → CSR round-trips nodes, edges, and labels
+    /// exactly, with identical O(1) label lookups.
+    #[test]
+    fn text_snapshot_roundtrip_is_exact(
+        (n, edges) in edges_strategy(40, 120),
+        stride in 1u64..1000,
+    ) {
+        let _ = n;
+        let text = render_text(&edges, stride);
+        let (loaded, stats) = parse_edge_list(text.as_bytes(), ParConfig::sequential()).unwrap();
+        let expect_self_loops = edges.iter().filter(|(a, b)| a == b).count();
+        prop_assert_eq!(stats.self_loops, expect_self_loops);
+
+        let mut buf = Vec::new();
+        write_snapshot(&loaded, &mut buf).unwrap();
+        let back = read_snapshot(&buf[..]).unwrap();
+        prop_assert_eq!(&back.graph, &loaded.graph);
+        prop_assert_eq!(&back.labels, &loaded.labels);
+        for &l in &loaded.labels {
+            prop_assert_eq!(back.node_for_label(l), loaded.node_for_label(l));
+        }
+        prop_assert_eq!(back.node_for_label(u64::MAX), None);
+    }
+
+    /// Parallel chunked parsing is bit-identical to sequential parsing —
+    /// same CSR, same label mapping, same stats — across thread counts and
+    /// pathological chunk sizes.
+    #[test]
+    fn parallel_parse_equals_sequential_parse(
+        (n, edges) in edges_strategy(40, 150),
+        threads_idx in 0usize..3,
+        chunk_idx in 0usize..4,
+    ) {
+        let _ = n;
+        // The DKC_THREADS CI matrix covers the env-default path; sweep the
+        // explicit thread counts {1, 2, 8} here.
+        let threads = [1usize, 2, 8][threads_idx];
+        let chunk_bytes = [1usize, 13, 255, 1 << 20][chunk_idx];
+        let text = render_text(&edges, 3);
+        let (seq, seq_stats) = parse_edge_list(text.as_bytes(), ParConfig::sequential()).unwrap();
+        let (par, par_stats) =
+            parse_edge_list_chunked(text.as_bytes(), ParConfig::new(threads), chunk_bytes)
+                .unwrap();
+        prop_assert_eq!(par.graph, seq.graph, "threads={} chunk={}", threads, chunk_bytes);
+        prop_assert_eq!(par.labels, seq.labels);
+        prop_assert_eq!(par_stats.lines, seq_stats.lines);
+        prop_assert_eq!(par_stats.comment_lines, seq_stats.comment_lines);
+        prop_assert_eq!(par_stats.edge_records, seq_stats.edge_records);
+        prop_assert_eq!(par_stats.self_loops, seq_stats.self_loops);
+    }
+
+    /// Any single corruption of a snapshot — truncation, payload bit flip,
+    /// or version skew — yields a structured error, never a graph.
+    #[test]
+    fn damaged_snapshots_yield_structured_errors(
+        (n, edges) in edges_strategy(30, 90),
+        damage_seed in 0usize..10_000,
+        mode in 0u8..3,
+    ) {
+        let g = CsrGraph::from_edges(n as usize, edges).unwrap();
+        let loaded = LoadedGraph::identity(g);
+        let mut buf = Vec::new();
+        write_snapshot(&loaded, &mut buf).unwrap();
+        match mode {
+            0 => {
+                // Truncate somewhere strictly inside the file.
+                let cut = damage_seed % buf.len();
+                let err = read_snapshot(&buf[..cut]).unwrap_err();
+                prop_assert!(
+                    matches!(
+                        err,
+                        GraphError::Snapshot(
+                            SnapshotError::Truncated { .. } | SnapshotError::BadMagic
+                        )
+                    ),
+                    "cut={}: {}", cut, err
+                );
+            }
+            1 => {
+                // Flip one payload byte: checksum must catch it.
+                if buf.len() > 48 {
+                    let idx = 48 + damage_seed % (buf.len() - 48);
+                    buf[idx] ^= 1 << (damage_seed % 8);
+                    let err = read_snapshot(&buf[..]).unwrap_err();
+                    prop_assert!(
+                        matches!(
+                            err,
+                            GraphError::Snapshot(SnapshotError::ChecksumMismatch { .. })
+                        ),
+                        "idx={}: {}", idx, err
+                    );
+                }
+            }
+            _ => {
+                // Unknown future version.
+                let v = 2 + (damage_seed as u32 % 1000);
+                buf[8..12].copy_from_slice(&v.to_le_bytes());
+                let err = read_snapshot(&buf[..]).unwrap_err();
+                prop_assert!(
+                    matches!(
+                        err,
+                        GraphError::Snapshot(SnapshotError::UnsupportedVersion { found }) if found == v
+                    ),
+                    "{}", err
+                );
+            }
+        }
     }
 }

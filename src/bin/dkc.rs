@@ -1,20 +1,32 @@
 //! `dkc` — command-line front end for the disjoint k-clique toolkit.
 //!
 //! ```text
-//! dkc stats     <edgelist> [--kmax K] [--threads N]            graph statistics + k-clique counts
-//! dkc solve     <edgelist> --k K [--algo A] [--threads N]      maximal disjoint k-clique set
-//! dkc partition <edgelist> --k K [--threads N]                 assign EVERY node to a group (≤ K)
+//! dkc stats     <graph> [--kmax K] [--threads N]            graph statistics + k-clique counts
+//! dkc solve     <graph> --k K [--algo A] [--threads N]      maximal disjoint k-clique set
+//! dkc partition <graph> --k K [--threads N]                 assign EVERY node to a group (≤ K)
+//! dkc convert   <in> <out> [--threads N]                    text ⇄ binary .dkcsr snapshot
+//! dkc gen       <dataset> <out> [--scale X] [--seed N]      write a stand-in as an edge list
+//! dkc cache     <dataset> --data-dir D [--scale X] [--seed N]  warm the snapshot cache
 //! ```
 //!
-//! `--threads` defaults to the available parallelism (or the `DKC_THREADS`
-//! environment variable when set); every parallel phase is deterministic,
-//! so the output is identical for any thread count. Edge lists are
-//! KONECT-style text files (`u v` per line, `%`/`#` comments, arbitrary
-//! integer labels). Output uses the file's original labels.
+//! `<graph>` accepts either format — KONECT-style text edge lists (`u v`
+//! per line, `%`/`#` comments, arbitrary integer labels) or binary
+//! `.dkcsr` snapshots — detected by content, not extension. `convert`
+//! writes a snapshot when `<out>` ends in `.dkcsr` and a labelled edge
+//! list otherwise, so both directions round-trip. `--threads` defaults to
+//! the available parallelism (or the `DKC_THREADS` environment variable
+//! when set); every parallel phase, text parsing included, is
+//! deterministic, so the output is identical for any thread count. Output
+//! uses the input file's original labels.
 
 use disjoint_kcliques::clique::count_kcliques_parallel;
 use disjoint_kcliques::core::{partition_all_par, GcSolver, GreedyCliqueGraphSolver, OptSolver};
-use disjoint_kcliques::graph::io::{read_edge_list, LoadedGraph};
+use disjoint_kcliques::datagen::registry::DatasetId;
+use disjoint_kcliques::datagen::DatasetRegistry;
+use disjoint_kcliques::graph::io::{
+    load_graph, write_edge_list_labeled, write_edge_list_path, write_snapshot_path, LoadReport,
+    LoadedGraph,
+};
 use disjoint_kcliques::graph::{Dag, NodeOrder};
 use disjoint_kcliques::par::ParConfig;
 use disjoint_kcliques::prelude::*;
@@ -22,7 +34,7 @@ use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  dkc stats <edgelist> [--kmax K] [--threads N]\n  dkc solve <edgelist> --k K [--algo hg|gc|l|lp|opt|greedy-cg] [--threads N]\n  dkc partition <edgelist> --k K [--threads N]\n\n--threads defaults to the available parallelism (env DKC_THREADS overrides);\nresults are identical for any thread count."
+        "usage:\n  dkc stats <graph> [--kmax K] [--threads N]\n  dkc solve <graph> --k K [--algo hg|gc|l|lp|opt|greedy-cg] [--threads N]\n  dkc partition <graph> --k K [--threads N]\n  dkc convert <in> <out> [--threads N]\n  dkc gen <dataset> <out> [--scale X] [--seed N]\n  dkc cache <dataset> --data-dir D [--scale X] [--seed N] [--threads N]\n\n<graph> is a KONECT-style edge list or a binary .dkcsr snapshot (detected\nby content). --threads defaults to the available parallelism (env\nDKC_THREADS overrides); results are identical for any thread count."
     );
     std::process::exit(2);
 }
@@ -30,9 +42,13 @@ fn usage() -> ! {
 struct Args {
     command: String,
     path: String,
+    out: Option<String>,
     k: usize,
     kmax: usize,
     algo: String,
+    scale: f64,
+    seed: u64,
+    data_dir: Option<String>,
     par: ParConfig,
 }
 
@@ -40,14 +56,34 @@ fn parse_args() -> Args {
     let mut it = std::env::args().skip(1);
     let Some(command) = it.next() else { usage() };
     let Some(path) = it.next() else { usage() };
-    let mut args =
-        Args { command, path, k: 0, kmax: 6, algo: "lp".into(), par: ParConfig::default() };
+    let mut args = Args {
+        command,
+        path,
+        out: None,
+        k: 0,
+        kmax: 6,
+        algo: "lp".into(),
+        scale: 1.0,
+        seed: 42,
+        data_dir: None,
+        par: ParConfig::default(),
+    };
+    // `convert` and `gen` take a second positional argument.
+    let takes_out = matches!(args.command.as_str(), "convert" | "gen");
+    let mut positional_out = None;
     while let Some(flag) = it.next() {
+        if !flag.starts_with("--") && takes_out && positional_out.is_none() {
+            positional_out = Some(flag);
+            continue;
+        }
         let mut value = || it.next().unwrap_or_else(|| usage());
         match flag.as_str() {
             "--k" => args.k = value().parse().unwrap_or_else(|_| usage()),
             "--kmax" => args.kmax = value().parse().unwrap_or_else(|_| usage()),
             "--algo" => args.algo = value().to_ascii_lowercase(),
+            "--scale" => args.scale = value().parse().unwrap_or_else(|_| usage()),
+            "--seed" => args.seed = value().parse().unwrap_or_else(|_| usage()),
+            "--data-dir" => args.data_dir = Some(value()),
             "--threads" => {
                 let threads: usize = value().parse().unwrap_or_else(|_| usage());
                 if threads == 0 {
@@ -58,15 +94,28 @@ fn parse_args() -> Args {
             _ => usage(),
         }
     }
+    args.out = positional_out;
     args
 }
 
-fn load(path: &str) -> LoadedGraph {
-    match read_edge_list(path) {
+fn load(path: &str, par: ParConfig) -> (LoadedGraph, LoadReport) {
+    match load_graph(path, par) {
         Ok(l) => l,
         Err(e) => {
             eprintln!("failed to load {path}: {e}");
             std::process::exit(1);
+        }
+    }
+}
+
+fn dataset_for(name: &str) -> DatasetId {
+    let upper = name.to_ascii_uppercase();
+    match DatasetId::ALL.into_iter().find(|d| d.name() == upper) {
+        Some(id) => id,
+        None => {
+            let names: Vec<&str> = DatasetId::ALL.iter().map(|d| d.name()).collect();
+            eprintln!("unknown dataset {name:?} (try one of {})", names.join("|"));
+            std::process::exit(2);
         }
     }
 }
@@ -94,13 +143,20 @@ fn main() {
         "stats" => cmd_stats(&args),
         "solve" => cmd_solve(&args),
         "partition" => cmd_partition(&args),
+        "convert" => cmd_convert(&args),
+        "gen" => cmd_gen(&args),
+        "cache" => cmd_cache(&args),
         _ => usage(),
     }
 }
 
 fn cmd_stats(args: &Args) {
-    let loaded = load(&args.path);
+    let (loaded, report) = load(&args.path, args.par);
     let g = &loaded.graph;
+    // Load-path provenance first: which format served this graph, how long
+    // the load took, and (for text) what the parser saw — so ingestion
+    // regressions are visible from the CLI.
+    println!("load: {report}");
     println!("{}", GraphStats::of(g));
     let dag = Dag::from_graph(g, NodeOrder::compute(g, OrderingKind::Degeneracy));
     for k in 3..=args.kmax {
@@ -114,7 +170,8 @@ fn cmd_solve(args: &Args) {
     if args.k == 0 {
         usage();
     }
-    let loaded = load(&args.path);
+    let (loaded, report) = load(&args.path, args.par);
+    eprintln!("# load: {report}");
     let solver = solver_for(&args.algo, args.par);
     let t = Instant::now();
     match solver.solve(&loaded.graph, args.k) {
@@ -144,7 +201,8 @@ fn cmd_partition(args: &Args) {
     if args.k == 0 {
         usage();
     }
-    let loaded = load(&args.path);
+    let (loaded, report) = load(&args.path, args.par);
+    eprintln!("# load: {report}");
     let t = Instant::now();
     match partition_all_par(&loaded.graph, args.k, args.par) {
         Ok(p) => {
@@ -163,6 +221,75 @@ fn cmd_partition(args: &Args) {
         }
         Err(e) => {
             eprintln!("partition failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn cmd_convert(args: &Args) {
+    let Some(out) = &args.out else { usage() };
+    let (loaded, report) = load(&args.path, args.par);
+    eprintln!("# load: {report}");
+    let t = Instant::now();
+    let result = if out.ends_with(".dkcsr") {
+        write_snapshot_path(&loaded, out)
+    } else {
+        std::fs::File::create(out)
+            .map_err(Into::into)
+            .and_then(|f| write_edge_list_labeled(&loaded, f))
+    };
+    match result {
+        Ok(()) => eprintln!(
+            "# wrote {out} ({} nodes, {} edges, {:.1} ms)",
+            loaded.graph.num_nodes(),
+            loaded.graph.num_edges(),
+            t.elapsed().as_secs_f64() * 1e3
+        ),
+        Err(e) => {
+            eprintln!("failed to write {out}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn cmd_gen(args: &Args) {
+    let Some(out) = &args.out else { usage() };
+    let id = dataset_for(&args.path);
+    let g = id.standin(args.scale, args.seed);
+    match write_edge_list_path(&g, out) {
+        Ok(()) => eprintln!(
+            "# wrote {out}: {} stand-in at scale {} seed {} ({} nodes, {} edges)",
+            id.name(),
+            args.scale,
+            args.seed,
+            g.num_nodes(),
+            g.num_edges()
+        ),
+        Err(e) => {
+            eprintln!("failed to write {out}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn cmd_cache(args: &Args) {
+    let Some(dir) = &args.data_dir else { usage() };
+    let id = dataset_for(&args.path);
+    let registry = DatasetRegistry::new(dir).with_par(args.par);
+    match registry.resolve_standin(id, args.scale, args.seed) {
+        Ok(resolved) => {
+            eprintln!(
+                "# {} resolved from {} in {:.1} ms ({} nodes, {} edges); {}",
+                id.name(),
+                resolved.from,
+                resolved.elapsed.as_secs_f64() * 1e3,
+                resolved.loaded.graph.num_nodes(),
+                resolved.loaded.graph.num_edges(),
+                registry.stats_line()
+            );
+        }
+        Err(e) => {
+            eprintln!("cache failed: {e}");
             std::process::exit(1);
         }
     }

@@ -1,8 +1,13 @@
-//! Edge-list I/O round-trips feeding the solvers — the path a user takes
-//! with a real KONECT download.
+//! Graph ingestion round-trips feeding the solvers — the paths a user
+//! takes with a real KONECT download: text parse, snapshot cache, and the
+//! registry resolution chain.
 
 use disjoint_kcliques::datagen::registry::social_standin;
-use disjoint_kcliques::graph::io::{read_edge_list, read_edge_list_str, write_edge_list_path};
+use disjoint_kcliques::datagen::{DatasetRegistry, ResolvedFrom};
+use disjoint_kcliques::graph::io::{
+    load_graph, read_edge_list, read_edge_list_parallel, read_edge_list_str, write_edge_list_path,
+    write_snapshot_path, LoadSource,
+};
 use disjoint_kcliques::prelude::*;
 
 #[test]
@@ -52,4 +57,60 @@ fn malformed_files_fail_loudly_not_silently() {
     assert!(read_edge_list_str("3\n").is_err());
     let missing = read_edge_list(std::path::Path::new("/definitely/not/here.txt"));
     assert!(missing.is_err());
+}
+
+/// The full pipeline a cached dataset takes: text file → parallel parse →
+/// snapshot write → auto-detected snapshot load — with identical solver
+/// results at every stage.
+#[test]
+fn text_and_snapshot_paths_solve_identically() {
+    let g = social_standin(800, 5000, 91);
+    let dir = std::env::temp_dir();
+    let text_path = dir.join(format!("dkc_pipeline_{}.txt", std::process::id()));
+    let snap_path = dir.join(format!("dkc_pipeline_{}.dkcsr", std::process::id()));
+    write_edge_list_path(&g, &text_path).unwrap();
+
+    let (from_text, stats) = read_edge_list_parallel(&text_path, ParConfig::new(4)).unwrap();
+    assert_eq!(stats.self_loops, 0);
+    assert_eq!(stats.edge_records, g.num_edges());
+    write_snapshot_path(&from_text, &snap_path).unwrap();
+
+    let (auto_text, report_text) = load_graph(&text_path, ParConfig::new(2)).unwrap();
+    let (auto_snap, report_snap) = load_graph(&snap_path, ParConfig::new(2)).unwrap();
+    std::fs::remove_file(&text_path).ok();
+    std::fs::remove_file(&snap_path).ok();
+
+    assert_eq!(report_text.source, LoadSource::Text);
+    assert_eq!(report_snap.source, LoadSource::Snapshot);
+    assert_eq!(auto_text.graph, from_text.graph);
+    assert_eq!(auto_snap.graph, from_text.graph, "snapshot must decode to the same CSR");
+    assert_eq!(auto_snap.labels, from_text.labels, "snapshot must decode to the same labels");
+
+    let a = LightweightSolver::lp().solve(&auto_text.graph, 3).unwrap();
+    let b = LightweightSolver::lp().solve(&auto_snap.graph, 3).unwrap();
+    assert_eq!(a.cliques(), b.cliques(), "identical graph ⇒ identical solution");
+    a.verify(&auto_text.graph).unwrap();
+}
+
+/// Registry resolution chain end-to-end: a user-supplied edge list wins
+/// over the synthetic stand-in, gets cached as a snapshot, and the cached
+/// copy solves identically.
+#[test]
+fn registry_resolution_preserves_solver_results() {
+    let dir = std::env::temp_dir().join(format!("dkc_int_registry_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let g = social_standin(400, 2400, 33);
+    write_edge_list_path(&g, dir.join("custom.txt")).unwrap();
+
+    let registry = DatasetRegistry::new(&dir);
+    let first = registry.resolve("custom", || panic!("text file must win")).unwrap();
+    assert_eq!(first.from, ResolvedFrom::TextFile);
+    let second = registry.resolve("custom", || panic!("cache must win")).unwrap();
+    assert_eq!(second.from, ResolvedFrom::SnapshotCache);
+    assert_eq!(first.loaded.graph, second.loaded.graph);
+
+    let a = LightweightSolver::lp().solve(&first.loaded.graph, 4).unwrap();
+    let b = LightweightSolver::lp().solve(&second.loaded.graph, 4).unwrap();
+    assert_eq!(a.cliques(), b.cliques());
+    std::fs::remove_dir_all(&dir).ok();
 }
