@@ -2,7 +2,7 @@
 //! and the score-driven pruning rule (L vs LP).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dkc_core::{HgSolver, LightweightSolver, Solver};
+use dkc_core::{Algo, Engine, SolveRequest};
 use dkc_datagen::registry::DatasetId;
 use dkc_graph::OrderingKind;
 use std::time::Duration;
@@ -12,16 +12,15 @@ fn bench_orderings(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation/hg-ordering");
     group.sample_size(10).warm_up_time(Duration::from_millis(300));
     group.measurement_time(Duration::from_secs(1));
-    for (name, kind) in [
-        ("identity", OrderingKind::Identity),
-        ("degree-asc", OrderingKind::DegreeAsc),
-        ("degree-desc", OrderingKind::DegreeDesc),
-        ("degeneracy", OrderingKind::Degeneracy),
+    for kind in [
+        OrderingKind::Identity,
+        OrderingKind::DegreeAsc,
+        OrderingKind::DegreeDesc,
+        OrderingKind::Degeneracy,
     ] {
-        group.bench_function(BenchmarkId::new(name, 3), |b| {
-            b.iter(|| {
-                HgSolver::with_ordering(kind).solve(std::hint::black_box(&g), 3).unwrap().len()
-            })
+        group.bench_function(BenchmarkId::new(kind.token(), 3), |b| {
+            let req = SolveRequest::new(Algo::Hg, 3).with_ordering(kind);
+            b.iter(|| Engine::solve(std::hint::black_box(&g), req).unwrap().solution.len())
         });
     }
     group.finish();
@@ -33,12 +32,12 @@ fn bench_pruning(c: &mut Criterion) {
     group.sample_size(10).warm_up_time(Duration::from_millis(300));
     group.measurement_time(Duration::from_secs(1));
     for k in [3usize, 4] {
-        group.bench_with_input(BenchmarkId::new("L", k), &k, |b, &k| {
-            b.iter(|| LightweightSolver::l().solve(std::hint::black_box(&g), k).unwrap().len())
-        });
-        group.bench_with_input(BenchmarkId::new("LP", k), &k, |b, &k| {
-            b.iter(|| LightweightSolver::lp().solve(std::hint::black_box(&g), k).unwrap().len())
-        });
+        for algo in [Algo::L, Algo::Lp] {
+            group.bench_with_input(BenchmarkId::new(algo.paper_name(), k), &k, |b, &k| {
+                let req = SolveRequest::new(algo, k);
+                b.iter(|| Engine::solve(std::hint::black_box(&g), req).unwrap().solution.len())
+            });
+        }
     }
     group.finish();
 }

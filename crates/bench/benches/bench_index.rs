@@ -2,7 +2,7 @@
 //! (Algorithm 5) from a fresh solution.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dkc_core::{LightweightSolver, Solver};
+use dkc_core::{Algo, Engine, SolveRequest};
 use dkc_datagen::registry::DatasetId;
 use dkc_dynamic::{CandidateIndex, SolutionState};
 use dkc_graph::DynGraph;
@@ -15,7 +15,7 @@ fn bench_index_build(c: &mut Criterion) {
     for (id, scale) in [(DatasetId::Hst, 1.0), (DatasetId::Fb, 0.02)] {
         let g = id.standin(scale, 42);
         for k in [3usize, 4] {
-            let solution = LightweightSolver::lp().solve(&g, k).expect("LP");
+            let solution = Engine::solve(&g, SolveRequest::new(Algo::Lp, k)).expect("LP").solution;
             let dyn_g = DynGraph::from_csr(&g);
             let state = SolutionState::from_solution(&solution, g.num_nodes());
             group.bench_with_input(

@@ -8,7 +8,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dkc_clique::{collect_kcliques_parallel, count_kcliques_parallel, node_scores_parallel};
 use dkc_cliquegraph::{CliqueGraph, CliqueGraphLimits};
-use dkc_core::{LightweightSolver, Solver};
+use dkc_core::{Algo, Engine, SolveRequest};
 use dkc_datagen::watts_strogatz;
 use dkc_graph::{Dag, NodeOrder, OrderingKind};
 use dkc_par::ParConfig;
@@ -35,13 +35,8 @@ fn bench_parallel(c: &mut Criterion) {
             b.iter(|| collect_kcliques_parallel(std::hint::black_box(&dag), 3, par).len())
         });
         group.bench_with_input(BenchmarkId::new("lp-solve/k3", threads), &par, |b, &par| {
-            b.iter(|| {
-                LightweightSolver::lp()
-                    .with_par(par)
-                    .solve(std::hint::black_box(&g), 3)
-                    .unwrap()
-                    .len()
-            })
+            let req = SolveRequest::new(Algo::Lp, 3).with_par(par);
+            b.iter(|| Engine::solve(std::hint::black_box(&g), req).unwrap().solution.len())
         });
         group.bench_with_input(BenchmarkId::new("cliquegraph/k3", threads), &par, |b, &par| {
             b.iter(|| {

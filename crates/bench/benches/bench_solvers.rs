@@ -2,7 +2,7 @@
 //! (HG, GC, L, LP) across k on dataset stand-ins.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dkc_core::{GcSolver, HgSolver, LightweightSolver, Solver};
+use dkc_core::{Algo, Engine, SolveRequest};
 use dkc_datagen::registry::DatasetId;
 use std::time::Duration;
 
@@ -14,15 +14,10 @@ fn bench_static_solvers(c: &mut Criterion) {
         group.sample_size(10).warm_up_time(Duration::from_millis(300));
         group.measurement_time(Duration::from_secs(1));
         for k in [3usize, 4] {
-            let solvers: Vec<(&str, Box<dyn Solver>)> = vec![
-                ("HG", Box::new(HgSolver::default())),
-                ("GC", Box::new(GcSolver::new())),
-                ("L", Box::new(LightweightSolver::l())),
-                ("LP", Box::new(LightweightSolver::lp())),
-            ];
-            for (name, solver) in solvers {
-                group.bench_with_input(BenchmarkId::new(name, k), &k, |b, &k| {
-                    b.iter(|| solver.solve(std::hint::black_box(&g), k).unwrap().len())
+            for algo in [Algo::Hg, Algo::Gc, Algo::L, Algo::Lp] {
+                group.bench_with_input(BenchmarkId::new(algo.paper_name(), k), &k, |b, &k| {
+                    let req = SolveRequest::new(algo, k);
+                    b.iter(|| Engine::solve(std::hint::black_box(&g), req).unwrap().solution.len())
                 });
             }
         }

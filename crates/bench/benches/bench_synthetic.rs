@@ -1,7 +1,7 @@
 //! Criterion micro-bench behind Tables V/VI: Watts–Strogatz scalability.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dkc_core::{HgSolver, LightweightSolver, Solver};
+use dkc_core::{Algo, Engine, SolveRequest};
 use dkc_datagen::watts_strogatz;
 use std::time::Duration;
 
@@ -12,12 +12,13 @@ fn bench_ws(c: &mut Criterion) {
     group.measurement_time(Duration::from_secs(1));
     for degree in [8usize, 16, 32] {
         let g = watts_strogatz(n, degree, 0.1, 42);
-        group.bench_with_input(BenchmarkId::new("HG/k3", degree), &g, |b, g| {
-            b.iter(|| HgSolver::default().solve(std::hint::black_box(g), 3).unwrap().len())
-        });
-        group.bench_with_input(BenchmarkId::new("LP/k3", degree), &g, |b, g| {
-            b.iter(|| LightweightSolver::lp().solve(std::hint::black_box(g), 3).unwrap().len())
-        });
+        for algo in [Algo::Hg, Algo::Lp] {
+            let name = format!("{}/k3", algo.paper_name());
+            group.bench_with_input(BenchmarkId::new(name, degree), &g, |b, g| {
+                let req = SolveRequest::new(algo, 3);
+                b.iter(|| Engine::solve(std::hint::black_box(g), req).unwrap().solution.len())
+            });
+        }
     }
     group.finish();
 }

@@ -1,5 +1,6 @@
 //! Shared configuration of the `repro` experiments.
 
+use dkc_core::{Algo, Budget, SolveRequest};
 use dkc_datagen::registry::DatasetId;
 use dkc_datagen::DatasetRegistry;
 use std::path::PathBuf;
@@ -70,6 +71,24 @@ impl ReproConfig {
             .unwrap_or_else(|e| panic!("resolving dataset {}: {e}", id.name()))
             .loaded
             .graph
+    }
+
+    /// The engine [`Budget`] every experiment runs under: the stored-clique
+    /// and conflict budgets emulate the paper's memory ceiling (OOM), the
+    /// wall-clock term its exact-search timeout (OOT). HG/L/LP ignore it
+    /// by construction.
+    pub fn budget(&self) -> Budget {
+        Budget::unlimited()
+            .with_max_cliques(self.max_stored_cliques)
+            .with_max_conflicts(self.max_stored_cliques.saturating_mul(8))
+            .with_mis_time_limit(self.opt_time_limit)
+    }
+
+    /// One fully-specified engine request for `(algo, k)` under this
+    /// config's budget — the single construction point the experiments
+    /// share instead of hand-building solvers.
+    pub fn request(&self, algo: Algo, k: usize) -> SolveRequest {
+        SolveRequest::new(algo, k).with_budget(self.budget())
     }
 
     /// Parses a comma-separated dataset filter (`"FTB,HST"`).

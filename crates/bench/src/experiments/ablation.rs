@@ -6,17 +6,16 @@
 use crate::config::ReproConfig;
 use crate::table::Table;
 use crate::{human_ms, timed};
-use dkc_cliquegraph::CliqueGraphLimits;
-use dkc_core::{GcSolver, GreedyCliqueGraphSolver, HgSolver, LightweightSolver, Solver};
+use dkc_core::{Algo, Engine};
 use dkc_graph::OrderingKind;
 
 /// HG under every node ordering: |S| and runtime.
 pub fn run_ordering(cfg: &ReproConfig) -> String {
     let orderings = [
-        ("Identity", OrderingKind::Identity),
-        ("DegreeAsc", OrderingKind::DegreeAsc),
-        ("DegreeDesc", OrderingKind::DegreeDesc),
-        ("Degeneracy", OrderingKind::Degeneracy),
+        OrderingKind::Identity,
+        OrderingKind::DegreeAsc,
+        OrderingKind::DegreeDesc,
+        OrderingKind::Degeneracy,
     ];
     let mut headers: Vec<String> = vec!["Dataset".into(), "Ordering".into()];
     for k in &cfg.ks {
@@ -29,13 +28,13 @@ pub fn run_ordering(cfg: &ReproConfig) -> String {
     let registry = cfg.registry();
     for id in cfg.dataset_list() {
         let g = cfg.graph(&registry, id);
-        for (name, kind) in orderings {
-            let mut row = vec![id.name().to_string(), name.to_string()];
+        for kind in orderings {
+            let mut row = vec![id.name().to_string(), format!("{kind:?}")];
             for &k in &cfg.ks {
-                let solver = HgSolver::with_ordering(kind);
-                let (result, elapsed) = timed(|| solver.solve(&g, k));
-                let s = result.expect("HG cannot fail");
-                row.push(s.len().to_string());
+                let req = cfg.request(Algo::Hg, k).with_ordering(kind);
+                let (result, elapsed) = timed(|| Engine::solve(&g, req));
+                let report = result.expect("HG cannot fail");
+                row.push(report.solution.len().to_string());
                 row.push(human_ms(elapsed));
             }
             t.add_row(row);
@@ -66,25 +65,19 @@ pub fn run_pruning_and_scores(cfg: &ReproConfig) -> String {
         let g = cfg.graph(&registry, id);
         let mut row = vec![id.name().to_string()];
         for &k in &cfg.ks {
-            let (l_res, l_time) = timed(|| LightweightSolver::l().solve(&g, k));
-            let (lp_res, lp_time) = timed(|| LightweightSolver::lp().solve_with_stats(&g, k));
+            let (l_res, l_time) = timed(|| Engine::solve(&g, cfg.request(Algo::L, k)));
+            let (lp_res, lp_time) = timed(|| Engine::solve(&g, cfg.request(Algo::Lp, k)));
             let l = l_res.expect("L");
-            let (lp, lp_stats) = lp_res.expect("LP");
-            assert_eq!(l.len(), lp.len(), "pruning must not change |S|");
+            let lp = lp_res.expect("LP");
+            let lp_stats = lp.lp_stats.expect("engine reports LP run stats");
+            assert_eq!(l.solution.len(), lp.solution.len(), "pruning must not change |S|");
             row.push(human_ms(l_time));
             row.push(human_ms(lp_time));
             row.push(format!("{}/{}", lp_stats.stale_pops, lp_stats.heap_pops));
-            let gc = GcSolver::with_budget(cfg.max_stored_cliques).solve(&g, k);
-            row.push(gc.map(|s| s.len().to_string()).unwrap_or_else(|_| "OOM".into()));
-            let cg = GreedyCliqueGraphSolver {
-                limits: CliqueGraphLimits {
-                    max_cliques: Some(cfg.max_stored_cliques),
-                    max_conflicts: Some(cfg.max_stored_cliques.saturating_mul(8)),
-                },
-                ..Default::default()
-            }
-            .solve(&g, k);
-            row.push(cg.map(|s| s.len().to_string()).unwrap_or_else(|_| "OOM".into()));
+            let gc = Engine::solve(&g, cfg.request(Algo::Gc, k));
+            row.push(gc.map(|r| r.solution.len().to_string()).unwrap_or_else(|_| "OOM".into()));
+            let cg = Engine::solve(&g, cfg.request(Algo::GreedyCg, k));
+            row.push(cg.map(|r| r.solution.len().to_string()).unwrap_or_else(|_| "OOM".into()));
         }
         t.add_row(row);
     }

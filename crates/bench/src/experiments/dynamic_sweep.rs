@@ -5,7 +5,7 @@
 use crate::config::ReproConfig;
 use crate::table::Table;
 use crate::timed;
-use dkc_core::{LightweightSolver, Solver};
+use dkc_core::{Algo, Engine};
 use dkc_datagen::workload::{paper_mixed_workload, sample_edges, Update};
 use dkc_dynamic::DynamicSolver;
 use std::collections::HashMap;
@@ -37,14 +37,15 @@ pub fn run_sweep(cfg: &ReproConfig) -> DynamicResults {
 
             // --- Deletion workload: delete `count` random edges.
             let victims = sample_edges(&g, count, cfg.seed ^ 0xD1);
-            let mut solver = DynamicSolver::new(&g, k).expect("bootstrap");
+            let mut solver =
+                DynamicSolver::from_scratch(&g, cfg.request(Algo::Lp, k)).expect("bootstrap");
             let (_, del_time) = timed(|| {
                 for &(a, b) in &victims {
                     solver.delete_edge(a, b);
                 }
             });
             let deleted_graph = solver.graph().to_csr();
-            let scratch = LightweightSolver::lp().solve(&deleted_graph, k).unwrap();
+            let scratch = Engine::solve(&deleted_graph, cfg.request(Algo::Lp, k)).unwrap().solution;
             cells.insert(
                 (id.name().to_string(), "Deletion", k),
                 (
@@ -59,7 +60,7 @@ pub fn run_sweep(cfg: &ReproConfig) -> DynamicResults {
                     solver.insert_edge(a, b);
                 }
             });
-            let scratch = LightweightSolver::lp().solve(&g, k).unwrap();
+            let scratch = Engine::solve(&g, cfg.request(Algo::Lp, k)).unwrap().solution;
             cells.insert(
                 (id.name().to_string(), "Insertion", k),
                 (
@@ -71,7 +72,8 @@ pub fn run_sweep(cfg: &ReproConfig) -> DynamicResults {
             // --- Mixed workload: half inserts (pre-removed) + half deletes.
             let per_side = (count / 2).max(1);
             let (g_prime, stream) = paper_mixed_workload(&g, per_side, cfg.seed ^ 0x317);
-            let mut solver = DynamicSolver::new(&g_prime, k).expect("bootstrap");
+            let mut solver =
+                DynamicSolver::from_scratch(&g_prime, cfg.request(Algo::Lp, k)).expect("bootstrap");
             let (_, mix_time) = timed(|| {
                 for u in &stream {
                     match *u {
@@ -85,7 +87,7 @@ pub fn run_sweep(cfg: &ReproConfig) -> DynamicResults {
                 }
             });
             let final_graph = solver.graph().to_csr();
-            let scratch = LightweightSolver::lp().solve(&final_graph, k).unwrap();
+            let scratch = Engine::solve(&final_graph, cfg.request(Algo::Lp, k)).unwrap().solution;
             cells.insert(
                 (id.name().to_string(), "Mixed", k),
                 (

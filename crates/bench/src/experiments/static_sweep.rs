@@ -8,16 +8,14 @@ use crate::config::ReproConfig;
 use crate::mem::with_peak_tracking;
 use crate::table::Table;
 use crate::{human_mb, human_ms, timed};
-use dkc_cliquegraph::CliqueGraphLimits;
-use dkc_core::{GcSolver, HgSolver, LightweightSolver, OptSolver, SolveError, Solver};
+use dkc_core::{Algo, Engine, SolveError, SolveRequest};
 use dkc_datagen::registry::DatasetId;
 use dkc_graph::CsrGraph;
-use dkc_mis::MisBudget;
 use std::collections::HashMap;
 use std::time::Duration;
 
 /// The algorithms of Fig. 6, in the paper's ordering.
-pub const ALGOS: [&str; 5] = ["OPT", "HG", "GC", "L", "LP"];
+pub const ALGOS: [Algo; 5] = [Algo::Opt, Algo::Hg, Algo::Gc, Algo::L, Algo::Lp];
 
 /// Outcome of one (dataset, k, algorithm) cell.
 #[derive(Debug, Clone)]
@@ -43,10 +41,15 @@ pub struct SweepResults {
     pub cells: HashMap<(DatasetId, usize, &'static str), CellOutcome>,
 }
 
-fn run_cell(solver: &dyn Solver, g: &CsrGraph, k: usize) -> CellOutcome {
-    let ((result, elapsed), peak_bytes) = with_peak_tracking(|| timed(|| solver.solve(g, k)));
+/// Runs one engine request and classifies its outcome the way the paper's
+/// tables do (time / |S| / OOM / OOT) — the measurement glue every cell
+/// shares.
+pub fn run_cell(g: &CsrGraph, req: SolveRequest) -> CellOutcome {
+    let ((result, elapsed), peak_bytes) = with_peak_tracking(|| timed(|| Engine::solve(g, req)));
     match result {
-        Ok(s) => CellOutcome { elapsed, size: Some(s.len()), marker: None, peak_bytes },
+        Ok(report) => {
+            CellOutcome { elapsed, size: Some(report.solution.len()), marker: None, peak_bytes }
+        }
         Err(SolveError::Timeout { partial }) => {
             CellOutcome { elapsed, size: Some(partial.len()), marker: Some("OOT"), peak_bytes }
         }
@@ -65,24 +68,9 @@ pub fn run_sweep(cfg: &ReproConfig) -> SweepResults {
     for &id in &datasets {
         let g = cfg.graph(&registry, id);
         for &k in &cfg.ks {
-            let opt = OptSolver::with_budgets(
-                CliqueGraphLimits {
-                    max_cliques: Some(cfg.max_stored_cliques),
-                    max_conflicts: Some(cfg.max_stored_cliques.saturating_mul(8)),
-                },
-                MisBudget::with_time(cfg.opt_time_limit),
-            );
-            let gc = GcSolver::with_budget(cfg.max_stored_cliques);
-            let solvers: Vec<(&'static str, Box<dyn Solver>)> = vec![
-                ("OPT", Box::new(opt)),
-                ("HG", Box::new(HgSolver::default())),
-                ("GC", Box::new(gc)),
-                ("L", Box::new(LightweightSolver::l())),
-                ("LP", Box::new(LightweightSolver::lp())),
-            ];
-            for (name, solver) in solvers {
-                let outcome = run_cell(solver.as_ref(), &g, k);
-                cells.insert((id, k, name), outcome);
+            for algo in ALGOS {
+                let outcome = run_cell(&g, cfg.request(algo, k));
+                cells.insert((id, k, algo.paper_name()), outcome);
             }
         }
     }
@@ -97,9 +85,9 @@ pub fn render_fig6(r: &SweepResults) -> String {
     let mut t = Table::new("Fig. 6: average running time (ms) with varying k", &headers_ref);
     for &id in &r.datasets {
         for algo in ALGOS {
-            let mut row = vec![id.name().to_string(), algo.to_string()];
+            let mut row = vec![id.name().to_string(), algo.paper_name().to_string()];
             for &k in &r.ks {
-                let cell = &r.cells[&(id, k, algo)];
+                let cell = &r.cells[&(id, k, algo.paper_name())];
                 row.push(match cell.marker {
                     Some(m) => m.to_string(),
                     None => human_ms(cell.elapsed),
@@ -155,9 +143,9 @@ pub fn render_table3(r: &SweepResults) -> String {
     let mut t = Table::new("Table III: space consumption (extra peak heap, MB)", &headers_ref);
     for &id in &r.datasets {
         for algo in ALGOS {
-            let mut row = vec![id.name().to_string(), algo.to_string()];
+            let mut row = vec![id.name().to_string(), algo.paper_name().to_string()];
             for &k in &r.ks {
-                let cell = &r.cells[&(id, k, algo)];
+                let cell = &r.cells[&(id, k, algo.paper_name())];
                 row.push(match cell.marker {
                     Some(m) => m.to_string(),
                     None => human_mb(cell.peak_bytes),
@@ -189,7 +177,7 @@ mod tests {
         let results = run_sweep(&cfg);
         assert_eq!(results.cells.len(), ALGOS.len());
         for algo in ALGOS {
-            assert!(results.cells.contains_key(&(DatasetId::Ftb, 3, algo)));
+            assert!(results.cells.contains_key(&(DatasetId::Ftb, 3, algo.paper_name())));
         }
         // L and LP must agree in size.
         let l = results.cells[&(DatasetId::Ftb, 3, "L")].size;

@@ -4,13 +4,16 @@
 use crate::config::ReproConfig;
 use crate::table::Table;
 use crate::timed;
-use dkc_core::{GcSolver, HgSolver, LightweightSolver, SolveError, Solver};
+use dkc_core::{Algo, Engine, SolveError};
 use dkc_datagen::watts_strogatz;
 use dkc_graph::CsrGraph;
 use std::collections::HashMap;
 
 /// The degree sweep of Tables V/VI.
 pub const DEGREES: [usize; 4] = [8, 16, 32, 64];
+
+/// The algorithms of Tables V/VI.
+pub const ALGOS: [Algo; 3] = [Algo::Hg, Algo::Gc, Algo::Lp];
 
 /// Result of the synthetic sweep.
 pub struct SyntheticResults {
@@ -29,19 +32,14 @@ pub fn run_sweep(cfg: &ReproConfig) -> SyntheticResults {
     for degree in DEGREES {
         let g: CsrGraph = watts_strogatz(n, degree, 0.1, cfg.seed);
         for &k in &cfg.ks {
-            let solvers: Vec<(&'static str, Box<dyn Solver>)> = vec![
-                ("HG", Box::new(HgSolver::default())),
-                ("GC", Box::new(GcSolver::with_budget(cfg.max_stored_cliques))),
-                ("LP", Box::new(LightweightSolver::lp())),
-            ];
-            for (name, solver) in solvers {
-                let (result, elapsed) = timed(|| solver.solve(&g, k));
+            for algo in ALGOS {
+                let (result, elapsed) = timed(|| Engine::solve(&g, cfg.request(algo, k)));
                 let size = match result {
-                    Ok(s) => Some(s.len()),
+                    Ok(report) => Some(report.solution.len()),
                     Err(SolveError::CliqueBudget { .. }) => None,
                     Err(e) => panic!("unexpected: {e}"),
                 };
-                cells.insert((degree, k, name), (elapsed.as_secs_f64(), size));
+                cells.insert((degree, k, algo.paper_name()), (elapsed.as_secs_f64(), size));
             }
         }
     }

@@ -3,10 +3,8 @@
 
 use crate::config::ReproConfig;
 use crate::table::Table;
-use dkc_cliquegraph::CliqueGraphLimits;
-use dkc_core::{LightweightSolver, OptSolver, SolveError, Solver};
+use dkc_core::{Algo, Engine, SolveError};
 use dkc_datagen::registry::TinyDatasetId;
-use dkc_mis::MisBudget;
 
 /// Runs LP and OPT over the Table IV stand-ins.
 pub fn run(cfg: &ReproConfig) -> String {
@@ -29,17 +27,13 @@ pub fn run(cfg: &ReproConfig) -> String {
         let mut row =
             vec![id.name().to_string(), g.num_nodes().to_string(), g.num_edges().to_string()];
         for &k in &cfg.ks {
-            let lp = LightweightSolver::lp().solve(&g, k).expect("LP never exceeds budgets");
-            let opt_solver = OptSolver::with_budgets(
-                CliqueGraphLimits {
-                    max_cliques: Some(cfg.max_stored_cliques),
-                    max_conflicts: Some(cfg.max_stored_cliques.saturating_mul(8)),
-                },
-                MisBudget::with_time(cfg.opt_time_limit),
-            );
+            let lp = Engine::solve(&g, cfg.request(Algo::Lp, k))
+                .expect("LP never exceeds budgets")
+                .solution;
             row.push(lp.len().to_string());
-            match opt_solver.solve(&g, k) {
-                Ok(opt) => {
+            match Engine::solve(&g, cfg.request(Algo::Opt, k)) {
+                Ok(report) => {
+                    let opt = report.solution;
                     let er = if opt.is_empty() {
                         0.0
                     } else {

@@ -4,7 +4,7 @@
 use crate::config::ReproConfig;
 use crate::table::Table;
 use crate::{human_count, timed};
-use dkc_core::{LightweightSolver, Solver};
+use dkc_core::{Algo, Engine};
 use dkc_dynamic::{CandidateIndex, SolutionState};
 use dkc_graph::DynGraph;
 
@@ -25,7 +25,7 @@ pub fn run(cfg: &ReproConfig) -> String {
         let mut times = Vec::new();
         let mut sizes = Vec::new();
         for &k in &cfg.ks {
-            let solution = LightweightSolver::lp().solve(&g, k).expect("LP solve");
+            let solution = Engine::solve(&g, cfg.request(Algo::Lp, k)).expect("LP solve").solution;
             let dyn_g = DynGraph::from_csr(&g);
             let state = SolutionState::from_solution(&solution, g.num_nodes());
             let (index, elapsed) = timed(|| CandidateIndex::build(&dyn_g, &state));

@@ -1,7 +1,7 @@
 //! # dkc-clique — k-clique listing, counting and search
 //!
 //! Implements the kClist-style machinery (Danisch, Balalau, Sozio — WWW'18,
-//! the paper's reference [13]) that every solver in the workspace relies on:
+//! the paper's reference \[13\]) that every solver in the workspace relies on:
 //!
 //! * [`for_each_kclique`] / [`collect_kcliques`] — enumerate every k-clique
 //!   of a DAG-oriented graph exactly once, rooted at its highest-ranked

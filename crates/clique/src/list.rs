@@ -11,7 +11,7 @@ use dkc_par::{par_for_each_root, ParConfig};
 ///
 /// `k = 1` reports every node, `k = 2` every edge; `k >= 3` is the paper's
 /// regime. The recursion intersects sorted candidate lists, giving the
-/// `O(k · m · (d/2)^(k-2))` bound of reference [13] when the order is a
+/// `O(k · m · (d/2)^(k-2))` bound of reference \[13\] when the order is a
 /// degeneracy order.
 pub fn for_each_kclique<F>(dag: &Dag, k: usize, mut cb: F)
 where
@@ -63,7 +63,7 @@ pub fn collect_kcliques(dag: &Dag, k: usize) -> Vec<Clique> {
 }
 
 /// Parallel [`collect_kcliques`] on the [`dkc_par`] executor: roots fan out
-/// over workers (each with its own reusable [`ListCtx`] recursion scratch)
+/// over workers (each with its own reusable `ListCtx` recursion scratch)
 /// and per-chunk clique segments are merged in ascending root order — the
 /// output `Vec` is **bit-identical** to the sequential collector for any
 /// thread count.

@@ -15,8 +15,14 @@
 //! | [`OptSolver`] | OPT | Exact: materialised clique graph + branch-and-reduce MIS |
 //! | [`GreedyCliqueGraphSolver`] | — | Min-degree greedy MIS on the clique graph (Section IV-B's motivating heuristic; ablation baseline) |
 //!
+//! The solver structs are the implementation layer; the supported entry
+//! point is the [`Engine`], which dispatches a typed [`SolveRequest`]
+//! (algorithm + `k` + ordering + [`Budget`] + executor configuration) to
+//! the right solver and returns a [`SolveReport`] with provenance, phase
+//! timings and JSON rendering:
+//!
 //! ```
-//! use dkc_core::{LightweightSolver, Solver};
+//! use dkc_core::{Algo, Engine, SolveRequest};
 //! use dkc_graph::CsrGraph;
 //!
 //! // Two disjoint triangles joined by a bridge.
@@ -25,9 +31,9 @@
 //!     (3, 4), (4, 5), (3, 5),
 //!     (2, 3),
 //! ]).unwrap();
-//! let s = LightweightSolver::default().solve(&g, 3).unwrap();
-//! assert_eq!(s.len(), 2);
-//! s.verify(&g).unwrap();
+//! let report = Engine::solve(&g, SolveRequest::new(Algo::Lp, 3)).unwrap();
+//! assert_eq!(report.solution.len(), 2);
+//! report.solution.verify(&g).unwrap();
 //! ```
 
 #![forbid(unsafe_code)]
@@ -35,6 +41,7 @@
 
 mod basic;
 mod bounds;
+mod engine;
 mod error;
 mod gc;
 mod lightweight;
@@ -45,6 +52,10 @@ mod solution;
 
 pub use basic::HgSolver;
 pub use bounds::{approx_guarantee_holds, clique_degree_bounds, verify_theorem2, DegreeBounds};
+pub use engine::{
+    Algo, Budget, Engine, OptDetail, ParseAlgoError, ParseReportError, PartitionReport,
+    PhaseTiming, SolveReport, SolveRequest,
+};
 pub use error::SolveError;
 pub use gc::GcSolver;
 pub use lightweight::{LightweightSolver, LpRunStats};

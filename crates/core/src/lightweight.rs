@@ -3,7 +3,7 @@ use dkc_clique::{node_scores_parallel, Clique, MinScoreFinder};
 use dkc_graph::{CsrGraph, Dag, NodeId, NodeOrder};
 use dkc_par::{par_for_each_root, ParConfig};
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashMap};
 
 /// **L / LP** — the lightweight implementation (Algorithm 3).
 ///
@@ -21,7 +21,11 @@ use std::collections::BinaryHeap;
 /// 4. `Calculation`: repeatedly pop the global minimum. If its members are
 ///    all still valid it joins `S`; otherwise, if its root is still valid,
 ///    the root is re-probed against the shrunken graph and its new local
-///    minimum re-enters the heap (Lines 31-39).
+///    minimum re-enters the heap (Lines 31-39). With more than one worker
+///    the heap drains in deterministic rounds whose stale-entry re-probes
+///    run speculatively in parallel — bit-identical to the sequential
+///    drain, pops and stats included (the validation argument lives on
+///    `drain_rounds` in the source).
 ///
 /// With [`LightweightSolver::prune`] the `FindMin` search applies the
 /// score-driven pruning rule (the paper's **LP**); without it the search is
@@ -33,8 +37,9 @@ use std::collections::BinaryHeap;
 pub struct LightweightSolver {
     /// Apply score-driven pruning (LP) or search exhaustively (L).
     pub prune: bool,
-    /// Executor configuration for the score pass and `HeapInit`. Results
-    /// are deterministic regardless of thread count.
+    /// Executor configuration for the score pass, `HeapInit`, and the
+    /// `Calculation` phase's re-probe rounds. Results are deterministic
+    /// regardless of thread count.
     pub par: ParConfig,
 }
 
@@ -141,8 +146,36 @@ impl LightweightSolver {
 
         // Lines 31-39 (Calculation).
         let mut valid = valid;
-        let mut finder = MinScoreFinder::new(&dag, &scores, k, self.prune);
         let mut solution = Solution::new(k);
+        if self.par.threads <= 1 {
+            self.drain_sequential(
+                &dag,
+                &scores,
+                &mut heap,
+                &mut valid,
+                k,
+                &mut stats,
+                &mut solution,
+            );
+        } else {
+            self.drain_rounds(&dag, &scores, &mut heap, &mut valid, k, &mut stats, &mut solution);
+        }
+        Ok((solution, stats))
+    }
+
+    /// The plain sequential Calculation drain (Lines 31-39 verbatim).
+    #[allow(clippy::too_many_arguments)]
+    fn drain_sequential(
+        &self,
+        dag: &Dag,
+        scores: &[u64],
+        heap: &mut BinaryHeap<Reverse<Entry>>,
+        valid: &mut [bool],
+        k: usize,
+        stats: &mut LpRunStats,
+        solution: &mut Solution,
+    ) {
+        let mut finder = MinScoreFinder::new(dag, scores, k, self.prune);
         while let Some(Reverse(entry)) = heap.pop() {
             stats.heap_pops += 1;
             if entry.clique.iter().all(|u| valid[u as usize]) {
@@ -157,7 +190,7 @@ impl LightweightSolver {
                     // Stale local minimum: re-probe the root against the
                     // current residual graph.
                     stats.reprobes += 1;
-                    if let Some(found) = finder.find(entry.root, &valid) {
+                    if let Some(found) = finder.find(entry.root, valid) {
                         stats.reprobe_hits += 1;
                         heap.push(Reverse(Entry {
                             score: found.score,
@@ -168,7 +201,137 @@ impl LightweightSolver {
                 }
             }
         }
-        Ok((solution, stats))
+    }
+
+    /// The round-based Calculation drain: identical pops, stats and
+    /// solution to [`LightweightSolver::drain_sequential`], but the
+    /// `FindMin` re-probes — the expensive part of the phase — fan out
+    /// over the executor.
+    ///
+    /// Each round pops the `R` smallest heap entries (so every remaining
+    /// heap entry ranks after all of them), **speculatively** re-probes
+    /// the already-stale ones against the round-start `valid` set in
+    /// parallel, then replays the exact sequential pop order. A
+    /// speculative result is used only when its clique is still fully
+    /// valid at its pop — in that case it provably equals what an inline
+    /// re-probe would return: the valid set only shrinks, every clique of
+    /// the shrunken set is a clique of the snapshot set, and
+    /// `MinScoreFinder` keeps the *first* clique (in its fixed recursion
+    /// order) attaining the minimum score, so a surviving snapshot
+    /// minimum is the shrunken set's minimum with the same tie-break.
+    /// A speculative *miss* (`None`) is equally sound: a root with no
+    /// valid clique in the snapshot has none in any subset. Everything
+    /// else falls back to an inline re-probe, so the drain is
+    /// bit-identical to sequential for any thread count or round size.
+    #[allow(clippy::too_many_arguments)]
+    fn drain_rounds(
+        &self,
+        dag: &Dag,
+        scores: &[u64],
+        heap: &mut BinaryHeap<Reverse<Entry>>,
+        valid: &mut [bool],
+        k: usize,
+        stats: &mut LpRunStats,
+        solution: &mut Solution,
+    ) {
+        // Rounds sized in executor chunks: enough per-worker probes to
+        // amortise spawn/join (par_for_each_root runs small rounds
+        // inline), small enough that intra-round invalidation — which
+        // voids speculation — stays rare.
+        let round = self.par.chunk.max(1).saturating_mul(4).max(16);
+        let mut batch: Vec<Entry> = Vec::with_capacity(round);
+        let mut pending: BinaryHeap<Reverse<Entry>> = BinaryHeap::new();
+        let mut finder = MinScoreFinder::new(dag, scores, k, self.prune);
+        while !heap.is_empty() {
+            batch.clear();
+            while batch.len() < round {
+                match heap.pop() {
+                    Some(Reverse(e)) => batch.push(e),
+                    None => break,
+                }
+            }
+            // Speculation: probe every entry that is already stale with a
+            // live root, against the round-start valid set. Read-only and
+            // keyed by root (the heap never holds two entries per root),
+            // so the fan-out is embarrassingly parallel and the result is
+            // schedule-independent. The cheap pre-scan compacts the probe
+            // list first: low-staleness rounds (the common case per the
+            // Section IV-C analysis) fan out over nothing and pay no
+            // spawn/join, and the executor chunks over actual probes
+            // rather than mostly-empty batch slots.
+            let stale_roots: Vec<NodeId> = batch
+                .iter()
+                .filter(|e| !e.clique.iter().all(|u| valid[u as usize]) && valid[e.root as usize])
+                .map(|e| e.root)
+                .collect();
+            // Each probe is a full FindMin recursion, far heavier than the
+            // per-root work elsewhere — cap the probe chunk so a round's
+            // worth of stale roots is enough to fan out.
+            let probe_par = self.par.with_chunk(self.par.chunk.clamp(1, 8));
+            let speculated: HashMap<NodeId, Option<dkc_clique::ScoredClique>> = par_for_each_root(
+                probe_par,
+                stale_roots.len(),
+                || MinScoreFinder::new(dag, scores, k, self.prune),
+                |worker_finder, i, out| {
+                    let root = stale_roots[i];
+                    out.push((root, worker_finder.find(root, valid)));
+                },
+            )
+            .into_iter()
+            .collect();
+
+            // Replay: the sequential pop order over batch ∪ intra-round
+            // pushes. Every remaining heap entry ranks after the whole
+            // batch, so the merge below reproduces the global heap's pop
+            // sequence exactly; pushes that outrank the rest of the batch
+            // pop within the round, the others re-enter the global heap.
+            let mut i = 0;
+            loop {
+                let take_pending = match (batch.get(i), pending.peek()) {
+                    (Some(b), Some(Reverse(p))) => p < b,
+                    (Some(_), None) => false,
+                    (None, _) => break,
+                };
+                let entry = if take_pending {
+                    pending.pop().expect("peeked").0
+                } else {
+                    let e = batch[i];
+                    i += 1;
+                    e
+                };
+                stats.heap_pops += 1;
+                if entry.clique.iter().all(|u| valid[u as usize]) {
+                    for u in entry.clique.iter() {
+                        valid[u as usize] = false;
+                    }
+                    solution.push(entry.clique);
+                    stats.cliques_added += 1;
+                } else {
+                    stats.stale_pops += 1;
+                    if valid[entry.root as usize] {
+                        stats.reprobes += 1;
+                        let found = match speculated.get(&entry.root) {
+                            // Surviving speculative hit: equals the inline
+                            // result (see the method docs).
+                            Some(Some(f)) if f.clique.iter().all(|u| valid[u as usize]) => Some(*f),
+                            // Speculative miss: monotone, still a miss.
+                            Some(None) => None,
+                            // Invalidated or never speculated: probe inline.
+                            _ => finder.find(entry.root, valid),
+                        };
+                        if let Some(found) = found {
+                            stats.reprobe_hits += 1;
+                            pending.push(Reverse(Entry {
+                                score: found.score,
+                                clique: found.clique,
+                                root: entry.root,
+                            }));
+                        }
+                    }
+                }
+            }
+            heap.extend(pending.drain());
+        }
     }
 }
 

@@ -8,8 +8,8 @@
 //! implements that loop: k-cliques first, then (k-1)-cliques, …, down to
 //! matched pairs and singletons.
 
-use crate::{LightweightSolver, SolveError, Solver};
-use dkc_graph::{CsrGraph, InducedSubgraph, NodeId};
+use crate::{Algo, Engine, SolveError, SolveRequest};
+use dkc_graph::{CsrGraph, NodeId};
 use dkc_par::ParConfig;
 
 /// A complete partition of the node set into groups of size at most `k`.
@@ -51,7 +51,7 @@ impl Partition {
 
 /// Partitions all nodes of `g` into disjoint dense groups of size <= `k`:
 /// repeatedly solves the disjoint s-clique problem (s = k, k-1, …, 3) on the
-/// residual graph with [`LightweightSolver`] (LP), then greedily matches
+/// residual graph with [`crate::LightweightSolver`] (LP), then greedily matches
 /// remaining nodes into edges, then emits singletons.
 pub fn partition_all(g: &CsrGraph, k: usize) -> Result<Partition, SolveError> {
     partition_all_par(g, k, ParConfig::default())
@@ -59,51 +59,11 @@ pub fn partition_all(g: &CsrGraph, k: usize) -> Result<Partition, SolveError> {
 
 /// [`partition_all`] with an explicit executor configuration for the inner
 /// LP solves; like every executor consumer, the partition is identical for
-/// any thread count.
+/// any thread count. For other algorithms or budgets, call
+/// [`Engine::partition_all`] with a full [`SolveRequest`] — this is a thin
+/// LP-flavoured wrapper over it.
 pub fn partition_all_par(g: &CsrGraph, k: usize, par: ParConfig) -> Result<Partition, SolveError> {
-    crate::check_k(k)?;
-    let n = g.num_nodes();
-    let mut covered = vec![false; n];
-    let mut groups: Vec<Vec<NodeId>> = Vec::new();
-    let solver = LightweightSolver::lp().with_par(par);
-
-    for s in (3..=k).rev() {
-        let free: Vec<NodeId> = (0..n as NodeId).filter(|&u| !covered[u as usize]).collect();
-        if free.len() < s {
-            continue;
-        }
-        let sub = InducedSubgraph::of_csr(g, &free);
-        let sol = solver.solve(sub.graph(), s)?;
-        for c in sol.cliques() {
-            let global: Vec<NodeId> = c.iter().map(|l| sub.to_global(l)).collect();
-            for &u in &global {
-                debug_assert!(!covered[u as usize]);
-                covered[u as usize] = true;
-            }
-            groups.push(global);
-        }
-    }
-
-    // Greedy maximal matching on the residual graph (the s = 2 phase).
-    for u in 0..n as NodeId {
-        if covered[u as usize] {
-            continue;
-        }
-        if let Some(&v) = g.neighbors(u).iter().find(|&&v| !covered[v as usize] && v != u) {
-            covered[u as usize] = true;
-            covered[v as usize] = true;
-            groups.push(vec![u, v]);
-        }
-    }
-
-    // Singletons.
-    for u in 0..n as NodeId {
-        if !covered[u as usize] {
-            groups.push(vec![u]);
-        }
-    }
-
-    Ok(Partition { groups, k })
+    Engine::partition_all(g, SolveRequest::new(Algo::Lp, k).with_par(par)).map(|r| r.partition)
 }
 
 #[cfg(test)]

@@ -3,12 +3,62 @@
 //! all heuristics from above; L and LP coincide exactly.
 
 use dkc_core::{
-    approx_guarantee_holds, verify_theorem2, GcSolver, GreedyCliqueGraphSolver, HgSolver,
-    LightweightSolver, OptSolver, Solver,
+    approx_guarantee_holds, verify_theorem2, Algo, Budget, Engine, GcSolver,
+    GreedyCliqueGraphSolver, HgSolver, LightweightSolver, OptSolver, Solution, SolveError,
+    SolveRequest, Solver,
 };
 use dkc_graph::{CsrGraph, OrderingKind};
 use dkc_par::ParConfig;
 use proptest::prelude::*;
+
+/// The hand-constructed solver a [`SolveRequest`] is supposed to be
+/// equivalent to, built through the public constructors consumers used
+/// before the engine existed.
+fn direct_solve(g: &CsrGraph, req: SolveRequest) -> Result<Solution, SolveError> {
+    match req.algo {
+        Algo::Hg => HgSolver::with_ordering(req.ordering).solve(g, req.k),
+        Algo::Gc => match req.budget.max_cliques {
+            Some(limit) => GcSolver::with_budget(limit).with_par(req.par).solve(g, req.k),
+            None => GcSolver::new().with_par(req.par).solve(g, req.k),
+        },
+        Algo::L => LightweightSolver::l().with_par(req.par).solve(g, req.k),
+        Algo::Lp => LightweightSolver::lp().with_par(req.par).solve(g, req.k),
+        Algo::Opt => {
+            OptSolver::with_budgets(req.budget.clique_graph_limits(), req.budget.mis_budget())
+                .with_par(req.par)
+                .solve(g, req.k)
+        }
+        Algo::GreedyCg => {
+            GreedyCliqueGraphSolver { limits: req.budget.clique_graph_limits(), par: req.par }
+                .solve(g, req.k)
+        }
+    }
+}
+
+/// Engine and direct solver must agree on the full outcome: equal
+/// solutions on success, the same structured failure otherwise.
+fn same_outcome(
+    engine: Result<Solution, SolveError>,
+    direct: Result<Solution, SolveError>,
+) -> Result<(), String> {
+    match (engine, direct) {
+        (Ok(a), Ok(b)) if a == b => Ok(()),
+        (Err(SolveError::InvalidK { k: a }), Err(SolveError::InvalidK { k: b })) if a == b => {
+            Ok(())
+        }
+        (
+            Err(SolveError::CliqueBudget { limit: a }),
+            Err(SolveError::CliqueBudget { limit: b }),
+        ) if a == b => Ok(()),
+        (Err(SolveError::CliqueGraph(a)), Err(SolveError::CliqueGraph(b))) if a == b => Ok(()),
+        (Err(SolveError::Timeout { partial: a }), Err(SolveError::Timeout { partial: b }))
+            if a == b =>
+        {
+            Ok(())
+        }
+        (a, b) => Err(format!("engine {a:?} != direct {b:?}")),
+    }
+}
 
 fn graph_strategy(max_n: u32, max_m: usize) -> impl Strategy<Value = CsrGraph> {
     (6..=max_n).prop_flat_map(move |n| {
@@ -82,6 +132,82 @@ proptest! {
                 LightweightSolver::lp().with_par(par).solve_with_stats(&g, 3).unwrap();
             prop_assert_eq!(&s, &base, "solution varies at threads={}", threads);
             prop_assert_eq!(stats, base_stats, "LpRunStats varies at threads={}", threads);
+        }
+    }
+
+    #[test]
+    fn engine_is_solution_identical_to_direct_solvers(
+        g in graph_strategy(16, 60),
+        k in 3usize..=4,
+    ) {
+        // The acceptance bar of the engine redesign: for every algorithm,
+        // thread count and budget preset, `Engine::solve` is outcome-
+        // identical to the hand-constructed solver it dispatches to —
+        // equal solutions on success, the same structured OOM/OOT error
+        // otherwise.
+        let budgets = [
+            Budget::unlimited(),
+            Budget::standard(),
+            // Tight enough that GC/OPT/GREEDY-CG trip on most non-trivial
+            // graphs, exercising the error paths.
+            Budget::unlimited().with_max_cliques(3).with_max_conflicts(8).with_mis_node_limit(4),
+        ];
+        for algo in Algo::ALL {
+            for threads in [1usize, 2, 8] {
+                let par = ParConfig::new(threads).with_chunk(2);
+                for budget in budgets {
+                    let req = SolveRequest::new(algo, k).with_par(par).with_budget(budget);
+                    let engine = Engine::solve(&g, req).map(|r| r.solution);
+                    let direct = direct_solve(&g, req);
+                    if let Err(msg) = same_outcome(engine, direct) {
+                        return Err(TestCaseError::fail(
+                            format!("{algo} threads={threads} budget={budget:?}: {msg}")));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn engine_partition_matches_partition_all_par(
+        g in graph_strategy(16, 60),
+        k in 3usize..=4,
+    ) {
+        // The wrapper and the engine path must stay the same computation.
+        let par = ParConfig::new(4).with_chunk(2);
+        let direct = dkc_core::partition_all_par(&g, k, par).unwrap();
+        let report = Engine::partition_all(&g, SolveRequest::new(Algo::Lp, k).with_par(par)).unwrap();
+        prop_assert_eq!(&report.partition.groups, &direct.groups);
+        // Every node lands in exactly one group.
+        let mut seen = vec![false; g.num_nodes()];
+        for group in &report.partition.groups {
+            for &u in group {
+                prop_assert!(!seen[u as usize]);
+                seen[u as usize] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn calculation_round_drain_is_thread_invariant(g in graph_strategy(26, 160)) {
+        // Denser graphs than `lightweight_is_thread_invariant` uses, so
+        // the Calculation phase performs real re-probe work across several
+        // rounds (chunk 1 → 16-entry rounds); the round-based speculative
+        // drain must reproduce the sequential drain bit-for-bit, run
+        // statistics included.
+        let (base, base_stats) =
+            LightweightSolver::lp().with_threads(1).solve_with_stats(&g, 3).unwrap();
+        for threads in [2usize, 8] {
+            let par = ParConfig::new(threads).with_chunk(1);
+            for prune in [true, false] {
+                let solver = LightweightSolver { prune, par };
+                let (s, stats) = solver.solve_with_stats(&g, 3).unwrap();
+                prop_assert_eq!(&s, &base, "threads={} prune={}", threads, prune);
+                if prune {
+                    prop_assert_eq!(stats, base_stats, "stats vary at threads={}", threads);
+                }
+            }
         }
     }
 

@@ -75,6 +75,8 @@ pub struct RegistryStats {
     /// Cache reads or writes that failed and were skipped (corrupt or
     /// unwritable cache entries never fail a resolution).
     pub cache_errors: u64,
+    /// Cache entries removed by [`DatasetRegistry::evict_standins`].
+    pub evictions: u64,
 }
 
 #[derive(Default)]
@@ -84,6 +86,21 @@ struct Counters {
     synthetic_builds: Cell<u64>,
     cache_writes: Cell<u64>,
     cache_errors: Cell<u64>,
+    evictions: Cell<u64>,
+}
+
+/// Which cached stand-in snapshots [`DatasetRegistry::evict_standins`]
+/// removes. Unset fields match everything, so the empty filter GC's every
+/// stand-in entry; tiny-dataset entries (keys without a scale component)
+/// only match when `scale` is unset.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EvictFilter {
+    /// Restrict to one Table I dataset.
+    pub dataset: Option<DatasetId>,
+    /// Restrict to entries generated at this exact scale.
+    pub scale: Option<f64>,
+    /// Restrict to entries generated from this seed.
+    pub seed: Option<u64>,
 }
 
 /// Resolves dataset names to graphs through the cache → text → synthetic
@@ -252,6 +269,34 @@ impl DatasetRegistry {
         }
     }
 
+    /// Removes cached stand-in snapshots matching `filter` from this
+    /// registry's cache directory and returns how many entries went away —
+    /// the GC path for stale scale/seed configurations that would
+    /// otherwise accumulate forever. Only files following the stand-in
+    /// key shape (`<name>[-s<scale>]-seed<seed>.dkcsr`) are considered;
+    /// user-supplied files outside `cache/` are never touched. In-memory
+    /// registries trivially evict nothing.
+    pub fn evict_standins(&self, filter: &EvictFilter) -> std::io::Result<usize> {
+        let Some(dir) = &self.data_dir else { return Ok(0) };
+        let cache_dir = dir.join("cache");
+        if !cache_dir.is_dir() {
+            return Ok(0);
+        }
+        let mut removed = 0usize;
+        for entry in std::fs::read_dir(&cache_dir)? {
+            let path = entry?.path();
+            let Some(stem) = path.file_name().and_then(|n| n.to_str()) else { continue };
+            let Some(stem) = stem.strip_suffix(".dkcsr") else { continue };
+            let Some(parsed) = parse_standin_key(stem) else { continue };
+            if filter.matches(&parsed) {
+                std::fs::remove_file(&path)?;
+                bump(&self.counters.evictions);
+                removed += 1;
+            }
+        }
+        Ok(removed)
+    }
+
     /// A copy of the cumulative counters.
     pub fn stats(&self) -> RegistryStats {
         RegistryStats {
@@ -260,17 +305,65 @@ impl DatasetRegistry {
             synthetic_builds: self.counters.synthetic_builds.get(),
             cache_writes: self.counters.cache_writes.get(),
             cache_errors: self.counters.cache_errors.get(),
+            evictions: self.counters.evictions.get(),
         }
     }
 
     /// The counters as one greppable line, e.g.
-    /// `snapshot-hits=2 text-loads=0 synthetic-builds=0 cache-writes=0 cache-errors=0`.
+    /// `snapshot-hits=2 text-loads=0 synthetic-builds=0 cache-writes=0 cache-errors=0 evictions=0`.
     pub fn stats_line(&self) -> String {
         let s = self.stats();
         format!(
-            "snapshot-hits={} text-loads={} synthetic-builds={} cache-writes={} cache-errors={}",
-            s.snapshot_hits, s.text_loads, s.synthetic_builds, s.cache_writes, s.cache_errors
+            "snapshot-hits={} text-loads={} synthetic-builds={} cache-writes={} cache-errors={} evictions={}",
+            s.snapshot_hits, s.text_loads, s.synthetic_builds, s.cache_writes, s.cache_errors,
+            s.evictions
         )
+    }
+}
+
+/// A cache key decomposed back into its stand-in components.
+#[derive(Debug, Clone, PartialEq)]
+struct ParsedStandinKey {
+    name: String,
+    /// `None` for tiny-dataset keys, which embed no scale.
+    scale: Option<f64>,
+    seed: u64,
+}
+
+impl EvictFilter {
+    fn matches(&self, key: &ParsedStandinKey) -> bool {
+        if let Some(id) = self.dataset {
+            if key.name != id.name().to_ascii_lowercase() {
+                return false;
+            }
+        }
+        if let Some(scale) = self.scale {
+            if key.scale != Some(scale) {
+                return false;
+            }
+        }
+        if let Some(seed) = self.seed {
+            if key.seed != seed {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Parses `<name>[-s<scale>]-seed<seed>` (the [`standin_key`] /
+/// `resolve_tiny` shapes); anything else — e.g. the cache entry of a
+/// user-named dataset — returns `None` and is left alone by eviction.
+fn parse_standin_key(stem: &str) -> Option<ParsedStandinKey> {
+    let seed_at = stem.rfind("-seed")?;
+    let seed: u64 = stem[seed_at + "-seed".len()..].parse().ok()?;
+    let head = &stem[..seed_at];
+    match head.rfind("-s") {
+        Some(scale_at) if stem[scale_at + 2..seed_at].parse::<f64>().is_ok() => {
+            let scale: f64 = stem[scale_at + 2..seed_at].parse().ok()?;
+            Some(ParsedStandinKey { name: head[..scale_at].to_string(), scale: Some(scale), seed })
+        }
+        _ => Some(ParsedStandinKey { name: head.to_string(), scale: None, seed }),
     }
 }
 
@@ -427,6 +520,76 @@ mod tests {
         assert_ne!(safe_key("FTB 1.0/й"), safe_key("FTB 1.0 й"));
         // Case variants of the same rewritten key agree.
         assert_eq!(safe_key("My Graph"), safe_key("my graph"));
+    }
+
+    #[test]
+    fn evict_standins_matches_scale_and_seed() {
+        let dir = temp_dir("evict");
+        let reg = DatasetRegistry::new(&dir);
+        reg.resolve_standin(DatasetId::Ftb, 1.0, 1).unwrap();
+        reg.resolve_standin(DatasetId::Ftb, 1.0, 2).unwrap();
+        reg.resolve_standin(DatasetId::Ftb, 0.5, 1).unwrap();
+        reg.resolve_standin(DatasetId::Hst, 1.0, 1).unwrap();
+        reg.resolve_tiny(TinyDatasetId::Swallow, 1).unwrap();
+
+        // Seed filter: hits ftb(1.0,1), ftb(0.5,1), hst(1.0,1) and the
+        // tiny swallow entry, spares ftb seed 2.
+        let removed =
+            reg.evict_standins(&EvictFilter { seed: Some(1), ..Default::default() }).unwrap();
+        assert_eq!(removed, 4);
+        assert_eq!(reg.stats().evictions, 4);
+        let again = reg.resolve_standin(DatasetId::Ftb, 1.0, 2).unwrap();
+        assert_eq!(again.from, ResolvedFrom::SnapshotCache, "seed 2 must survive");
+
+        // Dataset + scale filter on the rebuilt entries.
+        reg.resolve_standin(DatasetId::Ftb, 1.0, 1).unwrap();
+        reg.resolve_standin(DatasetId::Ftb, 0.5, 1).unwrap();
+        let removed = reg
+            .evict_standins(&EvictFilter {
+                dataset: Some(DatasetId::Ftb),
+                scale: Some(0.5),
+                ..Default::default()
+            })
+            .unwrap();
+        assert_eq!(removed, 1);
+        // The empty filter GC's every remaining stand-in entry.
+        let removed = reg.evict_standins(&EvictFilter::default()).unwrap();
+        assert!(removed >= 2, "{removed}");
+        assert!(reg.stats_line().contains("evictions="), "{}", reg.stats_line());
+        cleanup(&dir);
+    }
+
+    #[test]
+    fn evict_leaves_foreign_cache_entries_alone() {
+        let dir = temp_dir("evict_foreign");
+        std::fs::write(dir.join("mygraph.txt"), "1 2\n2 3\n3 1\n").unwrap();
+        let reg = DatasetRegistry::new(&dir);
+        reg.resolve("mygraph", || panic!("text file must win")).unwrap();
+        // The user dataset's cache entry does not follow the stand-in key
+        // shape, so a full GC must not touch it (nor the source file).
+        assert_eq!(reg.evict_standins(&EvictFilter::default()).unwrap(), 0);
+        let again = reg.resolve("mygraph", || panic!("must stay cached")).unwrap();
+        assert_eq!(again.from, ResolvedFrom::SnapshotCache);
+        // In-memory registries trivially evict nothing.
+        assert_eq!(
+            DatasetRegistry::in_memory().evict_standins(&EvictFilter::default()).unwrap(),
+            0
+        );
+        cleanup(&dir);
+    }
+
+    #[test]
+    fn standin_key_parsing_roundtrips() {
+        assert_eq!(
+            parse_standin_key("ftb-s0.01-seed42"),
+            Some(ParsedStandinKey { name: "ftb".into(), scale: Some(0.01), seed: 42 })
+        );
+        assert_eq!(
+            parse_standin_key("swallow-seed7"),
+            Some(ParsedStandinKey { name: "swallow".into(), scale: None, seed: 7 })
+        );
+        assert_eq!(parse_standin_key("mygraph"), None);
+        assert_eq!(parse_standin_key("weird-seedless"), None);
     }
 
     #[test]

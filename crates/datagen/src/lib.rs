@@ -39,7 +39,7 @@ pub mod registry;
 pub mod workload;
 mod ws;
 
-pub use dataset::{DatasetRegistry, RegistryStats, ResolvedDataset, ResolvedFrom};
+pub use dataset::{DatasetRegistry, EvictFilter, RegistryStats, ResolvedDataset, ResolvedFrom};
 
 pub use ba::barabasi_albert;
 pub use caveman::relaxed_caveman;

@@ -18,7 +18,7 @@ struct Candidate {
 /// k-cliques of the current graph that (i) contain at least one free node,
 /// (ii) contain at least one non-free node, and (iii) have all their
 /// non-free nodes inside `C`. These are precisely the cliques that a swap
-/// may trade `C` for — the "strong constraint [that] limits the index
+/// may trade `C` for — the "strong constraint \[that\] limits the index
 /// size" (Section VI-E, Table VII).
 ///
 /// Besides the per-clique lists, an inverted node → candidates map supports

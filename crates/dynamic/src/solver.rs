@@ -1,7 +1,7 @@
 use crate::index::CandidateIndex;
 use crate::state::{CliqueId, SolutionState};
 use dkc_clique::Clique;
-use dkc_core::{LightweightSolver, Solution, SolveError, Solver};
+use dkc_core::{Algo, Engine, Solution, SolveError, SolveReport, SolveRequest};
 use dkc_graph::{CsrGraph, DynGraph, NodeId};
 use std::collections::{BTreeSet, VecDeque};
 
@@ -67,23 +67,66 @@ pub struct DynamicSolver {
     state: SolutionState,
     index: CandidateIndex,
     stats: UpdateStats,
+    /// The request replayed by [`DynamicSolver::rebuild`]; `k` equals
+    /// `self.k` by construction.
+    request: SolveRequest,
 }
 
 impl DynamicSolver {
-    /// Bootstraps from a static graph: computes the initial `S` with the LP
-    /// solver (Algorithm 3) and builds the candidate index (Algorithm 5).
+    /// Bootstraps from a static graph with the paper's default: the
+    /// initial `S` comes from the LP solver (Algorithm 3), the candidate
+    /// index from Algorithm 5. Shorthand for [`DynamicSolver::from_scratch`]
+    /// with an [`Algo::Lp`] request.
     pub fn new(g: &CsrGraph, k: usize) -> Result<Self, SolveError> {
-        let initial = LightweightSolver::lp().solve(g, k)?;
-        Ok(Self::from_solution(g, initial))
+        Self::from_scratch(g, SolveRequest::new(Algo::Lp, k))
+    }
+
+    /// Bootstraps from a static graph with an explicit engine request, so
+    /// dynamic maintenance can start from (and [`DynamicSolver::rebuild`]
+    /// with) any algorithm/budget/executor configuration, not just the
+    /// hard-wired LP default.
+    pub fn from_scratch(g: &CsrGraph, request: SolveRequest) -> Result<Self, SolveError> {
+        let report = Engine::solve(g, request)?;
+        Ok(Self::with_request(g, report.solution, request))
     }
 
     /// Starts from a pre-computed solution (must be valid and maximal —
-    /// e.g. produced by any solver in `dkc-core`).
+    /// e.g. produced by any solver in `dkc-core`). Rebuilds replay LP.
     pub fn from_solution(g: &CsrGraph, solution: Solution) -> Self {
+        let request = SolveRequest::new(Algo::Lp, solution.k());
+        Self::with_request(g, solution, request)
+    }
+
+    fn with_request(g: &CsrGraph, solution: Solution, request: SolveRequest) -> Self {
         let graph = DynGraph::from_csr(g);
         let state = SolutionState::from_solution(&solution, g.num_nodes());
         let index = CandidateIndex::build(&graph, &state);
-        DynamicSolver { k: solution.k(), graph, state, index, stats: UpdateStats::default() }
+        DynamicSolver {
+            k: solution.k(),
+            graph,
+            state,
+            index,
+            stats: UpdateStats::default(),
+            request,
+        }
+    }
+
+    /// Recomputes `S` and the candidate index from scratch on the *current*
+    /// graph by replaying this solver's [`SolveRequest`] — the "rebuild"
+    /// baseline the paper's Table VIII compares maintained quality against.
+    /// Lifetime [`UpdateStats`] counters are preserved; the returned
+    /// [`SolveReport`] carries the rebuild's provenance and timings.
+    pub fn rebuild(&mut self) -> Result<SolveReport, SolveError> {
+        let csr = self.graph.to_csr();
+        let report = Engine::solve(&csr, self.request)?;
+        self.state = SolutionState::from_solution(&report.solution, csr.num_nodes());
+        self.index = CandidateIndex::build(&self.graph, &self.state);
+        Ok(report)
+    }
+
+    /// The engine request used to bootstrap (and rebuild) this solver.
+    pub fn request(&self) -> SolveRequest {
+        self.request
     }
 
     /// The clique size.
@@ -662,6 +705,38 @@ mod tests {
         assert_eq!(out.skipped, 2);
         assert_eq!(out.size_delta, 0);
         solver.validate().unwrap();
+    }
+
+    #[test]
+    fn from_scratch_is_parameterised_by_algo() {
+        let g =
+            CsrGraph::from_edges(6, vec![(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)])
+                .unwrap();
+        for algo in [Algo::Hg, Algo::Gc, Algo::Lp, Algo::GreedyCg] {
+            let solver = DynamicSolver::from_scratch(&g, SolveRequest::new(algo, 3)).unwrap();
+            assert_eq!(solver.len(), 2, "{algo}");
+            assert_eq!(solver.request().algo, algo);
+            solver.validate().unwrap();
+        }
+        // The default bootstrap records an LP request.
+        assert_eq!(DynamicSolver::new(&g, 3).unwrap().request().algo, Algo::Lp);
+    }
+
+    #[test]
+    fn rebuild_replays_the_request_on_the_current_graph() {
+        let mut solver = fig5_solver();
+        solver.insert_edge(4, 6);
+        solver.delete_edge(2, 3);
+        let maintained = solver.len();
+        let report = solver.rebuild().unwrap();
+        assert_eq!(report.algo, Algo::Lp);
+        solver.validate().unwrap();
+        // The rebuild equals a from-scratch engine run on the same graph.
+        let scratch = Engine::solve(&solver.graph().to_csr(), solver.request()).unwrap().solution;
+        assert_eq!(solver.len(), scratch.len());
+        assert_eq!(solver.solution().sorted_cliques(), scratch.sorted_cliques());
+        // Table VIII's claim on this tiny instance: maintenance kept up.
+        assert!(maintained as i64 - scratch.len() as i64 >= -1);
     }
 
     #[test]

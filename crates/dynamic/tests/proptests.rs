@@ -2,7 +2,7 @@
 //! streams must preserve every invariant at every step, and the maintained
 //! solution must stay comparable to a from-scratch static solve.
 
-use dkc_core::{approx_guarantee_holds, LightweightSolver, OptSolver, Solver};
+use dkc_core::{approx_guarantee_holds, Algo, Engine, SolveRequest};
 use dkc_dynamic::DynamicSolver;
 use dkc_graph::CsrGraph;
 use proptest::prelude::*;
@@ -62,15 +62,18 @@ proptest! {
             }
         }
         let final_graph = solver.graph().to_csr();
-        let opt = OptSolver::new().solve(&final_graph, k).unwrap();
+        let opt = Engine::solve(&final_graph, SolveRequest::new(Algo::Opt, k)).unwrap().solution;
         prop_assert!(
             approx_guarantee_holds(opt.len(), solver.len(), k),
             "dynamic |S| = {} vs OPT = {}",
             solver.len(),
             opt.len()
         );
-        // A static LP re-solve is also maximal; both sit in [opt/k, opt].
-        let static_lp = LightweightSolver::lp().solve(&final_graph, k).unwrap();
+        // A static LP re-solve (the rebuild path) is also maximal; both
+        // sit in [opt/k, opt].
+        let mut rebuilt = solver.clone();
+        let static_lp = rebuilt.rebuild().unwrap().solution;
+        prop_assert_eq!(rebuilt.len(), static_lp.len());
         prop_assert!(approx_guarantee_holds(opt.len(), static_lp.len(), k));
     }
 

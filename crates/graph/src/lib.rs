@@ -44,7 +44,9 @@ pub use csr::CsrGraph;
 pub use dag::Dag;
 pub use dynamic::DynGraph;
 pub use error::{GraphError, SnapshotError};
-pub use order::{degeneracy_removal_order, greedy_coloring, NodeOrder, OrderingKind};
+pub use order::{
+    degeneracy_removal_order, greedy_coloring, NodeOrder, OrderingKind, ParseOrderingError,
+};
 pub use stats::GraphStats;
 pub use subgraph::InducedSubgraph;
 

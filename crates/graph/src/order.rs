@@ -18,15 +18,72 @@ pub enum OrderingKind {
     DegreeDesc,
     /// Degeneracy (k-core) ordering. Ranks are assigned so that
     /// `|N⁺(u)| <= degeneracy(G)` for every node, which bounds the k-clique
-    /// listing recursion (Danisch et al., WWW'18 — reference [13]).
+    /// listing recursion (Danisch et al., WWW'18 — reference \[13\]).
     Degeneracy,
     /// Greedy-colouring ordering (Li et al., VLDB'20 — the paper's
-    /// reference [14]): nodes are greedily coloured in core order and
+    /// reference \[14\]): nodes are greedily coloured in core order and
     /// ranked by ascending colour. Since adjacent nodes never share a
     /// colour, the orientation is well-defined, and a node can only root a
     /// k-clique if its colour is at least `k - 1` — a strong pruning signal
     /// for listing-heavy workloads.
     Color,
+}
+
+impl OrderingKind {
+    /// Every built-in ordering.
+    pub const ALL: [OrderingKind; 5] = [
+        OrderingKind::Identity,
+        OrderingKind::DegreeAsc,
+        OrderingKind::DegreeDesc,
+        OrderingKind::Degeneracy,
+        OrderingKind::Color,
+    ];
+
+    /// The stable lowercase token used by CLIs and config files; parses
+    /// back via [`std::str::FromStr`].
+    pub fn token(self) -> &'static str {
+        match self {
+            OrderingKind::Identity => "identity",
+            OrderingKind::DegreeAsc => "degree-asc",
+            OrderingKind::DegreeDesc => "degree-desc",
+            OrderingKind::Degeneracy => "degeneracy",
+            OrderingKind::Color => "color",
+        }
+    }
+}
+
+impl std::fmt::Display for OrderingKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.token())
+    }
+}
+
+/// Error of parsing an [`OrderingKind`] token: it matched no ordering.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseOrderingError {
+    /// The rejected token.
+    pub token: String,
+}
+
+impl std::fmt::Display for ParseOrderingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let names: Vec<&str> = OrderingKind::ALL.iter().map(|o| o.token()).collect();
+        write!(f, "unknown ordering {:?} (try {})", self.token, names.join("|"))
+    }
+}
+
+impl std::error::Error for ParseOrderingError {}
+
+impl std::str::FromStr for OrderingKind {
+    type Err = ParseOrderingError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let token = s.trim().to_ascii_lowercase();
+        OrderingKind::ALL
+            .into_iter()
+            .find(|o| token == o.token())
+            .ok_or(ParseOrderingError { token })
+    }
 }
 
 /// A total order on the nodes of a graph.

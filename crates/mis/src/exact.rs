@@ -39,7 +39,7 @@ pub struct MisResult {
 }
 
 /// Exact maximum-independent-set solver: branch-and-reduce in the style of
-/// Akiba & Iwata (the paper's reference [42]).
+/// Akiba & Iwata (the paper's reference \[42\]).
 ///
 /// * **Reductions**: isolated vertices are taken; pendant (degree-1)
 ///   vertices are taken (always safe).

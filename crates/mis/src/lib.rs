@@ -4,7 +4,7 @@
 //! the materialised *clique graph*: every k-clique becomes a vertex and two
 //! vertices conflict when the cliques share a node. An MIS of that graph is
 //! exactly a maximum set of disjoint k-cliques. The paper uses the
-//! branch-and-reduce solver of Akiba & Iwata (reference [42]); this crate
+//! branch-and-reduce solver of Akiba & Iwata (reference \[42\]); this crate
 //! provides a self-contained equivalent:
 //!
 //! * [`ExactMis`] — exact branch-and-reduce with degree-0/1 reductions,

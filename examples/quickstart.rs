@@ -1,9 +1,10 @@
 //! Quickstart: solve the paper's running example (Fig. 2) with every
-//! solver, check the theory (Theorems 2 and 3) and print what happened.
+//! algorithm through the unified engine, check the theory (Theorems 2
+//! and 3) and print what happened.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use disjoint_kcliques::core::{approx_guarantee_holds, verify_theorem2, OptSolver};
+use disjoint_kcliques::core::{approx_guarantee_holds, verify_theorem2};
 use disjoint_kcliques::prelude::*;
 
 fn main() {
@@ -33,28 +34,30 @@ fn main() {
     let k = 3;
     println!("graph: {}", GraphStats::of(&g));
 
-    let solvers: Vec<Box<dyn Solver>> = vec![
-        Box::new(HgSolver::default()),
-        Box::new(GcSolver::new()),
-        Box::new(LightweightSolver::l()),
-        Box::new(LightweightSolver::lp()),
-        Box::new(OptSolver::new()),
-    ];
+    // One typed entry point for the whole solver family.
+    let algos = [Algo::Hg, Algo::Gc, Algo::L, Algo::Lp, Algo::Opt];
     let mut opt_size = 0;
-    for solver in &solvers {
-        let s = solver.solve(&g, k).expect("Fig. 2 is tiny; nothing can fail");
+    for algo in algos {
+        let report = Engine::solve(&g, SolveRequest::new(algo, k))
+            .expect("Fig. 2 is tiny; nothing can fail");
+        let s = &report.solution;
         s.verify(&g).expect("every solver returns a valid disjoint set");
         s.verify_maximal(&g).expect("…and a maximal one");
-        println!("{:>4}: |S| = {}  cliques = {:?}", solver.name(), s.len(), s.sorted_cliques());
-        if solver.name() == "OPT" {
+        println!(
+            "{:>4}: |S| = {}  cliques = {:?}",
+            report.algo.paper_name(),
+            s.len(),
+            s.sorted_cliques()
+        );
+        if algo == Algo::Opt {
             opt_size = s.len();
         }
     }
 
     // Theorem 3: every maximal set is a k-approximation of the optimum.
-    for solver in &solvers {
-        let s = solver.solve(&g, k).unwrap();
-        assert!(approx_guarantee_holds(opt_size, s.len(), k));
+    for algo in algos {
+        let report = Engine::solve(&g, SolveRequest::new(algo, k)).unwrap();
+        assert!(approx_guarantee_holds(opt_size, report.solution.len(), k));
     }
     println!("Theorem 3 holds: every |S| is within factor k={k} of OPT = {opt_size}");
 

@@ -1,13 +1,20 @@
 //! `dkc` — command-line front end for the disjoint k-clique toolkit.
 //!
 //! ```text
-//! dkc stats     <graph> [--kmax K] [--threads N]            graph statistics + k-clique counts
-//! dkc solve     <graph> --k K [--algo A] [--threads N]      maximal disjoint k-clique set
-//! dkc partition <graph> --k K [--threads N]                 assign EVERY node to a group (≤ K)
-//! dkc convert   <in> <out> [--threads N]                    text ⇄ binary .dkcsr snapshot
-//! dkc gen       <dataset> <out> [--scale X] [--seed N]      write a stand-in as an edge list
-//! dkc cache     <dataset> --data-dir D [--scale X] [--seed N]  warm the snapshot cache
+//! dkc stats     <graph> [--kmax K] [common flags]            graph statistics + k-clique counts
+//! dkc solve     <graph> --k K [common flags] [--json]        maximal disjoint k-clique set
+//! dkc partition <graph> --k K [common flags] [--json]        assign EVERY node to a group (≤ K)
+//! dkc convert   <in> <out> [--threads N]                     text ⇄ binary .dkcsr snapshot
+//! dkc gen       <dataset> <out> [--scale X] [--seed N]       write a stand-in as an edge list
+//! dkc cache     <dataset> --data-dir D [--scale X] [--seed N]   warm the snapshot cache
+//! dkc cache     evict --data-dir D [--dataset NAME] [--scale X] [--seed N]   GC cache entries
 //! ```
+//!
+//! Common flags (accepted uniformly by every solving subcommand):
+//! `--algo hg|gc|l|lp|opt|greedy-cg`, `--ordering <kind>` (HG only),
+//! `--threads N`, and the budget knobs `--max-cliques N`,
+//! `--max-conflicts N`, `--mis-nodes N` — which apply to whichever
+//! algorithm can trip on them, not just `opt`.
 //!
 //! `<graph>` accepts either format — KONECT-style text edge lists (`u v`
 //! per line, `%`/`#` comments, arbitrary integer labels) or binary
@@ -17,12 +24,13 @@
 //! the available parallelism (or the `DKC_THREADS` environment variable
 //! when set); every parallel phase, text parsing included, is
 //! deterministic, so the output is identical for any thread count. Output
-//! uses the input file's original labels.
+//! uses the input file's original labels; `--json` swaps the human output
+//! for the engine's `SolveReport`/`PartitionReport` JSON rendering.
 
 use disjoint_kcliques::clique::count_kcliques_parallel;
-use disjoint_kcliques::core::{partition_all_par, GcSolver, GreedyCliqueGraphSolver, OptSolver};
+use disjoint_kcliques::core::{Algo, Budget, Engine, SolveRequest};
 use disjoint_kcliques::datagen::registry::DatasetId;
-use disjoint_kcliques::datagen::DatasetRegistry;
+use disjoint_kcliques::datagen::{DatasetRegistry, EvictFilter};
 use disjoint_kcliques::graph::io::{
     load_graph, write_edge_list_labeled, write_edge_list_path, write_snapshot_path, LoadReport,
     LoadedGraph,
@@ -34,7 +42,7 @@ use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  dkc stats <graph> [--kmax K] [--threads N]\n  dkc solve <graph> --k K [--algo hg|gc|l|lp|opt|greedy-cg] [--threads N]\n  dkc partition <graph> --k K [--threads N]\n  dkc convert <in> <out> [--threads N]\n  dkc gen <dataset> <out> [--scale X] [--seed N]\n  dkc cache <dataset> --data-dir D [--scale X] [--seed N] [--threads N]\n\n<graph> is a KONECT-style edge list or a binary .dkcsr snapshot (detected\nby content). --threads defaults to the available parallelism (env\nDKC_THREADS overrides); results are identical for any thread count."
+        "usage:\n  dkc stats <graph> [--kmax K] [common flags]\n  dkc solve <graph> --k K [common flags] [--json]\n  dkc partition <graph> --k K [common flags] [--json]\n  dkc convert <in> <out> [--threads N]\n  dkc gen <dataset> <out> [--scale X] [--seed N]\n  dkc cache <dataset> --data-dir D [--scale X] [--seed N] [--threads N]\n  dkc cache evict --data-dir D [--dataset NAME] [--scale X] [--seed N]\n\ncommon flags: --algo hg|gc|l|lp|opt|greedy-cg   --threads N\n              --ordering identity|degree-asc|degree-desc|degeneracy|color\n              --max-cliques N --max-conflicts N --mis-nodes N\n\n<graph> is a KONECT-style edge list or a binary .dkcsr snapshot (detected\nby content). --threads defaults to the available parallelism (env\nDKC_THREADS overrides); results are identical for any thread count.\n--algo opt defaults to the standard deterministic OOM/OOT budgets; the\nbudget flags override them for any algorithm. --json prints the engine\nreport as JSON on stdout."
     );
     std::process::exit(2);
 }
@@ -45,9 +53,15 @@ struct Args {
     out: Option<String>,
     k: usize,
     kmax: usize,
-    algo: String,
-    scale: f64,
-    seed: u64,
+    algo: Algo,
+    ordering: Option<OrderingKind>,
+    max_cliques: Option<usize>,
+    max_conflicts: Option<usize>,
+    mis_nodes: Option<u64>,
+    json: bool,
+    scale: Option<f64>,
+    seed: Option<u64>,
+    dataset: Option<String>,
     data_dir: Option<String>,
     par: ParConfig,
 }
@@ -62,9 +76,15 @@ fn parse_args() -> Args {
         out: None,
         k: 0,
         kmax: 6,
-        algo: "lp".into(),
-        scale: 1.0,
-        seed: 42,
+        algo: Algo::Lp,
+        ordering: None,
+        max_cliques: None,
+        max_conflicts: None,
+        mis_nodes: None,
+        json: false,
+        scale: None,
+        seed: None,
+        dataset: None,
         data_dir: None,
         par: ParConfig::default(),
     };
@@ -80,9 +100,27 @@ fn parse_args() -> Args {
         match flag.as_str() {
             "--k" => args.k = value().parse().unwrap_or_else(|_| usage()),
             "--kmax" => args.kmax = value().parse().unwrap_or_else(|_| usage()),
-            "--algo" => args.algo = value().to_ascii_lowercase(),
-            "--scale" => args.scale = value().parse().unwrap_or_else(|_| usage()),
-            "--seed" => args.seed = value().parse().unwrap_or_else(|_| usage()),
+            "--algo" => {
+                args.algo = value().parse().unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                })
+            }
+            "--ordering" => {
+                args.ordering = Some(value().parse().unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                }))
+            }
+            "--max-cliques" => args.max_cliques = Some(value().parse().unwrap_or_else(|_| usage())),
+            "--max-conflicts" => {
+                args.max_conflicts = Some(value().parse().unwrap_or_else(|_| usage()))
+            }
+            "--mis-nodes" => args.mis_nodes = Some(value().parse().unwrap_or_else(|_| usage())),
+            "--json" => args.json = true,
+            "--scale" => args.scale = Some(value().parse().unwrap_or_else(|_| usage())),
+            "--seed" => args.seed = Some(value().parse().unwrap_or_else(|_| usage())),
+            "--dataset" => args.dataset = Some(value()),
             "--data-dir" => args.data_dir = Some(value()),
             "--threads" => {
                 let threads: usize = value().parse().unwrap_or_else(|_| usage());
@@ -120,21 +158,38 @@ fn dataset_for(name: &str) -> DatasetId {
     }
 }
 
-fn solver_for(algo: &str, par: ParConfig) -> Box<dyn Solver> {
-    match algo {
-        "hg" => Box::new(HgSolver::default()),
-        "gc" => Box::new(GcSolver::new().with_par(par)),
-        "l" => Box::new(LightweightSolver::l().with_par(par)),
-        "lp" => Box::new(LightweightSolver::lp().with_par(par)),
-        // Budgeted OPT: degrade to a structured OOM/OOT error instead of
-        // hanging on graphs beyond exact-search scale.
-        "opt" => Box::new(OptSolver::budgeted().with_par(par)),
-        "greedy-cg" => Box::new(GreedyCliqueGraphSolver::default().with_par(par)),
-        other => {
-            eprintln!("unknown algorithm {other:?} (try hg|gc|l|lp|opt|greedy-cg)");
-            std::process::exit(2);
-        }
+/// The single Engine-backed construction point the solving subcommands
+/// share: one request from the uniform `--algo`/`--ordering`/`--threads`/
+/// budget flags. `opt` starts from the standard deterministic budgets
+/// (degrade to a structured OOM/OOT error instead of hanging past exact
+/// scale); every algorithm honours explicit budget overrides.
+fn request_from_args(args: &Args) -> SolveRequest {
+    let mut budget = match args.algo {
+        Algo::Opt => Budget::standard(),
+        _ => Budget::unlimited(),
+    };
+    if let Some(n) = args.max_cliques {
+        budget = budget.with_max_cliques(n);
     }
+    if let Some(n) = args.max_conflicts {
+        budget = budget.with_max_conflicts(n);
+    }
+    if let Some(n) = args.mis_nodes {
+        budget = budget.with_mis_node_limit(n);
+    }
+    let mut req = SolveRequest::new(args.algo, args.k).with_budget(budget).with_par(args.par);
+    if let Some(ordering) = args.ordering {
+        req = req.with_ordering(ordering);
+    }
+    req
+}
+
+/// Loads the input graph and prints the shared load-path provenance line
+/// (to stderr, so `--json`/label output on stdout stays machine-clean).
+fn load_with_provenance(args: &Args) -> LoadedGraph {
+    let (loaded, report) = load(&args.path, args.par);
+    eprintln!("# load: {report}");
+    loaded
 }
 
 fn main() {
@@ -145,18 +200,15 @@ fn main() {
         "partition" => cmd_partition(&args),
         "convert" => cmd_convert(&args),
         "gen" => cmd_gen(&args),
+        "cache" if args.path == "evict" => cmd_cache_evict(&args),
         "cache" => cmd_cache(&args),
         _ => usage(),
     }
 }
 
 fn cmd_stats(args: &Args) {
-    let (loaded, report) = load(&args.path, args.par);
+    let loaded = load_with_provenance(args);
     let g = &loaded.graph;
-    // Load-path provenance first: which format served this graph, how long
-    // the load took, and (for text) what the parser saw — so ingestion
-    // regressions are visible from the CLI.
-    println!("load: {report}");
     println!("{}", GraphStats::of(g));
     let dag = Dag::from_graph(g, NodeOrder::compute(g, OrderingKind::Degeneracy));
     for k in 3..=args.kmax {
@@ -170,24 +222,27 @@ fn cmd_solve(args: &Args) {
     if args.k == 0 {
         usage();
     }
-    let (loaded, report) = load(&args.path, args.par);
-    eprintln!("# load: {report}");
-    let solver = solver_for(&args.algo, args.par);
-    let t = Instant::now();
-    match solver.solve(&loaded.graph, args.k) {
-        Ok(s) => {
+    let loaded = load_with_provenance(args);
+    let req = request_from_args(args);
+    match Engine::solve(&loaded.graph, req) {
+        Ok(report) => {
+            report.solution.verify(&loaded.graph).expect("solver produced an invalid set");
             eprintln!(
-                "# {}: |S| = {} ({} nodes covered, {:.1} ms)",
-                solver.name(),
-                s.len(),
-                s.covered_nodes(),
-                t.elapsed().as_secs_f64() * 1e3
+                "# {}: |S| = {} ({} nodes covered, {:.1} ms, threads={})",
+                report.algo.paper_name(),
+                report.solution.len(),
+                report.solution.covered_nodes(),
+                report.elapsed.as_secs_f64() * 1e3,
+                report.threads,
             );
-            s.verify(&loaded.graph).expect("solver produced an invalid set");
-            for c in s.cliques() {
-                let labels: Vec<String> =
-                    c.iter().map(|u| loaded.labels[u as usize].to_string()).collect();
-                println!("{}", labels.join(" "));
+            if args.json {
+                println!("{}", report.to_json_with_labels(&loaded.labels));
+            } else {
+                for c in report.solution.cliques() {
+                    let labels: Vec<String> =
+                        c.iter().map(|u| loaded.labels[u as usize].to_string()).collect();
+                    println!("{}", labels.join(" "));
+                }
             }
         }
         Err(e) => {
@@ -201,22 +256,25 @@ fn cmd_partition(args: &Args) {
     if args.k == 0 {
         usage();
     }
-    let (loaded, report) = load(&args.path, args.par);
-    eprintln!("# load: {report}");
-    let t = Instant::now();
-    match partition_all_par(&loaded.graph, args.k, args.par) {
-        Ok(p) => {
-            let hist = p.size_histogram();
+    let loaded = load_with_provenance(args);
+    let req = request_from_args(args);
+    match Engine::partition_all(&loaded.graph, req) {
+        Ok(report) => {
             eprintln!(
-                "# {} groups in {:.1} ms — histogram {:?}",
-                p.num_groups(),
-                t.elapsed().as_secs_f64() * 1e3,
-                hist
+                "# {}: {} groups in {:.1} ms — histogram {:?}",
+                report.algo.paper_name(),
+                report.partition.num_groups(),
+                report.elapsed.as_secs_f64() * 1e3,
+                report.partition.size_histogram()
             );
-            for group in &p.groups {
-                let labels: Vec<String> =
-                    group.iter().map(|&u| loaded.labels[u as usize].to_string()).collect();
-                println!("{}", labels.join(" "));
+            if args.json {
+                println!("{}", report.to_json_with_labels(&loaded.labels));
+            } else {
+                for group in &report.partition.groups {
+                    let labels: Vec<String> =
+                        group.iter().map(|&u| loaded.labels[u as usize].to_string()).collect();
+                    println!("{}", labels.join(" "));
+                }
             }
         }
         Err(e) => {
@@ -228,8 +286,7 @@ fn cmd_partition(args: &Args) {
 
 fn cmd_convert(args: &Args) {
     let Some(out) = &args.out else { usage() };
-    let (loaded, report) = load(&args.path, args.par);
-    eprintln!("# load: {report}");
+    let loaded = load_with_provenance(args);
     let t = Instant::now();
     let result = if out.ends_with(".dkcsr") {
         write_snapshot_path(&loaded, out)
@@ -255,13 +312,14 @@ fn cmd_convert(args: &Args) {
 fn cmd_gen(args: &Args) {
     let Some(out) = &args.out else { usage() };
     let id = dataset_for(&args.path);
-    let g = id.standin(args.scale, args.seed);
+    let (scale, seed) = (args.scale.unwrap_or(1.0), args.seed.unwrap_or(42));
+    let g = id.standin(scale, seed);
     match write_edge_list_path(&g, out) {
         Ok(()) => eprintln!(
             "# wrote {out}: {} stand-in at scale {} seed {} ({} nodes, {} edges)",
             id.name(),
-            args.scale,
-            args.seed,
+            scale,
+            seed,
             g.num_nodes(),
             g.num_edges()
         ),
@@ -276,7 +334,7 @@ fn cmd_cache(args: &Args) {
     let Some(dir) = &args.data_dir else { usage() };
     let id = dataset_for(&args.path);
     let registry = DatasetRegistry::new(dir).with_par(args.par);
-    match registry.resolve_standin(id, args.scale, args.seed) {
+    match registry.resolve_standin(id, args.scale.unwrap_or(1.0), args.seed.unwrap_or(42)) {
         Ok(resolved) => {
             eprintln!(
                 "# {} resolved from {} in {:.1} ms ({} nodes, {} edges); {}",
@@ -292,5 +350,36 @@ fn cmd_cache(args: &Args) {
             eprintln!("cache failed: {e}");
             std::process::exit(1);
         }
+    }
+}
+
+fn cmd_cache_evict(args: &Args) {
+    let Some(dir) = &args.data_dir else { usage() };
+    let registry = DatasetRegistry::new(dir);
+    let filter = EvictFilter {
+        dataset: args.dataset.as_deref().map(dataset_for),
+        scale: args.scale,
+        seed: args.seed,
+    };
+    match registry.evict_standins(&filter) {
+        Ok(removed) => {
+            eprintln!(
+                "# evicted {removed} cache entr{}; {}",
+                plural_y(removed),
+                registry.stats_line()
+            );
+        }
+        Err(e) => {
+            eprintln!("evict failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn plural_y(n: usize) -> &'static str {
+    if n == 1 {
+        "y"
+    } else {
+        "ies"
     }
 }

@@ -22,6 +22,12 @@
 //!
 //! ## Quickstart
 //!
+//! Every solver is reached through one typed entry point: build a
+//! [`SolveRequest`](prelude::SolveRequest) (algorithm + `k` + budget +
+//! threads), hand it to [`Engine::solve`](prelude::Engine::solve), get a
+//! [`SolveReport`](prelude::SolveReport) back — the solution plus
+//! provenance, phase timings and a JSON rendering.
+//!
 //! ```
 //! use disjoint_kcliques::prelude::*;
 //!
@@ -34,13 +40,14 @@
 //! ]).unwrap();
 //!
 //! // LP: the paper's flagship solver (Algorithm 3 + score pruning).
-//! let s = LightweightSolver::lp().solve(&g, 3).unwrap();
-//! assert_eq!(s.len(), 3);
-//! s.verify(&g).unwrap();
-//! s.verify_maximal(&g).unwrap();
+//! let report = Engine::solve(&g, SolveRequest::new(Algo::Lp, 3)).unwrap();
+//! assert_eq!(report.solution.len(), 3);
+//! report.solution.verify(&g).unwrap();
+//! report.solution.verify_maximal(&g).unwrap();
+//! assert!(report.to_json().contains("\"algo\":\"lp\""));
 //!
-//! // Maintain the result under churn.
-//! let mut dynamic = DynamicSolver::from_solution(&g, s);
+//! // Maintain the result under churn; `rebuild()` replays the request.
+//! let mut dynamic = DynamicSolver::from_solution(&g, report.solution);
 //! dynamic.delete_edge(0, 1);
 //! assert_eq!(dynamic.len(), 2);
 //! dynamic.insert_edge(0, 1);
@@ -60,8 +67,8 @@ pub use dkc_par as par;
 pub mod prelude {
     pub use dkc_clique::{Clique, MAX_K};
     pub use dkc_core::{
-        partition_all, GcSolver, HgSolver, LightweightSolver, OptSolver, Solution, SolveError,
-        Solver,
+        partition_all, Algo, Budget, Engine, GcSolver, HgSolver, LightweightSolver, OptSolver,
+        PartitionReport, Solution, SolveError, SolveReport, SolveRequest, Solver,
     };
     pub use dkc_dynamic::DynamicSolver;
     pub use dkc_graph::{CsrGraph, DynGraph, GraphStats, NodeId, OrderingKind};

@@ -54,6 +54,40 @@ fn every_solver_matches_or_beats_hg_on_a_social_standin() {
 }
 
 #[test]
+fn engine_dispatch_matches_the_hand_constructed_solvers() {
+    // The same solvers, reached through the unified engine with the
+    // matching request, must return identical solutions. (The exhaustive
+    // per-budget/per-thread property version lives in dkc-core's test
+    // suite; this is the end-to-end facade check.)
+    let g = social_standin(26, 95, 11);
+    for k in [3usize, 4] {
+        let pairs: Vec<(Box<dyn Solver>, SolveRequest)> = vec![
+            (Box::new(HgSolver::default()), SolveRequest::new(Algo::Hg, k)),
+            (Box::new(GcSolver::new()), SolveRequest::new(Algo::Gc, k)),
+            (Box::new(LightweightSolver::l()), SolveRequest::new(Algo::L, k)),
+            (Box::new(LightweightSolver::lp()), SolveRequest::new(Algo::Lp, k)),
+            (
+                Box::new(OptSolver::budgeted()),
+                SolveRequest::new(Algo::Opt, k).with_budget(Budget::standard()),
+            ),
+            (Box::new(GreedyCliqueGraphSolver::default()), SolveRequest::new(Algo::GreedyCg, k)),
+        ];
+        for (solver, req) in pairs {
+            let direct = solver.solve(&g, k).unwrap_or_else(|e| panic!("{}: {e}", solver.name()));
+            let report =
+                Engine::solve(&g, req).unwrap_or_else(|e| panic!("engine {}: {e}", req.algo));
+            assert_eq!(
+                report.solution,
+                direct,
+                "engine vs direct mismatch for {} (k = {k})",
+                solver.name()
+            );
+            assert_eq!(report.algo.paper_name(), solver.name());
+        }
+    }
+}
+
+#[test]
 fn budgeted_opt_degrades_structurally_beyond_exact_scale() {
     // Far past the 26-node comfort zone of the exact baseline: budgeted OPT
     // must either finish (optimally or not) with a valid solution or
