@@ -43,8 +43,6 @@
 //! assert!(json.contains("\"algo\":\"lp\""));
 //! ```
 
-mod json;
-
 use crate::{
     GcSolver, GreedyCliqueGraphSolver, HgSolver, LightweightSolver, LpRunStats, OptSolver,
     Partition, Solution, SolveError, Solver,
@@ -52,9 +50,9 @@ use crate::{
 use dkc_clique::Clique;
 use dkc_cliquegraph::CliqueGraphLimits;
 use dkc_graph::{CsrGraph, InducedSubgraph, NodeId, OrderingKind};
+use dkc_json::Json;
 use dkc_mis::MisBudget;
 use dkc_par::ParConfig;
-use json::Json;
 use std::str::FromStr;
 use std::time::{Duration, Instant};
 
@@ -228,7 +226,9 @@ impl Budget {
         MisBudget { time_limit: self.mis_time_limit, node_limit: self.mis_node_limit }
     }
 
-    fn to_json(self) -> Json {
+    /// Renders this budget as a [`Json`] object (the `"budget"` member of a
+    /// [`SolveReport`] / [`SolveRequest`] rendering).
+    pub fn to_json_value(self) -> Json {
         Json::Obj(vec![
             ("max_cliques".into(), Json::opt_usize(self.max_cliques)),
             ("max_conflicts".into(), Json::opt_usize(self.max_conflicts)),
@@ -237,7 +237,8 @@ impl Budget {
         ])
     }
 
-    fn from_json(v: &Json) -> Result<Self, ParseReportError> {
+    /// Parses a budget rendered by [`Budget::to_json_value`].
+    pub fn from_json_value(v: &Json) -> Result<Self, ParseReportError> {
         Ok(Budget {
             max_cliques: field(v, "max_cliques")?
                 .as_opt_usize()
@@ -314,6 +315,47 @@ impl SolveRequest {
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.par = self.par.with_threads(threads);
         self
+    }
+
+    /// Renders this request as a [`Json`] object — the wire form used by
+    /// `dkc-serve`'s `solve` command and the serving-state metadata.
+    /// Executor chunk granularity is a local tuning knob and is not part of
+    /// the wire form (parsing restores the default chunk).
+    pub fn to_json_value(self) -> Json {
+        Json::Obj(vec![
+            ("algo".into(), Json::str(self.algo.cli_name())),
+            ("k".into(), Json::usize(self.k)),
+            ("ordering".into(), Json::str(self.ordering.token())),
+            ("threads".into(), Json::usize(self.par.threads)),
+            ("budget".into(), self.budget.to_json_value()),
+        ])
+    }
+
+    /// Parses a request rendered by [`SolveRequest::to_json_value`]. The
+    /// `ordering`, `threads` and `budget` members are optional and default
+    /// to [`SolveRequest::new`]'s values.
+    pub fn from_json_value(v: &Json) -> Result<Self, ParseReportError> {
+        let algo: Algo = field(v, "algo")?
+            .as_str()
+            .ok_or_else(|| bad_field("algo"))?
+            .parse()
+            .map_err(|e: ParseAlgoError| parse_err(e.to_string()))?;
+        let k = field(v, "k")?.as_usize().ok_or_else(|| bad_field("k"))?;
+        let mut req = SolveRequest::new(algo, k);
+        if let Some(ordering) = v.get("ordering") {
+            req.ordering = ordering
+                .as_str()
+                .ok_or_else(|| bad_field("ordering"))?
+                .parse()
+                .map_err(|e: dkc_graph::ParseOrderingError| parse_err(e.to_string()))?;
+        }
+        if let Some(threads) = v.get("threads") {
+            req.par = req.par.with_threads(threads.as_usize().ok_or_else(|| bad_field("threads"))?);
+        }
+        if let Some(budget) = v.get("budget") {
+            req.budget = Budget::from_json_value(budget)?;
+        }
+        Ok(req)
     }
 }
 
@@ -446,7 +488,18 @@ impl SolveReport {
         self.to_json_with(|u| labels[u as usize])
     }
 
+    /// The report as a [`Json`] value (dense internal node ids) — for
+    /// embedding into larger documents (e.g. a `dkc-serve` reply) without
+    /// re-parsing the rendered string.
+    pub fn to_json_value(&self) -> Json {
+        self.json_value_with(|u| u as u64)
+    }
+
     fn to_json_with(&self, label: impl Fn(NodeId) -> u64) -> String {
+        self.json_value_with(label).render()
+    }
+
+    fn json_value_with(&self, label: impl Fn(NodeId) -> u64) -> Json {
         let lp_stats = match &self.lp_stats {
             None => Json::Null,
             Some(s) => Json::Obj(vec![
@@ -472,7 +525,7 @@ impl SolveReport {
             ("k".into(), Json::usize(self.k)),
             ("ordering".into(), Json::str(self.ordering.token())),
             ("threads".into(), Json::usize(self.threads)),
-            ("budget".into(), self.budget.to_json()),
+            ("budget".into(), self.budget.to_json_value()),
             ("elapsed_ns".into(), Json::u64(duration_to_ns(self.elapsed))),
             ("phases".into(), Json::Arr(self.phases.iter().map(|p| p.to_json()).collect())),
             ("size".into(), Json::usize(self.solution.len())),
@@ -481,7 +534,6 @@ impl SolveReport {
             ("lp_stats".into(), lp_stats),
             ("opt".into(), opt),
         ])
-        .render()
     }
 
     /// Parses a report rendered by [`SolveReport::to_json`]. Clique member
@@ -563,7 +615,7 @@ impl SolveReport {
             k,
             ordering,
             threads: field(&v, "threads")?.as_usize().ok_or_else(|| bad_field("threads"))?,
-            budget: Budget::from_json(field(&v, "budget")?)?,
+            budget: Budget::from_json_value(field(&v, "budget")?)?,
             elapsed: Duration::from_nanos(
                 field(&v, "elapsed_ns")?.as_u64().ok_or_else(|| bad_field("elapsed_ns"))?,
             ),
@@ -626,7 +678,7 @@ impl PartitionReport {
             ("k".into(), Json::usize(self.k)),
             ("ordering".into(), Json::str(self.ordering.token())),
             ("threads".into(), Json::usize(self.threads)),
-            ("budget".into(), self.budget.to_json()),
+            ("budget".into(), self.budget.to_json_value()),
             ("elapsed_ns".into(), Json::u64(duration_to_ns(self.elapsed))),
             ("phases".into(), Json::Arr(self.phases.iter().map(|p| p.to_json()).collect())),
             ("num_groups".into(), Json::usize(self.partition.num_groups())),
@@ -878,6 +930,29 @@ mod tests {
         let back = SolveReport::from_json(&report.to_json()).unwrap();
         assert_eq!(back.ordering, dkc_graph::OrderingKind::Identity);
         assert_eq!(back, report);
+    }
+
+    #[test]
+    fn solve_request_json_roundtrips() {
+        let req = SolveRequest::new(Algo::Opt, 4)
+            .with_ordering(dkc_graph::OrderingKind::Identity)
+            .with_threads(3)
+            .with_budget(Budget::standard().with_mis_time_limit(Duration::from_millis(250)));
+        let v = req.to_json_value();
+        let back = SolveRequest::from_json_value(&v).unwrap();
+        assert_eq!(back.algo, req.algo);
+        assert_eq!(back.k, req.k);
+        assert_eq!(back.ordering, req.ordering);
+        assert_eq!(back.par.threads, 3);
+        assert_eq!(back.budget, req.budget);
+        // Optional members default to SolveRequest::new's values.
+        let minimal = Json::parse(r#"{"algo":"lp","k":3}"#).unwrap();
+        let back = SolveRequest::from_json_value(&minimal).unwrap();
+        assert_eq!(back.algo, Algo::Lp);
+        assert_eq!(back.budget, Budget::unlimited());
+        // Unknown algorithms fail cleanly.
+        let bad = Json::parse(r#"{"algo":"zz","k":3}"#).unwrap();
+        assert!(SolveRequest::from_json_value(&bad).is_err());
     }
 
     #[test]

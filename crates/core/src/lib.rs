@@ -63,6 +63,11 @@ pub use opt::{GreedyCliqueGraphSolver, OptOutcome, OptSolver};
 pub use residual::{partition_all, partition_all_par, Partition};
 pub use solution::{InvalidSolution, Solution};
 
+/// The shared JSON value tree (re-export of the `dkc-json` crate): the one
+/// parse/render layer behind [`SolveReport::to_json`], the `dkc-serve`
+/// wire protocol and every other machine rendering in the workspace.
+pub use dkc_json as json;
+
 use dkc_graph::CsrGraph;
 
 /// Smallest clique size the problem is defined for (`k >= 3`; `k = 2` is

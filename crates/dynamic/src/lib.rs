@@ -18,6 +18,15 @@
 //! The entry point is [`DynamicSolver`]: build it from a static graph (it
 //! bootstraps `S` with the LP solver), then feed edge updates.
 //!
+//! On top of the raw solver sits the **serving model** (single writer,
+//! many readers): [`ServingSolver`] journals every batch to a durable
+//! [`UpdateLog`], bumps an epoch per batch, and publishes an immutable
+//! [`SolutionView`] snapshot that reader threads access through a
+//! [`SharedView`] handle without ever blocking the writer. A state
+//! directory (graph snapshot + metadata + log) makes the whole thing
+//! restartable: restart = load snapshot + replay the committed log tail,
+//! reproducing the killed process's exact epoch, `|S|` and membership.
+//!
 //! ```
 //! use dkc_dynamic::DynamicSolver;
 //! use dkc_graph::CsrGraph;
@@ -44,9 +53,15 @@
 #![warn(missing_docs)]
 
 mod index;
+mod log;
+mod serving;
 mod solver;
 mod state;
+mod view;
 
 pub use index::{CandId, CandidateIndex};
+pub use log::{LogError, UpdateLog};
+pub use serving::{stats_from_json, stats_to_json, ServeStateError, ServingSolver};
 pub use solver::{BatchOutcome, DynamicSolver, EdgeUpdate, UpdateOutcome, UpdateStats};
 pub use state::{CliqueId, SolutionState};
+pub use view::{SharedView, SolutionView};

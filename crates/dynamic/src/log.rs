@@ -1,0 +1,355 @@
+//! The durable, append-only edge-update journal.
+//!
+//! Together with a `.dkcsr` graph snapshot and a metadata document, the
+//! log makes the serving state restartable: **restart = load snapshot +
+//! replay the log tail** (see [`crate::ServingSolver`]). The format is
+//! line-based and human-greppable:
+//!
+//! ```text
+//! # dkc-update-log v1
+//! b 3          one batch of 3 updates follows
+//! + 1 2        insert edge (1, 2)
+//! - 3 4        delete edge (3, 4)
+//! + 5 6
+//! c            commit marker — the batch is durable
+//! ```
+//!
+//! A batch only counts once its `c` commit marker is on disk, so a process
+//! killed mid-append leaves a *truncated tail* that replay silently
+//! discards — exactly the batch the writer never acknowledged. Malformed
+//! bytes before a commit marker are corruption and surface as
+//! [`LogError::Corrupt`].
+
+use crate::EdgeUpdate;
+use dkc_graph::NodeId;
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+
+const HEADER: &str = "# dkc-update-log v1";
+
+/// Failures of the update log.
+#[derive(Debug)]
+pub enum LogError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// Committed log content did not parse.
+    Corrupt {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// What was wrong.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for LogError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LogError::Io(e) => write!(f, "update log I/O error: {e}"),
+            LogError::Corrupt { line, message } => {
+                write!(f, "update log corrupt at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LogError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LogError::Io(e) => Some(e),
+            LogError::Corrupt { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for LogError {
+    fn from(e: std::io::Error) -> Self {
+        LogError::Io(e)
+    }
+}
+
+/// Append handle onto an update journal file.
+#[derive(Debug)]
+pub struct UpdateLog {
+    path: PathBuf,
+    writer: BufWriter<File>,
+}
+
+impl UpdateLog {
+    /// Opens the journal at `path` for appending, creating it (with the
+    /// header line) when absent.
+    pub fn open(path: impl Into<PathBuf>) -> Result<Self, LogError> {
+        let path = path.into();
+        let fresh = !path.exists();
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        let mut writer = BufWriter::new(file);
+        if fresh {
+            writeln!(writer, "{HEADER}")?;
+            writer.flush()?;
+        }
+        Ok(UpdateLog { path, writer })
+    }
+
+    /// The journal file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one batch record and flushes it to the OS. The batch is
+    /// considered committed once its `c` marker line is written.
+    pub fn append_batch<'a, I>(&mut self, updates: I) -> Result<(), LogError>
+    where
+        I: IntoIterator<Item = &'a EdgeUpdate>,
+    {
+        let updates: Vec<&EdgeUpdate> = updates.into_iter().collect();
+        writeln!(self.writer, "b {}", updates.len())?;
+        for u in updates {
+            match *u {
+                EdgeUpdate::Insert(a, b) => writeln!(self.writer, "+ {a} {b}")?,
+                EdgeUpdate::Delete(a, b) => writeln!(self.writer, "- {a} {b}")?,
+            }
+        }
+        writeln!(self.writer, "c")?;
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    /// Forces the journal contents to stable storage (`fdatasync`).
+    pub fn sync(&mut self) -> Result<(), LogError> {
+        self.writer.flush()?;
+        self.writer.get_ref().sync_data()?;
+        Ok(())
+    }
+
+    /// Truncates the journal back to just the header — called after the
+    /// serving state snapshots, which makes the logged batches redundant.
+    pub fn truncate(&mut self) -> Result<(), LogError> {
+        let file = File::create(&self.path)?;
+        let mut writer = BufWriter::new(file);
+        writeln!(writer, "{HEADER}")?;
+        writer.flush()?;
+        writer.get_ref().sync_data()?;
+        // Re-open the append handle on the fresh file.
+        let file = OpenOptions::new().append(true).open(&self.path)?;
+        self.writer = BufWriter::new(file);
+        Ok(())
+    }
+
+    /// Replaces the journal at `path` with exactly `batches` (header +
+    /// committed records, synced), returning a fresh append handle. The
+    /// restore path uses this to drop a torn tail record before new
+    /// appends land behind it.
+    pub fn rewrite(
+        path: impl Into<PathBuf>,
+        batches: &[Vec<EdgeUpdate>],
+    ) -> Result<Self, LogError> {
+        let path = path.into();
+        let tmp = path.with_extension("log.tmp");
+        {
+            let file = File::create(&tmp)?;
+            let mut writer = BufWriter::new(file);
+            writeln!(writer, "{HEADER}")?;
+            for batch in batches {
+                writeln!(writer, "b {}", batch.len())?;
+                for u in batch {
+                    match *u {
+                        EdgeUpdate::Insert(a, b) => writeln!(writer, "+ {a} {b}")?,
+                        EdgeUpdate::Delete(a, b) => writeln!(writer, "- {a} {b}")?,
+                    }
+                }
+                writeln!(writer, "c")?;
+            }
+            writer.flush()?;
+            writer.get_ref().sync_data()?;
+        }
+        std::fs::rename(&tmp, &path)?;
+        Self::open(path)
+    }
+
+    /// Reads every **committed** batch of the journal at `path`, in append
+    /// order. A trailing record without its commit marker (the footprint
+    /// of a killed writer) is discarded; a missing file replays as empty.
+    pub fn replay(path: impl AsRef<Path>) -> Result<Vec<Vec<EdgeUpdate>>, LogError> {
+        let path = path.as_ref();
+        if !path.exists() {
+            return Ok(Vec::new());
+        }
+        let mut text = String::new();
+        File::open(path)?.read_to_string(&mut text)?;
+        parse_log(&text)
+    }
+}
+
+fn parse_log(text: &str) -> Result<Vec<Vec<EdgeUpdate>>, LogError> {
+    let corrupt =
+        |line: usize, message: &str| LogError::Corrupt { line, message: message.to_string() };
+    let mut batches: Vec<Vec<EdgeUpdate>> = Vec::new();
+    let mut pending: Option<(usize, Vec<EdgeUpdate>)> = None; // (declared len, updates)
+    let mut saw_header = false;
+    for (idx, line) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = line.trim_end_matches('\r');
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with('#') {
+            if !saw_header && line != HEADER {
+                return Err(corrupt(lineno, "unknown log header"));
+            }
+            saw_header = true;
+            continue;
+        }
+        let mut tokens = line.split_ascii_whitespace();
+        let tag = tokens.next().unwrap_or("");
+        match tag {
+            "b" => {
+                if pending.is_some() {
+                    // The previous record never committed but a new one
+                    // started after it — that is corruption, not a tail.
+                    return Err(corrupt(lineno, "new batch before previous commit marker"));
+                }
+                let len: usize = tokens
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| corrupt(lineno, "bad batch length"))?;
+                pending = Some((len, Vec::with_capacity(len)));
+            }
+            "+" | "-" => {
+                let Some((_, updates)) = pending.as_mut() else {
+                    return Err(corrupt(lineno, "update outside a batch record"));
+                };
+                let a: NodeId = tokens
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| corrupt(lineno, "bad endpoint"))?;
+                let b: NodeId = tokens
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| corrupt(lineno, "bad endpoint"))?;
+                updates.push(if tag == "+" {
+                    EdgeUpdate::Insert(a, b)
+                } else {
+                    EdgeUpdate::Delete(a, b)
+                });
+            }
+            "c" => {
+                let Some((len, updates)) = pending.take() else {
+                    return Err(corrupt(lineno, "commit marker outside a batch record"));
+                };
+                if updates.len() != len {
+                    return Err(corrupt(lineno, "batch length mismatch"));
+                }
+                batches.push(updates);
+            }
+            _ => {
+                // An unknown line in the *tail* record could be a torn
+                // write (the record never committed, so it is discarded);
+                // anywhere else it is corruption.
+                if pending.is_some() {
+                    break;
+                }
+                return Err(corrupt(lineno, "unknown record tag"));
+            }
+        }
+    }
+    // A pending record without its commit marker is the discarded tail.
+    Ok(batches)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_log(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("dkc_log_{}_{tag}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("updates.log")
+    }
+
+    #[test]
+    fn append_then_replay_roundtrips() {
+        let path = temp_log("roundtrip");
+        std::fs::remove_file(&path).ok();
+        let mut log = UpdateLog::open(&path).unwrap();
+        let b1 = vec![EdgeUpdate::Insert(1, 2), EdgeUpdate::Delete(3, 4)];
+        let b2 = vec![EdgeUpdate::Insert(5, 6)];
+        log.append_batch(&b1).unwrap();
+        log.append_batch(&b2).unwrap();
+        log.sync().unwrap();
+        assert_eq!(UpdateLog::replay(&path).unwrap(), vec![b1.clone(), b2.clone()]);
+        // Re-opening appends after the existing records.
+        drop(log);
+        let mut log = UpdateLog::open(&path).unwrap();
+        log.append_batch(&b2).unwrap();
+        assert_eq!(UpdateLog::replay(&path).unwrap(), vec![b1, b2.clone(), b2]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncated_tail_is_discarded() {
+        let path = temp_log("tail");
+        std::fs::remove_file(&path).ok();
+        let mut log = UpdateLog::open(&path).unwrap();
+        log.append_batch(&[EdgeUpdate::Insert(1, 2)]).unwrap();
+        drop(log);
+        // Simulate a kill mid-append: a record without its commit marker.
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("b 2\n+ 7 8\n");
+        std::fs::write(&path, text).unwrap();
+        let batches = UpdateLog::replay(&path).unwrap();
+        assert_eq!(batches, vec![vec![EdgeUpdate::Insert(1, 2)]]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rewrite_drops_a_torn_tail_so_later_appends_stay_replayable() {
+        let path = temp_log("rewrite");
+        std::fs::remove_file(&path).ok();
+        let mut log = UpdateLog::open(&path).unwrap();
+        log.append_batch(&[EdgeUpdate::Insert(1, 2)]).unwrap();
+        drop(log);
+        // Kill mid-append: a torn record with no commit marker. Appending
+        // after it WITHOUT a rewrite would interleave a fresh `b` record
+        // behind the torn one — unreplayable. The restore path rewrites.
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("b 3\n+ 9 9\n");
+        std::fs::write(&path, text).unwrap();
+        let committed = UpdateLog::replay(&path).unwrap();
+        let mut log = UpdateLog::rewrite(&path, &committed).unwrap();
+        log.append_batch(&[EdgeUpdate::Delete(1, 2)]).unwrap();
+        assert_eq!(
+            UpdateLog::replay(&path).unwrap(),
+            vec![vec![EdgeUpdate::Insert(1, 2)], vec![EdgeUpdate::Delete(1, 2)]]
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn committed_corruption_is_an_error() {
+        let path = temp_log("corrupt");
+        std::fs::write(&path, format!("{HEADER}\nb 1\n+ x y\nc\n")).unwrap();
+        assert!(matches!(UpdateLog::replay(&path), Err(LogError::Corrupt { line: 3, .. })));
+        std::fs::write(&path, format!("{HEADER}\nb 2\n+ 1 2\nc\n")).unwrap();
+        let e = UpdateLog::replay(&path).unwrap_err();
+        assert!(e.to_string().contains("length mismatch"), "{e}");
+        std::fs::write(&path, format!("{HEADER}\nzz\n")).unwrap();
+        assert!(UpdateLog::replay(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_and_empty_log_replay_empty() {
+        let path = temp_log("empty");
+        std::fs::remove_file(&path).ok();
+        assert!(UpdateLog::replay(&path).unwrap().is_empty());
+        let mut log = UpdateLog::open(&path).unwrap();
+        assert!(UpdateLog::replay(&path).unwrap().is_empty());
+        // Truncate resets to the header even after appends.
+        log.append_batch(&[EdgeUpdate::Insert(1, 2)]).unwrap();
+        log.truncate().unwrap();
+        assert!(UpdateLog::replay(&path).unwrap().is_empty());
+        log.append_batch(&[EdgeUpdate::Delete(9, 9)]).unwrap();
+        assert_eq!(UpdateLog::replay(&path).unwrap(), vec![vec![EdgeUpdate::Delete(9, 9)]]);
+        std::fs::remove_file(&path).ok();
+    }
+}

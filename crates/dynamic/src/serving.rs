@@ -1,0 +1,702 @@
+//! The single-writer serving wrapper: epochs, view publication, and the
+//! durable snapshot + update-log state.
+//!
+//! [`ServingSolver`] owns a [`DynamicSolver`] and layers the serving
+//! contract on top:
+//!
+//! * every applied batch bumps the **epoch** and publishes a fresh
+//!   [`SolutionView`] through a [`SharedView`] handle, so any number of
+//!   reader threads query consistent snapshots while the writer mutates;
+//! * with a state directory attached, every batch is journaled to an
+//!   append-only [`UpdateLog`] **before** it is applied, and
+//!   [`ServingSolver::compact`] persists a `.dkcsr` graph snapshot plus a
+//!   JSON metadata document and truncates the log — so **restart = load
+//!   snapshot + replay the log tail**, reproducing the exact epoch, `|S|`
+//!   and membership of the killed process.
+//!
+//! State directory layout (files are **generation-named**; `meta.json`
+//! names the live generation and its atomic rename is the commit point):
+//!
+//! ```text
+//! <dir>/base.<gen>.dkcsr     graph at compaction <gen> (versioned, checksummed)
+//! <dir>/meta.json            generation, epoch, request provenance, counters, S itself
+//! <dir>/updates.<gen>.log    committed batches since compaction <gen>
+//! ```
+//!
+//! Compaction never touches the live generation's files: it writes
+//! `base.<gen+1>.dkcsr`, atomically renames the new `meta.json` over the
+//! old one, starts a fresh `updates.<gen+1>.log`, and only then garbage-
+//! collects the previous generation. A crash at any point leaves either
+//! the complete old generation (meta not yet flipped — the orphan new
+//! base is GC'd later) or the complete new one (empty/missing new log
+//! replays as zero batches); the already-snapshotted batches can never be
+//! replayed on top of the snapshot that contains them. On restore, the
+//! journal is rewritten to exactly its committed records, so a torn tail
+//! left by a kill mid-append cannot corrupt later appends.
+//!
+//! Why restart is bit-identical: swap scheduling depends on internal slot
+//! order, so both [`ServingSolver::create`] and [`ServingSolver::compact`]
+//! first *canonicalise* the live solver ([`DynamicSolver::canonicalize`]).
+//! From that point the live process and any restore start from identical
+//! internal states and apply identical batch sequences — the deterministic
+//! update algorithms do the rest.
+
+use crate::log::{LogError, UpdateLog};
+use crate::solver::{BatchOutcome, DynamicSolver, EdgeUpdate, UpdateStats};
+use crate::view::{SharedView, SolutionView};
+use dkc_clique::Clique;
+use dkc_core::{Engine, Solution, SolveError, SolveReport, SolveRequest};
+use dkc_graph::io::{read_snapshot_path, write_snapshot_path, LoadedGraph};
+use dkc_graph::{CsrGraph, GraphError, NodeId};
+use dkc_json::Json;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+const META_VERSION: u64 = 1;
+const META_FILE: &str = "meta.json";
+
+fn base_file(gen: u64) -> String {
+    format!("base.{gen}.dkcsr")
+}
+
+fn log_file(gen: u64) -> String {
+    format!("updates.{gen}.log")
+}
+
+/// Failures of the serving state machinery.
+#[derive(Debug)]
+pub enum ServeStateError {
+    /// Filesystem failure outside the structured formats.
+    Io(std::io::Error),
+    /// The graph snapshot failed to read or write.
+    Graph(GraphError),
+    /// The bootstrap solve failed.
+    Solve(SolveError),
+    /// The update journal failed.
+    Log(LogError),
+    /// `meta.json` was missing a field or malformed.
+    Meta(String),
+}
+
+impl std::fmt::Display for ServeStateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeStateError::Io(e) => write!(f, "serving state I/O error: {e}"),
+            ServeStateError::Graph(e) => write!(f, "serving state snapshot error: {e}"),
+            ServeStateError::Solve(e) => write!(f, "serving bootstrap solve failed: {e}"),
+            ServeStateError::Log(e) => write!(f, "{e}"),
+            ServeStateError::Meta(m) => write!(f, "serving state meta.json invalid: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeStateError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeStateError::Io(e) => Some(e),
+            ServeStateError::Graph(e) => Some(e),
+            ServeStateError::Solve(e) => Some(e),
+            ServeStateError::Log(e) => Some(e),
+            ServeStateError::Meta(_) => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ServeStateError {
+    fn from(e: std::io::Error) -> Self {
+        ServeStateError::Io(e)
+    }
+}
+
+impl From<GraphError> for ServeStateError {
+    fn from(e: GraphError) -> Self {
+        ServeStateError::Graph(e)
+    }
+}
+
+impl From<SolveError> for ServeStateError {
+    fn from(e: SolveError) -> Self {
+        ServeStateError::Solve(e)
+    }
+}
+
+impl From<LogError> for ServeStateError {
+    fn from(e: LogError) -> Self {
+        ServeStateError::Log(e)
+    }
+}
+
+#[derive(Debug)]
+struct Store {
+    dir: PathBuf,
+    gen: u64,
+    log: UpdateLog,
+}
+
+/// The writer-side serving wrapper around a [`DynamicSolver`]. See the
+/// module docs for the state model.
+#[derive(Debug)]
+pub struct ServingSolver {
+    solver: DynamicSolver,
+    epoch: u64,
+    shared: SharedView,
+    store: Option<Store>,
+}
+
+impl ServingSolver {
+    /// An in-memory serving state (no durability): bootstraps `S` with
+    /// `request` and publishes the epoch-0 view.
+    pub fn in_memory(g: &CsrGraph, request: SolveRequest) -> Result<Self, SolveError> {
+        let mut solver = DynamicSolver::from_scratch(g, request)?;
+        solver.canonicalize();
+        Ok(Self::wrap(solver, 0, None))
+    }
+
+    /// Wraps an existing solver (in-memory, no durability). The solver is
+    /// canonicalised so behaviour matches a durable state built from the
+    /// same solution.
+    pub fn from_solver(mut solver: DynamicSolver) -> Self {
+        solver.canonicalize();
+        Self::wrap(solver, 0, None)
+    }
+
+    /// Creates a fresh durable serving state in `dir` (any previous state
+    /// files are removed): bootstraps `S`, persists the generation-0
+    /// snapshot, opens an empty journal.
+    pub fn create(
+        dir: impl Into<PathBuf>,
+        g: &CsrGraph,
+        request: SolveRequest,
+    ) -> Result<Self, ServeStateError> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        // Stale generations from a previous state would replay against or
+        // shadow the new base: start from a clean slate.
+        remove_state_files(&dir, None);
+        std::fs::remove_file(dir.join(META_FILE)).ok();
+        let mut solver = DynamicSolver::from_scratch(g, request)?;
+        solver.canonicalize();
+        write_state(&dir, &solver, 0, 0)?;
+        let log = UpdateLog::open(dir.join(log_file(0)))?;
+        Ok(Self::wrap(solver, 0, Some(Store { dir, gen: 0, log })))
+    }
+
+    /// Restores a durable serving state from `dir`: loads `base.dkcsr` and
+    /// `meta.json`, replays the committed journal tail, and comes back at
+    /// the exact epoch / `|S|` / membership of the process that wrote it.
+    pub fn restore(dir: impl Into<PathBuf>) -> Result<Self, ServeStateError> {
+        let dir = dir.into();
+        let meta_text = std::fs::read_to_string(dir.join(META_FILE))?;
+        let meta = Json::parse(&meta_text).map_err(|e| ServeStateError::Meta(e.to_string()))?;
+        let version = meta
+            .get("version")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| ServeStateError::Meta("missing version".into()))?;
+        if version != META_VERSION {
+            return Err(ServeStateError::Meta(format!("unsupported version {version}")));
+        }
+        let gen = meta
+            .get("gen")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| ServeStateError::Meta("missing gen".into()))?;
+        let base_epoch = meta
+            .get("epoch")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| ServeStateError::Meta("missing epoch".into()))?;
+        let request = SolveRequest::from_json_value(
+            meta.get("request").ok_or_else(|| ServeStateError::Meta("missing request".into()))?,
+        )
+        .map_err(|e| ServeStateError::Meta(e.to_string()))?;
+        let stats = stats_from_json(
+            meta.get("stats").ok_or_else(|| ServeStateError::Meta("missing stats".into()))?,
+        )
+        .map_err(ServeStateError::Meta)?;
+        let mut solution = Solution::new(request.k);
+        let cliques = meta
+            .get("cliques")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| ServeStateError::Meta("missing cliques".into()))?;
+        for c in cliques {
+            let members = c.as_arr().ok_or_else(|| ServeStateError::Meta("bad clique".into()))?;
+            let mut nodes: Vec<NodeId> = Vec::with_capacity(members.len());
+            for m in members {
+                let id = m
+                    .as_u64()
+                    .and_then(|v| NodeId::try_from(v).ok())
+                    .ok_or_else(|| ServeStateError::Meta("bad clique member".into()))?;
+                nodes.push(id);
+            }
+            solution.push(Clique::new(&nodes));
+        }
+        let loaded = read_snapshot_path(dir.join(base_file(gen)))?;
+        let mut solver =
+            DynamicSolver::from_solution_with_request(&loaded.graph, solution, request);
+        solver.set_stats(stats);
+        let log_path = dir.join(log_file(gen));
+        let batches = UpdateLog::replay(&log_path)?;
+        let mut epoch = base_epoch;
+        for batch in &batches {
+            solver.apply_batch(batch.iter().copied());
+            epoch += 1;
+        }
+        // Rewrite the journal to exactly its committed records: a torn
+        // tail left by a kill mid-append must not sit in front of future
+        // appends (replay would reject the resulting interleaving).
+        let log = UpdateLog::rewrite(&log_path, &batches)?;
+        Ok(Self::wrap(solver, epoch, Some(Store { dir, gen, log })))
+    }
+
+    /// Restores from `dir` when a serving state exists there, otherwise
+    /// bootstraps a fresh one from `bootstrap()`. Returns the state plus
+    /// `true` when it was restored.
+    pub fn open(
+        dir: impl Into<PathBuf>,
+        request: SolveRequest,
+        bootstrap: impl FnOnce() -> Result<CsrGraph, ServeStateError>,
+    ) -> Result<(Self, bool), ServeStateError> {
+        let dir = dir.into();
+        if dir.join(META_FILE).is_file() {
+            Ok((Self::restore(dir)?, true))
+        } else {
+            Ok((Self::create(dir, &bootstrap()?, request)?, false))
+        }
+    }
+
+    fn wrap(solver: DynamicSolver, epoch: u64, store: Option<Store>) -> Self {
+        let shared = SharedView::new(solver.solution_view(epoch));
+        ServingSolver { solver, epoch, shared, store }
+    }
+
+    /// The current epoch: number of batches applied since creation.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The latest published view.
+    pub fn view(&self) -> Arc<SolutionView> {
+        self.shared.current()
+    }
+
+    /// A cloneable reader handle — hand one to each reader thread.
+    pub fn reader(&self) -> SharedView {
+        self.shared.clone()
+    }
+
+    /// The wrapped solver (read access; mutation goes through
+    /// [`ServingSolver::apply_batch`] so epochs and the journal stay
+    /// consistent).
+    pub fn solver(&self) -> &DynamicSolver {
+        &self.solver
+    }
+
+    /// The state directory, when durable.
+    pub fn state_dir(&self) -> Option<&Path> {
+        self.store.as_ref().map(|s| s.dir.as_path())
+    }
+
+    /// Applies one batch: journals it (durable states), applies it, bumps
+    /// the epoch and publishes the new view.
+    pub fn apply_batch(
+        &mut self,
+        updates: &[EdgeUpdate],
+    ) -> Result<(BatchOutcome, Arc<SolutionView>), ServeStateError> {
+        let (mut outcomes, view) = self.apply_grouped(&[updates])?;
+        Ok((outcomes.pop().expect("one group in, one outcome out"), view))
+    }
+
+    /// Applies several client batches as **one** epoch (the server's
+    /// time/size-based batching): one journal record, one application pass
+    /// in group order, one view publication — but per-group outcomes, so
+    /// every client still gets its own applied/skipped accounting.
+    pub fn apply_grouped(
+        &mut self,
+        groups: &[&[EdgeUpdate]],
+    ) -> Result<(Vec<BatchOutcome>, Arc<SolutionView>), ServeStateError> {
+        if let Some(store) = &mut self.store {
+            // Write-ahead: the journal record precedes application, so a
+            // crash between the two replays the batch on restart instead
+            // of losing an acknowledged update.
+            store.log.append_batch(groups.iter().flat_map(|g| g.iter()))?;
+        }
+        let mut outcomes = Vec::with_capacity(groups.len());
+        for g in groups {
+            outcomes.push(self.solver.apply_batch(g.iter().copied()));
+        }
+        self.epoch += 1;
+        let view = self.publish();
+        Ok((outcomes, view))
+    }
+
+    fn publish(&mut self) -> Arc<SolutionView> {
+        let view = Arc::new(self.solver.solution_view(self.epoch));
+        self.shared.publish(Arc::clone(&view));
+        view
+    }
+
+    /// Persists the current state as a new generation and starts a fresh
+    /// journal, canonicalising the live solver so the process continues
+    /// exactly as a restore would. Returns the new snapshot path (`None`
+    /// for in-memory states, which only canonicalise).
+    ///
+    /// Crash-safe at every step: the new generation's files are written
+    /// under new names, the atomic `meta.json` rename is the commit
+    /// point, and the old generation is only garbage-collected after the
+    /// new journal exists (a missing new journal replays as empty).
+    pub fn compact(&mut self) -> Result<Option<PathBuf>, ServeStateError> {
+        self.solver.canonicalize();
+        let epoch = self.epoch;
+        let path = match &mut self.store {
+            Some(store) => {
+                let next = store.gen + 1;
+                write_state(&store.dir, &self.solver, epoch, next)?;
+                let new_log_path = store.dir.join(log_file(next));
+                std::fs::remove_file(&new_log_path).ok(); // stale orphan from a crashed compact
+                store.log = UpdateLog::open(&new_log_path)?;
+                let old = store.gen;
+                store.gen = next;
+                remove_state_files(&store.dir, Some(old));
+                Some(store.dir.join(base_file(next)))
+            }
+            None => None,
+        };
+        self.publish();
+        Ok(path)
+    }
+
+    /// Forces journal contents to stable storage.
+    pub fn sync(&mut self) -> Result<(), ServeStateError> {
+        if let Some(store) = &mut self.store {
+            store.log.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Runs a full from-scratch engine solve on the *current* graph —
+    /// the serving `solve` command. Defaults to the solver's own request.
+    pub fn solve_fresh(&self, request: Option<SolveRequest>) -> Result<SolveReport, SolveError> {
+        let csr = self.solver.graph().to_csr();
+        Engine::solve(&csr, request.unwrap_or(self.solver.request()))
+    }
+}
+
+fn write_state(
+    dir: &Path,
+    solver: &DynamicSolver,
+    epoch: u64,
+    gen: u64,
+) -> Result<(), ServeStateError> {
+    // The base goes to a generation-fresh name, never over the live
+    // snapshot: until meta.json flips, a crash leaves the previous
+    // generation fully intact (the new base is an orphan, GC'd later).
+    let loaded = LoadedGraph::identity(solver.graph().to_csr());
+    write_snapshot_path(&loaded, dir.join(base_file(gen)))?;
+    let cliques = Json::Arr(
+        solver
+            .solution()
+            .sorted_cliques()
+            .iter()
+            .map(|c| Json::Arr(c.iter().map(|u| Json::u64(u as u64)).collect()))
+            .collect(),
+    );
+    let meta = Json::Obj(vec![
+        ("version".into(), Json::u64(META_VERSION)),
+        ("gen".into(), Json::u64(gen)),
+        ("epoch".into(), Json::u64(epoch)),
+        ("request".into(), solver.request().to_json_value()),
+        ("stats".into(), stats_to_json(solver.stats())),
+        ("cliques".into(), cliques),
+    ]);
+    // Write-then-rename: the atomic rename is the generation commit point.
+    let tmp = dir.join(format!("{META_FILE}.tmp"));
+    std::fs::write(&tmp, meta.render())?;
+    std::fs::rename(&tmp, dir.join(META_FILE))?;
+    Ok(())
+}
+
+/// Best-effort removal of generation-named state files: the given
+/// generation when `Some`, every generation when `None`. Failures are
+/// ignored — orphans are re-collected by the next compaction.
+fn remove_state_files(dir: &Path, only_gen: Option<u64>) {
+    let Ok(entries) = std::fs::read_dir(dir) else { return };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let gen_of = |prefix: &str, suffix: &str| -> Option<u64> {
+            name.strip_prefix(prefix)?.strip_suffix(suffix)?.parse().ok()
+        };
+        let gen = gen_of("base.", ".dkcsr").or_else(|| gen_of("updates.", ".log"));
+        if let Some(gen) = gen {
+            if only_gen.is_none_or(|g| g == gen) {
+                std::fs::remove_file(entry.path()).ok();
+            }
+        }
+    }
+}
+
+/// Renders lifetime update counters as a JSON object (shared by the state
+/// metadata and the `dkc-serve` `stats` reply).
+pub fn stats_to_json(stats: &UpdateStats) -> Json {
+    Json::Obj(vec![
+        ("insertions".into(), Json::u64(stats.insertions)),
+        ("deletions".into(), Json::u64(stats.deletions)),
+        ("swaps_attempted".into(), Json::u64(stats.swaps_attempted)),
+        ("swaps_applied".into(), Json::u64(stats.swaps_applied)),
+        ("cliques_added".into(), Json::u64(stats.cliques_added)),
+        ("cliques_removed".into(), Json::u64(stats.cliques_removed)),
+    ])
+}
+
+/// Parses counters rendered by [`stats_to_json`].
+pub fn stats_from_json(v: &Json) -> Result<UpdateStats, String> {
+    let get = |name: &str| -> Result<u64, String> {
+        v.get(name).and_then(Json::as_u64).ok_or_else(|| format!("missing stats field {name:?}"))
+    };
+    Ok(UpdateStats {
+        insertions: get("insertions")?,
+        deletions: get("deletions")?,
+        swaps_attempted: get("swaps_attempted")?,
+        swaps_applied: get("swaps_applied")?,
+        cliques_added: get("cliques_added")?,
+        cliques_removed: get("cliques_removed")?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dkc_core::Algo;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("dkc_serve_{}_{tag}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    /// Two triangles bridged — the doc-test graph of the crate.
+    fn demo_graph() -> CsrGraph {
+        CsrGraph::from_edges(6, vec![(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)])
+            .unwrap()
+    }
+
+    /// Simulates a compaction killed before the meta flip: only the new
+    /// generation's base snapshot reaches disk.
+    fn write_state_base_only(dir: &Path, solver: &DynamicSolver, gen: u64) {
+        let loaded = LoadedGraph::identity(solver.graph().to_csr());
+        write_snapshot_path(&loaded, dir.join(base_file(gen))).unwrap();
+    }
+
+    #[test]
+    fn epochs_advance_and_views_stay_consistent() {
+        let g = demo_graph();
+        let mut s = ServingSolver::in_memory(&g, SolveRequest::new(Algo::Lp, 3)).unwrap();
+        let reader = s.reader();
+        let v0 = reader.current();
+        assert_eq!(v0.epoch(), 0);
+        assert_eq!(v0.len(), 2);
+        let (out, v1) =
+            s.apply_batch(&[EdgeUpdate::Delete(0, 1), EdgeUpdate::Delete(0, 1)]).unwrap();
+        assert_eq!(out.applied, 1);
+        assert_eq!(out.skipped, 1);
+        assert_eq!(v1.epoch(), 1);
+        assert_eq!(v1.len(), 1);
+        // The old Arc still answers from epoch 0.
+        assert_eq!(v0.len(), 2);
+        assert_eq!(reader.current().epoch(), 1);
+        assert_eq!(reader.current().group_of(0), None);
+        s.solver().validate().unwrap();
+    }
+
+    #[test]
+    fn grouped_application_is_one_epoch_with_per_group_outcomes() {
+        let g = demo_graph();
+        let mut s = ServingSolver::in_memory(&g, SolveRequest::new(Algo::Lp, 3)).unwrap();
+        let g1 = [EdgeUpdate::Delete(0, 1)];
+        let g2 = [EdgeUpdate::Delete(0, 1), EdgeUpdate::Insert(0, 1)];
+        let (outs, view) = s.apply_grouped(&[&g1, &g2]).unwrap();
+        assert_eq!(outs.len(), 2);
+        assert_eq!((outs[0].applied, outs[0].skipped), (1, 0));
+        assert_eq!((outs[1].applied, outs[1].skipped), (1, 1), "delete skipped, insert applied");
+        assert_eq!(view.epoch(), 1);
+        assert_eq!(view.len(), 2);
+    }
+
+    #[test]
+    fn create_restore_roundtrips_without_updates() {
+        let dir = temp_dir("fresh");
+        let g = demo_graph();
+        let created = ServingSolver::create(&dir, &g, SolveRequest::new(Algo::Lp, 3)).unwrap();
+        let restored = ServingSolver::restore(&dir).unwrap();
+        assert_eq!(*created.view(), *restored.view());
+        assert_eq!(restored.epoch(), 0);
+        assert_eq!(restored.solver().request().algo, Algo::Lp);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn restart_replays_the_log_tail_to_an_identical_view() {
+        let dir = temp_dir("replay");
+        let g = demo_graph();
+        let mut live = ServingSolver::create(&dir, &g, SolveRequest::new(Algo::Lp, 3)).unwrap();
+        live.apply_batch(&[EdgeUpdate::Delete(0, 1)]).unwrap();
+        live.apply_batch(&[EdgeUpdate::Insert(0, 1), EdgeUpdate::Insert(1, 3)]).unwrap();
+        let live_view = live.view();
+        drop(live); // "kill" — no compaction
+        let restored = ServingSolver::restore(&dir).unwrap();
+        assert_eq!(*restored.view(), *live_view, "epoch, |S|, membership and stats must match");
+        assert_eq!(restored.epoch(), 2);
+        restored.solver().validate().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn compaction_truncates_the_log_and_preserves_the_view() {
+        let dir = temp_dir("compact");
+        let g = demo_graph();
+        let mut live = ServingSolver::create(&dir, &g, SolveRequest::new(Algo::Lp, 3)).unwrap();
+        live.apply_batch(&[EdgeUpdate::Delete(0, 1)]).unwrap();
+        let before = live.view();
+        let snap = live.compact().unwrap();
+        assert_eq!(snap, Some(dir.join(base_file(1))), "compaction advances the generation");
+        assert!(UpdateLog::replay(dir.join(log_file(1))).unwrap().is_empty());
+        assert!(!dir.join(base_file(0)).exists(), "old generation is GC'd");
+        assert!(!dir.join(log_file(0)).exists());
+        assert_eq!(*live.view(), *before, "compaction must not change the observable state");
+        // Restore now comes from the snapshot alone.
+        let restored = ServingSolver::restore(&dir).unwrap();
+        assert_eq!(*restored.view(), *before);
+        // And further updates on both sides stay in lockstep.
+        let mut live2 = live;
+        let mut restored2 = restored;
+        let batch = [EdgeUpdate::Insert(0, 1), EdgeUpdate::Delete(3, 4)];
+        let (_, va) = live2.apply_batch(&batch).unwrap();
+        let (_, vb) = restored2.apply_batch(&batch).unwrap();
+        assert_eq!(*va, *vb);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn crash_before_meta_flip_restores_the_previous_generation() {
+        // A kill after the new base is written but before meta.json flips
+        // must leave the old generation fully authoritative — the logged
+        // batches replay against the OLD base, never the new one.
+        let dir = temp_dir("crash_premeta");
+        let g = demo_graph();
+        let mut live = ServingSolver::create(&dir, &g, SolveRequest::new(Algo::Lp, 3)).unwrap();
+        live.apply_batch(&[EdgeUpdate::Delete(0, 1)]).unwrap();
+        let live_view = live.view();
+        // Simulate the crash window: write the would-be gen-1 base without
+        // flipping meta or touching the gen-0 journal.
+        write_state_base_only(&dir, live.solver(), 1);
+        drop(live);
+        let restored = ServingSolver::restore(&dir).unwrap();
+        assert_eq!(*restored.view(), *live_view);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn crash_after_meta_flip_never_replays_snapshotted_batches() {
+        // A kill after meta flips but before the new journal exists (and
+        // before the old generation is GC'd) must NOT replay the old
+        // journal on top of the new base — the exact double-apply bug the
+        // generation scheme exists to prevent.
+        let dir = temp_dir("crash_postmeta");
+        let g = demo_graph();
+        let mut live = ServingSolver::create(&dir, &g, SolveRequest::new(Algo::Lp, 3)).unwrap();
+        live.apply_batch(&[EdgeUpdate::Delete(0, 1)]).unwrap();
+        let live_view = live.view();
+        // Simulate: full gen-1 state written (base + meta) but the gen-1
+        // journal was never created and gen-0 files still linger.
+        let solver = live.solver().clone();
+        let epoch = live.epoch();
+        drop(live);
+        let mut canonical = solver.clone();
+        canonical.canonicalize();
+        super::write_state(&dir, &canonical, epoch, 1).unwrap();
+        assert!(dir.join(log_file(0)).exists(), "old journal still present");
+        let restored = ServingSolver::restore(&dir).unwrap();
+        assert_eq!(restored.epoch(), epoch, "old journal must not be replayed");
+        assert_eq!(*restored.view(), *live_view);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn restart_after_torn_tail_stays_restorable_across_appends() {
+        // Kill mid-append, restart, apply more batches, restart again —
+        // the rewritten journal must keep every committed batch readable.
+        let dir = temp_dir("torn_tail");
+        let g = demo_graph();
+        let mut live = ServingSolver::create(&dir, &g, SolveRequest::new(Algo::Lp, 3)).unwrap();
+        live.apply_batch(&[EdgeUpdate::Delete(0, 1)]).unwrap();
+        drop(live);
+        let log_path = dir.join(log_file(0));
+        let mut text = std::fs::read_to_string(&log_path).unwrap();
+        text.push_str("b 2\n+ 1 2\n"); // torn record, no commit marker
+        std::fs::write(&log_path, text).unwrap();
+        let mut restored = ServingSolver::restore(&dir).unwrap();
+        assert_eq!(restored.epoch(), 1, "torn tail discarded");
+        restored.apply_batch(&[EdgeUpdate::Insert(0, 1)]).unwrap();
+        let second_view = restored.view();
+        drop(restored);
+        let again = ServingSolver::restore(&dir).unwrap();
+        assert_eq!(*again.view(), *second_view);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn open_creates_then_restores() {
+        let dir = temp_dir("open");
+        let req = SolveRequest::new(Algo::Lp, 3);
+        let (mut s, restored) = ServingSolver::open(&dir, req, || Ok(demo_graph())).unwrap();
+        assert!(!restored);
+        s.apply_batch(&[EdgeUpdate::Delete(0, 1)]).unwrap();
+        drop(s);
+        let (s, restored) =
+            ServingSolver::open(&dir, req, || panic!("must not bootstrap twice")).unwrap();
+        assert!(restored);
+        assert_eq!(s.epoch(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn solve_fresh_runs_on_the_current_graph() {
+        let g = demo_graph();
+        let mut s = ServingSolver::in_memory(&g, SolveRequest::new(Algo::Lp, 3)).unwrap();
+        s.apply_batch(&[EdgeUpdate::Delete(0, 1)]).unwrap();
+        let report = s.solve_fresh(None).unwrap();
+        assert_eq!(report.algo, Algo::Lp);
+        assert_eq!(report.solution.len(), 1);
+        let report = s.solve_fresh(Some(SolveRequest::new(Algo::Hg, 3))).unwrap();
+        assert_eq!(report.algo, Algo::Hg);
+    }
+
+    #[test]
+    fn stats_json_roundtrips() {
+        let stats = UpdateStats {
+            insertions: 1,
+            deletions: 2,
+            swaps_attempted: 3,
+            swaps_applied: 4,
+            cliques_added: 5,
+            cliques_removed: 6,
+        };
+        let v = stats_to_json(&stats);
+        assert_eq!(stats_from_json(&v).unwrap(), stats);
+        assert!(stats_from_json(&Json::Null).is_err());
+    }
+
+    #[test]
+    fn restore_rejects_damaged_meta() {
+        let dir = temp_dir("damaged");
+        let g = demo_graph();
+        ServingSolver::create(&dir, &g, SolveRequest::new(Algo::Lp, 3)).unwrap();
+        let meta_path = dir.join(META_FILE);
+        std::fs::write(&meta_path, "{\"version\":99}").unwrap();
+        match ServingSolver::restore(&dir) {
+            Err(ServeStateError::Meta(m)) => assert!(m.contains("99"), "{m}"),
+            other => panic!("expected Meta error, got {other:?}"),
+        }
+        std::fs::write(&meta_path, "not json").unwrap();
+        assert!(matches!(ServingSolver::restore(&dir), Err(ServeStateError::Meta(_))));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -40,6 +40,20 @@ pub enum EdgeUpdate {
     Delete(NodeId, NodeId),
 }
 
+impl EdgeUpdate {
+    /// The endpoints, regardless of direction.
+    pub fn endpoints(&self) -> (NodeId, NodeId) {
+        match *self {
+            EdgeUpdate::Insert(a, b) | EdgeUpdate::Delete(a, b) => (a, b),
+        }
+    }
+
+    /// True for [`EdgeUpdate::Insert`].
+    pub fn is_insert(&self) -> bool {
+        matches!(self, EdgeUpdate::Insert(..))
+    }
+}
+
 /// Aggregate effect of a batch of updates.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct BatchOutcome {
@@ -94,6 +108,17 @@ impl DynamicSolver {
     /// e.g. produced by any solver in `dkc-core`). Rebuilds replay LP.
     pub fn from_solution(g: &CsrGraph, solution: Solution) -> Self {
         let request = SolveRequest::new(Algo::Lp, solution.k());
+        Self::with_request(g, solution, request)
+    }
+
+    /// [`DynamicSolver::from_solution`] with an explicit rebuild request —
+    /// the restore path of [`crate::ServingSolver`], which must come back
+    /// with the same request provenance it was created with.
+    pub fn from_solution_with_request(
+        g: &CsrGraph,
+        solution: Solution,
+        request: SolveRequest,
+    ) -> Self {
         Self::with_request(g, solution, request)
     }
 
@@ -162,6 +187,37 @@ impl DynamicSolver {
     /// Snapshot of the current solution.
     pub fn solution(&self) -> Solution {
         self.state.to_solution()
+    }
+
+    /// An epoch-stamped, canonical read snapshot of the current solution
+    /// (see [`crate::SolutionView`]). The epoch is supplied by the caller —
+    /// [`crate::ServingSolver`] counts applied batches.
+    pub fn solution_view(&self, epoch: u64) -> crate::SolutionView {
+        crate::SolutionView::new(epoch, self.graph.num_nodes(), &self.solution(), self.stats)
+    }
+
+    /// Renormalises the internal slot bookkeeping to the canonical
+    /// (sorted-clique) order, rebuilding the candidate index.
+    ///
+    /// Swap scheduling visits cliques in slot order, so two solvers with
+    /// the same solution but different slot histories can diverge on later
+    /// updates. Canonicalising removes the history: after this call the
+    /// solver behaves exactly like one freshly built from its own solution
+    /// — which is how [`crate::ServingSolver`] makes a live process and a
+    /// snapshot-restored process bit-identical from the snapshot point on.
+    pub fn canonicalize(&mut self) {
+        let mut canonical = Solution::new(self.k);
+        for c in self.solution().sorted_cliques() {
+            canonical.push(c);
+        }
+        self.state = SolutionState::from_solution(&canonical, self.graph.num_nodes());
+        self.index = CandidateIndex::build(&self.graph, &self.state);
+    }
+
+    /// Restores lifetime counters (the [`crate::ServingSolver`] restart
+    /// path carries them across process boundaries).
+    pub(crate) fn set_stats(&mut self, stats: UpdateStats) {
+        self.stats = stats;
     }
 
     /// **Insertion** (Algorithm 6).

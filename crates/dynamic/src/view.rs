@@ -1,0 +1,200 @@
+//! Epoch-versioned read snapshots of the maintained solution.
+//!
+//! The serving model is single-writer / multi-reader: one writer owns the
+//! [`crate::DynamicSolver`] and, after every applied batch, publishes an
+//! immutable [`SolutionView`] behind an [`Arc`]. Readers hold a
+//! [`SharedView`] handle and call [`SharedView::current`], which clones the
+//! `Arc` under a read lock held only for the pointer copy — readers never
+//! wait for a batch to apply, and a reader's view is never torn: every
+//! query it answers from one `Arc` sees one consistent epoch.
+
+use crate::UpdateStats;
+use dkc_clique::Clique;
+use dkc_core::Solution;
+use dkc_graph::NodeId;
+use std::sync::{Arc, RwLock};
+
+/// One immutable, epoch-stamped snapshot of the maintained solution.
+///
+/// Groups are stored in **canonical order** (sorted cliques), so two views
+/// of the same epoch built from the same update history — e.g. one from a
+/// live solver and one from a restart that replayed the update log — are
+/// structurally equal, membership indices included.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SolutionView {
+    epoch: u64,
+    k: usize,
+    num_nodes: usize,
+    cliques: Vec<Clique>,
+    /// `owner[u] = Some(i)` iff node `u` belongs to `cliques[i]`.
+    owner: Vec<Option<u32>>,
+    stats: UpdateStats,
+}
+
+impl SolutionView {
+    /// Builds a view from a solution (cliques are re-sorted canonically).
+    pub fn new(epoch: u64, num_nodes: usize, solution: &Solution, stats: UpdateStats) -> Self {
+        let mut canonical = Solution::new(solution.k());
+        for c in solution.sorted_cliques() {
+            canonical.push(c);
+        }
+        let owner = canonical.node_assignment(num_nodes);
+        SolutionView {
+            epoch,
+            k: canonical.k(),
+            num_nodes,
+            cliques: canonical.cliques().to_vec(),
+            owner,
+            stats,
+        }
+    }
+
+    /// The batch epoch this view was published at (number of update
+    /// batches applied since the serving state was created).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The clique size `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// `|S|` — the number of disjoint k-cliques.
+    pub fn len(&self) -> usize {
+        self.cliques.len()
+    }
+
+    /// True when `S` is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cliques.is_empty()
+    }
+
+    /// Number of nodes of the graph this view was taken from.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Membership lookup: the canonical group index covering `u`, or
+    /// `None` when `u` is free (or out of range).
+    pub fn group_of(&self, u: NodeId) -> Option<usize> {
+        self.owner.get(u as usize).copied().flatten().map(|i| i as usize)
+    }
+
+    /// The members of group `i` (canonical index).
+    pub fn group(&self, i: usize) -> Option<&Clique> {
+        self.cliques.get(i)
+    }
+
+    /// All groups, in canonical order.
+    pub fn cliques(&self) -> &[Clique] {
+        &self.cliques
+    }
+
+    /// Nodes covered by some group (`k · |S|`).
+    pub fn covered_nodes(&self) -> usize {
+        self.k * self.cliques.len()
+    }
+
+    /// Lifetime update counters at publication time.
+    pub fn stats(&self) -> &UpdateStats {
+        &self.stats
+    }
+
+    /// Copies the view back into a [`Solution`] (canonical order).
+    pub fn to_solution(&self) -> Solution {
+        let mut s = Solution::new(self.k);
+        for c in &self.cliques {
+            s.push(*c);
+        }
+        s
+    }
+}
+
+/// A cloneable reader handle onto the latest published [`SolutionView`].
+///
+/// `current()` is cheap (one read-lock acquisition for an `Arc` clone) and
+/// never blocks behind batch application: the writer holds the write lock
+/// only for the pointer swap in `publish`.
+#[derive(Debug, Clone)]
+pub struct SharedView {
+    inner: Arc<RwLock<Arc<SolutionView>>>,
+}
+
+impl SharedView {
+    /// A handle seeded with an initial view.
+    pub fn new(initial: SolutionView) -> Self {
+        SharedView { inner: Arc::new(RwLock::new(Arc::new(initial))) }
+    }
+
+    /// The latest published view. Each returned `Arc` is an immutable
+    /// snapshot: answering several queries from it yields one consistent
+    /// epoch even while the writer publishes newer views.
+    pub fn current(&self) -> Arc<SolutionView> {
+        // A poisoned lock means the writer panicked mid-swap; the stored
+        // Arc is still a complete older view, so serve it.
+        match self.inner.read() {
+            Ok(guard) => Arc::clone(&guard),
+            Err(poisoned) => Arc::clone(&poisoned.into_inner()),
+        }
+    }
+
+    /// Swaps in a new view (writer side).
+    pub(crate) fn publish(&self, view: Arc<SolutionView>) {
+        match self.inner.write() {
+            Ok(mut guard) => *guard = view,
+            Err(poisoned) => *poisoned.into_inner() = view,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_solution() -> Solution {
+        let mut s = Solution::new(3);
+        s.push(Clique::new(&[6, 7, 8]));
+        s.push(Clique::new(&[0, 1, 2]));
+        s
+    }
+
+    #[test]
+    fn view_is_canonical_and_answers_membership() {
+        let v = SolutionView::new(5, 10, &demo_solution(), UpdateStats::default());
+        assert_eq!(v.epoch(), 5);
+        assert_eq!(v.len(), 2);
+        assert_eq!(v.k(), 3);
+        assert_eq!(v.covered_nodes(), 6);
+        // Sorted: [0,1,2] becomes group 0 even though it was pushed second.
+        assert_eq!(v.group_of(1), Some(0));
+        assert_eq!(v.group_of(7), Some(1));
+        assert_eq!(v.group_of(4), None);
+        assert_eq!(v.group_of(999), None);
+        assert_eq!(v.group(0).unwrap().as_slice(), &[0, 1, 2]);
+        assert_eq!(v.to_solution().len(), 2);
+    }
+
+    #[test]
+    fn insertion_order_does_not_change_the_view() {
+        let mut reordered = Solution::new(3);
+        reordered.push(Clique::new(&[0, 1, 2]));
+        reordered.push(Clique::new(&[6, 7, 8]));
+        let a = SolutionView::new(1, 10, &demo_solution(), UpdateStats::default());
+        let b = SolutionView::new(1, 10, &reordered, UpdateStats::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn shared_view_publishes_and_reads() {
+        let shared =
+            SharedView::new(SolutionView::new(0, 4, &Solution::new(3), UpdateStats::default()));
+        let before = shared.current();
+        assert_eq!(before.epoch(), 0);
+        let next = SolutionView::new(1, 10, &demo_solution(), UpdateStats::default());
+        shared.publish(Arc::new(next));
+        // The old Arc stays valid; new reads see the new epoch.
+        assert_eq!(before.epoch(), 0);
+        assert_eq!(shared.current().epoch(), 1);
+    }
+}

@@ -3,7 +3,7 @@
 //! solution must stay comparable to a from-scratch static solve.
 
 use dkc_core::{approx_guarantee_holds, Algo, Engine, SolveRequest};
-use dkc_dynamic::DynamicSolver;
+use dkc_dynamic::{DynamicSolver, EdgeUpdate, ServingSolver};
 use dkc_graph::CsrGraph;
 use proptest::prelude::*;
 
@@ -12,6 +12,27 @@ fn graph_strategy(max_n: u32, max_m: usize) -> impl Strategy<Value = CsrGraph> {
         proptest::collection::vec((0..n, 0..n), 0..max_m)
             .prop_map(move |edges| CsrGraph::from_edges(n as usize, edges).unwrap())
     })
+}
+
+/// A raw op stream including duplicate inserts and missing deletes (the
+/// generator does not look at the graph, so no-ops are common).
+fn ops_strategy(max_node: u32, max_len: usize) -> impl Strategy<Value = Vec<EdgeUpdate>> {
+    proptest::collection::vec((any::<bool>(), 0..max_node, 0..max_node), 1..max_len).prop_map(
+        |raw| {
+            raw.into_iter()
+                .filter(|&(_, a, b)| a != b)
+                .map(
+                    |(ins, a, b)| {
+                        if ins {
+                            EdgeUpdate::Insert(a, b)
+                        } else {
+                            EdgeUpdate::Delete(a, b)
+                        }
+                    },
+                )
+                .collect()
+        },
+    )
 }
 
 proptest! {
@@ -75,6 +96,80 @@ proptest! {
         let static_lp = rebuilt.rebuild().unwrap().solution;
         prop_assert_eq!(rebuilt.len(), static_lp.len());
         prop_assert!(approx_guarantee_holds(opt.len(), static_lp.len(), k));
+    }
+
+    /// `apply_batch` ≡ the same updates applied one `apply` at a time:
+    /// same final graph, same solution, same `UpdateStats` deltas, same
+    /// aggregated outcome — for any batch split, duplicate-insert and
+    /// missing-delete no-ops included.
+    #[test]
+    fn apply_batch_equals_single_applies(
+        g in graph_strategy(12, 40),
+        ops in ops_strategy(12, 48),
+        batch_size in 1usize..16,
+    ) {
+        let k = 3;
+        let mut batched = DynamicSolver::new(&g, k).unwrap();
+        let mut single = batched.clone();
+        let base_stats = *batched.stats();
+        let mut applied_total = 0u64;
+        for chunk in ops.chunks(batch_size) {
+            let out = batched.apply_batch(chunk.iter().copied());
+            let mut applied = 0usize;
+            let mut skipped = 0usize;
+            let mut size_delta = 0i64;
+            for &u in chunk {
+                let r = single.apply(u);
+                if r.applied { applied += 1 } else { skipped += 1 }
+                size_delta += r.size_delta;
+            }
+            prop_assert_eq!(out.applied, applied);
+            prop_assert_eq!(out.skipped, skipped);
+            prop_assert_eq!(out.size_delta, size_delta);
+            applied_total += applied as u64;
+        }
+        prop_assert_eq!(batched.graph().to_csr(), single.graph().to_csr());
+        prop_assert_eq!(batched.solution().sorted_cliques(), single.solution().sorted_cliques());
+        prop_assert_eq!(batched.stats(), single.stats());
+        // The stats deltas account exactly for the non-no-op updates.
+        let applied_inserts = batched.stats().insertions - base_stats.insertions;
+        let applied_deletes = batched.stats().deletions - base_stats.deletions;
+        prop_assert_eq!(applied_inserts + applied_deletes, applied_total);
+        batched.validate().map_err(TestCaseError::fail)?;
+        single.validate().map_err(TestCaseError::fail)?;
+    }
+
+    /// The serving wrapper's durability contract: kill at any point (with
+    /// or without an intervening compaction) and restore — the published
+    /// view (epoch, |S|, membership, stats) is identical to the live one,
+    /// and further updates keep both in lockstep.
+    #[test]
+    fn serving_restore_equals_live(
+        g in graph_strategy(12, 40),
+        ops in ops_strategy(12, 36),
+        batch_size in 1usize..8,
+        compact_after in 0usize..6,
+    ) {
+        let dir = std::env::temp_dir().join(format!(
+            "dkc_dyn_prop_{}_{:x}",
+            std::process::id(),
+            ops.len() * 31 + batch_size * 7 + compact_after
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        let req = SolveRequest::new(Algo::Lp, 3);
+        let mut live = ServingSolver::create(&dir, &g, req).unwrap();
+        for (i, chunk) in ops.chunks(batch_size).enumerate() {
+            live.apply_batch(chunk).unwrap();
+            if i + 1 == compact_after {
+                live.compact().unwrap();
+            }
+        }
+        let live_view = live.view();
+        drop(live); // kill without further compaction
+        let restored = ServingSolver::restore(&dir).unwrap();
+        prop_assert_eq!(&*restored.view(), &*live_view);
+        restored.solver().validate().map_err(TestCaseError::fail)?;
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     /// Deleting and re-inserting the same edge returns to a state with at

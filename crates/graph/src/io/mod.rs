@@ -38,9 +38,9 @@ pub use snapshot::{
     write_snapshot_path, SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
 };
 pub use text::{
-    parse_edge_list, parse_edge_list_chunked, read_edge_list, read_edge_list_from,
-    read_edge_list_parallel, read_edge_list_str, write_edge_list, write_edge_list_labeled,
-    write_edge_list_path, LoadStats,
+    parse_edge_list, parse_edge_list_chunked, parse_edge_list_sharded, read_edge_list,
+    read_edge_list_from, read_edge_list_parallel, read_edge_list_str, write_edge_list,
+    write_edge_list_labeled, write_edge_list_path, LoadStats, DEFAULT_INTERN_SHARDS,
 };
 
 /// Result of loading a graph: the dense graph plus the original node labels

@@ -14,8 +14,32 @@
 //! so data-quality problems are visible instead of silently relying on the
 //! CSR builder's dedup. A node that appears only in self-loops still
 //! receives a dense id, exactly as before.
+//!
+//! ## The label-interning merge is parallel too
+//!
+//! Interning (label → dense id in first-occurrence order) was the last
+//! sequential section of the parse. With more than one worker it now runs
+//! as a deterministic sharded merge:
+//!
+//! 1. **local dedup** (parallel per chunk): each chunk's distinct labels
+//!    in local first-occurrence order, pre-bucketed by label hash into
+//!    shards;
+//! 2. **shard merge** (parallel per shard): scanning chunks in input
+//!    order, the first sighting of a label *is* its globally earliest
+//!    `(chunk, local-rank)` position — shards are disjoint label sets, so
+//!    no cross-shard coordination is needed;
+//! 3. **id assignment** (sequential, but over *distinct labels*, not all
+//!    pairs): sort the winners by position — exactly the sequential
+//!    first-occurrence order — and build the label table;
+//! 4. **translation** (parallel per chunk): map every pair through the
+//!    frozen table, dropping and counting self-loops.
+//!
+//! The result is bit-identical to the sequential intern loop (which still
+//! runs verbatim for single-threaded configurations) for any thread
+//! count, chunk size and shard count — property-tested in
+//! `tests/proptests.rs`.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::io::{BufWriter, Read, Write};
 use std::path::Path;
 
@@ -26,6 +50,10 @@ use dkc_par::{par_for_each_root, ParConfig};
 /// Default byte size of one parse chunk. Small enough to fan out on
 /// SNAP-scale files, large enough that chunk bookkeeping is noise.
 pub const DEFAULT_PARSE_CHUNK_BYTES: usize = 1 << 20;
+
+/// Default shard count of the parallel label-interning merge. Sharding is
+/// a pure load-balancing knob: the result is identical for any value.
+pub const DEFAULT_INTERN_SHARDS: usize = 64;
 
 /// Statistics of one text parse, reported by `dkc stats` and the loaders.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -172,6 +200,18 @@ pub fn parse_edge_list_chunked(
     par: ParConfig,
     chunk_bytes: usize,
 ) -> Result<(LoadedGraph, LoadStats), GraphError> {
+    parse_edge_list_sharded(bytes, par, chunk_bytes, DEFAULT_INTERN_SHARDS)
+}
+
+/// [`parse_edge_list_chunked`] with an explicit intern-merge shard count.
+/// Exposed so tests can property-check that the sharded merge is
+/// bit-identical to the sequential intern path for any configuration.
+pub fn parse_edge_list_sharded(
+    bytes: &[u8],
+    par: ParConfig,
+    chunk_bytes: usize,
+    intern_shards: usize,
+) -> Result<(LoadedGraph, LoadStats), GraphError> {
     let chunks = chunk_boundaries(bytes, chunk_bytes);
     // One executor "root" per chunk; chunk-ordered output is the executor's
     // contract, so the merge below sees chunks in input order.
@@ -187,8 +227,7 @@ pub fn parse_edge_list_chunked(
         },
     );
 
-    // Merge phase (sequential): line accounting, earliest error, then one
-    // interning pass over the label pairs in input order.
+    // Line accounting and earliest-error selection (sequential, cheap).
     let mut stats = LoadStats { parse_threads, ..LoadStats::default() };
     let mut total_pairs = 0usize;
     for chunk in &parsed {
@@ -203,30 +242,129 @@ pub fn parse_edge_list_chunked(
         total_pairs += chunk.pairs.len();
     }
 
-    let mut remap: HashMap<u64, NodeId> = HashMap::new();
-    let mut labels: Vec<u64> = Vec::new();
-    let mut edges: Vec<Edge> = Vec::with_capacity(total_pairs);
-    let intern = |label: u64, remap: &mut HashMap<u64, NodeId>, labels: &mut Vec<u64>| {
-        *remap.entry(label).or_insert_with(|| {
-            let id = labels.len() as NodeId;
-            labels.push(label);
-            id
-        })
+    let (labels, remap) = if par.threads <= 1 {
+        intern_sequential(&parsed)
+    } else {
+        intern_sharded(&parsed, chunk_par, intern_shards)
     };
-    for chunk in &parsed {
-        for &(a, b) in &chunk.pairs {
-            let ia = intern(a, &mut remap, &mut labels);
-            let ib = intern(b, &mut remap, &mut labels);
-            if ia == ib {
-                stats.self_loops += 1;
-            } else {
-                edges.push((ia, ib));
-                stats.edge_records += 1;
+
+    // Translation: pairs → dense-id edges, dropping + counting self-loops.
+    // Parallel per chunk over the frozen label table; chunk-ordered concat
+    // reproduces the sequential edge order exactly.
+    let translated: Vec<(Vec<Edge>, usize)> = par_for_each_root(
+        chunk_par,
+        parsed.len(),
+        || (),
+        |_, c, out| {
+            let chunk = &parsed[c];
+            let mut edges: Vec<Edge> = Vec::with_capacity(chunk.pairs.len());
+            let mut self_loops = 0usize;
+            for &(a, b) in &chunk.pairs {
+                let ia = remap[&a];
+                let ib = remap[&b];
+                if ia == ib {
+                    self_loops += 1;
+                } else {
+                    edges.push((ia, ib));
+                }
             }
-        }
+            out.push((edges, self_loops));
+        },
+    );
+    let mut edges: Vec<Edge> = Vec::with_capacity(total_pairs);
+    for (chunk_edges, self_loops) in translated {
+        stats.self_loops += self_loops;
+        stats.edge_records += chunk_edges.len();
+        edges.extend(chunk_edges);
     }
     let graph = CsrGraph::from_edges(labels.len(), edges)?;
     Ok((LoadedGraph::from_parts(graph, labels, remap), stats))
+}
+
+/// The reference intern path: one pass over all pairs in input order.
+fn intern_sequential(parsed: &[ChunkParse]) -> (Vec<u64>, HashMap<u64, NodeId>) {
+    let mut remap: HashMap<u64, NodeId> = HashMap::new();
+    let mut labels: Vec<u64> = Vec::new();
+    for chunk in parsed {
+        for &(a, b) in &chunk.pairs {
+            for label in [a, b] {
+                remap.entry(label).or_insert_with(|| {
+                    let id = labels.len() as NodeId;
+                    labels.push(label);
+                    id
+                });
+            }
+        }
+    }
+    (labels, remap)
+}
+
+/// The parallel intern path: deterministic sharded first-occurrence merge
+/// (see the module docs). Bit-identical to [`intern_sequential`] for any
+/// thread/chunk/shard configuration.
+fn intern_sharded(
+    parsed: &[ChunkParse],
+    chunk_par: ParConfig,
+    intern_shards: usize,
+) -> (Vec<u64>, HashMap<u64, NodeId>) {
+    let shards = intern_shards.max(1);
+    // Phase 1 (parallel per chunk): distinct labels in local
+    // first-occurrence order, pre-bucketed by label hash. The local rank
+    // (index in the chunk's distinct sequence) is the tie-breaker that
+    // preserves in-chunk ordering downstream.
+    let buckets: Vec<Vec<Vec<(u64, u32)>>> =
+        par_for_each_root(chunk_par, parsed.len(), HashSet::<u64>::new, |seen, c, out| {
+            seen.clear();
+            let mut shard_lists: Vec<Vec<(u64, u32)>> = vec![Vec::new(); shards];
+            let mut rank = 0u32;
+            for &(a, b) in &parsed[c].pairs {
+                for label in [a, b] {
+                    if seen.insert(label) {
+                        shard_lists[shard_of(label, shards)].push((label, rank));
+                        rank += 1;
+                    }
+                }
+            }
+            out.push(shard_lists);
+        });
+    // Phase 2 (parallel per shard): scanning chunks in input order, the
+    // first sighting of a label is its earliest (chunk, rank) position —
+    // the winner. Shards partition the label space, so shard workers never
+    // contend.
+    let winners: Vec<Vec<(u32, u32, u64)>> =
+        par_for_each_root(chunk_par.with_chunk(1), shards, HashSet::<u64>::new, |seen, s, out| {
+            seen.clear();
+            let mut shard_winners: Vec<(u32, u32, u64)> = Vec::new();
+            for (chunk_idx, chunk_buckets) in buckets.iter().enumerate() {
+                for &(label, rank) in &chunk_buckets[s] {
+                    if seen.insert(label) {
+                        shard_winners.push((chunk_idx as u32, rank, label));
+                    }
+                }
+            }
+            out.push(shard_winners);
+        });
+    // Phase 3 (sequential over distinct labels only): global id order is
+    // first-occurrence position order.
+    let mut ordered: Vec<(u32, u32, u64)> = winners.into_iter().flatten().collect();
+    ordered.sort_unstable();
+    let mut labels: Vec<u64> = Vec::with_capacity(ordered.len());
+    let mut remap: HashMap<u64, NodeId> = HashMap::with_capacity(ordered.len());
+    for (_, _, label) in ordered {
+        remap.insert(label, labels.len() as NodeId);
+        labels.push(label);
+    }
+    (labels, remap)
+}
+
+/// FNV-1a-based shard assignment (any deterministic function works — the
+/// final position sort erases the sharding).
+fn shard_of(label: u64, shards: usize) -> usize {
+    let mut h = 0xcbf29ce484222325u64;
+    for byte in label.to_le_bytes() {
+        h = (h ^ byte as u64).wrapping_mul(0x100000001b3);
+    }
+    (h % shards as u64) as usize
 }
 
 /// Reads an edge list from any reader (sequential parse). See
@@ -429,6 +567,33 @@ mod tests {
                 assert_eq!(par.labels, seq.labels);
                 assert_eq!(par_stats.self_loops, seq_stats.self_loops);
                 assert_eq!(par_stats.lines, seq_stats.lines);
+                assert_eq!(par_stats.edge_records, seq_stats.edge_records);
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_intern_merge_is_shard_count_invariant() {
+        // Labels chosen to collide within shards and to appear first in
+        // different chunks depending on the chunk size.
+        let mut text = String::new();
+        for i in 0..400u64 {
+            text.push_str(&format!("{} {}\n", (i * 7919) % 101, (i * 104729) % 97 + 1000));
+        }
+        text.push_str("5000 5000\n"); // a self-loop-only node still gets an id
+        let (seq, seq_stats) = parse_edge_list(text.as_bytes(), ParConfig::sequential()).unwrap();
+        for shards in [1, 2, 3, 64, 1024] {
+            for chunk_bytes in [1, 17, 4096] {
+                let (par, par_stats) = parse_edge_list_sharded(
+                    text.as_bytes(),
+                    ParConfig::new(4),
+                    chunk_bytes,
+                    shards,
+                )
+                .unwrap();
+                assert_eq!(par.labels, seq.labels, "shards={shards} chunk_bytes={chunk_bytes}");
+                assert_eq!(par.graph, seq.graph);
+                assert_eq!(par_stats.self_loops, seq_stats.self_loops);
                 assert_eq!(par_stats.edge_records, seq_stats.edge_records);
             }
         }

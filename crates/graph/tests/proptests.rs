@@ -133,6 +133,15 @@ fn render_text(edges: &[(u32, u32)], label_stride: u64) -> String {
     text
 }
 
+/// The sequential stats with the parallel run's thread count substituted —
+/// everything except `parse_threads` must match bit-for-bit.
+fn seq_stats_with_threads(
+    seq: &dkc_graph::io::LoadStats,
+    parse_threads: usize,
+) -> dkc_graph::io::LoadStats {
+    dkc_graph::io::LoadStats { parse_threads, ..seq.clone() }
+}
+
 proptest! {
     /// text → CSR → snapshot → CSR round-trips nodes, edges, and labels
     /// exactly, with identical O(1) label lookups.
@@ -183,6 +192,41 @@ proptest! {
         prop_assert_eq!(par_stats.comment_lines, seq_stats.comment_lines);
         prop_assert_eq!(par_stats.edge_records, seq_stats.edge_records);
         prop_assert_eq!(par_stats.self_loops, seq_stats.self_loops);
+    }
+
+    /// The sharded label-interning merge (the parallel intern path) is
+    /// bit-identical to the sequential intern loop for any thread count,
+    /// chunk size AND shard count — graph, label order, and stats.
+    #[test]
+    fn sharded_intern_merge_equals_sequential(
+        (n, edges) in edges_strategy(40, 150),
+        stride in 1u64..1000,
+        threads_idx in 0usize..2,
+        chunk_idx in 0usize..3,
+        shards_idx in 0usize..4,
+    ) {
+        let _ = n;
+        let threads = [2usize, 8][threads_idx];
+        let chunk_bytes = [1usize, 29, 1 << 20][chunk_idx];
+        let shards = [1usize, 2, 7, 1024][shards_idx];
+        let text = render_text(&edges, stride);
+        let (seq, seq_stats) = parse_edge_list(text.as_bytes(), ParConfig::sequential()).unwrap();
+        let (par, par_stats) = dkc_graph::io::parse_edge_list_sharded(
+            text.as_bytes(),
+            ParConfig::new(threads),
+            chunk_bytes,
+            shards,
+        )
+        .unwrap();
+        prop_assert_eq!(
+            par.labels, seq.labels,
+            "threads={} chunk={} shards={}", threads, chunk_bytes, shards
+        );
+        prop_assert_eq!(par.graph, seq.graph);
+        prop_assert_eq!(par_stats, seq_stats_with_threads(&seq_stats, par_stats.parse_threads));
+        for &l in &seq.labels {
+            prop_assert_eq!(par.node_for_label(l), seq.node_for_label(l));
+        }
     }
 
     /// Any single corruption of a snapshot — truncation, payload bit flip,

@@ -1,30 +1,57 @@
-//! Minimal JSON tree used by the [`super::SolveReport`] /
-//! [`super::PartitionReport`] machine renderings.
+//! # dkc-json — the workspace's minimal JSON value tree
 //!
-//! The workspace builds hermetically without serde, so the engine carries
-//! its own tiny JSON layer. The schema only ever uses null, bools,
-//! *integer* numbers, strings, arrays and objects — numbers are kept as
-//! raw tokens so `u64` values round-trip exactly (no `f64` detour).
+//! The workspace builds hermetically without serde, so every machine
+//! rendering — `SolveReport` / `PartitionReport` in `dkc-core`, the
+//! `dkc-serve` line protocol, the `dkc cache --json` stats — shares this
+//! one tiny layer instead of re-implementing JSON per consumer.
+//!
+//! The supported schema is deliberately small: null, bools, **integer**
+//! numbers, strings, arrays and objects. Numbers are kept as raw tokens so
+//! `u64` values round-trip exactly (no `f64` detour); object member order
+//! is preserved (insertion order), so renderings are deterministic and
+//! byte-comparable.
+//!
+//! ```
+//! use dkc_json::Json;
+//!
+//! let doc = Json::Obj(vec![
+//!     ("cmd".into(), Json::str("query")),
+//!     ("node".into(), Json::u64(42)),
+//! ]);
+//! let line = doc.render();
+//! assert_eq!(line, r#"{"cmd":"query","node":42}"#);
+//! assert_eq!(Json::parse(&line).unwrap(), doc);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 use std::fmt::Write as _;
 
 /// One JSON value. Object member order is preserved (insertion order), so
 /// renderings are deterministic.
 #[derive(Debug, Clone, PartialEq)]
-pub(crate) enum Json {
+pub enum Json {
+    /// `null`.
     Null,
+    /// `true` / `false`.
     Bool(bool),
     /// Raw number token (this schema only emits integers).
     Num(String),
+    /// A string.
     Str(String),
+    /// An array.
     Arr(Vec<Json>),
+    /// An object: ordered `(key, value)` members.
     Obj(Vec<(String, Json)>),
 }
 
 /// Parse failure: byte offset plus a short description.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub(crate) struct JsonError {
+pub struct JsonError {
+    /// Byte offset of the failure in the input.
     pub offset: usize,
+    /// Short human-readable description.
     pub message: String,
 }
 
@@ -34,23 +61,35 @@ impl std::fmt::Display for JsonError {
     }
 }
 
+impl std::error::Error for JsonError {}
+
 impl Json {
+    /// An integer number value.
     pub fn u64(v: u64) -> Json {
         Json::Num(v.to_string())
     }
 
+    /// A signed integer number value.
+    pub fn i64(v: i64) -> Json {
+        Json::Num(v.to_string())
+    }
+
+    /// An integer number value from a `usize`.
     pub fn usize(v: usize) -> Json {
         Json::Num(v.to_string())
     }
 
+    /// `Some(v)` → number, `None` → `null`.
     pub fn opt_u64(v: Option<u64>) -> Json {
         v.map_or(Json::Null, Json::u64)
     }
 
+    /// `Some(v)` → number, `None` → `null`.
     pub fn opt_usize(v: Option<usize>) -> Json {
         v.map_or(Json::Null, Json::usize)
     }
 
+    /// A string value.
     pub fn str(v: impl Into<String>) -> Json {
         Json::Str(v.into())
     }
@@ -63,6 +102,7 @@ impl Json {
         }
     }
 
+    /// Integer read; `None` when the value is not an integer number.
     pub fn as_u64(&self) -> Option<u64> {
         match self {
             Json::Num(tok) => tok.parse().ok(),
@@ -70,6 +110,15 @@ impl Json {
         }
     }
 
+    /// Signed integer read.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Json::Num(tok) => tok.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// Integer read as `usize`.
     pub fn as_usize(&self) -> Option<usize> {
         match self {
             Json::Num(tok) => tok.parse().ok(),
@@ -77,6 +126,7 @@ impl Json {
         }
     }
 
+    /// Bool read.
     pub fn as_bool(&self) -> Option<bool> {
         match self {
             Json::Bool(b) => Some(*b),
@@ -84,6 +134,7 @@ impl Json {
         }
     }
 
+    /// String read.
     pub fn as_str(&self) -> Option<&str> {
         match self {
             Json::Str(s) => Some(s),
@@ -91,6 +142,7 @@ impl Json {
         }
     }
 
+    /// Array read.
     pub fn as_arr(&self) -> Option<&[Json]> {
         match self {
             Json::Arr(items) => Some(items),
@@ -107,6 +159,7 @@ impl Json {
         }
     }
 
+    /// `null`-tolerant integer read as `usize`.
     pub fn as_opt_usize(&self) -> Option<Option<usize>> {
         match self {
             Json::Null => Some(None),
@@ -352,6 +405,7 @@ mod tests {
             ("k".into(), Json::usize(3)),
             ("limit".into(), Json::Null),
             ("big".into(), Json::u64(u64::MAX)),
+            ("neg".into(), Json::i64(-7)),
             ("ok".into(), Json::Bool(true)),
             ("cliques".into(), Json::Arr(vec![Json::Arr(vec![Json::u64(1), Json::u64(2)])])),
             ("name".into(), Json::str("a \"b\"\\\n\u{1}")),
@@ -361,6 +415,7 @@ mod tests {
         assert_eq!(back, v);
         // u64::MAX survives exactly (no f64 detour).
         assert_eq!(back.get("big").unwrap().as_u64(), Some(u64::MAX));
+        assert_eq!(back.get("neg").unwrap().as_i64(), Some(-7));
     }
 
     #[test]

@@ -1,0 +1,352 @@
+//! The newline-delimited JSON wire protocol.
+//!
+//! One request per line, one reply line per request, in order. Every reply
+//! carries `"ok"`; failures render as `{"ok":false,"error":"…"}` reusing
+//! the library error `Display` forms (`SolveError`'s OOM/OOT markers
+//! included). Node ids on the wire are the server's dense internal ids.
+//!
+//! Requests:
+//!
+//! ```text
+//! {"cmd":"update","updates":[{"op":"insert","u":1,"v":2},{"op":"delete","u":3,"v":4}]}
+//! {"cmd":"query","what":"group_of","node":5}
+//! {"cmd":"query","what":"solution"}
+//! {"cmd":"query","what":"stats"}
+//! {"cmd":"solve"}                      — replay the server's bootstrap request
+//! {"cmd":"solve","request":{"algo":"hg","k":3}}
+//! {"cmd":"snapshot"}                   — persist state + truncate the log
+//! {"cmd":"shutdown"}
+//! ```
+//!
+//! Replies (shapes, all single lines):
+//!
+//! ```text
+//! update   → {"ok":true,"epoch":E,"applied":N,"skipped":M,"size_delta":D,"size":S}
+//! group_of → {"ok":true,"epoch":E,"node":U,"group":G,"members":[..]}   (G/members null when free)
+//! solution → {"ok":true,"epoch":E,"k":K,"size":S,"covered_nodes":C,"cliques":[[..],..]}
+//! stats    → {"ok":true,"epoch":E,"k":K,"size":S,"num_nodes":N,"stats":{..update counters..}}
+//! solve    → {"ok":true,"epoch":E,"report":{..SolveReport..}}
+//! snapshot → {"ok":true,"epoch":E,"durable":B,"path":P}
+//! shutdown → {"ok":true,"epoch":E,"shutdown":true}
+//! ```
+
+use dkc_core::{SolveReport, SolveRequest};
+use dkc_dynamic::{stats_to_json, BatchOutcome, EdgeUpdate, SolutionView};
+use dkc_graph::NodeId;
+use dkc_json::Json;
+
+/// A parsed client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Apply a batch of edge updates.
+    Update(Vec<EdgeUpdate>),
+    /// Read from the latest published view.
+    Query(Query),
+    /// Run a full from-scratch engine solve on the current graph.
+    /// `None` replays the server's bootstrap request.
+    Solve(Option<SolveRequest>),
+    /// Persist the serving state and truncate the update log.
+    Snapshot,
+    /// Stop the server.
+    Shutdown,
+}
+
+/// The read commands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Query {
+    /// Membership lookup for one node.
+    GroupOf(NodeId),
+    /// The full solution (all groups).
+    Solution,
+    /// Sizes plus lifetime update counters.
+    Stats,
+}
+
+/// Parses one request line. The error string is ready for
+/// [`error_reply`].
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let v = Json::parse(line).map_err(|e| e.to_string())?;
+    let cmd =
+        v.get("cmd").and_then(Json::as_str).ok_or_else(|| "missing \"cmd\" member".to_string())?;
+    match cmd {
+        "update" => {
+            let updates = v
+                .get("updates")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| "update needs an \"updates\" array".to_string())?;
+            let mut out = Vec::with_capacity(updates.len());
+            for u in updates {
+                out.push(parse_update(u)?);
+            }
+            Ok(Request::Update(out))
+        }
+        "query" => {
+            let what = v
+                .get("what")
+                .and_then(Json::as_str)
+                .ok_or_else(|| "query needs a \"what\" member".to_string())?;
+            match what {
+                "group_of" => {
+                    let node = v
+                        .get("node")
+                        .and_then(Json::as_u64)
+                        .and_then(|id| NodeId::try_from(id).ok())
+                        .ok_or_else(|| "group_of needs a \"node\" id".to_string())?;
+                    Ok(Request::Query(Query::GroupOf(node)))
+                }
+                "solution" => Ok(Request::Query(Query::Solution)),
+                "stats" => Ok(Request::Query(Query::Stats)),
+                other => Err(format!("unknown query {other:?} (try group_of|solution|stats)")),
+            }
+        }
+        "solve" => match v.get("request") {
+            None | Some(Json::Null) => Ok(Request::Solve(None)),
+            Some(req) => Ok(Request::Solve(Some(
+                SolveRequest::from_json_value(req).map_err(|e| e.to_string())?,
+            ))),
+        },
+        "snapshot" => Ok(Request::Snapshot),
+        "shutdown" => Ok(Request::Shutdown),
+        other => {
+            Err(format!("unknown command {other:?} (try update|query|solve|snapshot|shutdown)"))
+        }
+    }
+}
+
+fn parse_update(v: &Json) -> Result<EdgeUpdate, String> {
+    let op = v
+        .get("op")
+        .and_then(Json::as_str)
+        .ok_or_else(|| "update entry needs an \"op\"".to_string())?;
+    let endpoint = |name: &str| -> Result<NodeId, String> {
+        v.get(name)
+            .and_then(Json::as_u64)
+            .and_then(|id| NodeId::try_from(id).ok())
+            .ok_or_else(|| format!("update entry needs node id {name:?}"))
+    };
+    let (u, w) = (endpoint("u")?, endpoint("v")?);
+    match op {
+        "insert" => Ok(EdgeUpdate::Insert(u, w)),
+        "delete" => Ok(EdgeUpdate::Delete(u, w)),
+        other => Err(format!("unknown update op {other:?} (try insert|delete)")),
+    }
+}
+
+/// Renders a batch of updates as a request line (client side).
+pub fn render_update_request(updates: &[EdgeUpdate]) -> String {
+    let entries = updates
+        .iter()
+        .map(|u| {
+            let (a, b) = u.endpoints();
+            Json::Obj(vec![
+                ("op".into(), Json::str(if u.is_insert() { "insert" } else { "delete" })),
+                ("u".into(), Json::u64(a as u64)),
+                ("v".into(), Json::u64(b as u64)),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![("cmd".into(), Json::str("update")), ("updates".into(), Json::Arr(entries))])
+        .render()
+}
+
+/// Renders a query as a request line (client side).
+pub fn render_query_request(query: Query) -> String {
+    let mut members = vec![("cmd".into(), Json::str("query"))];
+    match query {
+        Query::GroupOf(u) => {
+            members.push(("what".into(), Json::str("group_of")));
+            members.push(("node".into(), Json::u64(u as u64)));
+        }
+        Query::Solution => members.push(("what".into(), Json::str("solution"))),
+        Query::Stats => members.push(("what".into(), Json::str("stats"))),
+    }
+    Json::Obj(members).render()
+}
+
+/// Renders a bare command (`solve` / `snapshot` / `shutdown`) request line.
+pub fn render_command_request(cmd: &str) -> String {
+    Json::Obj(vec![("cmd".into(), Json::str(cmd))]).render()
+}
+
+fn ok_members(epoch: u64) -> Vec<(String, Json)> {
+    vec![("ok".into(), Json::Bool(true)), ("epoch".into(), Json::u64(epoch))]
+}
+
+/// The `update` reply.
+pub fn update_reply(epoch: u64, outcome: BatchOutcome, size: usize) -> Json {
+    let mut m = ok_members(epoch);
+    m.push(("applied".into(), Json::usize(outcome.applied)));
+    m.push(("skipped".into(), Json::usize(outcome.skipped)));
+    m.push(("size_delta".into(), Json::i64(outcome.size_delta)));
+    m.push(("size".into(), Json::usize(size)));
+    Json::Obj(m)
+}
+
+/// The `query group_of` reply — answered entirely from one view, so the
+/// epoch, group index and members are mutually consistent.
+pub fn group_of_reply(view: &SolutionView, node: NodeId) -> Json {
+    let mut m = ok_members(view.epoch());
+    m.push(("node".into(), Json::u64(node as u64)));
+    match view.group_of(node) {
+        Some(group) => {
+            m.push(("group".into(), Json::usize(group)));
+            let members = view.group(group).expect("group index from the same view");
+            m.push((
+                "members".into(),
+                Json::Arr(members.iter().map(|u| Json::u64(u as u64)).collect()),
+            ));
+        }
+        None => {
+            m.push(("group".into(), Json::Null));
+            m.push(("members".into(), Json::Null));
+        }
+    }
+    Json::Obj(m)
+}
+
+/// The `query solution` reply.
+pub fn solution_reply(view: &SolutionView) -> Json {
+    let mut m = ok_members(view.epoch());
+    m.push(("k".into(), Json::usize(view.k())));
+    m.push(("size".into(), Json::usize(view.len())));
+    m.push(("covered_nodes".into(), Json::usize(view.covered_nodes())));
+    m.push((
+        "cliques".into(),
+        Json::Arr(
+            view.cliques()
+                .iter()
+                .map(|c| Json::Arr(c.iter().map(|u| Json::u64(u as u64)).collect()))
+                .collect(),
+        ),
+    ));
+    Json::Obj(m)
+}
+
+/// The `query stats` reply.
+pub fn stats_reply(view: &SolutionView) -> Json {
+    let mut m = ok_members(view.epoch());
+    m.push(("k".into(), Json::usize(view.k())));
+    m.push(("size".into(), Json::usize(view.len())));
+    m.push(("num_nodes".into(), Json::usize(view.num_nodes())));
+    m.push(("covered_nodes".into(), Json::usize(view.covered_nodes())));
+    m.push(("stats".into(), stats_to_json(view.stats())));
+    Json::Obj(m)
+}
+
+/// The `solve` reply (embeds the full [`SolveReport`] rendering).
+pub fn solve_reply(epoch: u64, report: &SolveReport) -> Json {
+    let mut m = ok_members(epoch);
+    m.push(("report".into(), report.to_json_value()));
+    Json::Obj(m)
+}
+
+/// The `snapshot` reply.
+pub fn snapshot_reply(epoch: u64, path: Option<&std::path::Path>) -> Json {
+    let mut m = ok_members(epoch);
+    m.push(("durable".into(), Json::Bool(path.is_some())));
+    m.push(("path".into(), path.map_or(Json::Null, |p| Json::str(p.display().to_string()))));
+    Json::Obj(m)
+}
+
+/// The `shutdown` acknowledgement.
+pub fn shutdown_reply(epoch: u64) -> Json {
+    let mut m = ok_members(epoch);
+    m.push(("shutdown".into(), Json::Bool(true)));
+    Json::Obj(m)
+}
+
+/// A structured error reply. `message` is typically a library error's
+/// `Display` rendering ([`dkc_core::SolveError`]'s OOM/OOT markers pass
+/// through verbatim).
+pub fn error_reply(message: impl Into<String>) -> Json {
+    Json::Obj(vec![("ok".into(), Json::Bool(false)), ("error".into(), Json::str(message))])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dkc_core::Algo;
+
+    #[test]
+    fn update_request_roundtrips() {
+        let updates = vec![EdgeUpdate::Insert(1, 2), EdgeUpdate::Delete(3, 4)];
+        let line = render_update_request(&updates);
+        assert_eq!(parse_request(&line).unwrap(), Request::Update(updates));
+    }
+
+    #[test]
+    fn query_requests_roundtrip() {
+        for q in [Query::GroupOf(7), Query::Solution, Query::Stats] {
+            let line = render_query_request(q);
+            assert_eq!(parse_request(&line).unwrap(), Request::Query(q));
+        }
+    }
+
+    #[test]
+    fn solve_request_parses_with_and_without_override() {
+        assert_eq!(parse_request(r#"{"cmd":"solve"}"#).unwrap(), Request::Solve(None));
+        let with = parse_request(r#"{"cmd":"solve","request":{"algo":"hg","k":4}}"#).unwrap();
+        match with {
+            Request::Solve(Some(req)) => {
+                assert_eq!(req.algo, Algo::Hg);
+                assert_eq!(req.k, 4);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bare_commands_parse() {
+        assert_eq!(parse_request(r#"{"cmd":"snapshot"}"#).unwrap(), Request::Snapshot);
+        assert_eq!(parse_request(&render_command_request("shutdown")).unwrap(), Request::Shutdown);
+    }
+
+    #[test]
+    fn malformed_requests_yield_messages_not_panics() {
+        for bad in [
+            "",
+            "not json",
+            "{}",
+            r#"{"cmd":"zap"}"#,
+            r#"{"cmd":"update"}"#,
+            r#"{"cmd":"update","updates":[{"op":"warp","u":1,"v":2}]}"#,
+            r#"{"cmd":"update","updates":[{"op":"insert","u":1}]}"#,
+            r#"{"cmd":"query","what":"zz"}"#,
+            r#"{"cmd":"query","what":"group_of"}"#,
+            r#"{"cmd":"solve","request":{"algo":"zz","k":3}}"#,
+        ] {
+            let err = parse_request(bad).unwrap_err();
+            let reply = error_reply(err).render();
+            assert!(reply.starts_with(r#"{"ok":false,"error":"#), "{reply}");
+        }
+    }
+
+    #[test]
+    fn replies_are_valid_json_lines() {
+        use dkc_core::Solution;
+        use dkc_dynamic::UpdateStats;
+        let mut s = Solution::new(3);
+        s.push(dkc_clique::Clique::new(&[0, 1, 2]));
+        let view = SolutionView::new(3, 6, &s, UpdateStats::default());
+        for reply in [
+            update_reply(3, BatchOutcome { applied: 2, skipped: 1, size_delta: -1 }, 5),
+            group_of_reply(&view, 1),
+            group_of_reply(&view, 5),
+            solution_reply(&view),
+            stats_reply(&view),
+            snapshot_reply(3, Some(std::path::Path::new("/tmp/base.dkcsr"))),
+            snapshot_reply(3, None),
+            shutdown_reply(3),
+            error_reply("clique storage budget of 10 cliques exceeded (OOM)"),
+        ] {
+            let line = reply.render();
+            let back = Json::parse(&line).unwrap();
+            assert!(back.get("ok").is_some(), "{line}");
+            assert!(!line.contains('\n'));
+        }
+        let g1 = group_of_reply(&view, 1).render();
+        assert!(g1.contains("\"group\":0") && g1.contains("\"members\":[0,1,2]"), "{g1}");
+        let g5 = group_of_reply(&view, 5).render();
+        assert!(g5.contains("\"group\":null"), "{g5}");
+    }
+}

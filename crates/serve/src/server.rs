@@ -1,0 +1,394 @@
+//! The threaded TCP server: acceptor + reader worker pool + one writer.
+//!
+//! Thread model (see the crate docs for the protocol):
+//!
+//! * the **acceptor** owns the listener and hands accepted connections to
+//!   a queue;
+//! * **reader workers** (a fixed pool) each serve one connection at a
+//!   time, line by line. Read commands (`query`) are answered directly
+//!   from the latest published [`SolutionView`] — no writer involvement,
+//!   so reads stay parallel while a batch is applying;
+//! * the single **writer** owns the [`ServingSolver`]. Mutating commands
+//!   (`update`, `solve`, `snapshot`) travel through a *bounded* queue
+//!   (backpressure instead of unbounded growth). The writer merges queued
+//!   update requests — up to a size cap or a batching delay — into one
+//!   [`ServingSolver::apply_grouped`] call: one journal record, one epoch,
+//!   one view publication, individual outcome replies.
+//!
+//! `shutdown` flips a flag; the acceptor stops, workers finish their
+//! connections (reads time out periodically so idle connections notice),
+//! and [`ServerHandle::join`] drains and joins everything.
+
+use crate::protocol::{
+    error_reply, group_of_reply, parse_request, shutdown_reply, snapshot_reply, solution_reply,
+    solve_reply, stats_reply, update_reply, Query, Request,
+};
+use crate::queue::{BoundedQueue, Pop};
+use dkc_core::SolveRequest;
+use dkc_dynamic::{EdgeUpdate, ServingSolver, SharedView};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs of [`Server::start`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Reader worker pool size (concurrent connections served).
+    pub readers: usize,
+    /// Bound of the writer's update queue (pending mutating commands).
+    pub queue_capacity: usize,
+    /// The writer merges queued update batches until this many updates…
+    pub batch_max_updates: usize,
+    /// …or until this much time has passed since the first one.
+    pub batch_delay: Duration,
+    /// Largest node id update commands may reference. Inserting edge
+    /// `(0, u)` grows every node-indexed structure to `u + 1` entries, so
+    /// an unbounded id would let one request allocate tens of gigabytes.
+    /// `None` derives a cap from the served graph:
+    /// `max(2 × nodes, nodes + 1024) - 1`.
+    pub max_node: Option<dkc_graph::NodeId>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            readers: 4,
+            queue_capacity: 128,
+            batch_max_updates: 4096,
+            batch_delay: Duration::from_millis(2),
+            max_node: None,
+        }
+    }
+}
+
+enum WriterOp {
+    Batch { updates: Vec<EdgeUpdate>, reply: mpsc::Sender<String> },
+    Solve { request: Option<SolveRequest>, reply: mpsc::Sender<String> },
+    Snapshot { reply: mpsc::Sender<String> },
+}
+
+/// The running server. Construct with [`Server::start`].
+pub struct Server;
+
+/// Join/stop handle of a started server.
+pub struct ServerHandle {
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    writer_queue: Arc<BoundedQueue<WriterOp>>,
+    acceptor: JoinHandle<()>,
+    workers: Vec<JoinHandle<()>>,
+    writer: JoinHandle<()>,
+}
+
+impl Server {
+    /// Starts serving `serving` on `listener` (bind it first — `port 0`
+    /// gives an ephemeral port, see [`ServerHandle::local_addr`]). Returns
+    /// immediately; the server runs on background threads until a client
+    /// sends `shutdown` (then [`ServerHandle::join`] returns) or
+    /// [`ServerHandle::stop`] is called.
+    pub fn start(
+        listener: TcpListener,
+        serving: ServingSolver,
+        config: ServerConfig,
+    ) -> std::io::Result<ServerHandle> {
+        let local_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let writer_queue = Arc::new(BoundedQueue::<WriterOp>::new(config.queue_capacity.max(1)));
+        let conn_queue = Arc::new(BoundedQueue::<TcpStream>::new(64));
+        let shared = serving.reader();
+        let max_node = config.max_node.unwrap_or_else(|| {
+            let n = serving.view().num_nodes() as u64;
+            ((2 * n).max(n + 1024).saturating_sub(1)).min(u64::from(dkc_graph::NodeId::MAX))
+                as dkc_graph::NodeId
+        });
+
+        let acceptor = {
+            let shutdown = Arc::clone(&shutdown);
+            let conn_queue = Arc::clone(&conn_queue);
+            std::thread::spawn(move || accept_loop(&listener, &conn_queue, &shutdown))
+        };
+        let workers: Vec<JoinHandle<()>> = (0..config.readers.max(1))
+            .map(|_| {
+                let shutdown = Arc::clone(&shutdown);
+                let conn_queue = Arc::clone(&conn_queue);
+                let writer_queue = Arc::clone(&writer_queue);
+                let shared = shared.clone();
+                std::thread::spawn(move || {
+                    worker_loop(&conn_queue, &writer_queue, &shared, &shutdown, max_node)
+                })
+            })
+            .collect();
+        let writer = {
+            let writer_queue = Arc::clone(&writer_queue);
+            std::thread::spawn(move || writer_loop(serving, &writer_queue, config))
+        };
+        Ok(ServerHandle { local_addr, shutdown, writer_queue, acceptor, workers, writer })
+    }
+}
+
+impl ServerHandle {
+    /// The bound address (resolves `port 0` to the actual ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Requests shutdown programmatically (same effect as the `shutdown`
+    /// command).
+    pub fn stop(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Waits for the server to finish: the acceptor and workers exit once
+    /// shutdown is requested, then the writer drains its queue (pending
+    /// updates still commit and journal) and syncs.
+    pub fn join(self) {
+        self.acceptor.join().expect("acceptor panicked");
+        for w in self.workers {
+            w.join().expect("reader worker panicked");
+        }
+        // All producers are gone; drain the writer and stop it.
+        self.writer_queue.close();
+        self.writer.join().expect("writer panicked");
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    conn_queue: &BoundedQueue<TcpStream>,
+    shutdown: &AtomicBool,
+) {
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                stream.set_nodelay(true).ok();
+                if conn_queue.push(stream).is_err() {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+    conn_queue.close();
+}
+
+fn worker_loop(
+    conn_queue: &BoundedQueue<TcpStream>,
+    writer_queue: &BoundedQueue<WriterOp>,
+    shared: &SharedView,
+    shutdown: &AtomicBool,
+    max_node: dkc_graph::NodeId,
+) {
+    loop {
+        match conn_queue.pop_timeout(Duration::from_millis(100)) {
+            Pop::Item(stream) => {
+                handle_connection(stream, writer_queue, shared, shutdown, max_node)
+            }
+            Pop::Timeout => {
+                if shutdown.load(Ordering::SeqCst) {
+                    // The acceptor will close the queue momentarily; keep
+                    // draining so queued connections get served or dropped.
+                    continue;
+                }
+            }
+            Pop::Closed => break,
+        }
+    }
+}
+
+/// Reads one line, tolerating read timeouts (so idle connections observe
+/// shutdown). Returns `None` on EOF, connection error, or shutdown.
+fn read_line_patiently(
+    reader: &mut BufReader<TcpStream>,
+    buf: &mut String,
+    shutdown: &AtomicBool,
+) -> Option<()> {
+    buf.clear();
+    loop {
+        match reader.read_line(buf) {
+            Ok(0) => return None, // EOF
+            Ok(_) => return Some(()),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                // Partial bytes (if any) are already in `buf`; keep going
+                // unless the server is shutting down.
+                if shutdown.load(Ordering::SeqCst) {
+                    return None;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return None,
+        }
+    }
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    writer_queue: &BoundedQueue<WriterOp>,
+    shared: &SharedView,
+    shutdown: &AtomicBool,
+    max_node: dkc_graph::NodeId,
+) {
+    stream.set_read_timeout(Some(Duration::from_millis(200))).ok();
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    while read_line_patiently(&mut reader, &mut line, shutdown).is_some() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let reply = match parse_request(line.trim_end()) {
+            Err(message) => error_reply(message).render(),
+            Ok(Request::Query(query)) => {
+                // One Arc per query: every field of the reply comes from
+                // one immutable view — a consistent epoch even while the
+                // writer publishes mid-request.
+                let view = shared.current();
+                match query {
+                    Query::GroupOf(node) => group_of_reply(&view, node).render(),
+                    Query::Solution => solution_reply(&view).render(),
+                    Query::Stats => stats_reply(&view).render(),
+                }
+            }
+            Ok(Request::Update(updates)) => {
+                // Reject ids beyond the growth cap before they reach the
+                // writer: node-indexed structures resize to max_id + 1, so
+                // an unchecked id is a one-request memory bomb.
+                match updates
+                    .iter()
+                    .map(|u| {
+                        let (a, b) = u.endpoints();
+                        a.max(b)
+                    })
+                    .max()
+                {
+                    Some(top) if top > max_node => error_reply(format!(
+                        "node id {top} exceeds this server's limit of {max_node}"
+                    ))
+                    .render(),
+                    _ => round_trip(writer_queue, |reply| WriterOp::Batch { updates, reply }),
+                }
+            }
+            Ok(Request::Solve(request)) => {
+                round_trip(writer_queue, |reply| WriterOp::Solve { request, reply })
+            }
+            Ok(Request::Snapshot) => round_trip(writer_queue, |reply| WriterOp::Snapshot { reply }),
+            Ok(Request::Shutdown) => {
+                let reply = shutdown_reply(shared.current().epoch()).render();
+                let _ = writeln!(writer, "{reply}");
+                let _ = writer.flush();
+                shutdown.store(true, Ordering::SeqCst);
+                return;
+            }
+        };
+        if writeln!(writer, "{reply}").and_then(|()| writer.flush()).is_err() {
+            return;
+        }
+    }
+}
+
+/// Sends one op to the writer thread and waits for its reply line.
+fn round_trip(
+    writer_queue: &BoundedQueue<WriterOp>,
+    make_op: impl FnOnce(mpsc::Sender<String>) -> WriterOp,
+) -> String {
+    let (tx, rx) = mpsc::channel();
+    if writer_queue.push(make_op(tx)).is_err() {
+        return error_reply("server is shutting down").render();
+    }
+    rx.recv().unwrap_or_else(|_| error_reply("writer thread unavailable").render())
+}
+
+fn writer_loop(mut serving: ServingSolver, queue: &BoundedQueue<WriterOp>, config: ServerConfig) {
+    loop {
+        match queue.pop_timeout(Duration::from_millis(100)) {
+            Pop::Closed => break,
+            Pop::Timeout => continue,
+            Pop::Item(WriterOp::Batch { updates, reply }) => {
+                // Merge further queued updates into this application round
+                // (size- and time-bounded), then apply them as one epoch.
+                let mut groups: Vec<(Vec<EdgeUpdate>, mpsc::Sender<String>)> =
+                    vec![(updates, reply)];
+                let mut total = groups[0].0.len();
+                let mut carried: Option<WriterOp> = None;
+                let deadline = Instant::now() + config.batch_delay;
+                while total < config.batch_max_updates {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        break;
+                    }
+                    match queue.pop_timeout(deadline - now) {
+                        Pop::Item(WriterOp::Batch { updates, reply }) => {
+                            total += updates.len();
+                            groups.push((updates, reply));
+                        }
+                        // A non-batch op ends the merge window: the batches
+                        // ahead of it apply first, then it runs.
+                        Pop::Item(other) => {
+                            carried = Some(other);
+                            break;
+                        }
+                        Pop::Timeout | Pop::Closed => break,
+                    }
+                }
+                apply_round(&mut serving, groups);
+                if let Some(op) = carried {
+                    run_writer_op(&mut serving, op);
+                }
+            }
+            Pop::Item(op) => run_writer_op(&mut serving, op),
+        }
+    }
+    // Graceful exit: force the journal to stable storage.
+    serving.sync().ok();
+}
+
+fn apply_round(serving: &mut ServingSolver, groups: Vec<(Vec<EdgeUpdate>, mpsc::Sender<String>)>) {
+    let refs: Vec<&[EdgeUpdate]> = groups.iter().map(|(g, _)| g.as_slice()).collect();
+    match serving.apply_grouped(&refs) {
+        Ok((outcomes, view)) => {
+            for ((_, reply), outcome) in groups.iter().zip(outcomes) {
+                let _ = reply.send(update_reply(view.epoch(), outcome, view.len()).render());
+            }
+        }
+        Err(e) => {
+            let line = error_reply(e.to_string()).render();
+            for (_, reply) in &groups {
+                let _ = reply.send(line.clone());
+            }
+        }
+    }
+}
+
+fn run_writer_op(serving: &mut ServingSolver, op: WriterOp) {
+    match op {
+        WriterOp::Batch { .. } => unreachable!("batches go through apply_round"),
+        WriterOp::Solve { request, reply } => {
+            let line = match serving.solve_fresh(request) {
+                Ok(report) => solve_reply(serving.epoch(), &report).render(),
+                Err(e) => error_reply(e.to_string()).render(),
+            };
+            let _ = reply.send(line);
+        }
+        WriterOp::Snapshot { reply } => {
+            let line = match serving.compact() {
+                Ok(path) => snapshot_reply(serving.epoch(), path.as_deref()).render(),
+                Err(e) => error_reply(e.to_string()).render(),
+            };
+            let _ = reply.send(line);
+        }
+    }
+}

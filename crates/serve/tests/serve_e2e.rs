@@ -1,0 +1,246 @@
+//! End-to-end serving tests: a server bootstrapped from a registry
+//! dataset answers concurrent reader queries at consistent epochs while a
+//! writer batch is in flight, and kill + restart (snapshot + log replay)
+//! reproduces a byte-identical `SolutionView`.
+
+use dkc_core::{Algo, SolveRequest};
+use dkc_datagen::workload::sample_edges;
+use dkc_datagen::DatasetRegistry;
+use dkc_dynamic::{EdgeUpdate, ServingSolver};
+use dkc_json::Json;
+use dkc_serve::{run_loadgen, LoadgenConfig, Server, ServerConfig};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+
+struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream.set_nodelay(true).ok();
+        Client { writer: stream.try_clone().expect("clone"), reader: BufReader::new(stream) }
+    }
+
+    /// One request line out, one (validated-JSON) reply line back.
+    fn call(&mut self, request: &str) -> Json {
+        writeln!(self.writer, "{request}").expect("send");
+        self.writer.flush().expect("flush");
+        let mut line = String::new();
+        self.reader.read_line(&mut line).expect("reply");
+        Json::parse(line.trim_end()).unwrap_or_else(|e| panic!("bad reply {line:?}: {e}"))
+    }
+
+    fn call_ok(&mut self, request: &str) -> Json {
+        let v = self.call(request);
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true), "{}", v.render());
+        v
+    }
+}
+
+fn registry_graph() -> dkc_graph::CsrGraph {
+    // The FTB stand-in from the dataset registry — the same resolution
+    // path `dkc serve FTB` uses.
+    let registry = DatasetRegistry::in_memory();
+    let resolved = registry
+        .resolve_standin(dkc_datagen::registry::DatasetId::Ftb, 1.0, 42)
+        .expect("registry resolution");
+    resolved.loaded.graph
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dkc_serve_e2e_{}_{tag}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+#[test]
+fn concurrent_readers_see_consistent_epochs_while_writer_mutates() {
+    let g = registry_graph();
+    let serving = ServingSolver::in_memory(&g, SolveRequest::new(Algo::Lp, 3)).unwrap();
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let handle = Server::start(listener, serving, ServerConfig::default()).unwrap();
+    let addr = handle.local_addr();
+
+    let victims = sample_edges(&g, 60, 7);
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        // Two reader threads hammer queries while the writer churns.
+        let readers: Vec<_> = (0..2)
+            .map(|r| {
+                let stop = &stop;
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr);
+                    let mut queries = 0usize;
+                    let mut last_epoch = 0u64;
+                    while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                        // A solution reply must be internally consistent:
+                        // size == |cliques| and every clique has k members,
+                        // whatever epoch it was answered at.
+                        let v = client.call_ok(r#"{"cmd":"query","what":"solution"}"#);
+                        let epoch = v.get("epoch").and_then(Json::as_u64).unwrap();
+                        let size = v.get("size").and_then(Json::as_usize).unwrap();
+                        let k = v.get("k").and_then(Json::as_usize).unwrap();
+                        let cliques = v.get("cliques").and_then(Json::as_arr).unwrap();
+                        assert_eq!(cliques.len(), size, "torn view at epoch {epoch}");
+                        for c in cliques {
+                            assert_eq!(c.as_arr().unwrap().len(), k);
+                        }
+                        // Epochs only move forward for a single reader.
+                        assert!(epoch >= last_epoch, "epoch went backwards ({r})");
+                        last_epoch = epoch;
+                        // group_of answers come from one view too.
+                        let v = client.call_ok(r#"{"cmd":"query","what":"group_of","node":0}"#);
+                        if let Some(group) = v.get("group").and_then(Json::as_usize) {
+                            let members = v.get("members").and_then(Json::as_arr).unwrap();
+                            assert_eq!(members.len(), k, "group {group} torn");
+                        }
+                        queries += 1;
+                    }
+                    queries
+                })
+            })
+            .collect();
+
+        // The writer: delete all victims in batches, then re-insert them.
+        let mut client = Client::connect(addr);
+        for chunk in victims.chunks(10) {
+            let updates: Vec<EdgeUpdate> =
+                chunk.iter().map(|&(a, b)| EdgeUpdate::Delete(a, b)).collect();
+            let v = client.call_ok(&dkc_serve::protocol::render_update_request(&updates));
+            assert!(v.get("applied").and_then(Json::as_usize).unwrap() > 0);
+        }
+        for chunk in victims.chunks(10) {
+            let updates: Vec<EdgeUpdate> =
+                chunk.iter().map(|&(a, b)| EdgeUpdate::Insert(a, b)).collect();
+            client.call_ok(&dkc_serve::protocol::render_update_request(&updates));
+        }
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        for r in readers {
+            let queries = r.join().expect("reader");
+            assert!(queries > 0, "reader made no progress");
+        }
+    });
+
+    // Graceful shutdown via the protocol.
+    let mut client = Client::connect(addr);
+    let v = client.call_ok(r#"{"cmd":"shutdown"}"#);
+    assert_eq!(v.get("shutdown").and_then(Json::as_bool), Some(true));
+    handle.join();
+}
+
+#[test]
+fn kill_and_restart_reproduces_the_exact_view() {
+    let dir = temp_dir("restart");
+    let g = registry_graph();
+    let victims = sample_edges(&g, 24, 3);
+
+    // --- First server lifetime: updates, a mid-life snapshot, more
+    // updates, then a shutdown (the tail lives only in the update log).
+    let serving = ServingSolver::create(&dir, &g, SolveRequest::new(Algo::Lp, 3)).unwrap();
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let handle = Server::start(listener, serving, ServerConfig::default()).unwrap();
+    let mut client = Client::connect(handle.local_addr());
+    for chunk in victims.chunks(8) {
+        let updates: Vec<EdgeUpdate> =
+            chunk.iter().map(|&(a, b)| EdgeUpdate::Delete(a, b)).collect();
+        client.call_ok(&dkc_serve::protocol::render_update_request(&updates));
+    }
+    let v = client.call_ok(r#"{"cmd":"snapshot"}"#);
+    assert_eq!(v.get("durable").and_then(Json::as_bool), Some(true));
+    // Post-snapshot tail: re-insert half the victims.
+    let tail: Vec<EdgeUpdate> =
+        victims.iter().take(12).map(|&(a, b)| EdgeUpdate::Insert(a, b)).collect();
+    client.call_ok(&dkc_serve::protocol::render_update_request(&tail));
+    let solution_before = client.call_ok(r#"{"cmd":"query","what":"solution"}"#).render();
+    let stats_before = client.call_ok(r#"{"cmd":"query","what":"stats"}"#).render();
+    client.call_ok(r#"{"cmd":"shutdown"}"#);
+    handle.join();
+
+    // --- Restart from disk: snapshot + replayed log tail.
+    let restored = ServingSolver::restore(&dir).unwrap();
+    restored.solver().validate().expect("restored invariants");
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let handle = Server::start(listener, restored, ServerConfig::default()).unwrap();
+    let mut client = Client::connect(handle.local_addr());
+    let solution_after = client.call_ok(r#"{"cmd":"query","what":"solution"}"#).render();
+    let stats_after = client.call_ok(r#"{"cmd":"query","what":"stats"}"#).render();
+    assert_eq!(solution_after, solution_before, "byte-identical solution reply after restart");
+    assert_eq!(stats_after, stats_before, "byte-identical stats reply after restart");
+    client.call_ok(r#"{"cmd":"shutdown"}"#);
+    handle.join();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn solve_passthrough_and_errors_are_structured() {
+    let g = registry_graph();
+    let serving = ServingSolver::in_memory(&g, SolveRequest::new(Algo::Lp, 3)).unwrap();
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let handle = Server::start(listener, serving, ServerConfig::default()).unwrap();
+    let mut client = Client::connect(handle.local_addr());
+
+    // Full engine pass-through with a request override.
+    let v = client.call_ok(r#"{"cmd":"solve","request":{"algo":"hg","k":3}}"#);
+    let report = v.get("report").expect("report");
+    assert_eq!(report.get("algo").and_then(Json::as_str), Some("hg"));
+    assert!(report.get("size").and_then(Json::as_usize).unwrap() > 0);
+
+    // A budget trip surfaces the SolveError rendering, not a dropped
+    // connection.
+    let v = client.call(
+        r#"{"cmd":"solve","request":{"algo":"gc","k":3,"budget":{"max_cliques":1,"max_conflicts":null,"mis_node_limit":null,"mis_time_limit_ns":null}}}"#,
+    );
+    assert_eq!(v.get("ok").and_then(Json::as_bool), Some(false));
+    assert!(v.get("error").and_then(Json::as_str).unwrap().contains("OOM"));
+
+    // Malformed requests get structured errors too, and the connection
+    // keeps serving afterwards.
+    let v = client.call("this is not json");
+    assert_eq!(v.get("ok").and_then(Json::as_bool), Some(false));
+    let v = client.call_ok(r#"{"cmd":"query","what":"stats"}"#);
+    assert!(v.get("epoch").and_then(Json::as_u64).is_some());
+
+    // Node ids beyond the growth cap are rejected before they can force
+    // an O(max_id) allocation in the writer.
+    let v = client.call(r#"{"cmd":"update","updates":[{"op":"insert","u":0,"v":4294967294}]}"#);
+    assert_eq!(v.get("ok").and_then(Json::as_bool), Some(false));
+    assert!(v.get("error").and_then(Json::as_str).unwrap().contains("limit"), "{}", v.render());
+    let v = client.call_ok(r#"{"cmd":"query","what":"stats"}"#);
+    assert_eq!(v.get("stats").and_then(|s| s.get("insertions")).and_then(Json::as_u64), Some(0));
+
+    client.call_ok(r#"{"cmd":"shutdown"}"#);
+    handle.join();
+}
+
+#[test]
+fn loadgen_drives_a_server_and_reports() {
+    let g = registry_graph();
+    let nodes = g.num_nodes() as dkc_graph::NodeId;
+    let serving = ServingSolver::in_memory(&g, SolveRequest::new(Algo::Lp, 3)).unwrap();
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let handle = Server::start(listener, serving, ServerConfig::default()).unwrap();
+
+    let cfg = LoadgenConfig {
+        addr: handle.local_addr().to_string(),
+        connections: 3,
+        ops_per_connection: 40,
+        update_fraction: 0.4,
+        batch: 4,
+        nodes,
+        seed: 9,
+    };
+    let report = run_loadgen(&cfg).expect("loadgen run");
+    assert_eq!(report.total_ops, 120);
+    assert_eq!(report.errors, 0, "{report}");
+    assert!(report.updates.count > 0 && report.queries.count > 0);
+    assert!(report.final_epoch > 0, "updates must have advanced the epoch");
+    assert!(report.to_string().contains("ops/s"));
+
+    let mut client = Client::connect(handle.local_addr());
+    client.call_ok(r#"{"cmd":"shutdown"}"#);
+    handle.join();
+}

@@ -2,10 +2,12 @@
 //! the friendship graph of a game changes by ~1% of its edges per day, and
 //! the teaming result must stay fresh at micro-second update costs.
 //!
-//! This example bootstraps a maintained solution, streams a day of edge
-//! churn through it, and compares (a) per-update latency against a
-//! recompute-from-scratch policy and (b) final quality against a fresh
-//! static solve.
+//! This example bootstraps a maintained solution behind the **serving
+//! API** (epoch-versioned snapshots, as `dkc serve` publishes them),
+//! streams a day of edge churn through it in batches, and compares (a)
+//! per-update latency against a recompute-from-scratch policy and (b)
+//! final quality against a fresh static solve — reading everything
+//! through cheap `SolutionView` snapshots, the way a reader thread would.
 //!
 //! Run with: `cargo run --release --example dynamic_social_network`
 
@@ -27,43 +29,50 @@ fn main() {
         updates.len()
     );
 
-    // --- Bootstrap.
+    // --- Bootstrap the serving state (in-memory; `dkc serve --state-dir`
+    // adds the durable journal + snapshot on top of the same type).
     let t0 = Instant::now();
-    let mut solver = DynamicSolver::new(&start_graph, k).expect("k = 4 is valid");
+    let request = SolveRequest::new(Algo::Lp, k);
+    let mut serving = ServingSolver::in_memory(&start_graph, request).expect("k = 4 is valid");
     let bootstrap = t0.elapsed();
+    let reader = serving.reader(); // what a reader thread would hold
     println!(
         "bootstrap: |S| = {}, candidate index = {} cliques, {:.1} ms",
-        solver.len(),
-        solver.index_size(),
+        reader.current().len(),
+        serving.solver().index_size(),
         bootstrap.as_secs_f64() * 1e3
     );
 
-    // --- Stream the day.
+    // --- Stream the day in serving-sized batches; each batch bumps the
+    // epoch and publishes a fresh snapshot for concurrent readers.
+    let batch = 256;
+    let stream: Vec<EdgeUpdate> = updates
+        .iter()
+        .map(|u| match *u {
+            Update::Insert(a, b) => EdgeUpdate::Insert(a, b),
+            Update::Delete(a, b) => EdgeUpdate::Delete(a, b),
+        })
+        .collect();
     let t0 = Instant::now();
-    for u in &updates {
-        match *u {
-            Update::Insert(a, b) => {
-                solver.insert_edge(a, b);
-            }
-            Update::Delete(a, b) => {
-                solver.delete_edge(a, b);
-            }
-        }
+    for chunk in stream.chunks(batch) {
+        serving.apply_batch(chunk).expect("in-memory state cannot fail to journal");
     }
     let streamed = t0.elapsed();
     let per_update_ns = streamed.as_secs_f64() * 1e9 / updates.len() as f64;
+    let view = reader.current();
     println!(
-        "streamed {} updates in {:.1} ms — {:.0} ns/update ({} swaps applied)",
+        "streamed {} updates in {:.1} ms — {:.0} ns/update, {} epochs published ({} swaps applied)",
         updates.len(),
         streamed.as_secs_f64() * 1e3,
         per_update_ns,
-        solver.stats().swaps_applied
+        view.epoch(),
+        view.stats().swaps_applied
     );
 
     // --- Compare with recompute-from-scratch on the final graph.
-    let final_graph = solver.graph().to_csr();
+    let final_graph = serving.solver().graph().to_csr();
     let t0 = Instant::now();
-    let scratch = LightweightSolver::lp().solve(&final_graph, k).unwrap();
+    let scratch = Engine::solve(&final_graph, request).expect("static solve").solution;
     let scratch_time = t0.elapsed();
     println!(
         "from-scratch LP on the final graph: |S| = {} in {:.1} ms",
@@ -72,15 +81,17 @@ fn main() {
     );
     println!(
         "maintained |S| = {} (Δ = {:+}); one rebuild costs as much as ~{} updates",
-        solver.len(),
-        solver.len() as i64 - scratch.len() as i64,
+        view.len(),
+        view.len() as i64 - scratch.len() as i64,
         (scratch_time.as_secs_f64() * 1e9 / per_update_ns) as u64
     );
 
-    // The maintained solution must stay valid — audit it.
-    solver
-        .solution()
+    // The published snapshot must stay valid — audit it like a reader.
+    view.to_solution()
         .verify(&final_graph)
-        .expect("maintained solution must be valid on the final graph");
-    println!("maintained solution verified on the final graph ✓");
+        .expect("published view must be valid on the final graph");
+    let covered =
+        (0..final_graph.num_nodes() as NodeId).filter(|&u| view.group_of(u).is_some()).count();
+    assert_eq!(covered, view.covered_nodes(), "membership index consistent with groups");
+    println!("published view verified on the final graph ✓ (epoch {})", view.epoch());
 }

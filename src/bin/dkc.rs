@@ -4,9 +4,11 @@
 //! dkc stats     <graph> [--kmax K] [common flags]            graph statistics + k-clique counts
 //! dkc solve     <graph> --k K [common flags] [--json]        maximal disjoint k-clique set
 //! dkc partition <graph> --k K [common flags] [--json]        assign EVERY node to a group (≤ K)
+//! dkc serve     <dataset|graph> --k K [--port P] [--state-dir D]   dynamic serving over TCP
+//! dkc loadgen   <host:port> [--conns N] [--ops N] [--update-pct P]   drive a server, report latency
 //! dkc convert   <in> <out> [--threads N]                     text ⇄ binary .dkcsr snapshot
 //! dkc gen       <dataset> <out> [--scale X] [--seed N]       write a stand-in as an edge list
-//! dkc cache     <dataset> --data-dir D [--scale X] [--seed N]   warm the snapshot cache
+//! dkc cache     <dataset> --data-dir D [--scale X] [--seed N] [--json]   warm the snapshot cache
 //! dkc cache     evict --data-dir D [--dataset NAME] [--scale X] [--seed N]   GC cache entries
 //! ```
 //!
@@ -26,23 +28,36 @@
 //! deterministic, so the output is identical for any thread count. Output
 //! uses the input file's original labels; `--json` swaps the human output
 //! for the engine's `SolveReport`/`PartitionReport` JSON rendering.
+//!
+//! `serve` starts the dynamic serving layer (see the `dkc-serve` crate
+//! docs for the newline-delimited JSON protocol): `<dataset|graph>` is a
+//! Table I dataset name (resolved through the registry, honouring
+//! `--data-dir`/`--scale`/`--seed`) or a graph file path. With
+//! `--state-dir` the server is durable — it journals updates, `snapshot`
+//! persists, and a restart resumes at the exact epoch via log replay; an
+//! existing state directory wins over `<dataset>`. `loadgen` drives a
+//! running server with a seeded update/query mix and prints throughput
+//! and latency percentiles.
 
 use disjoint_kcliques::clique::count_kcliques_parallel;
 use disjoint_kcliques::core::{Algo, Budget, Engine, SolveRequest};
 use disjoint_kcliques::datagen::registry::DatasetId;
 use disjoint_kcliques::datagen::{DatasetRegistry, EvictFilter};
+use disjoint_kcliques::dynamic::{ServeStateError, ServingSolver};
 use disjoint_kcliques::graph::io::{
     load_graph, write_edge_list_labeled, write_edge_list_path, write_snapshot_path, LoadReport,
     LoadedGraph,
 };
 use disjoint_kcliques::graph::{Dag, NodeOrder};
+use disjoint_kcliques::json::Json;
 use disjoint_kcliques::par::ParConfig;
 use disjoint_kcliques::prelude::*;
-use std::time::Instant;
+use disjoint_kcliques::serve::{run_loadgen, LoadgenConfig, Server, ServerConfig};
+use std::time::{Duration, Instant};
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  dkc stats <graph> [--kmax K] [common flags]\n  dkc solve <graph> --k K [common flags] [--json]\n  dkc partition <graph> --k K [common flags] [--json]\n  dkc convert <in> <out> [--threads N]\n  dkc gen <dataset> <out> [--scale X] [--seed N]\n  dkc cache <dataset> --data-dir D [--scale X] [--seed N] [--threads N]\n  dkc cache evict --data-dir D [--dataset NAME] [--scale X] [--seed N]\n\ncommon flags: --algo hg|gc|l|lp|opt|greedy-cg   --threads N\n              --ordering identity|degree-asc|degree-desc|degeneracy|color\n              --max-cliques N --max-conflicts N --mis-nodes N\n\n<graph> is a KONECT-style edge list or a binary .dkcsr snapshot (detected\nby content). --threads defaults to the available parallelism (env\nDKC_THREADS overrides); results are identical for any thread count.\n--algo opt defaults to the standard deterministic OOM/OOT budgets; the\nbudget flags override them for any algorithm. --json prints the engine\nreport as JSON on stdout."
+        "usage:\n  dkc stats <graph> [--kmax K] [common flags]\n  dkc solve <graph> --k K [common flags] [--json]\n  dkc partition <graph> --k K [common flags] [--json]\n  dkc serve <dataset|graph> --k K [--port P] [--state-dir D] [--data-dir D]\n            [--scale X] [--seed N] [--readers N] [--batch-max N]\n            [--batch-delay-ms MS] [--max-node N] [common flags]\n  dkc loadgen <host:port> [--conns N] [--ops N] [--update-pct P]\n            [--batch N] [--nodes N] [--seed N] [--json]\n  dkc convert <in> <out> [--threads N]\n  dkc gen <dataset> <out> [--scale X] [--seed N]\n  dkc cache <dataset> --data-dir D [--scale X] [--seed N] [--threads N] [--json]\n  dkc cache evict --data-dir D [--dataset NAME] [--scale X] [--seed N]\n\ncommon flags: --algo hg|gc|l|lp|opt|greedy-cg   --threads N\n              --ordering identity|degree-asc|degree-desc|degeneracy|color\n              --max-cliques N --max-conflicts N --mis-nodes N\n\n<graph> is a KONECT-style edge list or a binary .dkcsr snapshot (detected\nby content). --threads defaults to the available parallelism (env\nDKC_THREADS overrides); results are identical for any thread count.\n--algo opt defaults to the standard deterministic OOM/OOT budgets; the\nbudget flags override them for any algorithm. --json prints the engine\nreport as JSON on stdout. serve speaks newline-delimited JSON (see the\ndkc-serve crate docs); with --state-dir it journals updates and restarts\nresume at the exact epoch via snapshot + log replay."
     );
     std::process::exit(2);
 }
@@ -64,6 +79,19 @@ struct Args {
     dataset: Option<String>,
     data_dir: Option<String>,
     par: ParConfig,
+    // serve flags
+    port: u16,
+    state_dir: Option<String>,
+    readers: usize,
+    batch_max: usize,
+    batch_delay_ms: u64,
+    max_node: Option<u32>,
+    // loadgen flags
+    conns: usize,
+    ops: usize,
+    update_pct: f64,
+    batch: usize,
+    nodes: Option<u32>,
 }
 
 fn parse_args() -> Args {
@@ -87,6 +115,17 @@ fn parse_args() -> Args {
         dataset: None,
         data_dir: None,
         par: ParConfig::default(),
+        port: 7911,
+        state_dir: None,
+        readers: 4,
+        batch_max: 4096,
+        batch_delay_ms: 2,
+        max_node: None,
+        conns: 4,
+        ops: 200,
+        update_pct: 30.0,
+        batch: 8,
+        nodes: None,
     };
     // `convert` and `gen` take a second positional argument.
     let takes_out = matches!(args.command.as_str(), "convert" | "gen");
@@ -129,6 +168,23 @@ fn parse_args() -> Args {
                 }
                 args.par = args.par.with_threads(threads);
             }
+            "--port" => args.port = value().parse().unwrap_or_else(|_| usage()),
+            "--state-dir" => args.state_dir = Some(value()),
+            "--readers" => args.readers = value().parse().unwrap_or_else(|_| usage()),
+            "--batch-max" => args.batch_max = value().parse().unwrap_or_else(|_| usage()),
+            "--batch-delay-ms" => args.batch_delay_ms = value().parse().unwrap_or_else(|_| usage()),
+            "--max-node" => args.max_node = Some(value().parse().unwrap_or_else(|_| usage())),
+            "--conns" => args.conns = value().parse().unwrap_or_else(|_| usage()),
+            "--ops" => args.ops = value().parse().unwrap_or_else(|_| usage()),
+            "--update-pct" => {
+                let pct: f64 = value().parse().unwrap_or_else(|_| usage());
+                if !(0.0..=100.0).contains(&pct) {
+                    usage();
+                }
+                args.update_pct = pct;
+            }
+            "--batch" => args.batch = value().parse().unwrap_or_else(|_| usage()),
+            "--nodes" => args.nodes = Some(value().parse().unwrap_or_else(|_| usage())),
             _ => usage(),
         }
     }
@@ -198,11 +254,145 @@ fn main() {
         "stats" => cmd_stats(&args),
         "solve" => cmd_solve(&args),
         "partition" => cmd_partition(&args),
+        "serve" => cmd_serve(&args),
+        "loadgen" => cmd_loadgen(&args),
         "convert" => cmd_convert(&args),
         "gen" => cmd_gen(&args),
         "cache" if args.path == "evict" => cmd_cache_evict(&args),
         "cache" => cmd_cache(&args),
         _ => usage(),
+    }
+}
+
+/// Bootstraps the serve graph: an existing file path wins, then a Table I
+/// dataset name through the registry (snapshot-cached under `--data-dir`).
+fn serve_bootstrap(args: &Args) -> Result<CsrGraph, ServeStateError> {
+    if std::path::Path::new(&args.path).is_file() {
+        let (loaded, report) = load_graph(&args.path, args.par).map_err(ServeStateError::Graph)?;
+        eprintln!("# load: {report}");
+        return Ok(loaded.graph);
+    }
+    let id = dataset_for(&args.path);
+    let registry = match &args.data_dir {
+        Some(dir) => DatasetRegistry::new(dir),
+        None => DatasetRegistry::in_memory(),
+    }
+    .with_par(args.par);
+    let resolved = registry
+        .resolve_standin(id, args.scale.unwrap_or(1.0), args.seed.unwrap_or(42))
+        .map_err(ServeStateError::Graph)?;
+    eprintln!(
+        "# {} resolved from {} ({} nodes, {} edges)",
+        id.name(),
+        resolved.from,
+        resolved.loaded.graph.num_nodes(),
+        resolved.loaded.graph.num_edges()
+    );
+    Ok(resolved.loaded.graph)
+}
+
+fn cmd_serve(args: &Args) {
+    if args.k == 0 {
+        usage();
+    }
+    let request = request_from_args(args);
+    let built = match &args.state_dir {
+        Some(dir) => ServingSolver::open(dir, request, || serve_bootstrap(args)),
+        None => serve_bootstrap(args)
+            .and_then(|g| ServingSolver::in_memory(&g, request).map_err(Into::into))
+            .map(|s| (s, false)),
+    };
+    let (serving, restored) = match built {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("serve bootstrap failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let view = serving.view();
+    let listener = match std::net::TcpListener::bind(("127.0.0.1", args.port)) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("failed to bind 127.0.0.1:{}: {e}", args.port);
+            std::process::exit(1);
+        }
+    };
+    let config = ServerConfig {
+        readers: args.readers.max(1),
+        queue_capacity: 128,
+        batch_max_updates: args.batch_max.max(1),
+        batch_delay: Duration::from_millis(args.batch_delay_ms),
+        max_node: args.max_node,
+    };
+    let handle = match Server::start(listener, serving, config) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("failed to start server: {e}");
+            std::process::exit(1);
+        }
+    };
+    eprintln!(
+        "# serving on {} — k={} algo={} epoch={} |S|={}{}{}",
+        handle.local_addr(),
+        view.k(),
+        request.algo,
+        view.epoch(),
+        view.len(),
+        if restored { " (restored from state dir)" } else { "" },
+        match &args.state_dir {
+            Some(d) => format!(" state-dir={d}"),
+            None => " (in-memory, no durability)".to_string(),
+        }
+    );
+    handle.join();
+    eprintln!("# server stopped");
+}
+
+fn cmd_loadgen(args: &Args) {
+    let cfg = LoadgenConfig {
+        addr: args.path.clone(),
+        connections: args.conns.max(1),
+        ops_per_connection: args.ops.max(1),
+        update_fraction: args.update_pct / 100.0,
+        batch: args.batch.max(1),
+        nodes: args.nodes.unwrap_or(1000),
+        seed: args.seed.unwrap_or(42),
+    };
+    match run_loadgen(&cfg) {
+        Ok(report) => {
+            if args.json {
+                let us = |d: Duration| Json::u64(d.as_micros() as u64);
+                let summary = |s: &disjoint_kcliques::serve::LatencySummary| {
+                    Json::Obj(vec![
+                        ("count".into(), Json::usize(s.count)),
+                        ("p50_us".into(), us(s.p50)),
+                        ("p95_us".into(), us(s.p95)),
+                        ("p99_us".into(), us(s.p99)),
+                        ("max_us".into(), us(s.max)),
+                    ])
+                };
+                let doc = Json::Obj(vec![
+                    ("total_ops".into(), Json::usize(report.total_ops)),
+                    ("errors".into(), Json::usize(report.errors)),
+                    ("elapsed_us".into(), us(report.elapsed)),
+                    ("ops_per_sec".into(), Json::u64(report.throughput() as u64)),
+                    ("updates".into(), summary(&report.updates)),
+                    ("queries".into(), summary(&report.queries)),
+                    ("final_epoch".into(), Json::u64(report.final_epoch)),
+                    ("final_size".into(), Json::usize(report.final_size)),
+                ]);
+                println!("{}", doc.render());
+            } else {
+                println!("{report}");
+            }
+            if report.errors > 0 {
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("loadgen failed: {e}");
+            std::process::exit(1);
+        }
     }
 }
 
@@ -336,15 +526,40 @@ fn cmd_cache(args: &Args) {
     let registry = DatasetRegistry::new(dir).with_par(args.par);
     match registry.resolve_standin(id, args.scale.unwrap_or(1.0), args.seed.unwrap_or(42)) {
         Ok(resolved) => {
-            eprintln!(
-                "# {} resolved from {} in {:.1} ms ({} nodes, {} edges); {}",
-                id.name(),
-                resolved.from,
-                resolved.elapsed.as_secs_f64() * 1e3,
-                resolved.loaded.graph.num_nodes(),
-                resolved.loaded.graph.num_edges(),
-                registry.stats_line()
-            );
+            if args.json {
+                // Machine form of the resolution + counters, rendered via
+                // the shared JSON module (the same layer behind the engine
+                // reports and the serve protocol).
+                let s = registry.stats();
+                let stats = Json::Obj(vec![
+                    ("snapshot_hits".into(), Json::u64(s.snapshot_hits)),
+                    ("text_loads".into(), Json::u64(s.text_loads)),
+                    ("synthetic_builds".into(), Json::u64(s.synthetic_builds)),
+                    ("cache_writes".into(), Json::u64(s.cache_writes)),
+                    ("cache_errors".into(), Json::u64(s.cache_errors)),
+                    ("evictions".into(), Json::u64(s.evictions)),
+                ]);
+                let doc = Json::Obj(vec![
+                    ("dataset".into(), Json::str(id.name())),
+                    ("from".into(), Json::str(resolved.from.to_string())),
+                    ("nodes".into(), Json::usize(resolved.loaded.graph.num_nodes())),
+                    ("edges".into(), Json::usize(resolved.loaded.graph.num_edges())),
+                    ("elapsed_us".into(), Json::u64(resolved.elapsed.as_micros() as u64)),
+                    ("cache_written".into(), Json::Bool(resolved.cache_written)),
+                    ("stats".into(), stats),
+                ]);
+                println!("{}", doc.render());
+            } else {
+                eprintln!(
+                    "# {} resolved from {} in {:.1} ms ({} nodes, {} edges); {}",
+                    id.name(),
+                    resolved.from,
+                    resolved.elapsed.as_secs_f64() * 1e3,
+                    resolved.loaded.graph.num_nodes(),
+                    resolved.loaded.graph.num_edges(),
+                    registry.stats_line()
+                );
+            }
         }
         Err(e) => {
             eprintln!("cache failed: {e}");

@@ -17,7 +17,9 @@
 //! | [`mis`] | `dkc-mis` | exact branch-and-reduce and greedy MIS |
 //! | [`cliquegraph`] | `dkc-cliquegraph` | the materialised conflict graph |
 //! | [`core`] | `dkc-core` | the solvers and solution types |
-//! | [`dynamic`] | `dkc-dynamic` | candidate index, swaps, insert/delete |
+//! | [`dynamic`] | `dkc-dynamic` | candidate index, swaps, epoch snapshots, update log |
+//! | [`serve`] | `dkc-serve` | threaded TCP server + NDJSON protocol + loadgen |
+//! | [`json`] | `dkc-json` | the shared JSON value tree behind every machine rendering |
 //! | [`datagen`] | `dkc-datagen` | generators, dataset stand-ins, workloads |
 //!
 //! ## Quickstart
@@ -60,8 +62,10 @@ pub use dkc_core as core;
 pub use dkc_datagen as datagen;
 pub use dkc_dynamic as dynamic;
 pub use dkc_graph as graph;
+pub use dkc_json as json;
 pub use dkc_mis as mis;
 pub use dkc_par as par;
+pub use dkc_serve as serve;
 
 /// The most common imports in one place.
 pub mod prelude {
@@ -70,7 +74,7 @@ pub mod prelude {
         partition_all, Algo, Budget, Engine, GcSolver, HgSolver, LightweightSolver, OptSolver,
         PartitionReport, Solution, SolveError, SolveReport, SolveRequest, Solver,
     };
-    pub use dkc_dynamic::DynamicSolver;
+    pub use dkc_dynamic::{DynamicSolver, EdgeUpdate, ServingSolver, SharedView, SolutionView};
     pub use dkc_graph::{CsrGraph, DynGraph, GraphStats, NodeId, OrderingKind};
     pub use dkc_par::ParConfig;
 }

@@ -109,6 +109,41 @@ fn stats_and_index_size_stay_consistent() {
 }
 
 #[test]
+fn serving_view_tracks_the_maintained_solution() {
+    // The snapshot API end to end, through the facade prelude: epochs
+    // advance per batch, `group_of` matches the published groups, and a
+    // durable restart reproduces the exact view.
+    let g = relaxed_caveman(16, 5, 0.15, 71);
+    let dir = std::env::temp_dir().join(format!("dkc_integ_serving_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let mut serving = ServingSolver::create(&dir, &g, SolveRequest::new(Algo::Lp, 3)).unwrap();
+    let reader = serving.reader();
+    assert_eq!(reader.current().epoch(), 0);
+
+    let victims = sample_edges(&g, 30, 73);
+    let updates: Vec<EdgeUpdate> = victims.iter().map(|&(a, b)| EdgeUpdate::Delete(a, b)).collect();
+    for chunk in updates.chunks(6) {
+        serving.apply_batch(chunk).unwrap();
+    }
+    let view = reader.current();
+    assert_eq!(view.epoch(), 5);
+    // Membership is consistent with the group list.
+    for (i, clique) in view.cliques().iter().enumerate() {
+        for u in clique.iter() {
+            assert_eq!(view.group_of(u), Some(i));
+        }
+    }
+    assert_eq!(view.to_solution().sorted_cliques(), serving.solver().solution().sorted_cliques());
+
+    // Kill + restore: byte-identical view, then both sides stay in step.
+    drop(serving);
+    let restored = ServingSolver::restore(&dir).unwrap();
+    assert_eq!(*restored.view(), *view);
+    restored.solver().validate().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn heavy_churn_on_k4() {
     let g = social_standin(300, 1800, 53);
     let k = 4;

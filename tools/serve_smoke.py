@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""CI smoke client for `dkc serve`.
+
+Drives a freshly started server through the full protocol surface
+(updates -> queries -> solve -> snapshot -> shutdown), validates every
+reply as JSON, writes all reply lines to a file for external
+`python3 -m json.tool` validation, and — on a second invocation with
+``--expect-epoch/--expect-size`` — asserts that a restarted server
+reproduced the pre-shutdown epoch and |S| via snapshot + log replay.
+
+Usage:
+    serve_smoke.py --port P --replies OUT.jsonl [phase flags]
+
+Phases:
+    --drive         run the update/query/solve/snapshot sequence and print
+                    "EPOCH <e> SIZE <s>" (captured by the CI script)
+    --verify-restart EPOCH SIZE
+                    after a restart: assert stats report exactly this
+                    epoch/|S|, then shut the server down
+"""
+
+import argparse
+import json
+import socket
+import sys
+import time
+
+
+class Client:
+    def __init__(self, port: int, replies_path: str):
+        deadline = time.time() + 30.0
+        last_err = None
+        while time.time() < deadline:
+            try:
+                self.sock = socket.create_connection(("127.0.0.1", port), timeout=10)
+                break
+            except OSError as e:  # server still starting
+                last_err = e
+                time.sleep(0.2)
+        else:
+            raise SystemExit(f"could not connect to 127.0.0.1:{port}: {last_err}")
+        self.file = self.sock.makefile("rw", encoding="utf-8", newline="\n")
+        self.replies = open(replies_path, "a", encoding="utf-8")
+
+    def call(self, request: dict) -> dict:
+        self.file.write(json.dumps(request) + "\n")
+        self.file.flush()
+        line = self.file.readline()
+        if not line:
+            raise SystemExit(f"connection closed while awaiting reply to {request}")
+        self.replies.write(line if line.endswith("\n") else line + "\n")
+        reply = json.loads(line)  # every reply must be valid JSON
+        return reply
+
+    def call_ok(self, request: dict) -> dict:
+        reply = self.call(request)
+        if reply.get("ok") is not True:
+            raise SystemExit(f"request {request} failed: {reply}")
+        return reply
+
+
+def drive(client: Client) -> None:
+    # 1. Baseline stats.
+    stats = client.call_ok({"cmd": "query", "what": "stats"})
+    k = stats["k"]
+    size0 = stats["size"]
+    assert stats["epoch"] == 0, f"fresh server must start at epoch 0: {stats}"
+
+    # 2. Updates: delete a batch of edges among low node ids, re-insert.
+    victims = [(i, i + 1) for i in range(0, 20, 2)]
+    dels = [{"op": "delete", "u": u, "v": v} for (u, v) in victims]
+    r1 = client.call_ok({"cmd": "update", "updates": dels})
+    assert r1["epoch"] >= 1 and r1["applied"] + r1["skipped"] == len(dels), r1
+    ins = [{"op": "insert", "u": u, "v": v} for (u, v) in victims]
+    r2 = client.call_ok({"cmd": "update", "updates": ins})
+    assert r2["epoch"] > r1["epoch"], (r1, r2)
+
+    # 3. Queries at a consistent epoch.
+    sol = client.call_ok({"cmd": "query", "what": "solution"})
+    assert sol["size"] == len(sol["cliques"]), "torn solution reply"
+    for clique in sol["cliques"]:
+        assert len(clique) == k, f"clique of wrong size in {sol}"
+    if sol["cliques"]:
+        member = sol["cliques"][0][0]
+        g = client.call_ok({"cmd": "query", "what": "group_of", "node": member})
+        assert g["members"] is not None and member in g["members"], g
+
+    # 4. Full engine pass-through.
+    solve = client.call_ok({"cmd": "solve", "request": {"algo": "hg", "k": k}})
+    assert solve["report"]["algo"] == "hg", solve
+
+    # 5. Error paths are structured replies, not dropped connections.
+    bad = client.call({"cmd": "update", "updates": [{"op": "warp", "u": 1, "v": 2}]})
+    assert bad.get("ok") is False and "error" in bad, bad
+
+    # 6. Snapshot persists and truncates the log.
+    snap = client.call_ok({"cmd": "snapshot"})
+    assert snap["durable"] is True, f"snapshot must be durable with --state-dir: {snap}"
+
+    # 7. A post-snapshot tail that only the update log will carry.
+    tail = [{"op": "delete", "u": 1, "v": 2}, {"op": "insert", "u": 1, "v": 2}]
+    client.call_ok({"cmd": "update", "updates": tail})
+
+    final = client.call_ok({"cmd": "query", "what": "stats"})
+    client.call_ok({"cmd": "shutdown"})
+    print(f"EPOCH {final['epoch']} SIZE {final['size']}")
+    sys.stderr.write(f"drive ok: epoch={final['epoch']} |S|={final['size']} (k={k}, |S0|={size0})\n")
+
+
+def verify_restart(client: Client, epoch: int, size: int) -> None:
+    stats = client.call_ok({"cmd": "query", "what": "stats"})
+    assert stats["epoch"] == epoch, f"restart lost epochs: {stats['epoch']} != {epoch}"
+    assert stats["size"] == size, f"restart changed |S|: {stats['size']} != {size}"
+    sol = client.call_ok({"cmd": "query", "what": "solution"})
+    assert sol["epoch"] == epoch and sol["size"] == size, sol
+    client.call_ok({"cmd": "shutdown"})
+    sys.stderr.write(f"restart ok: epoch={epoch} |S|={size} reproduced\n")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--port", type=int, required=True)
+    parser.add_argument("--replies", required=True)
+    parser.add_argument("--drive", action="store_true")
+    parser.add_argument("--verify-restart", nargs=2, type=int, metavar=("EPOCH", "SIZE"))
+    parser.add_argument("--shutdown", action="store_true")
+    args = parser.parse_args()
+    client = Client(args.port, args.replies)
+    if args.drive:
+        drive(client)
+    elif args.verify_restart:
+        verify_restart(client, *args.verify_restart)
+    elif args.shutdown:
+        client.call_ok({"cmd": "shutdown"})
+    else:
+        parser.error("pick --drive, --verify-restart or --shutdown")
+
+
+if __name__ == "__main__":
+    main()
