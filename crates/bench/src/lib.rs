@@ -27,6 +27,7 @@ pub mod config;
 pub mod experiments;
 pub mod mem;
 pub mod table;
+pub mod trajectory;
 
 use std::time::{Duration, Instant};
 

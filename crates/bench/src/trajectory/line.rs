@@ -1,0 +1,260 @@
+//! The `dkc bench` record schema: one JSON line per run.
+//!
+//! A bench line is a flat object — run provenance (host, git revision,
+//! stamp, thread count, suite knobs) plus a `metrics` object mapping each
+//! suite metric to its `{median, min}` over the run's repetitions. Lines
+//! are rendered through [`dkc_json::Json`], so object order is stable and
+//! a rendered line parses back to an equal [`BenchLine`] byte-for-byte.
+//!
+//! The file a run appends to (`BENCH_<host>.json`) is newline-delimited
+//! JSON: one complete line per run, append-only, so the perf trajectory
+//! of a machine is its file's history and `git log -p` of the committed
+//! baseline is the project's.
+
+use dkc_json::Json;
+
+/// Version of the line schema; bump on incompatible field changes.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// One metric's aggregate over the run's repetitions.
+///
+/// Timings carry genuine spread; deterministic counters (clique counts,
+/// snapshot bytes, …) repeat the same value in both fields.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MetricValue {
+    /// Median over repetitions (upper median for even counts).
+    pub median: u64,
+    /// Minimum over repetitions — the noise-resistant value the
+    /// wall-clock gates compare.
+    pub min: u64,
+}
+
+impl MetricValue {
+    /// A deterministic counter: median == min == `value`.
+    pub fn counter(value: u64) -> Self {
+        MetricValue { median: value, min: value }
+    }
+
+    /// Aggregates raw samples (must be non-empty).
+    pub fn summarize(mut samples: Vec<u64>) -> Self {
+        assert!(!samples.is_empty(), "summarize() needs at least one sample");
+        samples.sort_unstable();
+        MetricValue { median: samples[samples.len() / 2], min: samples[0] }
+    }
+}
+
+/// One `dkc bench` run, i.e. one line of a `BENCH_<host>.json` file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchLine {
+    /// [`SCHEMA_VERSION`] at render time.
+    pub schema: u64,
+    /// Machine identifier the file name is derived from.
+    pub host: String,
+    /// Git revision of the measured tree (`GITHUB_SHA` in CI).
+    pub git_rev: String,
+    /// Run date, verbatim from `--stamp` (kept opaque so runs stay
+    /// reproducible — the harness never reads a clock for it).
+    pub date: String,
+    /// Worker-thread cap the suite ran with.
+    pub threads: usize,
+    /// Dataset stand-in the suite resolved (Table I abbreviation).
+    pub dataset: String,
+    /// Stand-in scale, kept as its decimal text token (the JSON layer is
+    /// integer-only; the raw token round-trips exactly).
+    pub scale: String,
+    /// Stand-in seed.
+    pub seed: u64,
+    /// Clique size the solver metrics used.
+    pub k: usize,
+    /// Repetitions each timing metric aggregated over.
+    pub reps: usize,
+    /// Metric name → aggregate, in suite order.
+    pub metrics: Vec<(String, MetricValue)>,
+}
+
+impl BenchLine {
+    /// Looks up a metric by name.
+    pub fn metric(&self, name: &str) -> Option<MetricValue> {
+        self.metrics.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// The JSON value tree of the line.
+    pub fn to_json_value(&self) -> Json {
+        let metrics = self
+            .metrics
+            .iter()
+            .map(|(name, v)| {
+                let obj = Json::Obj(vec![
+                    ("median".into(), Json::u64(v.median)),
+                    ("min".into(), Json::u64(v.min)),
+                ]);
+                (name.clone(), obj)
+            })
+            .collect();
+        Json::Obj(vec![
+            ("schema".into(), Json::u64(self.schema)),
+            ("host".into(), Json::str(self.host.clone())),
+            ("git_rev".into(), Json::str(self.git_rev.clone())),
+            ("date".into(), Json::str(self.date.clone())),
+            ("threads".into(), Json::usize(self.threads)),
+            ("dataset".into(), Json::str(self.dataset.clone())),
+            ("scale".into(), Json::Num(self.scale.clone())),
+            ("seed".into(), Json::u64(self.seed)),
+            ("k".into(), Json::usize(self.k)),
+            ("reps".into(), Json::usize(self.reps)),
+            ("metrics".into(), Json::Obj(metrics)),
+        ])
+    }
+
+    /// Renders the compact single-line form.
+    pub fn render(&self) -> String {
+        self.to_json_value().render()
+    }
+
+    /// Rebuilds a line from its JSON value tree.
+    pub fn from_json_value(v: &Json) -> Result<Self, ParseLineError> {
+        let schema = u64_field(v, "schema")?;
+        if schema != SCHEMA_VERSION {
+            return Err(ParseLineError(format!(
+                "unsupported schema {schema} (this build reads {SCHEMA_VERSION})"
+            )));
+        }
+        let scale = match field(v, "scale")? {
+            Json::Num(tok) => {
+                tok.parse::<f64>().map_err(|_| bad("scale"))?;
+                tok.clone()
+            }
+            _ => return Err(bad("scale")),
+        };
+        let metrics_obj = match field(v, "metrics")? {
+            Json::Obj(members) => members,
+            _ => return Err(bad("metrics")),
+        };
+        let mut metrics = Vec::with_capacity(metrics_obj.len());
+        for (name, m) in metrics_obj {
+            let value = MetricValue { median: u64_field(m, "median")?, min: u64_field(m, "min")? };
+            metrics.push((name.clone(), value));
+        }
+        Ok(BenchLine {
+            schema,
+            host: str_field(v, "host")?,
+            git_rev: str_field(v, "git_rev")?,
+            date: str_field(v, "date")?,
+            threads: u64_field(v, "threads")? as usize,
+            dataset: str_field(v, "dataset")?,
+            scale,
+            seed: u64_field(v, "seed")?,
+            k: u64_field(v, "k")? as usize,
+            reps: u64_field(v, "reps")? as usize,
+            metrics,
+        })
+    }
+
+    /// Parses one rendered line.
+    pub fn parse(line: &str) -> Result<Self, ParseLineError> {
+        let v = Json::parse(line.trim()).map_err(|e| ParseLineError(e.to_string()))?;
+        BenchLine::from_json_value(&v)
+    }
+
+    /// Parses the **last** non-empty line of an NDJSON bench file — the
+    /// most recent run, which is what `--check` baselines carry.
+    pub fn parse_last(file: &str) -> Result<Self, ParseLineError> {
+        let line = file
+            .lines()
+            .rev()
+            .find(|l| !l.trim().is_empty())
+            .ok_or_else(|| ParseLineError("no bench line in file".into()))?;
+        BenchLine::parse(line)
+    }
+}
+
+/// Failure of [`BenchLine::parse`] / [`BenchLine::from_json_value`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseLineError(pub String);
+
+impl std::fmt::Display for ParseLineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid bench line: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseLineError {}
+
+fn bad(name: &str) -> ParseLineError {
+    ParseLineError(format!("missing or mistyped field {name:?}"))
+}
+
+fn field<'a>(v: &'a Json, name: &str) -> Result<&'a Json, ParseLineError> {
+    v.get(name).ok_or_else(|| bad(name))
+}
+
+fn u64_field(v: &Json, name: &str) -> Result<u64, ParseLineError> {
+    field(v, name)?.as_u64().ok_or_else(|| bad(name))
+}
+
+fn str_field(v: &Json, name: &str) -> Result<String, ParseLineError> {
+    Ok(field(v, name)?.as_str().ok_or_else(|| bad(name))?.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BenchLine {
+        BenchLine {
+            schema: SCHEMA_VERSION,
+            host: "ci".into(),
+            git_rev: "deadbeef".into(),
+            date: "2026-08-08".into(),
+            threads: 2,
+            dataset: "HST".into(),
+            scale: "0.3".into(),
+            seed: 42,
+            k: 3,
+            reps: 2,
+            metrics: vec![
+                ("listing_ns".into(), MetricValue { median: 120, min: 100 }),
+                ("kcliques".into(), MetricValue::counter(77)),
+            ],
+        }
+    }
+
+    #[test]
+    fn render_parse_roundtrip_is_identity() {
+        let line = sample();
+        let text = line.render();
+        assert!(!text.contains('\n'));
+        let back = BenchLine::parse(&text).unwrap();
+        assert_eq!(back, line);
+        // And re-rendering is byte-stable.
+        assert_eq!(back.render(), text);
+    }
+
+    #[test]
+    fn parse_last_picks_the_newest_line() {
+        let mut old = sample();
+        old.git_rev = "older".into();
+        let file = format!("{}\n{}\n\n", old.render(), sample().render());
+        assert_eq!(BenchLine::parse_last(&file).unwrap().git_rev, "deadbeef");
+        assert!(BenchLine::parse_last("\n  \n").is_err());
+    }
+
+    #[test]
+    fn schema_skew_and_garbage_are_rejected() {
+        let mut wrong = sample();
+        wrong.schema = SCHEMA_VERSION + 1;
+        let err = BenchLine::parse(&wrong.render()).unwrap_err();
+        assert!(err.to_string().contains("unsupported schema"));
+        assert!(BenchLine::parse("{\"schema\":1").is_err());
+        assert!(BenchLine::parse("not json").is_err());
+    }
+
+    #[test]
+    fn summarize_median_and_min() {
+        let v = MetricValue::summarize(vec![30, 10, 20]);
+        assert_eq!(v, MetricValue { median: 20, min: 10 });
+        let even = MetricValue::summarize(vec![4, 1]);
+        assert_eq!(even, MetricValue { median: 4, min: 1 });
+        assert_eq!(MetricValue::counter(9), MetricValue { median: 9, min: 9 });
+    }
+}

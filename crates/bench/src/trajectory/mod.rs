@@ -1,0 +1,24 @@
+//! # Performance trajectory: the machinery behind `dkc bench`
+//!
+//! Criterion benches measure *relative* cost interactively and then the
+//! numbers vanish; this module is the *recorded* counterpart. One run
+//! executes the pinned [`suite`] (listing, LP solve, partition, text vs
+//! snapshot ingestion, dynamic batch application, in-process serving
+//! latency), aggregates each metric to `{median, min}` over its
+//! repetitions, and renders exactly one [`line::BenchLine`] — appended to
+//! `BENCH_<host>.json`, so a machine's perf history is an append-only
+//! NDJSON file that diffs, greps and plots.
+//!
+//! [`check`] turns the newest line into a regression gate: compared
+//! against a committed baseline under a fixed per-metric tolerance table
+//! (wide for wall-clock, exact for deterministic counters), it is what CI
+//! runs as the `perf-gate` job — every future performance PR inherits a
+//! before/after discipline from it.
+
+pub mod check;
+pub mod line;
+pub mod suite;
+
+pub use check::{check_line, gates, GateKind, GateSpec, Violation};
+pub use line::{BenchLine, MetricValue, ParseLineError, SCHEMA_VERSION};
+pub use suite::{run_suite, SuiteConfig, SuiteError, SuiteOutcome};

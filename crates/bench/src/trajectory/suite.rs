@@ -1,0 +1,291 @@
+//! The pinned `dkc bench` suite: six metrics, one registry-resolved
+//! stand-in, fixed seeds — the same workload every run, so two lines of a
+//! bench file differ only by machine and code.
+//!
+//! | Metric | Measures | Counters recorded alongside |
+//! |---|---|---|
+//! | `listing_ns` | parallel k-clique listing | `kcliques` |
+//! | `lp_solve_ns` | [`Engine::solve`] with [`Algo::Lp`] | `lp_size`, `lp_heap_pops` |
+//! | `partition_ns` | [`Engine::partition_all`] | `partition_groups` |
+//! | `text_parse_ns` | edge-list parse of the suite graph | |
+//! | `snapshot_load_ns` | `.dkcsr` load of the same graph | `snapshot_bytes` |
+//! | `apply_batch_ns` | dynamic maintenance of a mixed update stream | `apply_applied` |
+//! | `serve_p{50,95,99}_us` | in-process `dkc-serve` + seeded loadgen | `serve_errors` |
+//!
+//! Timings aggregate to `{median, min}` over [`SuiteConfig::reps`];
+//! counters are deterministic for a pinned configuration (and
+//! thread-invariant, like every solver in the workspace), which is what
+//! lets the baseline gate compare them exactly across machines.
+
+use super::line::MetricValue;
+use dkc_clique::collect_kcliques_parallel;
+use dkc_core::{Algo, Engine, SolveRequest};
+use dkc_datagen::registry::DatasetId;
+use dkc_datagen::workload::{paper_mixed_workload, Update};
+use dkc_datagen::DatasetRegistry;
+use dkc_dynamic::{EdgeUpdate, ServingSolver};
+use dkc_graph::io::{load_graph, write_edge_list_labeled, write_snapshot_path, LoadedGraph};
+use dkc_graph::{Dag, NodeOrder, OrderingKind};
+use dkc_par::ParConfig;
+use dkc_serve::{run_loadgen, LoadgenConfig, Server, ServerConfig};
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Knobs of one suite run. Everything that influences a metric is here,
+/// so a line fully documents how it was produced.
+#[derive(Debug, Clone)]
+pub struct SuiteConfig {
+    /// Dataset stand-in to resolve.
+    pub dataset: DatasetId,
+    /// Stand-in scale (`1.0` = paper size).
+    pub scale: f64,
+    /// Stand-in seed (also seeds the update stream and the loadgen).
+    pub seed: u64,
+    /// Clique size for listing / solve / partition / serving.
+    pub k: usize,
+    /// Repetitions per timing metric.
+    pub reps: usize,
+    /// Parallelism the measured kernels run with.
+    pub par: ParConfig,
+    /// Scratch directory for the text/snapshot ingestion files (created
+    /// if absent; the suite leaves its files behind for debugging).
+    pub scratch: PathBuf,
+    /// Optional registry data dir (`None` = in-memory resolution).
+    pub data_dir: Option<PathBuf>,
+    /// Loadgen connections for the serve metric.
+    pub serve_conns: usize,
+    /// Measured loadgen operations per connection.
+    pub serve_ops: usize,
+    /// Warmup operations per connection, excluded from percentiles.
+    pub serve_warmup: usize,
+    /// Update batches applied by the `apply_batch` metric…
+    pub apply_batches: usize,
+    /// …of this many edge updates each.
+    pub apply_batch_size: usize,
+}
+
+impl SuiteConfig {
+    /// The pinned defaults behind bare `dkc bench`: HST at scale 0.3 —
+    /// big enough that the solver metrics dominate fixed costs, small
+    /// enough for a CI gate.
+    pub fn pinned(scratch: impl Into<PathBuf>) -> Self {
+        SuiteConfig {
+            dataset: DatasetId::Hst,
+            scale: 0.3,
+            seed: 42,
+            k: 3,
+            reps: 3,
+            par: ParConfig::default(),
+            scratch: scratch.into(),
+            data_dir: None,
+            serve_conns: 2,
+            serve_ops: 60,
+            serve_warmup: 16,
+            apply_batches: 32,
+            apply_batch_size: 16,
+        }
+    }
+}
+
+/// What [`run_suite`] produced: the metric list (suite order) plus the
+/// resolved graph's shape for the human summary.
+#[derive(Debug, Clone)]
+pub struct SuiteOutcome {
+    /// Metric name → aggregate, in suite order.
+    pub metrics: Vec<(String, MetricValue)>,
+    /// Nodes of the resolved stand-in.
+    pub nodes: usize,
+    /// Edges of the resolved stand-in.
+    pub edges: usize,
+}
+
+/// Any failure inside the suite (resolution, solving, I/O, serving).
+#[derive(Debug)]
+pub struct SuiteError(pub String);
+
+impl std::fmt::Display for SuiteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bench suite failed: {}", self.0)
+    }
+}
+
+impl std::error::Error for SuiteError {}
+
+fn fail(stage: &str, e: impl std::fmt::Display) -> SuiteError {
+    SuiteError(format!("{stage}: {e}"))
+}
+
+/// Runs the full pinned suite and returns every metric.
+pub fn run_suite(cfg: &SuiteConfig) -> Result<SuiteOutcome, SuiteError> {
+    let reps = cfg.reps.max(1);
+    let registry = match &cfg.data_dir {
+        Some(dir) => DatasetRegistry::new(dir.clone()),
+        None => DatasetRegistry::in_memory(),
+    }
+    .with_par(cfg.par);
+    let resolved = registry
+        .resolve_standin(cfg.dataset, cfg.scale, cfg.seed)
+        .map_err(|e| fail("dataset resolution", e))?;
+    let g = resolved.loaded.graph.clone();
+
+    let mut metrics: Vec<(String, MetricValue)> = Vec::new();
+    let mut push = |name: &str, v: MetricValue| metrics.push((name.to_string(), v));
+
+    // 1. k-clique listing (the paper's core enumeration kernel).
+    let mut samples = Vec::with_capacity(reps);
+    let mut kcliques = 0u64;
+    for _ in 0..reps {
+        let t = Instant::now();
+        let dag = Dag::from_graph(&g, NodeOrder::compute(&g, OrderingKind::Degeneracy));
+        let cliques = collect_kcliques_parallel(&dag, cfg.k, cfg.par);
+        samples.push(ns(t));
+        kcliques = cliques.len() as u64;
+    }
+    push("listing_ns", MetricValue::summarize(samples));
+    push("kcliques", MetricValue::counter(kcliques));
+
+    // 2. LP solve (the flagship solver) through the engine.
+    let request = SolveRequest::new(Algo::Lp, cfg.k).with_par(cfg.par);
+    let mut samples = Vec::with_capacity(reps);
+    let (mut lp_size, mut lp_heap_pops) = (0u64, 0u64);
+    for _ in 0..reps {
+        let t = Instant::now();
+        let report = Engine::solve(&g, request).map_err(|e| fail("lp solve", e))?;
+        samples.push(ns(t));
+        lp_size = report.solution.len() as u64;
+        lp_heap_pops = report.lp_stats.map(|s| s.heap_pops).unwrap_or(0);
+    }
+    push("lp_solve_ns", MetricValue::summarize(samples));
+    push("lp_size", MetricValue::counter(lp_size));
+    push("lp_heap_pops", MetricValue::counter(lp_heap_pops));
+
+    // 3. Full partition (the residual loop over shrinking k).
+    let mut samples = Vec::with_capacity(reps);
+    let mut groups = 0u64;
+    for _ in 0..reps {
+        let t = Instant::now();
+        let report = Engine::partition_all(&g, request).map_err(|e| fail("partition", e))?;
+        samples.push(ns(t));
+        groups = report.partition.num_groups() as u64;
+    }
+    push("partition_ns", MetricValue::summarize(samples));
+    push("partition_groups", MetricValue::counter(groups));
+
+    // 4. Ingestion: text parse vs snapshot load of the same graph.
+    std::fs::create_dir_all(&cfg.scratch).map_err(|e| fail("scratch dir", e))?;
+    let text_path = cfg.scratch.join("suite.txt");
+    let snap_path = cfg.scratch.join("suite.dkcsr");
+    let file = std::fs::File::create(&text_path).map_err(|e| fail("write edge list", e))?;
+    write_edge_list_labeled(&resolved.loaded, file).map_err(|e| fail("write edge list", e))?;
+    write_snapshot_path(&resolved.loaded, &snap_path).map_err(|e| fail("write snapshot", e))?;
+    let snapshot_bytes = std::fs::metadata(&snap_path).map_err(|e| fail("snapshot size", e))?.len();
+    let mut text_samples = Vec::with_capacity(reps);
+    let mut snap_samples = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let t = Instant::now();
+        let (loaded, _) = load_graph(&text_path, cfg.par).map_err(|e| fail("text parse", e))?;
+        text_samples.push(ns(t));
+        check_loaded(&loaded, &resolved.loaded)?;
+        let t = Instant::now();
+        let (loaded, _) = load_graph(&snap_path, cfg.par).map_err(|e| fail("snapshot load", e))?;
+        snap_samples.push(ns(t));
+        check_loaded(&loaded, &resolved.loaded)?;
+    }
+    push("text_parse_ns", MetricValue::summarize(text_samples));
+    push("snapshot_load_ns", MetricValue::summarize(snap_samples));
+    push("snapshot_bytes", MetricValue::counter(snapshot_bytes));
+
+    // 5. Dynamic maintenance throughput over the paper's mixed workload.
+    let count_each = cfg.apply_batches * cfg.apply_batch_size / 2;
+    let (g_prime, updates) = paper_mixed_workload(&g, count_each.max(1), cfg.seed);
+    let updates: Vec<EdgeUpdate> = updates
+        .into_iter()
+        .map(|u| match u {
+            Update::Insert(a, b) => EdgeUpdate::Insert(a, b),
+            Update::Delete(a, b) => EdgeUpdate::Delete(a, b),
+        })
+        .collect();
+    let mut samples = Vec::with_capacity(reps);
+    let mut applied = 0u64;
+    for _ in 0..reps {
+        let mut serving =
+            ServingSolver::in_memory(&g_prime, request).map_err(|e| fail("apply_batch init", e))?;
+        applied = 0;
+        let t = Instant::now();
+        for chunk in updates.chunks(cfg.apply_batch_size.max(1)) {
+            let (outcome, _view) =
+                serving.apply_batch(chunk).map_err(|e| fail("apply_batch", e))?;
+            applied += outcome.applied as u64;
+        }
+        samples.push(ns(t));
+    }
+    push("apply_batch_ns", MetricValue::summarize(samples));
+    push("apply_applied", MetricValue::counter(applied));
+
+    // 6. Serving latency: an in-process server on an ephemeral port driven
+    //    by the seeded loadgen, warmup excluded from the percentiles.
+    let (mut p50s, mut p95s, mut p99s) = (Vec::new(), Vec::new(), Vec::new());
+    let mut errors = 0u64;
+    for _ in 0..reps {
+        let serving = ServingSolver::in_memory(&g, request).map_err(|e| fail("serve init", e))?;
+        let listener =
+            std::net::TcpListener::bind(("127.0.0.1", 0)).map_err(|e| fail("serve bind", e))?;
+        let handle = Server::start(listener, serving, ServerConfig::default())
+            .map_err(|e| fail("serve start", e))?;
+        let lg = LoadgenConfig {
+            addr: handle.local_addr().to_string(),
+            connections: cfg.serve_conns.max(1),
+            ops_per_connection: cfg.serve_ops.max(1),
+            warmup_ops: cfg.serve_warmup,
+            update_fraction: 0.3,
+            batch: 8,
+            nodes: (g.num_nodes() as dkc_graph::NodeId).max(2),
+            seed: cfg.seed,
+        };
+        let report = run_loadgen(&lg);
+        handle.stop();
+        handle.join();
+        let report = report.map_err(|e| fail("loadgen", e))?;
+        let us = |d: std::time::Duration| d.as_micros() as u64;
+        p50s.push(us(report.queries.p50));
+        p95s.push(us(report.queries.p95));
+        p99s.push(us(report.queries.p99));
+        errors += report.errors as u64;
+    }
+    push("serve_p50_us", MetricValue::summarize(p50s));
+    push("serve_p95_us", MetricValue::summarize(p95s));
+    push("serve_p99_us", MetricValue::summarize(p99s));
+    push("serve_errors", MetricValue::counter(errors));
+
+    Ok(SuiteOutcome { metrics, nodes: g.num_nodes(), edges: g.num_edges() })
+}
+
+fn ns(t: Instant) -> u64 {
+    t.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64
+}
+
+/// Both ingestion paths must reproduce the resolved graph — a format
+/// regression would otherwise masquerade as a speedup. Text parsing
+/// re-interns node ids by first appearance, so the comparison happens in
+/// label space (node count + the labelled edge set).
+fn check_loaded(loaded: &LoadedGraph, expected: &LoadedGraph) -> Result<(), SuiteError> {
+    if loaded.graph.num_nodes() != expected.graph.num_nodes()
+        || labelled_edges(loaded) != labelled_edges(expected)
+    {
+        return Err(SuiteError("ingested graph differs from the resolved stand-in".into()));
+    }
+    Ok(())
+}
+
+fn labelled_edges(loaded: &LoadedGraph) -> Vec<(u64, u64)> {
+    let mut edges: Vec<(u64, u64)> = loaded
+        .graph
+        .iter_edges()
+        .map(|(a, b)| {
+            let (la, lb) = (loaded.labels[a as usize], loaded.labels[b as usize]);
+            (la.min(lb), la.max(lb))
+        })
+        .collect();
+    edges.sort_unstable();
+    edges
+}

@@ -1,0 +1,93 @@
+//! Integration tests of the `dkc bench` machinery: the pinned suite
+//! produces every metric the gate table expects, counters are
+//! deterministic across runs, and a full line survives the dkc-json
+//! round trip with the gate logic behaving on top of real data.
+
+use dkc_bench::trajectory::{
+    check_line, gates, run_suite, BenchLine, GateKind, MetricValue, SuiteConfig, SCHEMA_VERSION,
+};
+use dkc_datagen::registry::DatasetId;
+use dkc_par::ParConfig;
+
+/// A suite configuration small enough for a test run.
+fn tiny_suite(tag: &str) -> SuiteConfig {
+    let mut cfg =
+        SuiteConfig::pinned(std::env::temp_dir().join(format!("dkc-trajectory-test-{tag}")));
+    cfg.dataset = DatasetId::Ftb;
+    cfg.scale = 0.3;
+    cfg.seed = 7;
+    cfg.reps = 1;
+    cfg.par = ParConfig::new(2);
+    cfg.serve_conns = 1;
+    cfg.serve_ops = 8;
+    cfg.serve_warmup = 2;
+    cfg.apply_batches = 2;
+    cfg.apply_batch_size = 4;
+    cfg
+}
+
+fn line_from(metrics: Vec<(String, MetricValue)>) -> BenchLine {
+    BenchLine {
+        schema: SCHEMA_VERSION,
+        host: "test".into(),
+        git_rev: "rev".into(),
+        date: "date".into(),
+        threads: 2,
+        dataset: "FTB".into(),
+        scale: "0.3".into(),
+        seed: 7,
+        k: 3,
+        reps: 1,
+        metrics,
+    }
+}
+
+#[test]
+fn suite_emits_every_gated_metric_and_deterministic_counters() {
+    let outcome = run_suite(&tiny_suite("a")).expect("suite runs");
+    let line = line_from(outcome.metrics.clone());
+    for gate in gates() {
+        assert!(
+            line.metric(gate.metric).is_some(),
+            "suite must emit gated metric {:?}",
+            gate.metric
+        );
+    }
+    // The full line round-trips through the JSON layer byte-identically.
+    let rendered = line.render();
+    let back = BenchLine::parse(&rendered).expect("rendered line parses");
+    assert_eq!(back, line);
+    assert_eq!(back.render(), rendered);
+
+    // A second run with the same knobs: every counter-gated metric must
+    // repeat exactly (they are what the CI gate compares across machines),
+    // and the fresh run passes the gate against the first.
+    let again = run_suite(&tiny_suite("a2")).expect("suite runs again");
+    let fresh = line_from(again.metrics);
+    for gate in gates() {
+        if let GateKind::Counter { .. } = gate.kind {
+            assert_eq!(
+                fresh.metric(gate.metric),
+                line.metric(gate.metric),
+                "counter {:?} must be deterministic across runs",
+                gate.metric
+            );
+        }
+    }
+    assert!(check_line(&fresh, &line).is_empty(), "identical config run must pass the gate");
+}
+
+#[test]
+fn gate_catches_an_inflated_counter_on_real_suite_output() {
+    let outcome = run_suite(&tiny_suite("b")).expect("suite runs");
+    let baseline = line_from(outcome.metrics);
+    let mut inflated = baseline.clone();
+    for (name, v) in &mut inflated.metrics {
+        if name == "snapshot_bytes" {
+            *v = MetricValue::counter(v.median + 1);
+        }
+    }
+    let violations = check_line(&inflated, &baseline);
+    assert_eq!(violations.len(), 1);
+    assert_eq!(violations[0].metric, "snapshot_bytes");
+}

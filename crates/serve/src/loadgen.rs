@@ -24,6 +24,13 @@ pub struct LoadgenConfig {
     pub connections: usize,
     /// Operations issued per connection.
     pub ops_per_connection: usize,
+    /// Warmup operations issued per connection *before* the measured ones
+    /// (same seeded mix). Their latencies are excluded from the report and
+    /// the operation counts — first-connection handshakes, allocator
+    /// warmup and cold caches would otherwise dominate the tail
+    /// percentiles on short runs — but reply failures during warmup still
+    /// count as [`LoadgenReport::errors`].
+    pub warmup_ops: usize,
     /// Fraction of operations that are update batches (the rest are
     /// queries), in `[0, 1]`.
     pub update_fraction: f64,
@@ -41,6 +48,7 @@ impl Default for LoadgenConfig {
             addr: "127.0.0.1:7911".into(),
             connections: 4,
             ops_per_connection: 200,
+            warmup_ops: 0,
             update_fraction: 0.3,
             batch: 8,
             nodes: 100,
@@ -187,7 +195,11 @@ fn drive_connection(cfg: &LoadgenConfig, seed: u64) -> std::io::Result<ConnResul
     let mut result = ConnResult { update_lat: Vec::new(), query_lat: Vec::new(), errors: 0 };
     let nodes = cfg.nodes.max(2);
     let mut line = String::new();
-    for op in 0..cfg.ops_per_connection {
+    // Warmup ops run first on the same connection and rng stream; their
+    // latencies are discarded so short measured runs aren't dominated by
+    // connection/allocator warmup, but failed replies still count.
+    for op in 0..cfg.warmup_ops + cfg.ops_per_connection {
+        let measured = op >= cfg.warmup_ops;
         let is_update = rng.gen_range(0.0..1.0) < cfg.update_fraction;
         let request = if is_update {
             let updates: Vec<EdgeUpdate> = (0..cfg.batch.max(1))
@@ -223,6 +235,9 @@ fn drive_connection(cfg: &LoadgenConfig, seed: u64) -> std::io::Result<ConnResul
                 .unwrap_or(false);
         if !ok {
             result.errors += 1;
+        }
+        if !measured {
+            continue;
         }
         if is_update {
             result.update_lat.push(latency);

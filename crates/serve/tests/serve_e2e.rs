@@ -228,6 +228,7 @@ fn loadgen_drives_a_server_and_reports() {
         addr: handle.local_addr().to_string(),
         connections: 3,
         ops_per_connection: 40,
+        warmup_ops: 0,
         update_fraction: 0.4,
         batch: 4,
         nodes,
@@ -239,6 +240,16 @@ fn loadgen_drives_a_server_and_reports() {
     assert!(report.updates.count > 0 && report.queries.count > 0);
     assert!(report.final_epoch > 0, "updates must have advanced the epoch");
     assert!(report.to_string().contains("ops/s"));
+
+    // Warmup ops execute (they advance the server epoch) but are excluded
+    // from the measured counts and percentiles.
+    let warm_cfg = LoadgenConfig { warmup_ops: 10, ops_per_connection: 20, ..cfg.clone() };
+    let epoch_before = report.final_epoch;
+    let warm = run_loadgen(&warm_cfg).expect("warmup loadgen run");
+    assert_eq!(warm.total_ops, 60, "warmup ops must not be counted");
+    assert_eq!(warm.updates.count + warm.queries.count, 60);
+    assert_eq!(warm.errors, 0, "{warm}");
+    assert!(warm.final_epoch > epoch_before, "warmup updates still apply");
 
     let mut client = Client::connect(handle.local_addr());
     client.call_ok(r#"{"cmd":"shutdown"}"#);

@@ -6,6 +6,7 @@
 //! dkc partition <graph> --k K [common flags] [--json]        assign EVERY node to a group (≤ K)
 //! dkc serve     <dataset|graph> --k K [--port P] [--state-dir D]   dynamic serving over TCP
 //! dkc loadgen   <host:port> [--conns N] [--ops N] [--update-pct P]   drive a server, report latency
+//! dkc bench     [--reps N] [--check BASELINE] [--out FILE]   pinned perf suite → one JSON line
 //! dkc convert   <in> <out> [--threads N]                     text ⇄ binary .dkcsr snapshot
 //! dkc gen       <dataset> <out> [--scale X] [--seed N]       write a stand-in as an edge list
 //! dkc cache     <dataset> --data-dir D [--scale X] [--seed N] [--json]   warm the snapshot cache
@@ -28,6 +29,17 @@
 //! deterministic, so the output is identical for any thread count. Output
 //! uses the input file's original labels; `--json` swaps the human output
 //! for the engine's `SolveReport`/`PartitionReport` JSON rendering.
+//!
+//! `bench` runs the pinned performance suite (see
+//! `dkc_bench::trajectory`): k-clique listing, LP solve, full partition,
+//! text-parse vs snapshot-load ingestion, dynamic `apply_batch`
+//! throughput, and serve latency percentiles via an in-process server +
+//! loadgen — on a registry-resolved stand-in at a fixed scale/seed — and
+//! appends exactly one JSON line to `BENCH_<host>.json` (or `--out`).
+//! With `--check <baseline.json>` the fresh run is additionally compared
+//! against the committed baseline's last line and the exit status is
+//! nonzero when any gated metric regresses beyond its tolerance — the CI
+//! `perf-gate` job is exactly this invocation.
 //!
 //! `serve` starts the dynamic serving layer (see the `dkc-serve` crate
 //! docs for the newline-delimited JSON protocol): `<dataset|graph>` is a
@@ -57,7 +69,7 @@ use std::time::{Duration, Instant};
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  dkc stats <graph> [--kmax K] [common flags]\n  dkc solve <graph> --k K [common flags] [--json]\n  dkc partition <graph> --k K [common flags] [--json]\n  dkc serve <dataset|graph> --k K [--port P] [--state-dir D] [--data-dir D]\n            [--scale X] [--seed N] [--readers N] [--batch-max N]\n            [--batch-delay-ms MS] [--max-node N] [common flags]\n  dkc loadgen <host:port> [--conns N] [--ops N] [--update-pct P]\n            [--batch N] [--nodes N] [--seed N] [--json]\n  dkc convert <in> <out> [--threads N]\n  dkc gen <dataset> <out> [--scale X] [--seed N]\n  dkc cache <dataset> --data-dir D [--scale X] [--seed N] [--threads N] [--json]\n  dkc cache evict --data-dir D [--dataset NAME] [--scale X] [--seed N]\n\ncommon flags: --algo hg|gc|l|lp|opt|greedy-cg   --threads N\n              --ordering identity|degree-asc|degree-desc|degeneracy|color\n              --max-cliques N --max-conflicts N --mis-nodes N\n\n<graph> is a KONECT-style edge list or a binary .dkcsr snapshot (detected\nby content). --threads defaults to the available parallelism (env\nDKC_THREADS overrides); results are identical for any thread count.\n--algo opt defaults to the standard deterministic OOM/OOT budgets; the\nbudget flags override them for any algorithm. --json prints the engine\nreport as JSON on stdout. serve speaks newline-delimited JSON (see the\ndkc-serve crate docs); with --state-dir it journals updates and restarts\nresume at the exact epoch via snapshot + log replay."
+        "usage:\n  dkc stats <graph> [--kmax K] [common flags]\n  dkc solve <graph> --k K [common flags] [--json]\n  dkc partition <graph> --k K [common flags] [--json]\n  dkc serve <dataset|graph> --k K [--port P] [--state-dir D] [--data-dir D]\n            [--scale X] [--seed N] [--readers N] [--batch-max N]\n            [--batch-delay-ms MS] [--max-node N] [common flags]\n  dkc loadgen <host:port> [--conns N] [--ops N] [--warmup N] [--update-pct P]\n            [--batch N] [--nodes N] [--seed N] [--json]\n  dkc bench [--dataset NAME] [--scale X] [--seed N] [--k K] [--reps N]\n            [--threads N] [--out FILE] [--check BASELINE.json] [--stamp DATE]\n            [--host NAME] [--git-rev SHA] [--data-dir D] [--scratch D]\n            [--conns N] [--ops N] [--warmup N] [--batches N] [--batch-size N]\n  dkc convert <in> <out> [--threads N]\n  dkc gen <dataset> <out> [--scale X] [--seed N]\n  dkc cache <dataset> --data-dir D [--scale X] [--seed N] [--threads N] [--json]\n  dkc cache evict --data-dir D [--dataset NAME] [--scale X] [--seed N]\n\ncommon flags: --algo hg|gc|l|lp|opt|greedy-cg   --threads N\n              --ordering identity|degree-asc|degree-desc|degeneracy|color\n              --max-cliques N --max-conflicts N --mis-nodes N\n\n<graph> is a KONECT-style edge list or a binary .dkcsr snapshot (detected\nby content). --threads defaults to the available parallelism (env\nDKC_THREADS overrides); results are identical for any thread count.\n--algo opt defaults to the standard deterministic OOM/OOT budgets; the\nbudget flags override them for any algorithm. --json prints the engine\nreport as JSON on stdout. serve speaks newline-delimited JSON (see the\ndkc-serve crate docs); with --state-dir it journals updates and restarts\nresume at the exact epoch via snapshot + log replay. bench appends one\nJSON line per run to BENCH_<host>.json and, with --check, exits nonzero\nwhen a gated metric regresses past the committed baseline's tolerance."
     );
     std::process::exit(2);
 }
@@ -86,18 +98,35 @@ struct Args {
     batch_max: usize,
     batch_delay_ms: u64,
     max_node: Option<u32>,
-    // loadgen flags
-    conns: usize,
-    ops: usize,
+    // loadgen flags (conns/ops default differently for loadgen and bench)
+    conns: Option<usize>,
+    ops: Option<usize>,
+    warmup: Option<usize>,
     update_pct: f64,
     batch: usize,
     nodes: Option<u32>,
+    // bench flags
+    reps: usize,
+    bench_out: Option<String>,
+    check: Option<String>,
+    stamp: Option<String>,
+    host: Option<String>,
+    git_rev: Option<String>,
+    scratch: Option<String>,
+    batches: usize,
+    batch_size: usize,
 }
 
 fn parse_args() -> Args {
     let mut it = std::env::args().skip(1);
     let Some(command) = it.next() else { usage() };
-    let Some(path) = it.next() else { usage() };
+    // `bench` is the one subcommand without a positional argument.
+    let path = if command == "bench" {
+        String::new()
+    } else {
+        let Some(path) = it.next() else { usage() };
+        path
+    };
     let mut args = Args {
         command,
         path,
@@ -121,11 +150,21 @@ fn parse_args() -> Args {
         batch_max: 4096,
         batch_delay_ms: 2,
         max_node: None,
-        conns: 4,
-        ops: 200,
+        conns: None,
+        ops: None,
+        warmup: None,
         update_pct: 30.0,
         batch: 8,
         nodes: None,
+        reps: 3,
+        bench_out: None,
+        check: None,
+        stamp: None,
+        host: None,
+        git_rev: None,
+        scratch: None,
+        batches: 32,
+        batch_size: 16,
     };
     // `convert` and `gen` take a second positional argument.
     let takes_out = matches!(args.command.as_str(), "convert" | "gen");
@@ -174,8 +213,9 @@ fn parse_args() -> Args {
             "--batch-max" => args.batch_max = value().parse().unwrap_or_else(|_| usage()),
             "--batch-delay-ms" => args.batch_delay_ms = value().parse().unwrap_or_else(|_| usage()),
             "--max-node" => args.max_node = Some(value().parse().unwrap_or_else(|_| usage())),
-            "--conns" => args.conns = value().parse().unwrap_or_else(|_| usage()),
-            "--ops" => args.ops = value().parse().unwrap_or_else(|_| usage()),
+            "--conns" => args.conns = Some(value().parse().unwrap_or_else(|_| usage())),
+            "--ops" => args.ops = Some(value().parse().unwrap_or_else(|_| usage())),
+            "--warmup" => args.warmup = Some(value().parse().unwrap_or_else(|_| usage())),
             "--update-pct" => {
                 let pct: f64 = value().parse().unwrap_or_else(|_| usage());
                 if !(0.0..=100.0).contains(&pct) {
@@ -185,6 +225,20 @@ fn parse_args() -> Args {
             }
             "--batch" => args.batch = value().parse().unwrap_or_else(|_| usage()),
             "--nodes" => args.nodes = Some(value().parse().unwrap_or_else(|_| usage())),
+            "--reps" => {
+                args.reps = value().parse().unwrap_or_else(|_| usage());
+                if args.reps == 0 {
+                    usage();
+                }
+            }
+            "--out" => args.bench_out = Some(value()),
+            "--check" => args.check = Some(value()),
+            "--stamp" => args.stamp = Some(value()),
+            "--host" => args.host = Some(value()),
+            "--git-rev" => args.git_rev = Some(value()),
+            "--scratch" => args.scratch = Some(value()),
+            "--batches" => args.batches = value().parse().unwrap_or_else(|_| usage()),
+            "--batch-size" => args.batch_size = value().parse().unwrap_or_else(|_| usage()),
             _ => usage(),
         }
     }
@@ -256,6 +310,7 @@ fn main() {
         "partition" => cmd_partition(&args),
         "serve" => cmd_serve(&args),
         "loadgen" => cmd_loadgen(&args),
+        "bench" => cmd_bench(&args),
         "convert" => cmd_convert(&args),
         "gen" => cmd_gen(&args),
         "cache" if args.path == "evict" => cmd_cache_evict(&args),
@@ -351,8 +406,9 @@ fn cmd_serve(args: &Args) {
 fn cmd_loadgen(args: &Args) {
     let cfg = LoadgenConfig {
         addr: args.path.clone(),
-        connections: args.conns.max(1),
-        ops_per_connection: args.ops.max(1),
+        connections: args.conns.unwrap_or(4).max(1),
+        ops_per_connection: args.ops.unwrap_or(200).max(1),
+        warmup_ops: args.warmup.unwrap_or(0),
         update_fraction: args.update_pct / 100.0,
         batch: args.batch.max(1),
         nodes: args.nodes.unwrap_or(1000),
@@ -394,6 +450,155 @@ fn cmd_loadgen(args: &Args) {
             std::process::exit(1);
         }
     }
+}
+
+/// Runs the pinned perf suite, appends one JSON line to the trajectory
+/// file, and (with `--check`) gates against the committed baseline.
+fn cmd_bench(args: &Args) {
+    use disjoint_kcliques::bench::trajectory::{
+        check_line, gates, run_suite, BenchLine, SuiteConfig, SCHEMA_VERSION,
+    };
+    let dataset = dataset_for(args.dataset.as_deref().unwrap_or("HST"));
+    let mut cfg = SuiteConfig::pinned(
+        args.scratch
+            .clone()
+            .unwrap_or_else(|| format!("{}/dkc-bench-scratch", std::env::temp_dir().display())),
+    );
+    cfg.dataset = dataset;
+    cfg.scale = args.scale.unwrap_or(cfg.scale);
+    cfg.seed = args.seed.unwrap_or(cfg.seed);
+    if args.k != 0 {
+        cfg.k = args.k;
+    }
+    cfg.reps = args.reps;
+    cfg.par = args.par;
+    cfg.data_dir = args.data_dir.clone().map(Into::into);
+    cfg.serve_conns = args.conns.unwrap_or(cfg.serve_conns);
+    cfg.serve_ops = args.ops.unwrap_or(cfg.serve_ops);
+    // Warmup is defaulted ON here (unlike `dkc loadgen`) so the serve
+    // percentiles aren't dominated by first-connection noise.
+    cfg.serve_warmup = args.warmup.unwrap_or(cfg.serve_warmup);
+    cfg.apply_batches = args.batches.max(1);
+    cfg.apply_batch_size = args.batch_size.max(1);
+
+    let host = bench_host(args);
+    let outcome = match run_suite(&cfg) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+    };
+    let line = BenchLine {
+        schema: SCHEMA_VERSION,
+        host: host.clone(),
+        git_rev: bench_git_rev(args),
+        date: bench_stamp(args),
+        threads: args.par.threads,
+        dataset: dataset.name().to_string(),
+        scale: format!("{}", cfg.scale),
+        seed: cfg.seed,
+        k: cfg.k,
+        reps: cfg.reps,
+        metrics: outcome.metrics,
+    };
+    let rendered = line.render();
+    let out_path = args.bench_out.clone().unwrap_or_else(|| format!("BENCH_{host}.json"));
+    let append =
+        std::fs::OpenOptions::new().create(true).append(true).open(&out_path).and_then(|mut f| {
+            std::io::Write::write_all(&mut f, format!("{rendered}\n").as_bytes())
+        });
+    if let Err(e) = append {
+        eprintln!("failed to append to {out_path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!(
+        "# bench: {} scale {} seed {} ({} nodes, {} edges), k={} reps={} threads={} → {}",
+        line.dataset,
+        line.scale,
+        line.seed,
+        outcome.nodes,
+        outcome.edges,
+        line.k,
+        line.reps,
+        line.threads,
+        out_path
+    );
+    println!("{rendered}");
+
+    if let Some(baseline_path) = &args.check {
+        let baseline = std::fs::read_to_string(baseline_path)
+            .map_err(|e| e.to_string())
+            .and_then(|text| BenchLine::parse_last(&text).map_err(|e| e.to_string()));
+        let baseline = match baseline {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("failed to read baseline {baseline_path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        let violations = check_line(&line, &baseline);
+        if violations.is_empty() {
+            eprintln!(
+                "# perf gate PASSED against {baseline_path} ({} gated metrics)",
+                gates().len()
+            );
+        } else {
+            eprintln!("# perf gate FAILED against {baseline_path}:");
+            for v in &violations {
+                eprintln!("#   {v}");
+            }
+            std::process::exit(1);
+        }
+    }
+}
+
+/// `--host`, else `DKC_BENCH_HOST`, else `HOSTNAME`, else `unknown` —
+/// sanitised so `BENCH_<host>.json` is always a safe file name.
+fn bench_host(args: &Args) -> String {
+    let raw = args
+        .host
+        .clone()
+        .or_else(|| std::env::var("DKC_BENCH_HOST").ok())
+        .or_else(|| std::env::var("HOSTNAME").ok())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".into());
+    raw.chars()
+        .map(|c| if c.is_ascii_alphanumeric() || "._-".contains(c) { c } else { '-' })
+        .collect()
+}
+
+/// `--git-rev`, else `GITHUB_SHA`, else `git rev-parse HEAD`, else
+/// `unknown`.
+fn bench_git_rev(args: &Args) -> String {
+    if let Some(rev) = &args.git_rev {
+        return rev.clone();
+    }
+    if let Ok(sha) = std::env::var("GITHUB_SHA") {
+        if !sha.is_empty() {
+            return sha;
+        }
+    }
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".into())
+}
+
+/// `--stamp`, else seconds since the Unix epoch.
+fn bench_stamp(args: &Args) -> String {
+    if let Some(stamp) = &args.stamp {
+        return stamp.clone();
+    }
+    std::time::SystemTime::now()
+        .duration_since(std::time::SystemTime::UNIX_EPOCH)
+        .map(|d| format!("unix:{}", d.as_secs()))
+        .unwrap_or_else(|_| "unstamped".into())
 }
 
 fn cmd_stats(args: &Args) {

@@ -21,6 +21,7 @@
 //! | [`serve`] | `dkc-serve` | threaded TCP server + NDJSON protocol + loadgen |
 //! | [`json`] | `dkc-json` | the shared JSON value tree behind every machine rendering |
 //! | [`datagen`] | `dkc-datagen` | generators, dataset stand-ins, workloads |
+//! | [`bench`](mod@bench) | `dkc-bench` | paper-table repro harness + the `dkc bench` perf trajectory |
 //!
 //! ## Quickstart
 //!
@@ -56,6 +57,7 @@
 //! assert_eq!(dynamic.len(), 3);
 //! ```
 
+pub use dkc_bench as bench;
 pub use dkc_clique as clique;
 pub use dkc_cliquegraph as cliquegraph;
 pub use dkc_core as core;
