@@ -2,13 +2,15 @@
 //! text parse vs binary `.dkcsr` snapshot load, on the same social
 //! stand-in written to disk. This is the measured claim behind the dataset
 //! pipeline: parallel parsing speeds up the first load, the snapshot cache
-//! amortises every load after it (snapshot-load ≪ text-parse).
+//! amortises every load after it (snapshot-load ≪ text-parse), and the
+//! zero-copy mmap path (`snapshot-load`, which maps by default) beats the
+//! buffered read + decode it falls back to (`snapshot-load-buffered`).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dkc_datagen::registry::social_standin;
 use dkc_graph::io::{
-    read_edge_list_parallel, read_snapshot_path, write_edge_list_path, write_snapshot_path,
-    LoadedGraph,
+    read_edge_list_parallel, read_snapshot_bytes, read_snapshot_path, write_edge_list_path,
+    write_snapshot_path, LoadedGraph,
 };
 use dkc_par::ParConfig;
 use std::path::PathBuf;
@@ -41,8 +43,17 @@ fn bench_io(c: &mut Criterion) {
             })
         });
     }
+    // `read_snapshot_path` memory-maps by default; the buffered variant
+    // forces the fallback path (whole-file read, then decode) so the two
+    // can be compared head-to-head.
     group.bench_function("snapshot-load", |b| {
         b.iter(|| read_snapshot_path(std::hint::black_box(&snap_path)).unwrap().graph.num_edges())
+    });
+    group.bench_function("snapshot-load-buffered", |b| {
+        b.iter(|| {
+            let bytes = std::fs::read(std::hint::black_box(&snap_path)).unwrap();
+            read_snapshot_bytes(&bytes).unwrap().graph.num_edges()
+        })
     });
     group.finish();
 

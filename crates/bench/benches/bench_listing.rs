@@ -1,8 +1,13 @@
 //! Criterion micro-bench behind Table I: k-clique counting and node-score
-//! computation, sequential vs parallel.
+//! computation, sequential vs parallel, plus the intersection-kernel
+//! comparison (sorted-slice merge vs forced dense bitset vs the adaptive
+//! per-root pick).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dkc_clique::{count_kcliques, count_kcliques_parallel, node_scores, node_scores_parallel};
+use dkc_clique::{
+    count_kcliques, count_kcliques_kernel, count_kcliques_parallel, node_scores,
+    node_scores_parallel, KernelMode,
+};
 use dkc_datagen::registry::DatasetId;
 use dkc_graph::{Dag, NodeOrder, OrderingKind};
 use dkc_par::ParConfig;
@@ -29,6 +34,15 @@ fn bench_listing(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("scores_par", k), &k, |b, &k| {
             b.iter(|| node_scores_parallel(std::hint::black_box(&dag), k, par))
         });
+        // Kernel comparison: the same parallel count under each
+        // intersection kernel (`count_par` above == the adaptive default).
+        for mode in [KernelMode::Slice, KernelMode::Bitset, KernelMode::Adaptive] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("count_par_{mode}"), k),
+                &k,
+                |b, &k| b.iter(|| count_kcliques_kernel(std::hint::black_box(&dag), k, par, mode)),
+            );
+        }
     }
     group.finish();
 }

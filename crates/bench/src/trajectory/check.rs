@@ -67,6 +67,7 @@ pub fn gates() -> &'static [GateSpec] {
         GateSpec { metric: "partition_groups", kind: EXACT },
         GateSpec { metric: "text_parse_ns", kind: WALL },
         GateSpec { metric: "snapshot_load_ns", kind: WALL },
+        GateSpec { metric: "snapshot_mmap_ns", kind: WALL },
         GateSpec { metric: "snapshot_bytes", kind: EXACT },
         GateSpec { metric: "apply_batch_ns", kind: WALL },
         GateSpec { metric: "apply_applied", kind: EXACT },

@@ -14,11 +14,17 @@
 //! (wide for wall-clock, exact for deterministic counters), it is what CI
 //! runs as the `perf-gate` job — every future performance PR inherits a
 //! before/after discipline from it.
+//!
+//! [`summary`] is the retrospective view: `dkc bench summary` folds every
+//! line of one or more trajectory files into a per-metric `{median, min}`
+//! table across runs (or the matching JSON document).
 
 pub mod check;
 pub mod line;
 pub mod suite;
+pub mod summary;
 
 pub use check::{check_line, gates, GateKind, GateSpec, Violation};
 pub use line::{BenchLine, MetricValue, ParseLineError, SCHEMA_VERSION};
 pub use suite::{run_suite, SuiteConfig, SuiteError, SuiteOutcome};
+pub use summary::{parse_trajectory, summarize, MetricSummary, TrajectorySummary};

@@ -9,6 +9,7 @@
 //! | `partition_ns` | [`Engine::partition_all`] | `partition_groups` |
 //! | `text_parse_ns` | edge-list parse of the suite graph | |
 //! | `snapshot_load_ns` | `.dkcsr` load of the same graph | `snapshot_bytes` |
+//! | `snapshot_mmap_ns` | zero-copy `.dkcsr` load via `read_snapshot_path` | |
 //! | `apply_batch_ns` | dynamic maintenance of a mixed update stream | `apply_applied` |
 //! | `serve_p{50,95,99}_us` | in-process `dkc-serve` + seeded loadgen | `serve_errors` |
 //!
@@ -24,7 +25,9 @@ use dkc_datagen::registry::DatasetId;
 use dkc_datagen::workload::{paper_mixed_workload, Update};
 use dkc_datagen::DatasetRegistry;
 use dkc_dynamic::{EdgeUpdate, ServingSolver};
-use dkc_graph::io::{load_graph, write_edge_list_labeled, write_snapshot_path, LoadedGraph};
+use dkc_graph::io::{
+    load_graph, read_snapshot_path, write_edge_list_labeled, write_snapshot_path, LoadedGraph,
+};
 use dkc_graph::{Dag, NodeOrder, OrderingKind};
 use dkc_par::ParConfig;
 use dkc_serve::{run_loadgen, LoadgenConfig, Server, ServerConfig};
@@ -181,6 +184,7 @@ pub fn run_suite(cfg: &SuiteConfig) -> Result<SuiteOutcome, SuiteError> {
     let snapshot_bytes = std::fs::metadata(&snap_path).map_err(|e| fail("snapshot size", e))?.len();
     let mut text_samples = Vec::with_capacity(reps);
     let mut snap_samples = Vec::with_capacity(reps);
+    let mut mmap_samples = Vec::with_capacity(reps);
     for _ in 0..reps {
         let t = Instant::now();
         let (loaded, _) = load_graph(&text_path, cfg.par).map_err(|e| fail("text parse", e))?;
@@ -190,9 +194,16 @@ pub fn run_suite(cfg: &SuiteConfig) -> Result<SuiteOutcome, SuiteError> {
         let (loaded, _) = load_graph(&snap_path, cfg.par).map_err(|e| fail("snapshot load", e))?;
         snap_samples.push(ns(t));
         check_loaded(&loaded, &resolved.loaded)?;
+        // The dedicated zero-copy path: snapshot decode straight off a
+        // memory mapping, without the format sniff of `load_graph`.
+        let t = Instant::now();
+        let loaded = read_snapshot_path(&snap_path).map_err(|e| fail("snapshot mmap", e))?;
+        mmap_samples.push(ns(t));
+        check_loaded(&loaded, &resolved.loaded)?;
     }
     push("text_parse_ns", MetricValue::summarize(text_samples));
     push("snapshot_load_ns", MetricValue::summarize(snap_samples));
+    push("snapshot_mmap_ns", MetricValue::summarize(mmap_samples));
     push("snapshot_bytes", MetricValue::counter(snapshot_bytes));
 
     // 5. Dynamic maintenance throughput over the paper's mixed workload.

@@ -1,0 +1,278 @@
+//! Cross-run aggregation behind `dkc bench summary`.
+//!
+//! A `BENCH_<host>.json` file accumulates one [`BenchLine`] per run;
+//! [`check`](super::check) only ever reads the newest one. This module
+//! reads them *all* — across one or more files — and folds every metric
+//! into a per-metric `{median, min}` over the whole trajectory: the
+//! median of the per-run medians (upper median, matching
+//! [`MetricValue::summarize`]) and the minimum of the per-run mins. The
+//! result renders as an aligned text table or, through
+//! [`TrajectorySummary::to_json_value`], as the same kind of
+//! deterministic [`dkc_json`] document every other machine rendering in
+//! the workspace uses.
+
+use super::line::{BenchLine, MetricValue, ParseLineError};
+use dkc_json::Json;
+
+/// One metric folded over every run that recorded it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricSummary {
+    /// Metric name as it appears in the lines' `metrics` objects.
+    pub name: String,
+    /// Runs that carried this metric (older lines may predate it).
+    pub runs: usize,
+    /// Median of the per-run medians (upper median for even counts).
+    pub median: u64,
+    /// Minimum of the per-run mins — the trajectory's best observation.
+    pub min: u64,
+}
+
+/// Every metric of a trajectory, folded across runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrajectorySummary {
+    /// Total parsed runs.
+    pub runs: usize,
+    /// Distinct hosts, sorted (multiple files may be summarized at once).
+    pub hosts: Vec<String>,
+    /// `date` of the first and last line in input order, when any exist.
+    pub span: Option<(String, String)>,
+    /// Metric aggregates in first-appearance order (i.e. suite order for
+    /// files produced by one binary).
+    pub metrics: Vec<MetricSummary>,
+}
+
+/// Parses **every** non-empty line of an NDJSON bench file, in file
+/// order — the whole-trajectory counterpart of [`BenchLine::parse_last`].
+/// A malformed line fails the parse with its 1-based line number.
+pub fn parse_trajectory(file: &str) -> Result<Vec<BenchLine>, ParseLineError> {
+    let mut lines = Vec::new();
+    for (idx, raw) in file.lines().enumerate() {
+        if raw.trim().is_empty() {
+            continue;
+        }
+        let line = BenchLine::parse(raw)
+            .map_err(|e| ParseLineError(format!("line {}: {}", idx + 1, e.0)))?;
+        lines.push(line);
+    }
+    Ok(lines)
+}
+
+/// Folds parsed lines into a [`TrajectorySummary`]. Metrics keep the
+/// order they first appear in; a metric missing from some runs is
+/// aggregated over the runs that have it (its `runs` count says how
+/// many).
+pub fn summarize(lines: &[BenchLine]) -> TrajectorySummary {
+    let mut hosts: Vec<String> = lines.iter().map(|l| l.host.clone()).collect();
+    hosts.sort();
+    hosts.dedup();
+    let span = match (lines.first(), lines.last()) {
+        (Some(first), Some(last)) => Some((first.date.clone(), last.date.clone())),
+        _ => None,
+    };
+    // name → per-run values, insertion-ordered via the parallel Vec.
+    let mut order: Vec<String> = Vec::new();
+    let mut per_metric: Vec<Vec<MetricValue>> = Vec::new();
+    for line in lines {
+        for (name, value) in &line.metrics {
+            let slot = match order.iter().position(|n| n == name) {
+                Some(i) => i,
+                None => {
+                    order.push(name.clone());
+                    per_metric.push(Vec::new());
+                    order.len() - 1
+                }
+            };
+            per_metric[slot].push(*value);
+        }
+    }
+    let metrics = order
+        .into_iter()
+        .zip(per_metric)
+        .map(|(name, values)| {
+            let medians: Vec<u64> = values.iter().map(|v| v.median).collect();
+            let folded = MetricValue::summarize(medians);
+            MetricSummary {
+                name,
+                runs: values.len(),
+                median: folded.median,
+                min: values.iter().map(|v| v.min).min().unwrap_or(0),
+            }
+        })
+        .collect();
+    TrajectorySummary { runs: lines.len(), hosts, span, metrics }
+}
+
+impl TrajectorySummary {
+    /// Renders the aligned text table (trailing newline included).
+    pub fn render_table(&self) -> String {
+        if self.metrics.is_empty() {
+            return "no bench lines\n".to_string();
+        }
+        let name_w = self
+            .metrics
+            .iter()
+            .map(|m| m.name.len())
+            .chain(std::iter::once("metric".len()))
+            .max()
+            .unwrap_or(6);
+        let num_w = self
+            .metrics
+            .iter()
+            .flat_map(|m| [m.median.to_string().len(), m.min.to_string().len()])
+            .chain(std::iter::once("median".len()))
+            .max()
+            .unwrap_or(6);
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<name_w$}  {:>4}  {:>num_w$}  {:>num_w$}\n",
+            "metric", "runs", "median", "min"
+        ));
+        out.push_str(&format!("{}\n", "-".repeat(name_w + num_w * 2 + 10)));
+        for m in &self.metrics {
+            out.push_str(&format!(
+                "{:<name_w$}  {:>4}  {:>num_w$}  {:>num_w$}\n",
+                m.name, m.runs, m.median, m.min
+            ));
+        }
+        out
+    }
+
+    /// The JSON document of the summary, rendered through [`dkc_json`]
+    /// so member order is deterministic.
+    pub fn to_json_value(&self) -> Json {
+        let metrics = self
+            .metrics
+            .iter()
+            .map(|m| {
+                let obj = Json::Obj(vec![
+                    ("runs".into(), Json::usize(m.runs)),
+                    ("median".into(), Json::u64(m.median)),
+                    ("min".into(), Json::u64(m.min)),
+                ]);
+                (m.name.clone(), obj)
+            })
+            .collect();
+        let span = match &self.span {
+            Some((first, last)) => Json::Obj(vec![
+                ("first".into(), Json::str(first.clone())),
+                ("last".into(), Json::str(last.clone())),
+            ]),
+            None => Json::Null,
+        };
+        Json::Obj(vec![
+            ("runs".into(), Json::usize(self.runs)),
+            ("hosts".into(), Json::Arr(self.hosts.iter().map(|h| Json::str(h.clone())).collect())),
+            ("span".into(), span),
+            ("metrics".into(), Json::Obj(metrics)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trajectory::line::SCHEMA_VERSION;
+
+    fn line(host: &str, date: &str, metrics: Vec<(&str, MetricValue)>) -> BenchLine {
+        BenchLine {
+            schema: SCHEMA_VERSION,
+            host: host.into(),
+            git_rev: "r".into(),
+            date: date.into(),
+            threads: 2,
+            dataset: "HST".into(),
+            scale: "0.3".into(),
+            seed: 42,
+            k: 3,
+            reps: 2,
+            metrics: metrics.into_iter().map(|(n, v)| (n.to_string(), v)).collect(),
+        }
+    }
+
+    #[test]
+    fn parse_trajectory_reads_every_line_and_names_the_bad_one() {
+        let a = line("ci", "d1", vec![("listing_ns", MetricValue { median: 10, min: 5 })]);
+        let b = line("ci", "d2", vec![("listing_ns", MetricValue { median: 20, min: 15 })]);
+        let file = format!("{}\n\n{}\n", a.render(), b.render());
+        let lines = parse_trajectory(&file).unwrap();
+        assert_eq!(lines, vec![a.clone(), b]);
+        let broken = format!("{}\nnot json\n", a.render());
+        let err = parse_trajectory(&broken).unwrap_err();
+        assert!(err.0.contains("line 2"), "{err}");
+        assert!(parse_trajectory("\n  \n").unwrap().is_empty());
+    }
+
+    #[test]
+    fn summarize_folds_median_of_medians_and_min_of_mins() {
+        let lines = vec![
+            line("a", "d1", vec![("listing_ns", MetricValue { median: 30, min: 25 })]),
+            line("b", "d2", vec![("listing_ns", MetricValue { median: 10, min: 8 })]),
+            line("a", "d3", vec![("listing_ns", MetricValue { median: 20, min: 40 })]),
+        ];
+        let s = summarize(&lines);
+        assert_eq!(s.runs, 3);
+        assert_eq!(s.hosts, vec!["a".to_string(), "b".to_string()]);
+        assert_eq!(s.span, Some(("d1".to_string(), "d3".to_string())));
+        assert_eq!(s.metrics.len(), 1);
+        let m = &s.metrics[0];
+        // medians {30, 10, 20} → sorted {10, 20, 30} → median 20;
+        // mins {25, 8, 40} → 8.
+        assert_eq!((m.runs, m.median, m.min), (3, 20, 8));
+    }
+
+    #[test]
+    fn metrics_keep_first_appearance_order_and_partial_coverage_counts() {
+        let lines = vec![
+            line("h", "d1", vec![("old_ns", MetricValue::counter(1))]),
+            line(
+                "h",
+                "d2",
+                vec![("old_ns", MetricValue::counter(3)), ("new_ns", MetricValue::counter(7))],
+            ),
+        ];
+        let s = summarize(&lines);
+        let names: Vec<&str> = s.metrics.iter().map(|m| m.name.as_str()).collect();
+        assert_eq!(names, vec!["old_ns", "new_ns"]);
+        assert_eq!(s.metrics[0].runs, 2);
+        // Upper median of {1, 3} is 3.
+        assert_eq!(s.metrics[0].median, 3);
+        assert_eq!(s.metrics[1].runs, 1);
+        assert_eq!(s.metrics[1].median, 7);
+    }
+
+    #[test]
+    fn empty_summary_renders_gracefully() {
+        let s = summarize(&[]);
+        assert_eq!(s.runs, 0);
+        assert!(s.span.is_none());
+        assert_eq!(s.render_table(), "no bench lines\n");
+        assert_eq!(s.to_json_value().get("span"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn table_and_json_carry_the_same_numbers() {
+        let lines = vec![line(
+            "ci",
+            "d",
+            vec![
+                ("listing_ns", MetricValue { median: 123456, min: 99999 }),
+                ("kcliques", MetricValue::counter(77)),
+            ],
+        )];
+        let s = summarize(&lines);
+        let table = s.render_table();
+        assert!(table.contains("listing_ns"), "{table}");
+        assert!(table.contains("123456"), "{table}");
+        assert!(table.contains("99999"), "{table}");
+        // Columns stay aligned: every row has the same width.
+        let widths: Vec<usize> = table.lines().map(|l| l.len()).collect();
+        assert!(widths.windows(2).all(|w| w[0] == w[1]), "{table}");
+        let json = s.to_json_value();
+        let m = json.get("metrics").unwrap().get("listing_ns").unwrap();
+        assert_eq!(m.get("median").unwrap().as_u64(), Some(123456));
+        assert_eq!(m.get("min").unwrap().as_u64(), Some(99999));
+        assert_eq!(json.get("runs").unwrap().as_usize(), Some(1));
+        // The rendering parses back to an equal tree.
+        assert_eq!(Json::parse(&json.render()).unwrap(), json);
+    }
+}

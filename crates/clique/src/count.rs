@@ -1,3 +1,4 @@
+use crate::kernel::{self, DenseIndex, KernelMode};
 use crate::list::intersect_sorted;
 use dkc_graph::{Dag, NodeId};
 use dkc_par::{par_reduce, ParConfig};
@@ -23,11 +24,17 @@ pub fn node_scores(dag: &Dag, k: usize) -> Vec<u64> {
 /// element-wise at the end. Bit-identical to the sequential pass for any
 /// thread count (`u64` addition commutes).
 pub fn node_scores_parallel(dag: &Dag, k: usize, par: ParConfig) -> Vec<u64> {
+    node_scores_kernel(dag, k, par, KernelMode::default())
+}
+
+/// [`node_scores_parallel`] with an explicit intersection kernel; every
+/// mode produces identical scores.
+pub fn node_scores_kernel(dag: &Dag, k: usize, par: ParConfig, mode: KernelMode) -> Vec<u64> {
     let n = dag.num_nodes();
     par_reduce(
         par,
         n,
-        || CountCtx::new(dag, k),
+        || CountCtx::with_kernel(dag, k, mode),
         || vec![0u64; n],
         |ctx, scores, range| {
             for u in range {
@@ -45,10 +52,16 @@ pub fn node_scores_parallel(dag: &Dag, k: usize, par: ParConfig) -> Vec<u64> {
 /// Parallel [`count_kcliques`] on the [`dkc_par`] executor; per-worker
 /// totals are summed, so the count is thread-count invariant.
 pub fn count_kcliques_parallel(dag: &Dag, k: usize, par: ParConfig) -> u64 {
+    count_kcliques_kernel(dag, k, par, KernelMode::default())
+}
+
+/// [`count_kcliques_parallel`] with an explicit intersection kernel; every
+/// mode produces the identical count.
+pub fn count_kcliques_kernel(dag: &Dag, k: usize, par: ParConfig, mode: KernelMode) -> u64 {
     par_reduce(
         par,
         dag.num_nodes(),
-        || CountCtx::new(dag, k),
+        || CountCtx::with_kernel(dag, k, mode),
         || 0u64,
         |ctx, total, range| {
             for u in range {
@@ -62,22 +75,29 @@ pub fn count_kcliques_parallel(dag: &Dag, k: usize, par: ParConfig) -> u64 {
 /// Reusable recursion state for counting, optionally accumulating per-node
 /// scores into a caller-provided array (kept outside the context so one
 /// context can serve as per-worker scratch while the accumulator lives in
-/// the executor's reduction slot).
+/// the executor's reduction slot). Holds both kernels' scratch;
+/// [`KernelMode`] picks per root.
 struct CountCtx<'a> {
     dag: &'a Dag,
     k: usize,
+    mode: KernelMode,
     stack: Vec<NodeId>,
     bufs: Vec<Vec<NodeId>>,
+    levels: Vec<Vec<u64>>,
+    dense: DenseIndex,
 }
 
 impl<'a> CountCtx<'a> {
-    fn new(dag: &'a Dag, k: usize) -> Self {
+    fn with_kernel(dag: &'a Dag, k: usize, mode: KernelMode) -> Self {
         assert!(k >= 1, "k must be at least 1");
         CountCtx {
             dag,
             k,
+            mode,
             stack: Vec::with_capacity(k),
             bufs: vec![Vec::new(); k.saturating_sub(1)],
+            levels: vec![Vec::new(); k.saturating_sub(1)],
+            dense: DenseIndex::default(),
         }
     }
 
@@ -90,8 +110,12 @@ impl<'a> CountCtx<'a> {
             }
             return 1;
         }
-        if self.dag.out_degree(u) < self.k - 1 {
+        let d = self.dag.out_degree(u);
+        if d < self.k - 1 {
             return 0;
+        }
+        if self.mode.dense_for(self.k, d) {
+            return self.run_root_dense(u, scores);
         }
         self.stack.clear();
         self.stack.push(u);
@@ -133,6 +157,52 @@ impl<'a> CountCtx<'a> {
             }
         }
         self.bufs[depth] = sub;
+        total
+    }
+
+    /// Bitset-kernel root: one matrix build, then word-AND recursion. The
+    /// innermost aggregation mirrors the slice kernel (candidate popcount
+    /// credited wholesale), so counts and scores are bit-identical.
+    fn run_root_dense(&mut self, u: NodeId, scores: Option<&mut [u64]>) -> u64 {
+        let d = self.dense.build(self.dag, u);
+        self.stack.clear();
+        self.stack.push(u);
+        let mut first = std::mem::take(&mut self.levels[0]);
+        kernel::fill_full(&mut first, d);
+        let c = self.recurse_dense(self.k - 1, &first, scores);
+        self.levels[0] = first;
+        c
+    }
+
+    fn recurse_dense(&mut self, l: usize, cand: &[u64], mut scores: Option<&mut [u64]>) -> u64 {
+        let cand_ones = kernel::count_ones(cand);
+        if cand_ones < l {
+            return 0;
+        }
+        if l == 1 {
+            if let Some(scores) = scores.as_deref_mut() {
+                for i in kernel::ones(cand) {
+                    scores[self.dense.globals[i] as usize] += 1;
+                }
+                let found = cand_ones as u64;
+                for &c in &self.stack {
+                    scores[c as usize] += found;
+                }
+            }
+            return cand_ones as u64;
+        }
+        let depth = self.k - l;
+        let mut sub = std::mem::take(&mut self.levels[depth]);
+        let mut total = 0u64;
+        for i in kernel::ones(cand) {
+            kernel::and_into(&mut sub, cand, self.dense.row(i));
+            if kernel::count_ones(&sub) >= l - 1 {
+                self.stack.push(self.dense.globals[i]);
+                total += self.recurse_dense(l - 1, &sub, scores.as_deref_mut());
+                self.stack.pop();
+            }
+        }
+        self.levels[depth] = sub;
         total
     }
 }
@@ -227,6 +297,21 @@ mod tests {
             let s = node_scores(&d, k);
             for (u, &score) in s.iter().enumerate() {
                 assert_eq!(score, binom(7, k as u64 - 1), "k={k} u={u}");
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_modes_agree_on_counts_and_scores() {
+        let g = paper_graph();
+        let d = dag(&g);
+        let par = ParConfig::sequential();
+        for k in 1..=4 {
+            let base_count = count_kcliques_kernel(&d, k, par, KernelMode::Slice);
+            let base_scores = node_scores_kernel(&d, k, par, KernelMode::Slice);
+            for mode in [KernelMode::Bitset, KernelMode::Adaptive] {
+                assert_eq!(count_kcliques_kernel(&d, k, par, mode), base_count, "k={k} {mode}");
+                assert_eq!(node_scores_kernel(&d, k, par, mode), base_scores, "k={k} {mode}");
             }
         }
     }

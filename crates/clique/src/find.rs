@@ -1,3 +1,4 @@
+use crate::kernel::{self, DenseIndex, KernelMode};
 use crate::list::intersect_sorted;
 use crate::types::Clique;
 use dkc_graph::{Dag, NodeId};
@@ -15,21 +16,38 @@ pub struct ScoredClique {
 ///
 /// Given a root `u`, searches for any (k-1)-clique inside the still-valid
 /// part of `N⁺(u)` and returns `{u} ∪ clique`. The search visits candidates
-/// in ascending node id, so results are deterministic. Recursion buffers are
-/// reused across calls — create one finder per solve, then call
-/// [`FirstFinder::find`] for every processed node.
+/// in ascending node id — in both kernels — so results are deterministic.
+/// Recursion buffers are reused across calls — create one finder per solve,
+/// then call [`FirstFinder::find`] for every processed node.
 pub struct FirstFinder<'a> {
     dag: &'a Dag,
     k: usize,
+    mode: KernelMode,
     stack: Vec<NodeId>,
     bufs: Vec<Vec<NodeId>>,
+    levels: Vec<Vec<u64>>,
+    dense: DenseIndex,
 }
 
 impl<'a> FirstFinder<'a> {
     /// Creates a finder for k-cliques (`k >= 2`).
     pub fn new(dag: &'a Dag, k: usize) -> Self {
+        Self::with_kernel(dag, k, KernelMode::default())
+    }
+
+    /// [`FirstFinder::new`] with an explicit intersection kernel; every
+    /// mode finds the identical clique.
+    pub fn with_kernel(dag: &'a Dag, k: usize, mode: KernelMode) -> Self {
         assert!(k >= 2, "FirstFinder requires k >= 2");
-        FirstFinder { dag, k, stack: Vec::with_capacity(k), bufs: vec![Vec::new(); k] }
+        FirstFinder {
+            dag,
+            k,
+            mode,
+            stack: Vec::with_capacity(k),
+            bufs: vec![Vec::new(); k],
+            levels: vec![Vec::new(); k],
+            dense: DenseIndex::default(),
+        }
     }
 
     /// Returns the first k-clique rooted at `root` whose members are all
@@ -40,11 +58,23 @@ impl<'a> FirstFinder<'a> {
         }
         self.stack.clear();
         self.stack.push(root);
-        let mut cand = std::mem::take(&mut self.bufs[0]);
-        cand.clear();
-        cand.extend(self.dag.out_neighbors(root).iter().copied().filter(|&v| valid[v as usize]));
-        let found = self.recurse(self.k - 1, &cand);
-        self.bufs[0] = cand;
+        let found = if self.mode.dense_for(self.k, self.dag.out_degree(root)) {
+            let d = self.dense.build_filtered(self.dag, root, valid);
+            let mut cand = std::mem::take(&mut self.levels[0]);
+            kernel::fill_full(&mut cand, d);
+            let found = self.recurse_dense(self.k - 1, &cand);
+            self.levels[0] = cand;
+            found
+        } else {
+            let mut cand = std::mem::take(&mut self.bufs[0]);
+            cand.clear();
+            cand.extend(
+                self.dag.out_neighbors(root).iter().copied().filter(|&v| valid[v as usize]),
+            );
+            let found = self.recurse(self.k - 1, &cand);
+            self.bufs[0] = cand;
+            found
+        };
         if found {
             Some(Clique::new(&self.stack))
         } else {
@@ -78,6 +108,35 @@ impl<'a> FirstFinder<'a> {
         self.bufs[depth] = sub;
         found
     }
+
+    /// Bitset-kernel mirror of [`FirstFinder::recurse`]: local ids ascend
+    /// with global ids, so the first clique found is the same one.
+    fn recurse_dense(&mut self, l: usize, cand: &[u64]) -> bool {
+        if kernel::count_ones(cand) < l {
+            return false;
+        }
+        if l == 1 {
+            let first = kernel::ones(cand).next().expect("count checked above");
+            self.stack.push(self.dense.globals[first]);
+            return true;
+        }
+        let depth = self.k - l;
+        let mut sub = std::mem::take(&mut self.levels[depth]);
+        let mut found = false;
+        for i in kernel::ones(cand) {
+            kernel::and_into(&mut sub, cand, self.dense.row(i));
+            if kernel::count_ones(&sub) >= l - 1 {
+                self.stack.push(self.dense.globals[i]);
+                if self.recurse_dense(l - 1, &sub) {
+                    found = true;
+                    break;
+                }
+                self.stack.pop();
+            }
+        }
+        self.levels[depth] = sub;
+        found
+    }
 }
 
 /// `FindMin` of Algorithm 3: finds the clique of minimum clique score
@@ -95,14 +154,31 @@ pub struct MinScoreFinder<'a> {
     scores: &'a [u64],
     k: usize,
     prune: bool,
+    mode: KernelMode,
     stack: Vec<NodeId>,
     bufs: Vec<Vec<NodeId>>,
+    levels: Vec<Vec<u64>>,
+    dense: DenseIndex,
     best: Option<ScoredClique>,
 }
 
 impl<'a> MinScoreFinder<'a> {
     /// Creates a finder for k-cliques with the given per-node scores.
     pub fn new(dag: &'a Dag, scores: &'a [u64], k: usize, prune: bool) -> Self {
+        Self::with_kernel(dag, scores, k, prune, KernelMode::default())
+    }
+
+    /// [`MinScoreFinder::new`] with an explicit intersection kernel; every
+    /// mode finds the identical clique and score (pruning decisions depend
+    /// only on the incumbent best, which evolves identically because both
+    /// kernels visit candidates in ascending id).
+    pub fn with_kernel(
+        dag: &'a Dag,
+        scores: &'a [u64],
+        k: usize,
+        prune: bool,
+        mode: KernelMode,
+    ) -> Self {
         assert!(k >= 2, "MinScoreFinder requires k >= 2");
         assert_eq!(scores.len(), dag.num_nodes(), "one score per node required");
         MinScoreFinder {
@@ -110,8 +186,11 @@ impl<'a> MinScoreFinder<'a> {
             scores,
             k,
             prune,
+            mode,
             stack: Vec::with_capacity(k),
             bufs: vec![Vec::new(); k],
+            levels: vec![Vec::new(); k],
+            dense: DenseIndex::default(),
             best: None,
         }
     }
@@ -127,11 +206,21 @@ impl<'a> MinScoreFinder<'a> {
         self.best = None;
         self.stack.clear();
         self.stack.push(root);
-        let mut cand = std::mem::take(&mut self.bufs[0]);
-        cand.clear();
-        cand.extend(self.dag.out_neighbors(root).iter().copied().filter(|&v| valid[v as usize]));
-        self.recurse(self.k - 1, &cand, self.scores[root as usize]);
-        self.bufs[0] = cand;
+        if self.mode.dense_for(self.k, self.dag.out_degree(root)) {
+            let d = self.dense.build_filtered(self.dag, root, valid);
+            let mut cand = std::mem::take(&mut self.levels[0]);
+            kernel::fill_full(&mut cand, d);
+            self.recurse_dense(self.k - 1, &cand, self.scores[root as usize]);
+            self.levels[0] = cand;
+        } else {
+            let mut cand = std::mem::take(&mut self.bufs[0]);
+            cand.clear();
+            cand.extend(
+                self.dag.out_neighbors(root).iter().copied().filter(|&v| valid[v as usize]),
+            );
+            self.recurse(self.k - 1, &cand, self.scores[root as usize]);
+            self.bufs[0] = cand;
+        }
         self.best.take()
     }
 
@@ -170,6 +259,45 @@ impl<'a> MinScoreFinder<'a> {
             }
         }
         self.bufs[depth] = sub;
+    }
+
+    /// Bitset-kernel mirror of [`MinScoreFinder::recurse`].
+    fn recurse_dense(&mut self, l: usize, cand: &[u64], cur_sum: u64) {
+        if kernel::count_ones(cand) < l {
+            return;
+        }
+        if l == 1 {
+            for i in kernel::ones(cand) {
+                let total = cur_sum + self.scores[self.dense.globals[i] as usize];
+                if self.best.is_none_or(|b| total < b.score) {
+                    self.stack.push(self.dense.globals[i]);
+                    self.best =
+                        Some(ScoredClique { clique: Clique::new(&self.stack), score: total });
+                    self.stack.pop();
+                }
+            }
+            return;
+        }
+        let depth = self.k - l;
+        let mut sub = std::mem::take(&mut self.levels[depth]);
+        for i in kernel::ones(cand) {
+            let v = self.dense.globals[i];
+            let s = cur_sum + self.scores[v as usize];
+            if self.prune {
+                if let Some(best) = self.best {
+                    if s >= best.score {
+                        continue; // score-driven pruning
+                    }
+                }
+            }
+            kernel::and_into(&mut sub, cand, self.dense.row(i));
+            if kernel::count_ones(&sub) >= l - 1 {
+                self.stack.push(v);
+                self.recurse_dense(l - 1, &sub, s);
+                self.stack.pop();
+            }
+        }
+        self.levels[depth] = sub;
     }
 }
 
@@ -243,6 +371,25 @@ mod tests {
     }
 
     #[test]
+    fn first_finder_kernels_agree_under_churned_validity() {
+        let g = paper_graph();
+        let d = dag(&g);
+        let mut slice = FirstFinder::with_kernel(&d, 3, KernelMode::Slice);
+        let mut dense = FirstFinder::with_kernel(&d, 3, KernelMode::Bitset);
+        // Walk every validity pattern derived from a small counter.
+        for pattern in 0..512u32 {
+            let valid: Vec<bool> = (0..9).map(|i| pattern & (1 << i) != 0).collect();
+            for root in 0..9 {
+                assert_eq!(
+                    slice.find(root, &valid),
+                    dense.find(root, &valid),
+                    "root={root} pattern={pattern:b}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn first_finder_respects_validity() {
         let g = paper_graph();
         let d = dag(&g);
@@ -292,6 +439,27 @@ mod tests {
             let (bs, bc) = best.unwrap();
             assert_eq!(got.score, bs, "prune={prune}");
             assert_eq!(got.clique.as_slice(), bc.as_slice(), "prune={prune}");
+        }
+    }
+
+    #[test]
+    fn min_finder_kernels_agree_under_churned_validity() {
+        let g = paper_graph();
+        let d = dag(&g);
+        let scores = node_scores(&d, 3);
+        for prune in [false, true] {
+            let mut slice = MinScoreFinder::with_kernel(&d, &scores, 3, prune, KernelMode::Slice);
+            let mut dense = MinScoreFinder::with_kernel(&d, &scores, 3, prune, KernelMode::Bitset);
+            for pattern in 0..512u32 {
+                let valid: Vec<bool> = (0..9).map(|i| pattern & (1 << i) != 0).collect();
+                for root in 0..9 {
+                    assert_eq!(
+                        slice.find(root, &valid),
+                        dense.find(root, &valid),
+                        "prune={prune} root={root} pattern={pattern:b}"
+                    );
+                }
+            }
         }
     }
 

@@ -23,22 +23,34 @@
 //!   arbitrary node subset of a dynamic graph, used by the candidate-clique
 //!   index of Section V (Algorithm 5).
 //! * [`Clique`] — an inline, allocation-free clique value type.
+//! * [`KernelMode`] — per-root choice between the sorted-slice merge kernel
+//!   and a dense bit-matrix kernel (Rossi et al., "A Fast Parallel Maximum
+//!   Clique Algorithm for Large Sparse Graphs"). Every `*_kernel` variant
+//!   accepts a mode; the default [`KernelMode::Adaptive`] densifies roots
+//!   whose out-degree lands in `DENSE_MIN_DEGREE..=DENSE_MAX_DEGREE`, and
+//!   every mode emits bit-identical cliques in the identical order.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-mod bitset;
 mod count;
 mod find;
+mod kernel;
 mod list;
 mod subset;
 mod types;
 
-pub use count::{count_kcliques, count_kcliques_parallel, node_scores, node_scores_parallel};
+pub use count::{
+    count_kcliques, count_kcliques_kernel, count_kcliques_parallel, node_scores,
+    node_scores_kernel, node_scores_parallel,
+};
 pub use find::{FirstFinder, MinScoreFinder, ScoredClique};
+pub use kernel::{KernelMode, DENSE_MAX_DEGREE, DENSE_MIN_DEGREE};
 pub use list::{
-    collect_kcliques, collect_kcliques_bounded, collect_kcliques_budgeted,
-    collect_kcliques_parallel, for_each_kclique, for_each_kclique_rooted, for_each_kclique_while,
+    collect_kcliques, collect_kcliques_bounded, collect_kcliques_bounded_par,
+    collect_kcliques_budgeted, collect_kcliques_kernel, collect_kcliques_parallel,
+    collect_kcliques_parallel_kernel, for_each_kclique, for_each_kclique_kernel,
+    for_each_kclique_rooted, for_each_kclique_while,
 };
 pub use subset::{collect_kcliques_in_subset, for_each_kclique_in_subset};
 pub use types::{Clique, MAX_K};

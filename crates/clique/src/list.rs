@@ -1,6 +1,7 @@
+use crate::kernel::{self, DenseIndex, KernelMode};
 use crate::types::Clique;
 use dkc_graph::{Dag, NodeId};
-use dkc_par::{par_for_each_root, ParConfig};
+use dkc_par::{par_for_each_root, par_try_collect, ParConfig, SharedBudget};
 
 /// Enumerates every k-clique of the DAG-oriented graph exactly once.
 ///
@@ -10,14 +11,24 @@ use dkc_par::{par_for_each_root, ParConfig};
 /// for the duration of the callback.
 ///
 /// `k = 1` reports every node, `k = 2` every edge; `k >= 3` is the paper's
-/// regime. The recursion intersects sorted candidate lists, giving the
-/// `O(k · m · (d/2)^(k-2))` bound of reference \[13\] when the order is a
-/// degeneracy order.
-pub fn for_each_kclique<F>(dag: &Dag, k: usize, mut cb: F)
+/// regime. The recursion intersects sorted candidate lists (or, for dense
+/// roots, word-ANDs the per-root bit matrix — see [`KernelMode`]), giving
+/// the `O(k · m · (d/2)^(k-2))` bound of reference \[13\] when the order is
+/// a degeneracy order.
+pub fn for_each_kclique<F>(dag: &Dag, k: usize, cb: F)
 where
     F: FnMut(&[NodeId]),
 {
-    let mut ctx = ListCtx::new(dag, k);
+    for_each_kclique_kernel(dag, k, KernelMode::default(), cb)
+}
+
+/// [`for_each_kclique`] with an explicit intersection kernel. Every mode
+/// reports the same cliques in the same order.
+pub fn for_each_kclique_kernel<F>(dag: &Dag, k: usize, mode: KernelMode, mut cb: F)
+where
+    F: FnMut(&[NodeId]),
+{
+    let mut ctx = ListCtx::with_kernel(dag, k, mode);
     for u in 0..dag.num_nodes() as NodeId {
         ctx.run_root(u, &mut |nodes| {
             cb(nodes);
@@ -57,8 +68,13 @@ where
 /// Collects all k-cliques into owned [`Clique`] values (the storage-heavy
 /// path used by Algorithm 2 / GC).
 pub fn collect_kcliques(dag: &Dag, k: usize) -> Vec<Clique> {
+    collect_kcliques_kernel(dag, k, KernelMode::default())
+}
+
+/// [`collect_kcliques`] with an explicit intersection kernel.
+pub fn collect_kcliques_kernel(dag: &Dag, k: usize, mode: KernelMode) -> Vec<Clique> {
     let mut out = Vec::new();
-    for_each_kclique(dag, k, |nodes| out.push(Clique::new(nodes)));
+    for_each_kclique_kernel(dag, k, mode, |nodes| out.push(Clique::new(nodes)));
     out
 }
 
@@ -68,10 +84,20 @@ pub fn collect_kcliques(dag: &Dag, k: usize) -> Vec<Clique> {
 /// output `Vec` is **bit-identical** to the sequential collector for any
 /// thread count.
 pub fn collect_kcliques_parallel(dag: &Dag, k: usize, par: ParConfig) -> Vec<Clique> {
+    collect_kcliques_parallel_kernel(dag, k, par, KernelMode::default())
+}
+
+/// [`collect_kcliques_parallel`] with an explicit intersection kernel.
+pub fn collect_kcliques_parallel_kernel(
+    dag: &Dag,
+    k: usize,
+    par: ParConfig,
+    mode: KernelMode,
+) -> Vec<Clique> {
     par_for_each_root(
         par,
         dag.num_nodes(),
-        || ListCtx::new(dag, k),
+        || ListCtx::with_kernel(dag, k, mode),
         |ctx, u, out| {
             ctx.run_root(u as NodeId, &mut |nodes| {
                 out.push(Clique::new(nodes));
@@ -82,9 +108,10 @@ pub fn collect_kcliques_parallel(dag: &Dag, k: usize, par: ParConfig) -> Vec<Cli
 }
 
 /// Budget-aware collection used by the GC solver and clique-graph
-/// construction: `Some(limit)` runs the sequential early-stop bounded
-/// collector (its abort semantics depend on enumeration order), `None`
-/// fans out over the executor.
+/// construction: `Some(limit)` runs the shared-bound parallel bounded
+/// collector ([`collect_kcliques_bounded_par`]), `None` the unbounded
+/// parallel one. Both fan out over the executor with bit-identical output
+/// and (for `Some`) a deterministic `Err`/`Ok` decision.
 pub fn collect_kcliques_budgeted(
     dag: &Dag,
     k: usize,
@@ -92,14 +119,16 @@ pub fn collect_kcliques_budgeted(
     par: ParConfig,
 ) -> Result<Vec<Clique>, usize> {
     match max_cliques {
-        Some(limit) => collect_kcliques_bounded(dag, k, limit),
+        Some(limit) => collect_kcliques_bounded_par(dag, k, limit, par, KernelMode::default()),
         None => Ok(collect_kcliques_parallel(dag, k, par)),
     }
 }
 
 /// Budgeted [`collect_kcliques`]: aborts with `Err(limit)` as soon as more
 /// than `limit` cliques exist, without materialising the excess — the
-/// mechanism behind the harness's deterministic "OOM" markers.
+/// mechanism behind the harness's deterministic "OOM" markers. Sequential
+/// reference implementation; [`collect_kcliques_bounded_par`] is the
+/// parallel equivalent.
 pub fn collect_kcliques_bounded(dag: &Dag, k: usize, limit: usize) -> Result<Vec<Clique>, usize> {
     let mut out = Vec::new();
     let mut overflow = false;
@@ -118,24 +147,82 @@ pub fn collect_kcliques_bounded(dag: &Dag, k: usize, limit: usize) -> Result<Vec
     }
 }
 
+/// Parallel [`collect_kcliques_bounded`] on the [`dkc_par`] executor with a
+/// [`SharedBudget`] as the cross-root pruning bound.
+///
+/// Every worker charges the shared bound once per clique it emits and
+/// abandons its root as soon as the bound is exhausted. This is lossless
+/// pruning in the sense of the executor's monotone-criterion contract: the
+/// total k-clique population is a property of the input alone, so either
+/// **every** schedule stays within budget (no worker ever observes
+/// exhaustion, the chunk-ordered output equals the sequential collector
+/// bit-for-bit) or **every** schedule eventually exceeds it (the run
+/// returns `Err(limit)` and all partial output is discarded — the skipped
+/// enumeration work could only have produced output that is already
+/// excluded). The `Err`/`Ok` decision therefore matches
+/// [`collect_kcliques_bounded`] for any thread count.
+pub fn collect_kcliques_bounded_par(
+    dag: &Dag,
+    k: usize,
+    limit: usize,
+    par: ParConfig,
+    mode: KernelMode,
+) -> Result<Vec<Clique>, usize> {
+    let budget = SharedBudget::new(limit);
+    par_try_collect(
+        par,
+        dag.num_nodes(),
+        || ListCtx::with_kernel(dag, k, mode),
+        |ctx, range, out| {
+            for u in range {
+                let mut over = false;
+                ctx.run_root(u as NodeId, &mut |nodes| {
+                    if !budget.charge(1) {
+                        over = true;
+                        return false;
+                    }
+                    out.push(Clique::new(nodes));
+                    true
+                });
+                if over {
+                    return Err(limit);
+                }
+            }
+            Ok(())
+        },
+    )
+}
+
 /// Reusable recursion state: one candidate buffer per depth plus the member
-/// stack, so enumeration performs no per-clique allocation.
+/// stack, so enumeration performs no per-clique allocation. Holds both
+/// kernels' scratch; [`KernelMode`] picks per root.
 struct ListCtx<'a> {
     dag: &'a Dag,
     k: usize,
+    mode: KernelMode,
     stack: Vec<NodeId>,
-    /// `bufs[d]` holds the candidate set at recursion depth `d`.
+    /// `bufs[d]` holds the slice-kernel candidate set at recursion depth `d`.
     bufs: Vec<Vec<NodeId>>,
+    /// `levels[d]` holds the bitset-kernel candidate words at depth `d`.
+    levels: Vec<Vec<u64>>,
+    dense: DenseIndex,
 }
 
 impl<'a> ListCtx<'a> {
     fn new(dag: &'a Dag, k: usize) -> Self {
+        Self::with_kernel(dag, k, KernelMode::default())
+    }
+
+    fn with_kernel(dag: &'a Dag, k: usize, mode: KernelMode) -> Self {
         assert!(k >= 1, "k must be at least 1");
         ListCtx {
             dag,
             k,
+            mode,
             stack: Vec::with_capacity(k),
             bufs: vec![Vec::new(); k.saturating_sub(1)],
+            levels: vec![Vec::new(); k.saturating_sub(1)],
+            dense: DenseIndex::default(),
         }
     }
 
@@ -145,8 +232,12 @@ impl<'a> ListCtx<'a> {
         if self.k == 1 {
             return cb(&[u]);
         }
-        if self.dag.out_degree(u) < self.k - 1 {
+        let d = self.dag.out_degree(u);
+        if d < self.k - 1 {
             return true;
+        }
+        if self.mode.dense_for(self.k, d) {
+            return self.run_root_dense(u, cb);
         }
         self.stack.clear();
         self.stack.push(u);
@@ -186,7 +277,7 @@ impl<'a> ListCtx<'a> {
         for &v in cand {
             // Only descend through v's out-neighbours: this de-duplicates
             // member selection the same way the DAG de-duplicates roots.
-            intersect_sorted(cand, self.dag.out_neighbors(v), &mut sub);
+            crate::list::intersect_sorted(cand, self.dag.out_neighbors(v), &mut sub);
             if sub.len() >= l - 1 {
                 self.stack.push(v);
                 keep_going = self.recurse(l - 1, &sub, cb);
@@ -197,6 +288,58 @@ impl<'a> ListCtx<'a> {
             }
         }
         self.bufs[depth] = sub;
+        keep_going
+    }
+
+    /// Bitset-kernel root: densify `N⁺(u)` once, then recurse on words.
+    /// Local ids ascend with global ids, so the visit (and therefore
+    /// emission) order is exactly the slice kernel's.
+    fn run_root_dense<F: FnMut(&[NodeId]) -> bool>(&mut self, u: NodeId, cb: &mut F) -> bool {
+        let d = self.dense.build(self.dag, u);
+        self.stack.clear();
+        self.stack.push(u);
+        let mut first = std::mem::take(&mut self.levels[0]);
+        kernel::fill_full(&mut first, d);
+        let keep_going = self.recurse_dense(self.k - 1, &first, cb);
+        self.levels[0] = first;
+        keep_going
+    }
+
+    fn recurse_dense<F: FnMut(&[NodeId]) -> bool>(
+        &mut self,
+        l: usize,
+        cand: &[u64],
+        cb: &mut F,
+    ) -> bool {
+        if kernel::count_ones(cand) < l {
+            return true;
+        }
+        if l == 1 {
+            for i in kernel::ones(cand) {
+                self.stack.push(self.dense.globals[i]);
+                let keep_going = cb(&self.stack);
+                self.stack.pop();
+                if !keep_going {
+                    return false;
+                }
+            }
+            return true;
+        }
+        let depth = self.k - l;
+        let mut sub = std::mem::take(&mut self.levels[depth]);
+        let mut keep_going = true;
+        for i in kernel::ones(cand) {
+            kernel::and_into(&mut sub, cand, self.dense.row(i));
+            if kernel::count_ones(&sub) >= l - 1 {
+                self.stack.push(self.dense.globals[i]);
+                keep_going = self.recurse_dense(l - 1, &sub, cb);
+                self.stack.pop();
+                if !keep_going {
+                    break;
+                }
+            }
+        }
+        self.levels[depth] = sub;
         keep_going
     }
 }
@@ -292,6 +435,23 @@ mod tests {
     }
 
     #[test]
+    fn kernel_modes_emit_identical_sequences() {
+        let g = paper_graph();
+        for kind in [OrderingKind::Identity, OrderingKind::Degeneracy] {
+            let dag = dag_of(&g, kind);
+            for k in 1..=4 {
+                let mut baseline = Vec::new();
+                for_each_kclique_kernel(&dag, k, KernelMode::Slice, |c| baseline.push(c.to_vec()));
+                for mode in [KernelMode::Bitset, KernelMode::Adaptive] {
+                    let mut got = Vec::new();
+                    for_each_kclique_kernel(&dag, k, mode, |c| got.push(c.to_vec()));
+                    assert_eq!(got, baseline, "{kind:?} k={k} {mode}");
+                }
+            }
+        }
+    }
+
+    #[test]
     fn k1_reports_nodes_and_k2_reports_edges() {
         let g = paper_graph();
         let dag = dag_of(&g, OrderingKind::Degeneracy);
@@ -341,6 +501,25 @@ mod tests {
     }
 
     #[test]
+    fn forced_bitset_handles_complete_graphs() {
+        let mut edges = Vec::new();
+        for a in 0..6u32 {
+            for b in (a + 1)..6 {
+                edges.push((a, b));
+            }
+        }
+        let g = CsrGraph::from_edges(6, edges).unwrap();
+        let dag = dag_of(&g, OrderingKind::Degeneracy);
+        for k in 3..=7 {
+            assert_eq!(
+                collect_kcliques_kernel(&dag, k, KernelMode::Bitset),
+                collect_kcliques_kernel(&dag, k, KernelMode::Slice),
+                "k={k}"
+            );
+        }
+    }
+
+    #[test]
     fn triangle_free_graph_has_no_3cliques() {
         // C5 (5-cycle) is triangle-free.
         let g = CsrGraph::from_edges(5, vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]).unwrap();
@@ -371,6 +550,22 @@ mod tests {
         // Generous limit behaves like the unbounded collector.
         let all = collect_kcliques_bounded(&dag, 3, 1_000).unwrap();
         assert_eq!(all.len(), collect_kcliques(&dag, 3).len());
+    }
+
+    #[test]
+    fn bounded_parallel_matches_sequential_decisions_and_output() {
+        let g = paper_graph();
+        let dag = dag_of(&g, OrderingKind::Degeneracy);
+        for mode in [KernelMode::Slice, KernelMode::Bitset, KernelMode::Adaptive] {
+            for threads in [1usize, 2, 8] {
+                let par = ParConfig::new(threads).with_chunk(1);
+                for limit in [0usize, 3, 6, 7, 1000] {
+                    let seq = collect_kcliques_bounded(&dag, 3, limit);
+                    let par_res = collect_kcliques_bounded_par(&dag, 3, limit, par, mode);
+                    assert_eq!(par_res, seq, "threads={threads} limit={limit} {mode}");
+                }
+            }
+        }
     }
 
     #[test]

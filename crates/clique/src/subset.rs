@@ -1,4 +1,4 @@
-use crate::bitset::Bitset;
+use crate::kernel;
 use crate::types::Clique;
 use dkc_graph::{DynGraph, NodeId};
 
@@ -8,8 +8,8 @@ use dkc_graph::{DynGraph, NodeId};
 /// cliques for a solution clique `C` are exactly the k-cliques of the
 /// induced subgraph on `B = C ∪ N_F(C)`. The subset is typically small
 /// (a clique plus its free neighbours), so adjacency is densified into
-/// bitsets and cliques are extended in increasing local id order, reporting
-/// each exactly once.
+/// bit rows (shared with the dense listing kernel) and cliques are extended
+/// in increasing local id order, reporting each exactly once.
 ///
 /// Duplicates in `nodes` are ignored. The callback receives *global* node
 /// ids, sorted ascending, valid only for the duration of the call.
@@ -31,9 +31,12 @@ where
         }
         return;
     }
-    // Densify adjacency restricted to the subset.
-    let mut rows: Vec<Bitset> = (0..s).map(|_| Bitset::new(s)).collect();
+    // Densify adjacency restricted to the subset: row i holds the local ids
+    // adjacent to local node i, packed `stride` words per row.
+    let stride = s.div_ceil(64);
+    let mut rows = vec![0u64; s * stride];
     for (i, &gu) in local.iter().enumerate() {
+        let row = &mut rows[i * stride..(i + 1) * stride];
         // Walk gu's (sorted) neighbour list against the (sorted) subset.
         let nbrs = g.neighbors(gu);
         let (mut a, mut b) = (0usize, 0usize);
@@ -42,7 +45,7 @@ where
                 std::cmp::Ordering::Less => a += 1,
                 std::cmp::Ordering::Greater => b += 1,
                 std::cmp::Ordering::Equal => {
-                    rows[i].set(b);
+                    kernel::set_bit(row, b);
                     a += 1;
                     b += 1;
                 }
@@ -51,13 +54,15 @@ where
     }
     let mut ctx = SubsetCtx {
         rows: &rows,
+        stride,
         global: &local,
         k,
         stack: Vec::with_capacity(k),
         out: Vec::with_capacity(k),
-        bufs: vec![Bitset::new(s); k],
+        bufs: vec![Vec::new(); k],
     };
-    let full = Bitset::full(s);
+    let mut full = Vec::new();
+    kernel::fill_full(&mut full, s);
     ctx.recurse(k, &full, &mut cb);
 }
 
@@ -69,17 +74,22 @@ pub fn collect_kcliques_in_subset(g: &DynGraph, nodes: &[NodeId], k: usize) -> V
 }
 
 struct SubsetCtx<'a> {
-    rows: &'a [Bitset],
+    rows: &'a [u64],
+    stride: usize,
     global: &'a [NodeId],
     k: usize,
     /// Chosen local ids, strictly increasing.
     stack: Vec<usize>,
     /// Scratch for the translated global ids.
     out: Vec<NodeId>,
-    bufs: Vec<Bitset>,
+    bufs: Vec<Vec<u64>>,
 }
 
 impl SubsetCtx<'_> {
+    fn row(&self, i: usize) -> &[u64] {
+        &self.rows[i * self.stride..(i + 1) * self.stride]
+    }
+
     fn emit<F: FnMut(&[NodeId])>(&mut self, last: usize, cb: &mut F) {
         self.out.clear();
         self.out.extend(self.stack.iter().map(|&i| self.global[i]));
@@ -89,23 +99,21 @@ impl SubsetCtx<'_> {
         cb(&self.out);
     }
 
-    fn recurse<F: FnMut(&[NodeId])>(&mut self, l: usize, cand: &Bitset, cb: &mut F) {
+    fn recurse<F: FnMut(&[NodeId])>(&mut self, l: usize, cand: &[u64], cb: &mut F) {
         if l == 1 {
-            let ones: Vec<usize> = cand.iter_ones().collect();
-            for i in ones {
+            for i in kernel::ones(cand) {
                 self.emit(i, cb);
             }
             return;
         }
-        if cand.count_ones() < l {
+        if kernel::count_ones(cand) < l {
             return;
         }
         let depth = self.k - l;
         let mut sub = std::mem::take(&mut self.bufs[depth]);
-        let picks: Vec<usize> = cand.iter_ones().collect();
-        for i in picks {
-            sub.assign_and_above(cand, &self.rows[i], i);
-            if sub.count_ones() >= l - 1 {
+        for i in kernel::ones(cand) {
+            kernel::and_above_into(&mut sub, cand, self.row(i), i);
+            if kernel::count_ones(&sub) >= l - 1 {
                 self.stack.push(i);
                 self.recurse(l - 1, &sub, cb);
                 self.stack.pop();
@@ -207,7 +215,7 @@ mod tests {
     #[test]
     fn large_subset_crossing_word_boundaries() {
         // A clique of size 5 placed at ids 60..65 inside a 130-node subset
-        // exercises multi-word bitsets.
+        // exercises multi-word bit rows.
         let mut g = DynGraph::new(130);
         for a in 60..65u32 {
             for b in (a + 1)..65 {

@@ -4,9 +4,11 @@
 use std::collections::BTreeSet;
 
 use dkc_clique::{
-    collect_kcliques, collect_kcliques_in_subset, collect_kcliques_parallel, count_kcliques,
-    count_kcliques_parallel, node_scores, node_scores_parallel, Clique, FirstFinder,
-    MinScoreFinder,
+    collect_kcliques, collect_kcliques_bounded, collect_kcliques_bounded_par,
+    collect_kcliques_in_subset, collect_kcliques_kernel, collect_kcliques_parallel,
+    collect_kcliques_parallel_kernel, count_kcliques, count_kcliques_kernel,
+    count_kcliques_parallel, node_scores, node_scores_kernel, node_scores_parallel, Clique,
+    FirstFinder, KernelMode, MinScoreFinder,
 };
 use dkc_graph::{CsrGraph, Dag, DynGraph, NodeId, NodeOrder, OrderingKind};
 use dkc_par::ParConfig;
@@ -175,6 +177,60 @@ proptest! {
             // Listing must match element-for-element (order included).
             prop_assert_eq!(
                 &collect_kcliques_parallel(&d, k, par), &listed, "listing, threads {}", threads);
+        }
+    }
+
+    #[test]
+    fn kernel_modes_agree_on_cliques_counts_and_scores(
+        g in graph_strategy(24, 140),
+        k in 3usize..=5,
+    ) {
+        // The slice kernel is the reference; the forced-dense and adaptive
+        // kernels must reproduce its cliques *in order*, its count and its
+        // per-node scores — sequentially and on every executor shape.
+        let d = dag(&g, OrderingKind::Degeneracy);
+        let listed = collect_kcliques_kernel(&d, k, KernelMode::Slice);
+        let count = count_kcliques(&d, k);
+        let scores = node_scores(&d, k);
+        prop_assert_eq!(count, listed.len() as u64);
+        for mode in [KernelMode::Slice, KernelMode::Bitset, KernelMode::Adaptive] {
+            prop_assert_eq!(
+                &collect_kcliques_kernel(&d, k, mode), &listed, "sequential {}", mode);
+            for threads in [1usize, 2, 8] {
+                let par = ParConfig::new(threads).with_chunk(3);
+                prop_assert_eq!(
+                    &collect_kcliques_parallel_kernel(&d, k, par, mode), &listed,
+                    "listing, threads {} {}", threads, mode);
+                prop_assert_eq!(
+                    count_kcliques_kernel(&d, k, par, mode), count,
+                    "count, threads {} {}", threads, mode);
+                prop_assert_eq!(
+                    &node_scores_kernel(&d, k, par, mode), &scores,
+                    "scores, threads {} {}", threads, mode);
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_collection_decision_is_schedule_and_kernel_free(
+        g in graph_strategy(18, 90),
+        k in 3usize..=4,
+        limit in 0usize..=40,
+    ) {
+        // The shared-budget parallel collector must reach the sequential
+        // collector's exact Err/Ok decision (and, on Ok, its exact output)
+        // for every kernel and thread count — the monotone-criterion
+        // determinism argument, exercised on random graphs.
+        let d = dag(&g, OrderingKind::Degeneracy);
+        let seq = collect_kcliques_bounded(&d, k, limit);
+        for mode in [KernelMode::Slice, KernelMode::Bitset, KernelMode::Adaptive] {
+            for threads in [1usize, 2, 8] {
+                // Chunk 1 maximises interleaving opportunities.
+                let par = ParConfig::new(threads).with_chunk(1);
+                prop_assert_eq!(
+                    &collect_kcliques_bounded_par(&d, k, limit, par, mode), &seq,
+                    "threads {} limit {} {}", threads, limit, mode);
+            }
         }
     }
 

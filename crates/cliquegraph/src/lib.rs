@@ -20,10 +20,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use dkc_clique::{collect_kcliques_budgeted, Clique};
+use dkc_clique::{
+    collect_kcliques_bounded_par, collect_kcliques_parallel_kernel, Clique, KernelMode,
+};
 use dkc_graph::{CsrGraph, Dag, NodeOrder, OrderingKind};
-use dkc_par::{par_try_collect, ParConfig};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use dkc_par::{par_try_collect, ParConfig, SharedBudget};
 
 /// Construction budget, emulating the paper's memory ("OOM") limits.
 #[derive(Debug, Clone, Copy, Default)]
@@ -104,11 +105,27 @@ impl CliqueGraph {
         limits: CliqueGraphLimits,
         par: ParConfig,
     ) -> Result<Self, CliqueGraphError> {
+        Self::build_par_kernel(g, k, limits, par, KernelMode::default())
+    }
+
+    /// [`CliqueGraph::build_par`] with an explicit intersection kernel for
+    /// the clique listing phase; every mode materialises the identical
+    /// graph (and the identical `Err` on budget trips).
+    pub fn build_par_kernel(
+        g: &CsrGraph,
+        k: usize,
+        limits: CliqueGraphLimits,
+        par: ParConfig,
+        mode: KernelMode,
+    ) -> Result<Self, CliqueGraphError> {
         let dag = Dag::from_graph(g, NodeOrder::compute(g, OrderingKind::Degeneracy));
         // Enforce the clique budget during collection so an over-limit
         // population aborts before materialising (deterministic OOM).
-        let cliques = collect_kcliques_budgeted(&dag, k, limits.max_cliques, par)
-            .map_err(|limit| CliqueGraphError::TooManyCliques { limit })?;
+        let cliques = match limits.max_cliques {
+            Some(limit) => collect_kcliques_bounded_par(&dag, k, limit, par, mode)
+                .map_err(|limit| CliqueGraphError::TooManyCliques { limit })?,
+            None => collect_kcliques_parallel_kernel(&dag, k, par, mode),
+        };
         Self::from_cliques_par(g.num_nodes(), k, cliques, limits, par)
     }
 
@@ -153,8 +170,7 @@ impl CliqueGraph {
         // Raw-pair budget: like the paper's OOM emulation, a pair sharing
         // two nodes counts twice, tripping the budget earlier — like real
         // memory would.
-        let raw_budget = limits.max_conflicts.map(|c| c.saturating_mul(2));
-        let raw_total = AtomicUsize::new(0);
+        let raw_budget = limits.max_conflicts.map(|c| SharedBudget::new(c.saturating_mul(2)));
         let adj: Vec<Vec<u32>> =
             par_try_collect(par, cliques.len(), Vec::<u32>::new, |gather, range, out| {
                 for i in range {
@@ -166,9 +182,8 @@ impl CliqueGraph {
                     // `id` itself shows up once per member; everything else
                     // is a shared-node co-occurrence with another clique.
                     let raw = gather.len() - cliques[i].len();
-                    if let Some(budget) = raw_budget {
-                        let total = raw_total.fetch_add(raw, Ordering::Relaxed) + raw;
-                        if total > budget {
+                    if let Some(budget) = &raw_budget {
+                        if !budget.charge(raw) {
                             return Err(CliqueGraphError::TooManyConflicts {
                                 limit: limits.max_conflicts.unwrap_or(0),
                             });
@@ -382,6 +397,35 @@ mod tests {
         for (a, b) in edges {
             assert!(a < b);
             assert!(cg.conflicts(a).contains(&b));
+        }
+    }
+
+    #[test]
+    fn kernel_modes_build_identical_graphs_and_budget_decisions() {
+        let g = paper_graph();
+        let base = CliqueGraph::build(&g, 3, CliqueGraphLimits::unlimited()).unwrap();
+        for mode in [KernelMode::Slice, KernelMode::Bitset, KernelMode::Adaptive] {
+            for threads in [1, 2, 8] {
+                let par = ParConfig::new(threads).with_chunk(1);
+                let cg =
+                    CliqueGraph::build_par_kernel(&g, 3, CliqueGraphLimits::unlimited(), par, mode)
+                        .unwrap();
+                assert_eq!(cg.cliques(), base.cliques(), "{mode} threads={threads}");
+                assert_eq!(cg.num_conflicts(), base.num_conflicts());
+                for id in 0..cg.num_cliques() as u32 {
+                    assert_eq!(cg.conflicts(id), base.conflicts(id));
+                }
+                // Budget decisions are mode- and schedule-independent too.
+                let err = CliqueGraph::build_par_kernel(
+                    &g,
+                    3,
+                    CliqueGraphLimits { max_cliques: Some(3), max_conflicts: None },
+                    par,
+                    mode,
+                )
+                .unwrap_err();
+                assert_eq!(err, CliqueGraphError::TooManyCliques { limit: 3 });
+            }
         }
     }
 

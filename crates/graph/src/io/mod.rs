@@ -125,6 +125,9 @@ pub struct LoadReport {
     pub bytes: u64,
     /// Text-parse statistics (`None` for snapshot loads).
     pub stats: Option<LoadStats>,
+    /// Whether the file bytes came from a zero-copy memory mapping
+    /// (`dkc-mmap`) rather than a buffered read.
+    pub mapped: bool,
     /// Wall-clock time for the whole load (read + parse/decode + build).
     pub elapsed: Duration,
 }
@@ -133,9 +136,10 @@ impl std::fmt::Display for LoadReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "source={} bytes={} ({:.1} ms)",
+            "source={} bytes={}{} ({:.1} ms)",
             self.source,
             self.bytes,
+            if self.mapped { " mmap" } else { "" },
             self.elapsed.as_secs_f64() * 1e3
         )?;
         if let Some(s) = &self.stats {
@@ -147,23 +151,38 @@ impl std::fmt::Display for LoadReport {
 
 /// Loads a graph file of either supported format.
 ///
-/// The file is read into memory with one sequential read; the first bytes
-/// decide the format ([`SNAPSHOT_MAGIC`] → snapshot decode, anything else →
-/// parallel text parse on `par`). Returns the graph together with a
-/// [`LoadReport`] describing which path ran and how long it took.
+/// The file is memory-mapped when the platform allows it (zero-copy: the
+/// decode reads straight from the page cache) and read into memory
+/// otherwise; the first bytes decide the format ([`SNAPSHOT_MAGIC`] →
+/// snapshot decode, anything else → parallel text parse on `par`). Returns
+/// the graph together with a [`LoadReport`] describing which path ran and
+/// how long it took.
 pub fn load_graph<P: AsRef<Path>>(
     path: P,
     par: ParConfig,
 ) -> Result<(LoadedGraph, LoadReport), GraphError> {
     let start = std::time::Instant::now();
-    let bytes = std::fs::read(path)?;
-    let (loaded, source, stats) = if is_snapshot_bytes(&bytes) {
-        (snapshot::read_snapshot_bytes(&bytes)?, LoadSource::Snapshot, None)
+    let path = path.as_ref();
+    // Mapping failures (exotic filesystems, non-Unix) fall back to the
+    // buffered read; decode errors are real and propagate either way,
+    // since both paths see the identical bytes.
+    let mapping = std::fs::File::open(path).ok().and_then(|f| dkc_mmap::Mmap::map(&f).ok());
+    let buffered;
+    let (bytes, mapped): (&[u8], bool) = match &mapping {
+        Some(map) => (map, true),
+        None => {
+            buffered = std::fs::read(path)?;
+            (&buffered, false)
+        }
+    };
+    let (loaded, source, stats) = if is_snapshot_bytes(bytes) {
+        (snapshot::read_snapshot_bytes(bytes)?, LoadSource::Snapshot, None)
     } else {
-        let (loaded, stats) = text::parse_edge_list(&bytes, par)?;
+        let (loaded, stats) = text::parse_edge_list(bytes, par)?;
         (loaded, LoadSource::Text, Some(stats))
     };
-    let report = LoadReport { source, bytes: bytes.len() as u64, stats, elapsed: start.elapsed() };
+    let report =
+        LoadReport { source, bytes: bytes.len() as u64, stats, mapped, elapsed: start.elapsed() };
     Ok((loaded, report))
 }
 
@@ -201,6 +220,10 @@ mod tests {
         let (from_snap, report) = load_graph(&snap_path, ParConfig::sequential()).unwrap();
         assert_eq!(report.source, LoadSource::Snapshot);
         assert!(report.stats.is_none());
+        if cfg!(unix) {
+            assert!(report.mapped, "snapshot loads memory-map on Unix");
+            assert!(report.to_string().contains("mmap"));
+        }
         assert_eq!(from_snap.graph, from_text.graph);
         assert_eq!(from_snap.labels, from_text.labels);
 

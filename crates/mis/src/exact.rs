@@ -79,6 +79,7 @@ impl ExactMis {
             deadline: self.budget.time_limit.map(|d| Instant::now() + d),
             node_limit: self.budget.node_limit,
             cover_scratch: Vec::new(),
+            cover_masks: Vec::new(),
         };
         s.search();
         let mut set = s.best;
@@ -99,6 +100,9 @@ struct SearchState<'a> {
     node_limit: Option<u64>,
     /// Scratch: clique id assigned per vertex during the cover bound.
     cover_scratch: Vec<u32>,
+    /// Scratch for the dense cover bound: per-clique running AND of the
+    /// members' adjacency rows (bit `v` set ⇔ `v` adjacent to them all).
+    cover_masks: Vec<Vec<u64>>,
 }
 
 impl SearchState<'_> {
@@ -245,10 +249,53 @@ impl SearchState<'_> {
 
     /// Greedily partitions the alive vertices into cliques; the number of
     /// cliques upper-bounds the MIS size of the remaining graph.
+    ///
+    /// When the graph carries its dense adjacency mirror, each clique keeps
+    /// the running AND of its members' bit rows, so "is `v` adjacent to
+    /// every member?" is a single bit test — the first-fit placement (and
+    /// therefore the cover size and every pruning decision downstream) is
+    /// identical to the member-scan fallback.
     fn clique_cover_size(&mut self) -> usize {
-        let n = self.g.num_nodes();
+        let g = self.g;
+        let n = g.num_nodes();
         self.cover_scratch.clear();
         self.cover_scratch.resize(n, u32::MAX);
+        if n == 0 {
+            return 0;
+        }
+        if g.dense_row(0).is_some() {
+            let mut used = 0usize;
+            for v in 0..n as u32 {
+                if !self.alive[v as usize] {
+                    continue;
+                }
+                let row = g.dense_row(v).expect("dense mirror present");
+                let word = v as usize / 64;
+                let bit = 1u64 << (v as usize % 64);
+                let mut placed = false;
+                for ci in 0..used {
+                    if self.cover_masks[ci][word] & bit != 0 {
+                        for (m, &r) in self.cover_masks[ci].iter_mut().zip(row) {
+                            *m &= r;
+                        }
+                        self.cover_scratch[v as usize] = ci as u32;
+                        placed = true;
+                        break;
+                    }
+                }
+                if !placed {
+                    if self.cover_masks.len() == used {
+                        self.cover_masks.push(Vec::new());
+                    }
+                    let mask = &mut self.cover_masks[used];
+                    mask.clear();
+                    mask.extend_from_slice(row);
+                    self.cover_scratch[v as usize] = used as u32;
+                    used += 1;
+                }
+            }
+            return used;
+        }
         // clique_members[c] lists vertices of clique c.
         let mut clique_members: Vec<Vec<u32>> = Vec::new();
         for v in 0..n as u32 {
@@ -258,7 +305,7 @@ impl SearchState<'_> {
             let mut placed = false;
             'cliques: for (ci, members) in clique_members.iter_mut().enumerate() {
                 for &m in members.iter() {
-                    if !self.g.has_edge(v, m) {
+                    if !g.has_edge(v, m) {
                         continue 'cliques;
                     }
                 }
@@ -374,6 +421,34 @@ mod tests {
             assert!(r.optimal);
             assert!(verify_independent(&g, &r.set));
             assert_eq!(r.set.len(), brute_force_mis(&g), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn dense_and_sparse_cover_bounds_explore_identical_trees() {
+        for seed in 0u64..20 {
+            let n = 18 + (seed % 5) as usize;
+            let mut edges = Vec::new();
+            let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(7);
+            for a in 0..n as u32 {
+                for b in (a + 1)..n as u32 {
+                    state ^= state << 13;
+                    state ^= state >> 7;
+                    state ^= state << 17;
+                    if state % 100 < 40 {
+                        edges.push((a, b));
+                    }
+                }
+            }
+            let dense = AdjGraph::from_edges_with_density(n, &edges, true);
+            let sparse = AdjGraph::from_edges_with_density(n, &edges, false);
+            let rd = ExactMis::new().solve(&dense);
+            let rs = ExactMis::new().solve(&sparse);
+            assert_eq!(rd.set, rs.set, "seed {seed}");
+            assert_eq!(rd.optimal, rs.optimal);
+            // Same cover sizes → same pruning → the searches are the same
+            // tree, node for node.
+            assert_eq!(rd.search_nodes, rs.search_nodes, "seed {seed}");
         }
     }
 

@@ -1,17 +1,33 @@
+/// Node-count ceiling for the dense adjacency mirror: an `n × n` bit
+/// matrix at this size costs `4096² / 8 = 2 MiB`, the same cap the clique
+/// kernels use for per-root matrices.
+pub const DENSE_NODE_LIMIT: usize = 4096;
+
 /// A minimal adjacency-list graph for the MIS solvers.
 ///
 /// Kept dependency-free so `dkc-mis` stands alone. Neighbour lists are
-/// sorted and de-duplicated; self-loops are dropped.
+/// sorted and de-duplicated; self-loops are dropped. Graphs up to
+/// [`DENSE_NODE_LIMIT`] nodes additionally carry a dense bit-matrix mirror
+/// of the adjacency, which the exact solver's clique-cover bound uses for
+/// word-parallel candidate filtering (identical decisions, fewer binary
+/// searches).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AdjGraph {
     adj: Vec<Vec<u32>>,
     num_edges: usize,
+    /// Row-major `n × stride` bit matrix; empty when `n` exceeds
+    /// [`DENSE_NODE_LIMIT`] (or densification is disabled).
+    rows: Vec<u64>,
+    stride: usize,
 }
 
 impl AdjGraph {
     /// Creates an edgeless graph on `n` vertices.
     pub fn new(n: usize) -> Self {
-        AdjGraph { adj: vec![Vec::new(); n], num_edges: 0 }
+        let mut g =
+            AdjGraph { adj: vec![Vec::new(); n], num_edges: 0, rows: Vec::new(), stride: 0 };
+        g.densify(n <= DENSE_NODE_LIMIT);
+        g
     }
 
     /// Builds a simple graph from an edge slice.
@@ -19,7 +35,15 @@ impl AdjGraph {
     /// # Panics
     /// Panics if an endpoint is `>= n`.
     pub fn from_edges(n: usize, edges: &[(u32, u32)]) -> Self {
-        let mut g = AdjGraph::new(n);
+        Self::from_edges_with_density(n, edges, n <= DENSE_NODE_LIMIT)
+    }
+
+    /// [`AdjGraph::from_edges`] with an explicit densification switch —
+    /// exposed so tests and benchmarks can compare the dense and sparse
+    /// candidate-filtering paths on the same instance.
+    pub fn from_edges_with_density(n: usize, edges: &[(u32, u32)], dense: bool) -> Self {
+        let mut g =
+            AdjGraph { adj: vec![Vec::new(); n], num_edges: 0, rows: Vec::new(), stride: 0 };
         for &(a, b) in edges {
             assert!((a as usize) < n && (b as usize) < n, "edge ({a},{b}) out of range");
             if a == b {
@@ -35,7 +59,26 @@ impl AdjGraph {
             m += list.len();
         }
         g.num_edges = m / 2;
+        g.densify(dense && n <= DENSE_NODE_LIMIT);
         g
+    }
+
+    fn densify(&mut self, enable: bool) {
+        let n = self.adj.len();
+        if !enable {
+            self.rows.clear();
+            self.stride = 0;
+            return;
+        }
+        self.stride = n.div_ceil(64).max(1);
+        self.rows.clear();
+        self.rows.resize(n * self.stride, 0);
+        for (u, list) in self.adj.iter().enumerate() {
+            let row = &mut self.rows[u * self.stride..(u + 1) * self.stride];
+            for &v in list {
+                row[v as usize / 64] |= 1u64 << (v as usize % 64);
+            }
+        }
     }
 
     /// Number of vertices.
@@ -62,9 +105,27 @@ impl AdjGraph {
         &self.adj[u as usize]
     }
 
-    /// Adjacency test.
+    /// The dense adjacency row of `u` (bit `v` set iff `u ~ v`), when the
+    /// graph carries the dense mirror.
+    #[inline]
+    pub fn dense_row(&self, u: u32) -> Option<&[u64]> {
+        if self.stride == 0 {
+            None
+        } else {
+            Some(&self.rows[u as usize * self.stride..(u as usize + 1) * self.stride])
+        }
+    }
+
+    /// Adjacency test — `O(1)` through the dense mirror when present,
+    /// binary search otherwise.
     pub fn has_edge(&self, u: u32, v: u32) -> bool {
-        u != v && self.adj[u as usize].binary_search(&v).is_ok()
+        if u == v {
+            return false;
+        }
+        match self.dense_row(u) {
+            Some(row) => row[v as usize / 64] & (1u64 << (v as usize % 64)) != 0,
+            None => self.adj[u as usize].binary_search(&v).is_ok(),
+        }
     }
 }
 
@@ -91,5 +152,27 @@ mod tests {
     fn neighbor_lists_sorted() {
         let g = AdjGraph::from_edges(5, &[(0, 4), (0, 2), (0, 1), (0, 3)]);
         assert_eq!(g.neighbors(0), &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn dense_mirror_matches_adjacency() {
+        let edges = [(0u32, 1u32), (0, 70), (1, 70), (69, 70), (5, 64)];
+        let g = AdjGraph::from_edges(71, &edges);
+        assert!(g.dense_row(0).is_some(), "small graphs carry the mirror");
+        let sparse = AdjGraph::from_edges_with_density(71, &edges, false);
+        assert!(sparse.dense_row(0).is_none());
+        for u in 0..71u32 {
+            for v in 0..71u32 {
+                assert_eq!(g.has_edge(u, v), sparse.has_edge(u, v), "{u}~{v}");
+            }
+        }
+    }
+
+    #[test]
+    fn new_graph_carries_empty_dense_rows() {
+        let g = AdjGraph::new(3);
+        let row = g.dense_row(2).unwrap();
+        assert!(row.iter().all(|&w| w == 0));
+        assert!(!g.has_edge(0, 1));
     }
 }

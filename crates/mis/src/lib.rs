@@ -15,7 +15,10 @@
 //!   Section IV-B uses to motivate clique-score ordering: repeatedly take a
 //!   minimum-degree vertex and delete its closed neighbourhood.
 //! * [`AdjGraph`] — a small adjacency-list graph type, independent of the
-//!   rest of the workspace so the solver is reusable in isolation.
+//!   rest of the workspace so the solver is reusable in isolation. Graphs
+//!   up to [`DENSE_NODE_LIMIT`] nodes carry a dense bit-matrix mirror that
+//!   turns the exact solver's clique-cover candidate filtering into
+//!   word-parallel mask tests — the search tree is identical either way.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -26,7 +29,7 @@ mod greedy;
 mod local;
 
 pub use exact::{ExactMis, MisBudget, MisResult};
-pub use graph::AdjGraph;
+pub use graph::{AdjGraph, DENSE_NODE_LIMIT};
 pub use greedy::greedy_mis;
 pub use local::local_search_mis;
 

@@ -15,6 +15,9 @@
 //!   result is exactly the sequential iteration order.
 //! * [`par_try_collect`] — fallible variant with cooperative early abort,
 //!   used for budgeted ("emulated OOM") construction.
+//! * [`SharedBudget`] — a monotone atomic charge counter shared across
+//!   workers, packaging the monotone abort criterion [`par_try_collect`]
+//!   requires (budgeted listing, clique-graph edge budgets).
 //!
 //! ## Determinism contract
 //!
@@ -326,6 +329,57 @@ where
     Ok(out)
 }
 
+/// A monotone shared budget for cooperative early abort across workers.
+///
+/// Workers call [`SharedBudget::charge`] for every unit of output they are
+/// about to produce; the first charge that pushes the running total past the
+/// limit returns `false` and the caller aborts its chunk (typically by
+/// returning `Err` from a [`par_try_collect`] fold). This is the Rossi-style
+/// shared bound specialised to budgeted enumeration: the counter only ever
+/// grows, so "total exceeded the limit" is a monotone criterion in the set
+/// of processed items and the [`par_try_collect`] contract applies directly.
+///
+/// **Determinism argument** (mirrors the solver's speculation lemma): the
+/// total number of items the full input produces is a property of the input,
+/// not of the schedule. If it is `<= limit`, no schedule ever sees `charge`
+/// fail and every schedule returns the complete, chunk-ordered output. If it
+/// is `> limit`, every schedule eventually crosses the limit — the *moment*
+/// differs per run, but the early abort only skips work whose output is
+/// discarded, because the run returns `Err` regardless. Callers must report
+/// the same error value from every failing chunk.
+#[derive(Debug)]
+pub struct SharedBudget {
+    limit: usize,
+    used: AtomicUsize,
+}
+
+impl SharedBudget {
+    /// Creates a budget allowing at most `limit` charged units in total.
+    pub fn new(limit: usize) -> Self {
+        SharedBudget { limit, used: AtomicUsize::new(0) }
+    }
+
+    /// Reserves `amount` units. Returns `true` when the reservation fits,
+    /// `false` once the cumulative total would exceed the limit. The counter
+    /// is monotone: a failed charge still counts, so later charges keep
+    /// failing (`exhausted` stays `true`).
+    #[inline]
+    pub fn charge(&self, amount: usize) -> bool {
+        let prev = self.used.fetch_add(amount, Ordering::Relaxed);
+        prev.saturating_add(amount) <= self.limit
+    }
+
+    /// Whether any charge has failed (the limit was crossed).
+    pub fn exhausted(&self) -> bool {
+        self.used.load(Ordering::Relaxed) > self.limit
+    }
+
+    /// The configured limit.
+    pub fn limit(&self) -> usize {
+        self.limit
+    }
+}
+
 /// Per-root convenience over [`par_collect`]: `body` is invoked once per
 /// root in `0..n` with the worker's scratch and the chunk's output buffer.
 /// Output order equals the sequential root order for any thread count.
@@ -513,6 +567,58 @@ mod tests {
         assert_eq!(par.effective_threads(400), 4);
         assert_eq!(par.effective_threads(10_000), 8);
         assert_eq!(ParConfig::sequential().effective_threads(10_000), 1);
+    }
+
+    #[test]
+    fn shared_budget_is_monotone() {
+        let b = SharedBudget::new(10);
+        assert_eq!(b.limit(), 10);
+        assert!(b.charge(4));
+        assert!(b.charge(6)); // exactly at the limit still fits
+        assert!(!b.exhausted());
+        assert!(!b.charge(1));
+        assert!(b.exhausted());
+        // Once crossed, every later charge fails — even a zero-size one.
+        assert!(!b.charge(0));
+        assert!(!b.charge(5));
+    }
+
+    #[test]
+    fn shared_budget_zero_limit_rejects_first_unit() {
+        let b = SharedBudget::new(0);
+        assert!(b.charge(0), "charging nothing against a zero budget is fine");
+        assert!(!b.charge(1));
+        assert!(b.exhausted());
+    }
+
+    #[test]
+    fn shared_budget_err_decision_matches_sequential_for_any_schedule() {
+        // The Err/Ok decision of a budgeted par_try_collect must depend only
+        // on the input's total output count, not the schedule.
+        for par in configs() {
+            for (n, limit) in [(100usize, 1000usize), (100, 99), (100, 100), (2048, 500)] {
+                let budget = SharedBudget::new(limit);
+                let got = par_try_collect(
+                    par,
+                    n,
+                    || (),
+                    |_, range, out: &mut Vec<usize>| {
+                        for u in range {
+                            if !budget.charge(1) {
+                                return Err(limit);
+                            }
+                            out.push(u);
+                        }
+                        Ok(())
+                    },
+                );
+                if n > limit {
+                    assert_eq!(got.unwrap_err(), limit, "{par:?} n={n} limit={limit}");
+                } else {
+                    assert_eq!(got.unwrap(), (0..n).collect::<Vec<_>>(), "{par:?} n={n}");
+                }
+            }
+        }
     }
 
     #[test]

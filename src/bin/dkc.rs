@@ -7,6 +7,7 @@
 //! dkc serve     <dataset|graph> --k K [--port P] [--state-dir D]   dynamic serving over TCP
 //! dkc loadgen   <host:port> [--conns N] [--ops N] [--update-pct P]   drive a server, report latency
 //! dkc bench     [--reps N] [--check BASELINE] [--out FILE]   pinned perf suite → one JSON line
+//! dkc bench     summary [FILES...] [--json]                  fold trajectory files into a table
 //! dkc convert   <in> <out> [--threads N]                     text ⇄ binary .dkcsr snapshot
 //! dkc gen       <dataset> <out> [--scale X] [--seed N]       write a stand-in as an edge list
 //! dkc cache     <dataset> --data-dir D [--scale X] [--seed N] [--json]   warm the snapshot cache
@@ -39,7 +40,11 @@
 //! With `--check <baseline.json>` the fresh run is additionally compared
 //! against the committed baseline's last line and the exit status is
 //! nonzero when any gated metric regresses beyond its tolerance — the CI
-//! `perf-gate` job is exactly this invocation.
+//! `perf-gate` job is exactly this invocation. `bench summary` reads the
+//! accumulated trajectory files instead of running anything: every line
+//! of each `BENCH_<host>.json` given (default: this host's file) folds
+//! into a per-metric `{median, min}` table across runs, or the matching
+//! JSON document with `--json`.
 //!
 //! `serve` starts the dynamic serving layer (see the `dkc-serve` crate
 //! docs for the newline-delimited JSON protocol): `<dataset|graph>` is a
@@ -69,7 +74,7 @@ use std::time::{Duration, Instant};
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  dkc stats <graph> [--kmax K] [common flags]\n  dkc solve <graph> --k K [common flags] [--json]\n  dkc partition <graph> --k K [common flags] [--json]\n  dkc serve <dataset|graph> --k K [--port P] [--state-dir D] [--data-dir D]\n            [--scale X] [--seed N] [--readers N] [--batch-max N]\n            [--batch-delay-ms MS] [--max-node N] [common flags]\n  dkc loadgen <host:port> [--conns N] [--ops N] [--warmup N] [--update-pct P]\n            [--batch N] [--nodes N] [--seed N] [--json]\n  dkc bench [--dataset NAME] [--scale X] [--seed N] [--k K] [--reps N]\n            [--threads N] [--out FILE] [--check BASELINE.json] [--stamp DATE]\n            [--host NAME] [--git-rev SHA] [--data-dir D] [--scratch D]\n            [--conns N] [--ops N] [--warmup N] [--batches N] [--batch-size N]\n  dkc convert <in> <out> [--threads N]\n  dkc gen <dataset> <out> [--scale X] [--seed N]\n  dkc cache <dataset> --data-dir D [--scale X] [--seed N] [--threads N] [--json]\n  dkc cache evict --data-dir D [--dataset NAME] [--scale X] [--seed N]\n\ncommon flags: --algo hg|gc|l|lp|opt|greedy-cg   --threads N\n              --ordering identity|degree-asc|degree-desc|degeneracy|color\n              --max-cliques N --max-conflicts N --mis-nodes N\n\n<graph> is a KONECT-style edge list or a binary .dkcsr snapshot (detected\nby content). --threads defaults to the available parallelism (env\nDKC_THREADS overrides); results are identical for any thread count.\n--algo opt defaults to the standard deterministic OOM/OOT budgets; the\nbudget flags override them for any algorithm. --json prints the engine\nreport as JSON on stdout. serve speaks newline-delimited JSON (see the\ndkc-serve crate docs); with --state-dir it journals updates and restarts\nresume at the exact epoch via snapshot + log replay. bench appends one\nJSON line per run to BENCH_<host>.json and, with --check, exits nonzero\nwhen a gated metric regresses past the committed baseline's tolerance."
+        "usage:\n  dkc stats <graph> [--kmax K] [common flags]\n  dkc solve <graph> --k K [common flags] [--json]\n  dkc partition <graph> --k K [common flags] [--json]\n  dkc serve <dataset|graph> --k K [--port P] [--state-dir D] [--data-dir D]\n            [--scale X] [--seed N] [--readers N] [--batch-max N]\n            [--batch-delay-ms MS] [--max-node N] [common flags]\n  dkc loadgen <host:port> [--conns N] [--ops N] [--warmup N] [--update-pct P]\n            [--batch N] [--nodes N] [--seed N] [--json]\n  dkc bench [--dataset NAME] [--scale X] [--seed N] [--k K] [--reps N]\n            [--threads N] [--out FILE] [--check BASELINE.json] [--stamp DATE]\n            [--host NAME] [--git-rev SHA] [--data-dir D] [--scratch D]\n            [--conns N] [--ops N] [--warmup N] [--batches N] [--batch-size N]\n  dkc bench summary [FILES...] [--json]\n  dkc convert <in> <out> [--threads N]\n  dkc gen <dataset> <out> [--scale X] [--seed N]\n  dkc cache <dataset> --data-dir D [--scale X] [--seed N] [--threads N] [--json]\n  dkc cache evict --data-dir D [--dataset NAME] [--scale X] [--seed N]\n\ncommon flags: --algo hg|gc|l|lp|opt|greedy-cg   --threads N\n              --ordering identity|degree-asc|degree-desc|degeneracy|color\n              --max-cliques N --max-conflicts N --mis-nodes N\n\n<graph> is a KONECT-style edge list or a binary .dkcsr snapshot (detected\nby content). --threads defaults to the available parallelism (env\nDKC_THREADS overrides); results are identical for any thread count.\n--algo opt defaults to the standard deterministic OOM/OOT budgets; the\nbudget flags override them for any algorithm. --json prints the engine\nreport as JSON on stdout. serve speaks newline-delimited JSON (see the\ndkc-serve crate docs); with --state-dir it journals updates and restarts\nresume at the exact epoch via snapshot + log replay. bench appends one\nJSON line per run to BENCH_<host>.json and, with --check, exits nonzero\nwhen a gated metric regresses past the committed baseline's tolerance.\nbench summary folds every line of the given trajectory files (default:\nthis host's file) into a per-metric median/min table across runs."
     );
     std::process::exit(2);
 }
@@ -78,6 +83,8 @@ struct Args {
     command: String,
     path: String,
     out: Option<String>,
+    /// Trailing positional file list (`bench summary` only).
+    files: Vec<String>,
     k: usize,
     kmax: usize,
     algo: Algo,
@@ -118,11 +125,16 @@ struct Args {
 }
 
 fn parse_args() -> Args {
-    let mut it = std::env::args().skip(1);
+    let mut it = std::env::args().skip(1).peekable();
     let Some(command) = it.next() else { usage() };
-    // `bench` is the one subcommand without a positional argument.
+    // `bench` runs the suite with no positional argument; its `summary`
+    // form consumes the keyword and then any number of trajectory files.
     let path = if command == "bench" {
-        String::new()
+        if it.peek().map(String::as_str) == Some("summary") {
+            it.next().unwrap()
+        } else {
+            String::new()
+        }
     } else {
         let Some(path) = it.next() else { usage() };
         path
@@ -131,6 +143,7 @@ fn parse_args() -> Args {
         command,
         path,
         out: None,
+        files: Vec::new(),
         k: 0,
         kmax: 6,
         algo: Algo::Lp,
@@ -166,10 +179,16 @@ fn parse_args() -> Args {
         batches: 32,
         batch_size: 16,
     };
-    // `convert` and `gen` take a second positional argument.
+    // `convert` and `gen` take a second positional argument; `bench
+    // summary` takes any number of trajectory file positionals.
     let takes_out = matches!(args.command.as_str(), "convert" | "gen");
+    let takes_files = args.command == "bench" && args.path == "summary";
     let mut positional_out = None;
     while let Some(flag) = it.next() {
+        if !flag.starts_with("--") && takes_files {
+            args.files.push(flag);
+            continue;
+        }
         if !flag.starts_with("--") && takes_out && positional_out.is_none() {
             positional_out = Some(flag);
             continue;
@@ -310,6 +329,7 @@ fn main() {
         "partition" => cmd_partition(&args),
         "serve" => cmd_serve(&args),
         "loadgen" => cmd_loadgen(&args),
+        "bench" if args.path == "summary" => cmd_bench_summary(&args),
         "bench" => cmd_bench(&args),
         "convert" => cmd_convert(&args),
         "gen" => cmd_gen(&args),
@@ -551,6 +571,53 @@ fn cmd_bench(args: &Args) {
             std::process::exit(1);
         }
     }
+}
+
+/// Folds every line of the given trajectory files (default: this host's
+/// `BENCH_<host>.json`) into a per-metric `{median, min}` table.
+fn cmd_bench_summary(args: &Args) {
+    use disjoint_kcliques::bench::trajectory::{parse_trajectory, summarize, BenchLine};
+    let files = if args.files.is_empty() {
+        vec![format!("BENCH_{}.json", bench_host(args))]
+    } else {
+        args.files.clone()
+    };
+    let mut lines: Vec<BenchLine> = Vec::new();
+    for path in &files {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("failed to read {path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        match parse_trajectory(&text) {
+            Ok(parsed) => lines.extend(parsed),
+            Err(e) => {
+                eprintln!("failed to parse {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    let summary = summarize(&lines);
+    if args.json {
+        println!("{}", summary.to_json_value().render());
+        return;
+    }
+    let span = summary
+        .span
+        .as_ref()
+        .map(|(first, last)| format!(", {first} → {last}"))
+        .unwrap_or_default();
+    eprintln!(
+        "# {} run{} from {} file{} (hosts: {}{span})",
+        summary.runs,
+        if summary.runs == 1 { "" } else { "s" },
+        files.len(),
+        if files.len() == 1 { "" } else { "s" },
+        if summary.hosts.is_empty() { "-".to_string() } else { summary.hosts.join(",") },
+    );
+    print!("{}", summary.render_table());
 }
 
 /// `--host`, else `DKC_BENCH_HOST`, else `HOSTNAME`, else `unknown` —

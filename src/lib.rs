@@ -12,6 +12,7 @@
 //! | Module | Crate | Contents |
 //! |---|---|---|
 //! | [`par`] | `dkc-par` | deterministic scoped parallel executor (`ParConfig`) |
+//! | [`mmap`] | `dkc-mmap` | audited read-only memory mapping (a CI-enforced `unsafe` carve-out) |
 //! | [`graph`] | `dkc-graph` | CSR/dynamic graphs, orderings, DAGs, edge-list I/O |
 //! | [`clique`] | `dkc-clique` | k-clique listing, counting, node scores, searches |
 //! | [`mis`] | `dkc-mis` | exact branch-and-reduce and greedy MIS |
@@ -66,6 +67,7 @@ pub use dkc_dynamic as dynamic;
 pub use dkc_graph as graph;
 pub use dkc_json as json;
 pub use dkc_mis as mis;
+pub use dkc_mmap as mmap;
 pub use dkc_par as par;
 pub use dkc_serve as serve;
 
