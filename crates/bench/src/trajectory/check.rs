@@ -73,6 +73,9 @@ pub fn gates() -> &'static [GateSpec] {
         GateSpec { metric: "apply_applied", kind: EXACT },
         GateSpec { metric: "serve_p99_us", kind: TAIL },
         GateSpec { metric: "serve_errors", kind: EXACT },
+        GateSpec { metric: "serve_sharded_p99_us", kind: TAIL },
+        GateSpec { metric: "router_merge_replies", kind: EXACT },
+        GateSpec { metric: "serve_sharded_errors", kind: EXACT },
     ];
     GATES
 }

@@ -12,6 +12,7 @@
 //! | `snapshot_mmap_ns` | zero-copy `.dkcsr` load via `read_snapshot_path` | |
 //! | `apply_batch_ns` | dynamic maintenance of a mixed update stream | `apply_applied` |
 //! | `serve_p{50,95,99}_us` | in-process `dkc-serve` + seeded loadgen | `serve_errors` |
+//! | `serve_sharded_p99_us` | the same loadgen against a 2-shard router | `router_merge_replies`, `serve_sharded_errors` |
 //!
 //! Timings aggregate to `{median, min}` over [`SuiteConfig::reps`];
 //! counters are deterministic for a pinned configuration (and
@@ -28,9 +29,11 @@ use dkc_dynamic::{EdgeUpdate, ServingSolver};
 use dkc_graph::io::{
     load_graph, read_snapshot_path, write_edge_list_labeled, write_snapshot_path, LoadedGraph,
 };
-use dkc_graph::{Dag, NodeOrder, OrderingKind};
+use dkc_graph::{partition_shards, Dag, NodeOrder, OrderingKind};
+use dkc_json::Json;
 use dkc_par::ParConfig;
-use dkc_serve::{run_loadgen, LoadgenConfig, Server, ServerConfig};
+use dkc_serve::protocol::{render_query_request, Query};
+use dkc_serve::{run_loadgen, LoadgenConfig, Router, RouterConfig, Server, ServerConfig};
 use std::path::PathBuf;
 use std::time::Instant;
 
@@ -252,6 +255,7 @@ pub fn run_suite(cfg: &SuiteConfig) -> Result<SuiteOutcome, SuiteError> {
             batch: 8,
             nodes: (g.num_nodes() as dkc_graph::NodeId).max(2),
             seed: cfg.seed,
+            pools: None,
         };
         let report = run_loadgen(&lg);
         handle.stop();
@@ -268,11 +272,87 @@ pub fn run_suite(cfg: &SuiteConfig) -> Result<SuiteOutcome, SuiteError> {
     push("serve_p99_us", MetricValue::summarize(p99s));
     push("serve_errors", MetricValue::counter(errors));
 
+    // 7. Sharded serving: the identical seeded loadgen, with pool-local
+    //    endpoints, against a 2-shard deployment behind the router. The
+    //    merge counter is deterministic (the stats-op schedule is a pure
+    //    function of the loadgen seed), so it gates exactly.
+    const SHARDS: usize = 2;
+    let plan = partition_shards(&g, SHARDS, cfg.seed);
+    let pools = plan.node_pools();
+    let mut p99s = Vec::with_capacity(reps);
+    let mut merges = 0u64;
+    let mut sharded_errors = 0u64;
+    for _ in 0..reps {
+        let mut shard_handles = Vec::with_capacity(SHARDS);
+        let mut addrs = Vec::with_capacity(SHARDS);
+        for s in 0..SHARDS {
+            let serving = ServingSolver::in_memory(&plan.shard_graph(&g, s), request)
+                .map_err(|e| fail("shard init", e))?;
+            let listener =
+                std::net::TcpListener::bind(("127.0.0.1", 0)).map_err(|e| fail("shard bind", e))?;
+            let handle = Server::start(listener, serving, ServerConfig::default())
+                .map_err(|e| fail("shard start", e))?;
+            addrs.push(handle.local_addr().to_string());
+            shard_handles.push(handle);
+        }
+        let listener =
+            std::net::TcpListener::bind(("127.0.0.1", 0)).map_err(|e| fail("router bind", e))?;
+        let router = Router::start(listener, addrs, plan.clone(), RouterConfig::default())
+            .map_err(|e| fail("router start", e))?;
+        let lg = LoadgenConfig {
+            addr: router.local_addr().to_string(),
+            connections: cfg.serve_conns.max(1),
+            ops_per_connection: cfg.serve_ops.max(1),
+            warmup_ops: cfg.serve_warmup,
+            update_fraction: 0.3,
+            batch: 8,
+            nodes: (g.num_nodes() as dkc_graph::NodeId).max(2),
+            seed: cfg.seed,
+            pools: Some(pools.clone()),
+        };
+        let report = run_loadgen(&lg);
+        let observed = router_merges(&router.local_addr().to_string());
+        router.stop();
+        router.join();
+        for handle in shard_handles {
+            handle.stop();
+            handle.join();
+        }
+        let report = report.map_err(|e| fail("sharded loadgen", e))?;
+        p99s.push(report.queries.p99.as_micros() as u64);
+        merges += observed?;
+        sharded_errors += report.errors as u64;
+    }
+    push("serve_sharded_p99_us", MetricValue::summarize(p99s));
+    push("router_merge_replies", MetricValue::counter(merges));
+    push("serve_sharded_errors", MetricValue::counter(sharded_errors));
+
     Ok(SuiteOutcome { metrics, nodes: g.num_nodes(), edges: g.num_edges() })
 }
 
 fn ns(t: Instant) -> u64 {
     t.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64
+}
+
+/// Reads the router's lifetime merge counter via a stats query. The query
+/// itself is counted as a merge before the reply renders, so the observed
+/// value covers every fan-out of the run — still a pure function of the
+/// loadgen schedule, which is what lets it gate exactly.
+fn router_merges(addr: &str) -> Result<u64, SuiteError> {
+    use std::io::{BufRead, BufReader, Write};
+    let stream = std::net::TcpStream::connect(addr).map_err(|e| fail("router stats", e))?;
+    let mut writer = stream.try_clone().map_err(|e| fail("router stats", e))?;
+    let mut reader = BufReader::new(stream);
+    writeln!(writer, "{}", render_query_request(Query::Stats))
+        .map_err(|e| fail("router stats", e))?;
+    writer.flush().map_err(|e| fail("router stats", e))?;
+    let mut line = String::new();
+    reader.read_line(&mut line).map_err(|e| fail("router stats", e))?;
+    let v = Json::parse(line.trim_end()).map_err(|e| fail("router stats", e))?;
+    v.get("router")
+        .and_then(|r| r.get("merges"))
+        .and_then(Json::as_u64)
+        .ok_or_else(|| SuiteError("router stats reply lacks router.merges".into()))
 }
 
 /// Both ingestion paths must reproduce the resolved graph — a format

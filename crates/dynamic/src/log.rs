@@ -28,6 +28,81 @@ use std::path::{Path, PathBuf};
 
 const HEADER: &str = "# dkc-update-log v1";
 
+/// When the journal forces appended records to stable storage.
+///
+/// Every policy keeps the commit-marker contract — a batch counts only once
+/// its `c` line is durable — they differ in *when* durability is paid for:
+///
+/// * [`PerCommit`](FsyncPolicy::PerCommit) — `fdatasync` after every batch
+///   record. A crashed *machine* loses nothing acknowledged; slowest.
+/// * [`PerBatch`](FsyncPolicy::PerBatch) — flush to the OS after every
+///   batch (the default, and the pre-knob behaviour). A crashed *process*
+///   loses nothing acknowledged; a crashed machine can lose batches since
+///   the last sync point.
+/// * [`Snapshot`](FsyncPolicy::Snapshot) — buffer in the writer until an
+///   explicit [`UpdateLog::sync`] (the serving layer syncs on snapshot and
+///   shutdown). Fastest; a crashed process can lose batches since the last
+///   snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FsyncPolicy {
+    /// `fdatasync` after every committed batch record.
+    PerCommit,
+    /// Flush to the OS after every batch; sync only at snapshot/shutdown.
+    #[default]
+    PerBatch,
+    /// Buffer until an explicit sync (snapshot/shutdown).
+    Snapshot,
+}
+
+impl std::fmt::Display for FsyncPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            FsyncPolicy::PerCommit => "per-commit",
+            FsyncPolicy::PerBatch => "per-batch",
+            FsyncPolicy::Snapshot => "snapshot",
+        })
+    }
+}
+
+impl std::str::FromStr for FsyncPolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "per-commit" => Ok(FsyncPolicy::PerCommit),
+            "per-batch" => Ok(FsyncPolicy::PerBatch),
+            "snapshot" => Ok(FsyncPolicy::Snapshot),
+            other => Err(format!(
+                "unknown fsync policy `{other}` (expected per-commit, per-batch or snapshot)"
+            )),
+        }
+    }
+}
+
+/// Renders one batch as its on-disk/on-wire record text (`b … + … c`).
+///
+/// This is the exact byte sequence [`UpdateLog::append_batch`] writes, and
+/// the unit the replication tail streams to replicas: the wire protocol
+/// *is* the log format, commit markers included.
+pub fn render_record(updates: &[EdgeUpdate]) -> String {
+    let mut out = format!("b {}\n", updates.len());
+    for u in updates {
+        match *u {
+            EdgeUpdate::Insert(a, b) => out.push_str(&format!("+ {a} {b}\n")),
+            EdgeUpdate::Delete(a, b) => out.push_str(&format!("- {a} {b}\n")),
+        }
+    }
+    out.push_str("c\n");
+    out
+}
+
+/// Parses committed batch records from log-format `text` (header optional —
+/// a replication tail stream carries bare records). A trailing record
+/// without its commit marker is discarded, exactly like file replay.
+pub fn parse_records(text: &str) -> Result<Vec<Vec<EdgeUpdate>>, LogError> {
+    parse_log(text)
+}
+
 /// Failures of the update log.
 #[derive(Debug)]
 pub enum LogError {
@@ -73,11 +148,12 @@ impl From<std::io::Error> for LogError {
 pub struct UpdateLog {
     path: PathBuf,
     writer: BufWriter<File>,
+    policy: FsyncPolicy,
 }
 
 impl UpdateLog {
     /// Opens the journal at `path` for appending, creating it (with the
-    /// header line) when absent.
+    /// header line) when absent. Uses the default [`FsyncPolicy::PerBatch`].
     pub fn open(path: impl Into<PathBuf>) -> Result<Self, LogError> {
         let path = path.into();
         let fresh = !path.exists();
@@ -87,7 +163,7 @@ impl UpdateLog {
             writeln!(writer, "{HEADER}")?;
             writer.flush()?;
         }
-        Ok(UpdateLog { path, writer })
+        Ok(UpdateLog { path, writer, policy: FsyncPolicy::default() })
     }
 
     /// The journal file path.
@@ -95,8 +171,21 @@ impl UpdateLog {
         &self.path
     }
 
-    /// Appends one batch record and flushes it to the OS. The batch is
-    /// considered committed once its `c` marker line is written.
+    /// The active durability policy.
+    pub fn policy(&self) -> FsyncPolicy {
+        self.policy
+    }
+
+    /// Changes when appended records are forced to stable storage.
+    pub fn set_policy(&mut self, policy: FsyncPolicy) {
+        self.policy = policy;
+    }
+
+    /// Appends one batch record, then applies the [`FsyncPolicy`]: flushed
+    /// to the OS (per-batch, the default), additionally `fdatasync`ed
+    /// (per-commit), or left buffered until [`UpdateLog::sync`] (snapshot).
+    /// The batch is considered committed once its `c` marker line reaches
+    /// disk.
     pub fn append_batch<'a, I>(&mut self, updates: I) -> Result<(), LogError>
     where
         I: IntoIterator<Item = &'a EdgeUpdate>,
@@ -110,7 +199,14 @@ impl UpdateLog {
             }
         }
         writeln!(self.writer, "c")?;
-        self.writer.flush()?;
+        match self.policy {
+            FsyncPolicy::PerCommit => {
+                self.writer.flush()?;
+                self.writer.get_ref().sync_data()?;
+            }
+            FsyncPolicy::PerBatch => self.writer.flush()?,
+            FsyncPolicy::Snapshot => {}
+        }
         Ok(())
     }
 
@@ -335,6 +431,52 @@ mod tests {
         std::fs::write(&path, format!("{HEADER}\nzz\n")).unwrap();
         assert!(UpdateLog::replay(&path).is_err());
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn snapshot_policy_buffers_until_sync() {
+        let path = temp_log("fsync");
+        std::fs::remove_file(&path).ok();
+        let mut log = UpdateLog::open(&path).unwrap();
+        assert_eq!(log.policy(), FsyncPolicy::PerBatch);
+        log.set_policy(FsyncPolicy::Snapshot);
+        log.append_batch(&[EdgeUpdate::Insert(1, 2)]).unwrap();
+        // Buffered in the writer: an independent reader sees nothing yet.
+        assert!(UpdateLog::replay(&path).unwrap().is_empty());
+        log.sync().unwrap();
+        assert_eq!(UpdateLog::replay(&path).unwrap(), vec![vec![EdgeUpdate::Insert(1, 2)]]);
+        // Per-commit lands immediately (and additionally fsyncs).
+        log.set_policy(FsyncPolicy::PerCommit);
+        log.append_batch(&[EdgeUpdate::Delete(1, 2)]).unwrap();
+        assert_eq!(UpdateLog::replay(&path).unwrap().len(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn fsync_policy_parses_and_renders() {
+        for (text, policy) in [
+            ("per-commit", FsyncPolicy::PerCommit),
+            ("per-batch", FsyncPolicy::PerBatch),
+            ("snapshot", FsyncPolicy::Snapshot),
+        ] {
+            assert_eq!(text.parse::<FsyncPolicy>().unwrap(), policy);
+            assert_eq!(policy.to_string(), text);
+        }
+        assert!("always".parse::<FsyncPolicy>().is_err());
+    }
+
+    #[test]
+    fn render_record_matches_the_wire_and_parses_back() {
+        let batch = vec![EdgeUpdate::Insert(1, 2), EdgeUpdate::Delete(3, 4)];
+        let record = render_record(&batch);
+        assert_eq!(record, "b 2\n+ 1 2\n- 3 4\nc\n");
+        // A headerless stream of records parses like a replayed file.
+        let stream = format!("{record}{}", render_record(&[]));
+        let parsed = parse_records(&stream).unwrap();
+        assert_eq!(parsed, vec![batch, Vec::new()]);
+        // A torn tail in the stream is discarded, not an error.
+        let torn = parse_records("b 2\n+ 1 2\n").unwrap();
+        assert!(torn.is_empty());
     }
 
     #[test]

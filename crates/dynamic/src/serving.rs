@@ -41,7 +41,7 @@
 //! internal states and apply identical batch sequences — the deterministic
 //! update algorithms do the rest.
 
-use crate::log::{LogError, UpdateLog};
+use crate::log::{FsyncPolicy, LogError, UpdateLog};
 use crate::solver::{BatchOutcome, DynamicSolver, EdgeUpdate, UpdateStats};
 use crate::view::{SharedView, SolutionView};
 use dkc_clique::Clique;
@@ -141,6 +141,7 @@ pub struct ServingSolver {
     epoch: u64,
     shared: SharedView,
     store: Option<Store>,
+    fsync: FsyncPolicy,
 }
 
 impl ServingSolver {
@@ -211,23 +212,7 @@ impl ServingSolver {
             meta.get("stats").ok_or_else(|| ServeStateError::Meta("missing stats".into()))?,
         )
         .map_err(ServeStateError::Meta)?;
-        let mut solution = Solution::new(request.k);
-        let cliques = meta
-            .get("cliques")
-            .and_then(Json::as_arr)
-            .ok_or_else(|| ServeStateError::Meta("missing cliques".into()))?;
-        for c in cliques {
-            let members = c.as_arr().ok_or_else(|| ServeStateError::Meta("bad clique".into()))?;
-            let mut nodes: Vec<NodeId> = Vec::with_capacity(members.len());
-            for m in members {
-                let id = m
-                    .as_u64()
-                    .and_then(|v| NodeId::try_from(v).ok())
-                    .ok_or_else(|| ServeStateError::Meta("bad clique member".into()))?;
-                nodes.push(id);
-            }
-            solution.push(Clique::new(&nodes));
-        }
+        let solution = solution_from_json(&meta, request.k)?;
         let loaded = read_snapshot_path(dir.join(base_file(gen)))?;
         let mut solver =
             DynamicSolver::from_solution_with_request(&loaded.graph, solution, request);
@@ -264,7 +249,21 @@ impl ServingSolver {
 
     fn wrap(solver: DynamicSolver, epoch: u64, store: Option<Store>) -> Self {
         let shared = SharedView::new(solver.solution_view(epoch));
-        ServingSolver { solver, epoch, shared, store }
+        ServingSolver { solver, epoch, shared, store, fsync: FsyncPolicy::default() }
+    }
+
+    /// The journal durability policy (meaningful for durable states).
+    pub fn fsync_policy(&self) -> FsyncPolicy {
+        self.fsync
+    }
+
+    /// Sets when journal appends are forced to stable storage. Applies to
+    /// the live journal and to every journal a later compaction opens.
+    pub fn set_fsync_policy(&mut self, policy: FsyncPolicy) {
+        self.fsync = policy;
+        if let Some(store) = &mut self.store {
+            store.log.set_policy(policy);
+        }
     }
 
     /// The current epoch: number of batches applied since creation.
@@ -352,6 +351,7 @@ impl ServingSolver {
                 let new_log_path = store.dir.join(log_file(next));
                 std::fs::remove_file(&new_log_path).ok(); // stale orphan from a crashed compact
                 store.log = UpdateLog::open(&new_log_path)?;
+                store.log.set_policy(self.fsync);
                 let old = store.gen;
                 store.gen = next;
                 remove_state_files(&store.dir, Some(old));
@@ -377,6 +377,114 @@ impl ServingSolver {
         let csr = self.solver.graph().to_csr();
         Engine::solve(&csr, request.unwrap_or(self.solver.request()))
     }
+
+    /// Serialises the full serving state — graph edges, request, `S`,
+    /// counters, epoch — as one JSON document: the replica bootstrap
+    /// payload (the serve protocol's `fetch` reply).
+    ///
+    /// The live solver is canonicalised first, exactly like
+    /// [`ServingSolver::compact`]: swap scheduling depends on internal slot
+    /// order, so the exporting process and an importer must continue from
+    /// identical internal states for replicated applies to stay
+    /// bit-identical. Observable state (epoch, `|S|`, membership, stats)
+    /// is unchanged.
+    pub fn export_state(&mut self) -> Json {
+        self.solver.canonicalize();
+        let csr = self.solver.graph().to_csr();
+        let edges = Json::Arr(
+            csr.iter_edges()
+                .map(|(u, v)| Json::Arr(vec![Json::u64(u as u64), Json::u64(v as u64)]))
+                .collect(),
+        );
+        let cliques = Json::Arr(
+            self.solver
+                .solution()
+                .sorted_cliques()
+                .iter()
+                .map(|c| Json::Arr(c.iter().map(|u| Json::u64(u as u64)).collect()))
+                .collect(),
+        );
+        Json::Obj(vec![
+            ("version".into(), Json::u64(META_VERSION)),
+            ("epoch".into(), Json::u64(self.epoch)),
+            ("num_nodes".into(), Json::u64(csr.num_nodes() as u64)),
+            ("request".into(), self.solver.request().to_json_value()),
+            ("stats".into(), stats_to_json(self.solver.stats())),
+            ("edges".into(), edges),
+            ("cliques".into(), cliques),
+        ])
+    }
+
+    /// Rebuilds an in-memory serving state from an [`export_state`]
+    /// document. The importer resumes at the exported epoch with internal
+    /// state identical to the (canonicalised) exporter, so applying the
+    /// same committed batches afterwards yields bit-identical views — the
+    /// replica catch-up contract.
+    ///
+    /// [`export_state`]: ServingSolver::export_state
+    pub fn import_state(doc: &Json) -> Result<Self, ServeStateError> {
+        let field = |name: &str| -> Result<u64, ServeStateError> {
+            doc.get(name)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| ServeStateError::Meta(format!("missing {name}")))
+        };
+        let version = field("version")?;
+        if version != META_VERSION {
+            return Err(ServeStateError::Meta(format!("unsupported version {version}")));
+        }
+        let epoch = field("epoch")?;
+        let num_nodes = field("num_nodes")? as usize;
+        let request = SolveRequest::from_json_value(
+            doc.get("request").ok_or_else(|| ServeStateError::Meta("missing request".into()))?,
+        )
+        .map_err(|e| ServeStateError::Meta(e.to_string()))?;
+        let stats = stats_from_json(
+            doc.get("stats").ok_or_else(|| ServeStateError::Meta("missing stats".into()))?,
+        )
+        .map_err(ServeStateError::Meta)?;
+        let edges_json = doc
+            .get("edges")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| ServeStateError::Meta("missing edges".into()))?;
+        let mut edges = Vec::with_capacity(edges_json.len());
+        for e in edges_json {
+            let pair = e.as_arr().filter(|p| p.len() == 2);
+            let (u, v) = pair
+                .and_then(|p| Some((p[0].as_u64()?, p[1].as_u64()?)))
+                .ok_or_else(|| ServeStateError::Meta("bad edge".into()))?;
+            let u = NodeId::try_from(u).map_err(|_| ServeStateError::Meta("bad edge".into()))?;
+            let v = NodeId::try_from(v).map_err(|_| ServeStateError::Meta("bad edge".into()))?;
+            edges.push((u, v));
+        }
+        let solution = solution_from_json(doc, request.k)?;
+        let graph = CsrGraph::from_edges(num_nodes, edges)?;
+        let mut solver = DynamicSolver::from_solution_with_request(&graph, solution, request);
+        solver.set_stats(stats);
+        Ok(Self::wrap(solver, epoch, None))
+    }
+}
+
+/// Parses the `cliques` member rendered by [`write_state`] and
+/// [`ServingSolver::export_state`] back into a [`Solution`].
+fn solution_from_json(doc: &Json, k: usize) -> Result<Solution, ServeStateError> {
+    let mut solution = Solution::new(k);
+    let cliques = doc
+        .get("cliques")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| ServeStateError::Meta("missing cliques".into()))?;
+    for c in cliques {
+        let members = c.as_arr().ok_or_else(|| ServeStateError::Meta("bad clique".into()))?;
+        let mut nodes: Vec<NodeId> = Vec::with_capacity(members.len());
+        for m in members {
+            let id = m
+                .as_u64()
+                .and_then(|v| NodeId::try_from(v).ok())
+                .ok_or_else(|| ServeStateError::Meta("bad clique member".into()))?;
+            nodes.push(id);
+        }
+        solution.push(Clique::new(&nodes));
+    }
+    Ok(solution)
 }
 
 fn write_state(
@@ -667,6 +775,71 @@ mod tests {
         assert_eq!(report.solution.len(), 1);
         let report = s.solve_fresh(Some(SolveRequest::new(Algo::Hg, 3))).unwrap();
         assert_eq!(report.algo, Algo::Hg);
+    }
+
+    #[test]
+    fn export_import_resumes_in_lockstep() {
+        let g = demo_graph();
+        let mut primary = ServingSolver::in_memory(&g, SolveRequest::new(Algo::Lp, 3)).unwrap();
+        primary.apply_batch(&[EdgeUpdate::Delete(0, 1)]).unwrap();
+        let doc = primary.export_state();
+        let mut replica = ServingSolver::import_state(&doc).unwrap();
+        assert_eq!(replica.epoch(), 1);
+        assert_eq!(*replica.view(), *primary.view());
+        // The exporter's observable state is untouched by the export.
+        assert_eq!(primary.epoch(), 1);
+        // Identical batches applied on both sides stay bit-identical —
+        // the replica catch-up contract.
+        for batch in [
+            vec![EdgeUpdate::Insert(0, 1), EdgeUpdate::Insert(1, 3)],
+            vec![EdgeUpdate::Delete(2, 3)],
+            vec![EdgeUpdate::Delete(0, 2), EdgeUpdate::Insert(2, 3)],
+        ] {
+            let (_, vp) = primary.apply_batch(&batch).unwrap();
+            let (_, vr) = replica.apply_batch(&batch).unwrap();
+            assert_eq!(*vp, *vr);
+        }
+        replica.solver().validate().unwrap();
+        // A roundtrip through rendered text (the wire) imports the same.
+        let rendered = primary.export_state().render();
+        let reparsed = Json::parse(&rendered).unwrap();
+        let wire = ServingSolver::import_state(&reparsed).unwrap();
+        assert_eq!(*wire.view(), *primary.view());
+    }
+
+    #[test]
+    fn import_rejects_damaged_documents() {
+        let g = demo_graph();
+        let mut s = ServingSolver::in_memory(&g, SolveRequest::new(Algo::Lp, 3)).unwrap();
+        let good = s.export_state();
+        assert!(ServingSolver::import_state(&Json::Null).is_err());
+        let Json::Obj(mut members) = good else { panic!("export is an object") };
+        members.retain(|(k, _)| k != "edges");
+        assert!(matches!(
+            ServingSolver::import_state(&Json::Obj(members)),
+            Err(ServeStateError::Meta(m)) if m.contains("edges")
+        ));
+    }
+
+    #[test]
+    fn fsync_policy_threads_through_compaction() {
+        let dir = temp_dir("fsync_knob");
+        let g = demo_graph();
+        let mut s = ServingSolver::create(&dir, &g, SolveRequest::new(Algo::Lp, 3)).unwrap();
+        assert_eq!(s.fsync_policy(), FsyncPolicy::PerBatch);
+        s.set_fsync_policy(FsyncPolicy::Snapshot);
+        s.apply_batch(&[EdgeUpdate::Delete(0, 1)]).unwrap();
+        // Buffered: the on-disk journal has no committed record yet.
+        assert!(UpdateLog::replay(dir.join(log_file(0))).unwrap().is_empty());
+        s.sync().unwrap();
+        assert_eq!(UpdateLog::replay(dir.join(log_file(0))).unwrap().len(), 1);
+        // Compaction opens the next generation's journal with the same policy.
+        s.compact().unwrap();
+        s.apply_batch(&[EdgeUpdate::Insert(0, 1)]).unwrap();
+        assert!(UpdateLog::replay(dir.join(log_file(1))).unwrap().is_empty());
+        s.sync().unwrap();
+        assert_eq!(UpdateLog::replay(dir.join(log_file(1))).unwrap().len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -35,6 +35,7 @@ mod dynamic;
 mod error;
 pub mod io;
 mod order;
+mod partition;
 mod stats;
 mod subgraph;
 
@@ -47,6 +48,7 @@ pub use error::{GraphError, SnapshotError};
 pub use order::{
     degeneracy_removal_order, greedy_coloring, NodeOrder, OrderingKind, ParseOrderingError,
 };
+pub use partition::{partition_shards, ShardPlan};
 pub use stats::GraphStats;
 pub use subgraph::InducedSubgraph;
 

@@ -1,0 +1,415 @@
+//! Deterministic shard partitioning for the serving tier.
+//!
+//! A [`ShardPlan`] assigns every node of a [`CsrGraph`] to one of `S` shards.
+//! The partitioner works in two stages:
+//!
+//! 1. **Components first.** Connected components never share a k-clique, so
+//!    packing whole components onto shards forfeits nothing. Components are
+//!    bin-packed by degree sum (largest first) onto the least-loaded shard —
+//!    a deterministic greedy that balances *work*, not node counts, because
+//!    apply/solve cost tracks edges.
+//! 2. **Seeded degree-balanced refinement.** A component whose degree sum
+//!    exceeds the balanced share (`ceil(2m / S)`) — in social graphs, the
+//!    giant component — is split across shards by a linear deterministic
+//!    greedy: nodes are visited in BFS order from a seeded start node and
+//!    each is placed on the shard holding most of its already-placed
+//!    neighbours, discounted by the shard's remaining degree capacity.
+//!
+//! Edges whose endpoints land on different shards are **cut**: a sharded
+//! deployment drops them, so any clique using a cut edge is forfeited. The
+//! plan reports every cut edge explicitly so operators can see exactly what
+//! disjointness the partition gives up (`|S|` can shrink by at most one
+//! group per cut edge). Component-pure plans (`cut_edges.is_empty()`)
+//! forfeit nothing and reproduce the unsharded solution byte-for-byte.
+
+use crate::components::connected_components;
+use crate::csr::CsrGraph;
+use crate::{Edge, NodeId};
+
+/// A deterministic node → shard assignment with an explicit cut-edge report.
+///
+/// Produced by [`partition_shards`]; consumed by the serving router (update
+/// routing, fan-out merging) and by `loadgen`'s multi-shard mode (per-shard
+/// node pools keep benchmark op streams intra-shard).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardPlan {
+    shards: usize,
+    assign: Vec<u32>,
+    shard_nodes: Vec<usize>,
+    shard_degree: Vec<u64>,
+    cut_edges: Vec<Edge>,
+    split_components: usize,
+}
+
+impl ShardPlan {
+    /// Number of shards the plan was built for.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Shard owning node `u`. Nodes beyond the planned id space (appended
+    /// after partitioning) hash to `u % shards` so routing stays total.
+    pub fn shard_of(&self, u: NodeId) -> usize {
+        match self.assign.get(u as usize) {
+            Some(&s) => s as usize,
+            None => u as usize % self.shards,
+        }
+    }
+
+    /// The full node → shard assignment (length = planned node count).
+    pub fn assignment(&self) -> &[u32] {
+        &self.assign
+    }
+
+    /// Node count per shard.
+    pub fn shard_nodes(&self) -> &[usize] {
+        &self.shard_nodes
+    }
+
+    /// Degree sum per shard (before cut edges are dropped).
+    pub fn shard_degree(&self) -> &[u64] {
+        &self.shard_degree
+    }
+
+    /// Every edge whose endpoints landed on different shards, in canonical
+    /// `(min, max)` lexicographic order.
+    pub fn cut_edges(&self) -> &[Edge] {
+        &self.cut_edges
+    }
+
+    /// `true` when no edge is cut — every component landed whole on one
+    /// shard, so the sharded solution equals the unsharded one.
+    pub fn is_pure(&self) -> bool {
+        self.cut_edges.is_empty()
+    }
+
+    /// Number of connected components the refinement stage had to split.
+    pub fn split_components(&self) -> usize {
+        self.split_components
+    }
+
+    /// Nodes assigned to shard `s`, ascending.
+    pub fn members(&self, s: usize) -> Vec<NodeId> {
+        self.assign
+            .iter()
+            .enumerate()
+            .filter(|&(_, &a)| a as usize == s)
+            .map(|(u, _)| u as NodeId)
+            .collect()
+    }
+
+    /// Per-shard node pools — `members(s)` for every shard. Loadgen's
+    /// multi-shard mode draws update endpoints within one pool so the op
+    /// stream applies identically on 1-shard and N-shard deployments.
+    pub fn node_pools(&self) -> Vec<Vec<NodeId>> {
+        let mut pools = vec![Vec::new(); self.shards];
+        for (u, &s) in self.assign.iter().enumerate() {
+            pools[s as usize].push(u as NodeId);
+        }
+        pools
+    }
+
+    /// The intra-shard edges of shard `s`, in `g`'s edge order.
+    pub fn shard_edges(&self, g: &CsrGraph, s: usize) -> Vec<Edge> {
+        g.iter_edges().filter(|&(u, v)| self.shard_of(u) == s && self.shard_of(v) == s).collect()
+    }
+
+    /// Builds shard `s`'s subgraph on the **full** node-id space: every node
+    /// of `g` exists on every shard, but only shard-local edges are present.
+    /// Keeping global ids makes routing a flat lookup and lets merged
+    /// solutions concatenate without id translation.
+    pub fn shard_graph(&self, g: &CsrGraph, s: usize) -> CsrGraph {
+        CsrGraph::from_edges(g.num_nodes(), self.shard_edges(g, s))
+            .expect("shard edges come from a valid graph")
+    }
+
+    /// Reconstructs a plan from persisted parts — the restart path: a
+    /// deployment must reuse the exact assignment it was created with, not
+    /// re-partition the (since mutated) graph. Node counts are recomputed
+    /// from the assignment; per-shard degree sums are not persisted and
+    /// read as zero.
+    pub fn from_parts(
+        shards: usize,
+        assign: Vec<u32>,
+        cut_edges: Vec<Edge>,
+        split_components: usize,
+    ) -> ShardPlan {
+        let shards = shards.max(1);
+        let mut shard_nodes = vec![0usize; shards];
+        for &s in &assign {
+            shard_nodes[(s as usize).min(shards - 1)] += 1;
+        }
+        ShardPlan {
+            shards,
+            assign,
+            shard_nodes,
+            shard_degree: vec![0; shards],
+            cut_edges,
+            split_components,
+        }
+    }
+
+    /// One-line operator summary: per-shard load and the cut report.
+    pub fn summary(&self) -> String {
+        let loads: Vec<String> = (0..self.shards)
+            .map(|s| format!("s{s}:{}n/{}d", self.shard_nodes[s], self.shard_degree[s]))
+            .collect();
+        format!(
+            "{} shards [{}] cut_edges={} split_components={}",
+            self.shards,
+            loads.join(" "),
+            self.cut_edges.len(),
+            self.split_components
+        )
+    }
+}
+
+/// Partitions `g` into `shards` parts: whole connected components first,
+/// then a seeded degree-balanced split of any component larger than the
+/// balanced share. Deterministic for a fixed `(g, shards, seed)`.
+///
+/// `seed` only influences the BFS start node of the refinement stage, so
+/// component-pure plans are identical for every seed.
+pub fn partition_shards(g: &CsrGraph, shards: usize, seed: u64) -> ShardPlan {
+    let n = g.num_nodes();
+    let shards = shards.max(1);
+    let mut plan = ShardPlan {
+        shards,
+        assign: vec![0u32; n],
+        shard_nodes: vec![0; shards],
+        shard_degree: vec![0; shards],
+        cut_edges: Vec::new(),
+        split_components: 0,
+    };
+    if n == 0 {
+        return plan;
+    }
+    if shards == 1 {
+        plan.shard_nodes[0] = n;
+        plan.shard_degree[0] = 2 * g.num_edges() as u64;
+        return plan;
+    }
+
+    let comps = connected_components(g);
+    let ncomp = comps.count();
+    let mut comp_degree = vec![0u64; ncomp];
+    for u in 0..n {
+        comp_degree[comps.label[u] as usize] += g.degree(u as NodeId) as u64;
+    }
+    let total_degree: u64 = comp_degree.iter().sum();
+    // Balanced share of work per shard; components above it get split.
+    let target = total_degree.div_ceil(shards as u64).max(1);
+
+    // Largest-first greedy bin packing of whole components; ties broken by
+    // component id, shard ties by lowest index — fully deterministic.
+    let mut order: Vec<usize> = (0..ncomp).collect();
+    order.sort_by_key(|&c| (std::cmp::Reverse(comp_degree[c]), c));
+    let mut oversized = Vec::new();
+    for c in order {
+        if comp_degree[c] > target {
+            oversized.push(c);
+            continue;
+        }
+        let s = least_loaded(&plan.shard_degree);
+        for u in comps.members(c as u32) {
+            plan.assign[u as usize] = s as u32;
+        }
+        plan.shard_degree[s] += comp_degree[c];
+    }
+    for c in oversized {
+        split_component(g, &comps.members(c as u32), target, seed, &mut plan);
+        plan.split_components += 1;
+    }
+
+    for &s in &plan.assign {
+        plan.shard_nodes[s as usize] += 1;
+    }
+    plan.cut_edges = g
+        .iter_edges()
+        .filter(|&(u, v)| plan.assign[u as usize] != plan.assign[v as usize])
+        .map(|(u, v)| (u.min(v), u.max(v)))
+        .collect();
+    plan.cut_edges.sort_unstable();
+    plan
+}
+
+fn least_loaded(load: &[u64]) -> usize {
+    let mut best = 0;
+    for (s, &d) in load.iter().enumerate() {
+        if d < load[best] {
+            best = s;
+        }
+    }
+    best
+}
+
+/// Splits one oversized component across all shards with a linear
+/// deterministic greedy (Stanton & Kleinberg's LDG, made deterministic):
+/// nodes arrive in BFS order from a seeded start and go to the shard
+/// maximising `(placed neighbours + 1) × remaining degree capacity`.
+/// The affinity term keeps cliques together (few cut edges); the capacity
+/// term keeps degree sums balanced.
+fn split_component(g: &CsrGraph, members: &[NodeId], target: u64, seed: u64, plan: &mut ShardPlan) {
+    // Seeded, deterministic BFS start within the component.
+    let start = members[(seed % members.len() as u64) as usize];
+    let mut placed: Vec<Option<u32>> = vec![None; g.num_nodes()];
+    let mut in_comp = vec![false; g.num_nodes()];
+    for &u in members {
+        in_comp[u as usize] = true;
+    }
+    let mut queue = std::collections::VecDeque::new();
+    let mut seen = vec![false; g.num_nodes()];
+    queue.push_back(start);
+    seen[start as usize] = true;
+    let mut visited = 0usize;
+    while visited < members.len() {
+        let u = match queue.pop_front() {
+            Some(u) => u,
+            // The component is connected, so this only guards degenerate
+            // inputs; fall back to the smallest unvisited member.
+            None => {
+                let u = *members.iter().find(|&&m| !seen[m as usize]).expect("unvisited member");
+                seen[u as usize] = true;
+                u
+            }
+        };
+        visited += 1;
+        let mut best = 0usize;
+        let mut best_score = (0u128, std::cmp::Reverse(u64::MAX));
+        for s in 0..plan.shards {
+            let affinity = 1 + g
+                .neighbors(u)
+                .iter()
+                .filter(|&&v| placed[v as usize] == Some(s as u32))
+                .count() as u128;
+            let capacity = target.saturating_sub(plan.shard_degree[s]).saturating_add(1);
+            let score = (affinity * capacity as u128, std::cmp::Reverse(plan.shard_degree[s]));
+            if score > best_score {
+                best_score = score;
+                best = s;
+            }
+        }
+        placed[u as usize] = Some(best as u32);
+        plan.assign[u as usize] = best as u32;
+        plan.shard_degree[best] += g.degree(u) as u64;
+        for &v in g.neighbors(u) {
+            if in_comp[v as usize] && !seen[v as usize] {
+                seen[v as usize] = true;
+                queue.push_back(v);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(edges: &[(u32, u32)], n: usize) -> CsrGraph {
+        CsrGraph::from_edges(n, edges.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn single_shard_is_trivial() {
+        let g = path(&[(0, 1), (1, 2)], 3);
+        let plan = partition_shards(&g, 1, 7);
+        assert!(plan.is_pure());
+        assert_eq!(plan.assignment(), &[0, 0, 0]);
+        assert_eq!(plan.shard_nodes(), &[3]);
+    }
+
+    #[test]
+    fn components_pack_whole_when_balanced() {
+        // Two triangles (disjoint components) across two shards: pure.
+        let g = path(&[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)], 6);
+        let plan = partition_shards(&g, 2, 0);
+        assert!(plan.is_pure(), "{}", plan.summary());
+        assert_eq!(plan.split_components(), 0);
+        assert_ne!(plan.shard_of(0), plan.shard_of(3));
+        assert_eq!(plan.shard_of(0), plan.shard_of(2));
+        assert_eq!(plan.shard_of(3), plan.shard_of(5));
+    }
+
+    #[test]
+    fn giant_component_splits_with_cut_report() {
+        // One path on 12 nodes — must split, and every cut edge reported.
+        let edges: Vec<(u32, u32)> = (0..11).map(|i| (i, i + 1)).collect();
+        let g = path(&edges, 12);
+        let plan = partition_shards(&g, 2, 42);
+        assert_eq!(plan.split_components(), 1);
+        assert!(!plan.is_pure());
+        for &(u, v) in plan.cut_edges() {
+            assert_ne!(plan.shard_of(u), plan.shard_of(v));
+            assert!(u < v);
+        }
+        let recount = g.iter_edges().filter(|&(u, v)| plan.shard_of(u) != plan.shard_of(v)).count();
+        assert_eq!(recount, plan.cut_edges().len());
+        assert!(plan.shard_nodes().iter().all(|&c| c > 0), "{}", plan.summary());
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed_and_seed_only_moves_split() {
+        let edges: Vec<(u32, u32)> = (0..20).flat_map(|i| [(i, (i + 1) % 21), (i, 20)]).collect();
+        let g = path(&edges, 21);
+        let a = partition_shards(&g, 3, 5);
+        let b = partition_shards(&g, 3, 5);
+        assert_eq!(a, b);
+        // Pure plans ignore the seed entirely.
+        let g2 = path(&[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)], 6);
+        assert_eq!(partition_shards(&g2, 2, 1), partition_shards(&g2, 2, 999));
+    }
+
+    #[test]
+    fn shard_graph_keeps_global_ids_and_local_edges() {
+        let g = path(&[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)], 6);
+        let plan = partition_shards(&g, 2, 0);
+        let s0 = plan.shard_graph(&g, plan.shard_of(0));
+        assert_eq!(s0.num_nodes(), 6, "full id space retained");
+        assert_eq!(s0.num_edges(), 3);
+        assert_eq!(s0.degree(3), if plan.shard_of(3) == plan.shard_of(0) { 2 } else { 0 });
+    }
+
+    #[test]
+    fn node_pools_partition_the_id_space() {
+        let edges: Vec<(u32, u32)> = (0..11).map(|i| (i, i + 1)).collect();
+        let g = path(&edges, 12);
+        let plan = partition_shards(&g, 3, 9);
+        let pools = plan.node_pools();
+        let mut all: Vec<u32> = pools.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..12).collect::<Vec<_>>());
+        for (s, pool) in pools.iter().enumerate() {
+            for &u in pool {
+                assert_eq!(plan.shard_of(u), s);
+            }
+        }
+    }
+
+    #[test]
+    fn from_parts_reconstructs_routing() {
+        let edges: Vec<(u32, u32)> = (0..11).map(|i| (i, i + 1)).collect();
+        let g = path(&edges, 12);
+        let plan = partition_shards(&g, 3, 9);
+        let back = ShardPlan::from_parts(
+            plan.shards(),
+            plan.assignment().to_vec(),
+            plan.cut_edges().to_vec(),
+            plan.split_components(),
+        );
+        assert_eq!(back.assignment(), plan.assignment());
+        assert_eq!(back.shard_nodes(), plan.shard_nodes());
+        assert_eq!(back.cut_edges(), plan.cut_edges());
+        assert_eq!(back.split_components(), plan.split_components());
+        for u in 0..20u32 {
+            assert_eq!(back.shard_of(u), plan.shard_of(u));
+        }
+    }
+
+    #[test]
+    fn out_of_plan_nodes_route_by_modulus() {
+        let g = path(&[(0, 1)], 2);
+        let plan = partition_shards(&g, 2, 0);
+        assert_eq!(plan.shard_of(100), 0);
+        assert_eq!(plan.shard_of(101), 1);
+    }
+}

@@ -68,9 +68,24 @@ impl ExactMis {
 
     /// Runs the search.
     pub fn solve(&self, g: &AdjGraph) -> MisResult {
+        let n = g.num_nodes();
+        // Dense mirror present → keep an alive bitset in lockstep with the
+        // bool array; every neighbourhood scan then works on 64 vertices
+        // per word. The kernels visit exactly the vertices the slice scans
+        // visit, in the same order, so the search tree is bit-identical.
+        let alive_mask = if n > 0 && g.dense_row(0).is_some() {
+            let mut mask = vec![u64::MAX; n.div_ceil(64)];
+            if !n.is_multiple_of(64) {
+                *mask.last_mut().expect("n > 0") = (1u64 << (n % 64)) - 1;
+            }
+            Some(mask)
+        } else {
+            None
+        };
         let mut s = SearchState {
             g,
             alive: vec![true; g.num_nodes()],
+            alive_mask,
             deg: (0..g.num_nodes() as u32).map(|u| g.degree(u)).collect(),
             current: Vec::new(),
             best: Vec::new(),
@@ -91,6 +106,10 @@ impl ExactMis {
 struct SearchState<'a> {
     g: &'a AdjGraph,
     alive: Vec<bool>,
+    /// Bitset mirror of `alive`, maintained only when the graph carries its
+    /// dense adjacency rows — the word-parallel kernels below AND it with
+    /// adjacency rows for neighbourhood scans.
+    alive_mask: Option<Vec<u64>>,
     deg: Vec<usize>,
     current: Vec<u32>,
     best: Vec<u32>,
@@ -132,6 +151,20 @@ impl SearchState<'_> {
     fn remove(&mut self, v: u32, trail: &mut Vec<u32>) {
         debug_assert!(self.alive[v as usize]);
         self.alive[v as usize] = false;
+        if let Some(mask) = &mut self.alive_mask {
+            mask[v as usize / 64] &= !(1u64 << (v as usize % 64));
+            trail.push(v);
+            let row = self.g.dense_row(v).expect("mask implies dense rows");
+            for (wi, &rw) in row.iter().enumerate() {
+                let mut bits = rw & self.alive_mask.as_ref().expect("just set")[wi];
+                while bits != 0 {
+                    let w = wi * 64 + bits.trailing_zeros() as usize;
+                    self.deg[w] -= 1;
+                    bits &= bits - 1;
+                }
+            }
+            return;
+        }
         trail.push(v);
         for &w in self.g.neighbors(v) {
             if self.alive[w as usize] {
@@ -145,6 +178,22 @@ impl SearchState<'_> {
         while trail.len() > mark {
             let v = trail.pop().expect("trail shorter than mark");
             self.alive[v as usize] = true;
+            if let Some(mask) = &mut self.alive_mask {
+                mask[v as usize / 64] |= 1u64 << (v as usize % 64);
+                let row = self.g.dense_row(v).expect("mask implies dense rows");
+                let mut d = 0usize;
+                for (wi, &rw) in row.iter().enumerate() {
+                    let mut bits = rw & self.alive_mask.as_ref().expect("just set")[wi];
+                    while bits != 0 {
+                        let w = wi * 64 + bits.trailing_zeros() as usize;
+                        self.deg[w] += 1;
+                        d += 1;
+                        bits &= bits - 1;
+                    }
+                }
+                self.deg[v as usize] = d;
+                continue;
+            }
             let mut d = 0usize;
             for &w in self.g.neighbors(v) {
                 if self.alive[w as usize] {
@@ -154,6 +203,71 @@ impl SearchState<'_> {
             }
             self.deg[v as usize] = d;
         }
+    }
+
+    /// First alive neighbour of `v` (ascending id): the pendant partner
+    /// lookup. A bit scan over `row ∧ alive` when the dense mirror exists,
+    /// a slice scan otherwise — both visit ids ascending.
+    fn first_alive_neighbor(&self, v: u32) -> Option<u32> {
+        if let Some(mask) = &self.alive_mask {
+            let row = self.g.dense_row(v).expect("mask implies dense rows");
+            for (wi, (&r, &m)) in row.iter().zip(mask.iter()).enumerate() {
+                let bits = r & m;
+                if bits != 0 {
+                    return Some((wi * 64) as u32 + bits.trailing_zeros());
+                }
+            }
+            return None;
+        }
+        self.g.neighbors(v).iter().copied().find(|&u| self.alive[u as usize])
+    }
+
+    /// Alive neighbours of `v`, ascending — the branch-1 deletion set.
+    fn alive_neighbors(&self, v: u32) -> Vec<u32> {
+        if let Some(mask) = &self.alive_mask {
+            let row = self.g.dense_row(v).expect("mask implies dense rows");
+            let mut out = Vec::new();
+            for (wi, (&r, &m)) in row.iter().zip(mask.iter()).enumerate() {
+                let mut bits = r & m;
+                while bits != 0 {
+                    out.push((wi * 64) as u32 + bits.trailing_zeros());
+                    bits &= bits - 1;
+                }
+            }
+            return out;
+        }
+        self.g.neighbors(v).iter().copied().filter(|&w| self.alive[w as usize]).collect()
+    }
+
+    /// Number of alive vertices: a popcount sweep in dense mode.
+    fn alive_count(&self) -> usize {
+        match &self.alive_mask {
+            Some(mask) => mask.iter().map(|w| w.count_ones() as usize).sum(),
+            None => self.alive.iter().filter(|&&a| a).count(),
+        }
+    }
+
+    /// The branch vertex: the alive vertex of maximum degree, ties to the
+    /// **highest** id — exactly what `max_by_key` over an ascending range
+    /// returns, so both modes branch identically.
+    fn branch_vertex(&self) -> Option<u32> {
+        if let Some(mask) = &self.alive_mask {
+            let mut best: Option<u32> = None;
+            for (wi, &m) in mask.iter().enumerate() {
+                let mut bits = m;
+                while bits != 0 {
+                    let u = (wi * 64) as u32 + bits.trailing_zeros();
+                    if best.is_none_or(|b| self.deg[u as usize] >= self.deg[b as usize]) {
+                        best = Some(u);
+                    }
+                    bits &= bits - 1;
+                }
+            }
+            return best;
+        }
+        (0..self.g.num_nodes() as u32)
+            .filter(|&u| self.alive[u as usize])
+            .max_by_key(|&u| self.deg[u as usize])
     }
 
     fn search(&mut self) {
@@ -181,11 +295,8 @@ impl SearchState<'_> {
                         // Taking a pendant vertex is always at least as good
                         // as taking its single neighbour.
                         self.current.push(v);
-                        let u = *self
-                            .g
-                            .neighbors(v)
-                            .iter()
-                            .find(|&&u| self.alive[u as usize])
+                        let u = self
+                            .first_alive_neighbor(v)
                             .expect("degree-1 vertex must have an alive neighbour");
                         self.remove(v, &mut trail);
                         self.remove(u, &mut trail);
@@ -199,7 +310,7 @@ impl SearchState<'_> {
             }
         }
 
-        let alive_count = self.alive.iter().filter(|&&a| a).count();
+        let alive_count = self.alive_count();
         if alive_count == 0 {
             if self.current.len() > self.best.len() {
                 self.best = self.current.clone();
@@ -209,22 +320,13 @@ impl SearchState<'_> {
             let bound = self.current.len() + self.clique_cover_size();
             if bound > self.best.len() {
                 // --- Branch on a maximum-degree vertex.
-                let v = (0..self.g.num_nodes() as u32)
-                    .filter(|&u| self.alive[u as usize])
-                    .max_by_key(|&u| self.deg[u as usize])
-                    .expect("alive_count > 0");
+                let v = self.branch_vertex().expect("alive_count > 0");
 
                 // Branch 1: take v.
                 let mark = trail.len();
                 self.current.push(v);
                 self.remove(v, &mut trail);
-                let nbrs: Vec<u32> = self
-                    .g
-                    .neighbors(v)
-                    .iter()
-                    .copied()
-                    .filter(|&w| self.alive[w as usize])
-                    .collect();
+                let nbrs = self.alive_neighbors(v);
                 for w in nbrs {
                     self.remove(w, &mut trail);
                 }

@@ -1,0 +1,166 @@
+//! The in-process replication hub: a bounded ring of recently committed
+//! journal records, fanned out to tailing replica connections.
+//!
+//! The writer publishes each applied epoch's record (the exact byte
+//! sequence `UpdateLog::append_batch` journals — the wire format *is* the
+//! log format). Tail connections block on the hub until records past their
+//! cursor appear. The ring is bounded: a replica that falls more than
+//! `capacity` epochs behind gets [`TailGap::Stale`] and must re-bootstrap
+//! with `fetch` — that is the documented catch-up protocol, not an error
+//! path.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// Why a tail cursor could not be served.
+#[derive(Debug, PartialEq, Eq)]
+pub(crate) enum TailGap {
+    /// The cursor predates the ring: `oldest` is the earliest epoch whose
+    /// record is still retained (a `tail` from `oldest - 1` would work).
+    Stale {
+        /// Earliest retained epoch.
+        oldest: u64,
+    },
+    /// The hub closed (server shutdown).
+    Closed,
+    /// Nothing new within the wait window; try again.
+    Timeout,
+}
+
+struct HubState {
+    /// Epoch of the record *preceding* `records[0]` — a cursor at `base`
+    /// has seen nothing in the ring yet.
+    base: u64,
+    records: VecDeque<String>,
+    closed: bool,
+}
+
+/// Bounded broadcast ring of committed journal records. See module docs.
+pub(crate) struct ReplicationHub {
+    state: Mutex<HubState>,
+    cond: Condvar,
+    capacity: usize,
+}
+
+impl ReplicationHub {
+    /// A hub whose first published record will carry `start_epoch + 1`.
+    pub(crate) fn new(start_epoch: u64, capacity: usize) -> Self {
+        ReplicationHub {
+            state: Mutex::new(HubState {
+                base: start_epoch,
+                records: VecDeque::new(),
+                closed: false,
+            }),
+            cond: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Publishes the record that produced `epoch`. Epochs are sequential
+    /// by construction (one writer); the oldest record is evicted when the
+    /// ring is full.
+    pub(crate) fn publish(&self, epoch: u64, record: String) {
+        let mut st = self.state.lock().expect("hub lock");
+        debug_assert_eq!(epoch, st.base + st.records.len() as u64 + 1, "epochs are sequential");
+        st.records.push_back(record);
+        if st.records.len() > self.capacity {
+            st.records.pop_front();
+            st.base += 1;
+        }
+        drop(st);
+        self.cond.notify_all();
+    }
+
+    /// Wakes every tail connection for server shutdown.
+    pub(crate) fn close(&self) {
+        self.state.lock().expect("hub lock").closed = true;
+        self.cond.notify_all();
+    }
+
+    /// Returns every retained record after epoch `from` together with the
+    /// new cursor, waiting up to `timeout` when the tail is already caught
+    /// up. `Stale` means the cursor fell out of the ring — the caller must
+    /// re-bootstrap.
+    pub(crate) fn collect_after(
+        &self,
+        from: u64,
+        timeout: Duration,
+    ) -> Result<(u64, Vec<String>), TailGap> {
+        let mut st = self.state.lock().expect("hub lock");
+        loop {
+            if from < st.base {
+                return Err(TailGap::Stale { oldest: st.base + 1 });
+            }
+            let have = st.base + st.records.len() as u64;
+            if from < have {
+                let skip = (from - st.base) as usize;
+                let records: Vec<String> = st.records.iter().skip(skip).cloned().collect();
+                return Ok((have, records));
+            }
+            if st.closed {
+                return Err(TailGap::Closed);
+            }
+            let (next, timed_out) = self.cond.wait_timeout(st, timeout).expect("hub lock poisoned");
+            st = next;
+            if timed_out.timed_out() {
+                if from < st.base + st.records.len() as u64 || st.closed || from < st.base {
+                    continue; // state moved while waking — resolve it above
+                }
+                return Err(TailGap::Timeout);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_flow_in_epoch_order() {
+        let hub = ReplicationHub::new(5, 8);
+        hub.publish(6, "b 0\nc\n".into());
+        hub.publish(7, "b 1\n+ 1 2\nc\n".into());
+        let (cursor, records) = hub.collect_after(5, Duration::from_millis(10)).unwrap();
+        assert_eq!(cursor, 7);
+        assert_eq!(records, vec!["b 0\nc\n".to_string(), "b 1\n+ 1 2\nc\n".to_string()]);
+        // A caught-up cursor times out rather than re-serving records.
+        assert_eq!(hub.collect_after(7, Duration::from_millis(5)).unwrap_err(), TailGap::Timeout);
+        // A partially caught-up cursor gets only the missing suffix.
+        let (cursor, records) = hub.collect_after(6, Duration::from_millis(10)).unwrap();
+        assert_eq!((cursor, records.len()), (7, 1));
+    }
+
+    #[test]
+    fn eviction_turns_old_cursors_stale() {
+        let hub = ReplicationHub::new(0, 2);
+        for e in 1..=4 {
+            hub.publish(e, format!("b 0\nc\n# epoch {e}\n"));
+        }
+        assert_eq!(
+            hub.collect_after(0, Duration::from_millis(5)).unwrap_err(),
+            TailGap::Stale { oldest: 3 }
+        );
+        let (cursor, records) = hub.collect_after(2, Duration::from_millis(5)).unwrap();
+        assert_eq!((cursor, records.len()), (4, 2));
+    }
+
+    #[test]
+    fn close_wakes_waiters() {
+        let hub = std::sync::Arc::new(ReplicationHub::new(0, 4));
+        let waiter = {
+            let hub = std::sync::Arc::clone(&hub);
+            std::thread::spawn(move || hub.collect_after(0, Duration::from_secs(30)))
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        hub.close();
+        assert_eq!(waiter.join().unwrap().unwrap_err(), TailGap::Closed);
+        // Publishing before close still wins over closed for fresh cursors.
+        let hub2 = ReplicationHub::new(0, 4);
+        hub2.publish(1, "b 0\nc\n".into());
+        hub2.close();
+        assert!(hub2.collect_after(0, Duration::from_millis(5)).is_ok());
+        assert_eq!(hub2.collect_after(1, Duration::from_millis(5)).unwrap_err(), TailGap::Closed);
+    }
+}

@@ -24,6 +24,8 @@
 //! | `solve` | full from-scratch [`dkc_core::Engine`] run on the current graph |
 //! | `snapshot` | persist state (`.dkcsr` + meta, new generation) and start a fresh log |
 //! | `shutdown` | graceful stop (journal synced) |
+//! | `fetch` / `tail` | replication: full state export / committed-journal stream |
+//! | `shards` / `register_replica` | router topology report / replica announcement |
 //!
 //! Update commands are bounded: node ids beyond the server's growth cap
 //! ([`ServerConfig::max_node`], derived from the served graph by default)
@@ -35,6 +37,22 @@
 //! With a state directory, restart = load snapshot + replay the committed
 //! journal tail — the restored server answers with the exact epoch, `|S|`
 //! and membership of the stopped one (see `dkc_dynamic::serving`).
+//!
+//! ## Sharding & replication
+//!
+//! A deployment scales horizontally with a [`Router`] over several shard
+//! primaries (one [`Server`] each, serving the shard subgraph of a
+//! `dkc_graph::ShardPlan`): updates route by the node→shard map (cut-edge
+//! updates are dropped and counted, never half-applied), reads fan out
+//! and merge under a per-shard epoch vector stamped into every merged
+//! reply. A [`Replica`] bootstraps from a primary with `fetch`, tails its
+//! journal over the wire (committed records only — the wire format is the
+//! on-disk log format), serves read-only queries from its own view, and
+//! joins the router's per-shard read rotation bounded by
+//! [`RouterConfig::staleness`] (max epoch lag before the router re-asks
+//! the primary). [`loadgen`] grows a pool-local mode
+//! ([`LoadgenConfig::pools`]) so a seeded op stream applies identically
+//! on 1-shard and N-shard deployments.
 //!
 //! ## Example (in-process)
 //!
@@ -66,11 +84,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod hub;
 pub mod loadgen;
 pub mod protocol;
 mod queue;
+mod replica;
+mod router;
 mod server;
 
-pub use loadgen::{run_loadgen, LatencySummary, LoadgenConfig, LoadgenReport};
+pub use loadgen::{fetch_pools, run_loadgen, LatencySummary, LoadgenConfig, LoadgenReport};
 pub use protocol::{Query, Request};
+pub use replica::{Replica, ReplicaConfig, ReplicaHandle};
+pub use router::{Router, RouterConfig, RouterHandle};
 pub use server::{Server, ServerConfig, ServerHandle};

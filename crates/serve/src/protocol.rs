@@ -15,6 +15,11 @@
 //! {"cmd":"solve"}                      — replay the server's bootstrap request
 //! {"cmd":"solve","request":{"algo":"hg","k":3}}
 //! {"cmd":"snapshot"}                   — persist state + truncate the log
+//! {"cmd":"fetch"}                      — full-state bootstrap (replicas)
+//! {"cmd":"tail","from":E}              — stream committed journal records
+//! {"cmd":"shards"}                     — sharded topology (router only)
+//! {"cmd":"shards","pools":true}        —  … with per-shard node pools
+//! {"cmd":"register_replica","shard":0,"addr":"127.0.0.1:7950"}
 //! {"cmd":"shutdown"}
 //! ```
 //!
@@ -27,8 +32,16 @@
 //! stats    → {"ok":true,"epoch":E,"k":K,"size":S,"num_nodes":N,"stats":{..update counters..}}
 //! solve    → {"ok":true,"epoch":E,"report":{..SolveReport..}}
 //! snapshot → {"ok":true,"epoch":E,"durable":B,"path":P}
+//! fetch    → {"ok":true,"epoch":E,"state":{..export_state doc..}}
+//! tail     → {"ok":true,"epoch":E,"from":F} then raw journal-format lines
 //! shutdown → {"ok":true,"epoch":E,"shutdown":true}
 //! ```
+//!
+//! A sharded deployment's router answers the same protocol, but fanned-out
+//! replies (`solution`, `stats`, `update`, `snapshot`) are **merged**: they
+//! carry an `"epochs"` per-shard epoch vector (and keep a scalar `"epoch"`
+//! — the vector's sum — so single-shard clients keep working), see
+//! [`crate::Router`].
 
 use dkc_core::{SolveReport, SolveRequest};
 use dkc_dynamic::{stats_to_json, BatchOutcome, EdgeUpdate, SolutionView};
@@ -47,6 +60,27 @@ pub enum Request {
     Solve(Option<SolveRequest>),
     /// Persist the serving state and truncate the update log.
     Snapshot,
+    /// Serialise the full serving state — the replica bootstrap payload.
+    Fetch,
+    /// Switch this connection into a replication stream: committed journal
+    /// records after the given epoch, in the on-disk log format.
+    Tail {
+        /// Epoch the tailing replica is already caught up to.
+        from: u64,
+    },
+    /// Sharded-deployment topology (router only). With `pools`, the reply
+    /// includes per-shard node pools for loadgen's multi-shard mode.
+    Shards {
+        /// Include per-shard node id pools in the reply.
+        pools: bool,
+    },
+    /// Announce a read replica serving a shard (router only).
+    RegisterReplica {
+        /// Shard index the replica replicates.
+        shard: usize,
+        /// Address the replica answers queries on.
+        addr: String,
+    },
     /// Stop the server.
     Shutdown,
 }
@@ -106,10 +140,36 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             ))),
         },
         "snapshot" => Ok(Request::Snapshot),
-        "shutdown" => Ok(Request::Shutdown),
-        other => {
-            Err(format!("unknown command {other:?} (try update|query|solve|snapshot|shutdown)"))
+        "fetch" => Ok(Request::Fetch),
+        "tail" => {
+            let from = v
+                .get("from")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| "tail needs a \"from\" epoch".to_string())?;
+            Ok(Request::Tail { from })
         }
+        "shards" => {
+            let pools = v.get("pools").and_then(Json::as_bool).unwrap_or(false);
+            Ok(Request::Shards { pools })
+        }
+        "register_replica" => {
+            let shard = v
+                .get("shard")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| "register_replica needs a \"shard\" index".to_string())?
+                as usize;
+            let addr = v
+                .get("addr")
+                .and_then(Json::as_str)
+                .ok_or_else(|| "register_replica needs an \"addr\"".to_string())?
+                .to_string();
+            Ok(Request::RegisterReplica { shard, addr })
+        }
+        "shutdown" => Ok(Request::Shutdown),
+        other => Err(format!(
+            "unknown command {other:?} \
+             (try update|query|solve|snapshot|fetch|tail|shards|register_replica|shutdown)"
+        )),
     }
 }
 
@@ -163,9 +223,34 @@ pub fn render_query_request(query: Query) -> String {
     Json::Obj(members).render()
 }
 
-/// Renders a bare command (`solve` / `snapshot` / `shutdown`) request line.
+/// Renders a bare command (`solve` / `snapshot` / `fetch` / `shards` /
+/// `shutdown`) request line.
 pub fn render_command_request(cmd: &str) -> String {
     Json::Obj(vec![("cmd".into(), Json::str(cmd))]).render()
+}
+
+/// Renders a `tail` request line (replica side).
+pub fn render_tail_request(from: u64) -> String {
+    Json::Obj(vec![("cmd".into(), Json::str("tail")), ("from".into(), Json::u64(from))]).render()
+}
+
+/// Renders a `shards` topology request line.
+pub fn render_shards_request(pools: bool) -> String {
+    let mut m = vec![("cmd".into(), Json::str("shards"))];
+    if pools {
+        m.push(("pools".into(), Json::Bool(true)));
+    }
+    Json::Obj(m).render()
+}
+
+/// Renders a `register_replica` announcement line.
+pub fn render_register_replica_request(shard: usize, addr: &str) -> String {
+    Json::Obj(vec![
+        ("cmd".into(), Json::str("register_replica")),
+        ("shard".into(), Json::usize(shard)),
+        ("addr".into(), Json::str(addr)),
+    ])
+    .render()
 }
 
 fn ok_members(epoch: u64) -> Vec<(String, Json)> {
@@ -255,6 +340,24 @@ pub fn shutdown_reply(epoch: u64) -> Json {
     Json::Obj(m)
 }
 
+/// The `fetch` reply: the full [`export_state`] document under `"state"`.
+///
+/// [`export_state`]: dkc_dynamic::ServingSolver::export_state
+pub fn fetch_reply(epoch: u64, state: Json) -> Json {
+    let mut m = ok_members(epoch);
+    m.push(("state".into(), state));
+    Json::Obj(m)
+}
+
+/// The `tail` acknowledgement, sent before the raw record stream starts.
+/// `epoch` is the server's current epoch; `from` echoes the request, so
+/// the replica knows exactly how many records separate the two.
+pub fn tail_ack(epoch: u64, from: u64) -> Json {
+    let mut m = ok_members(epoch);
+    m.push(("from".into(), Json::u64(from)));
+    Json::Obj(m)
+}
+
 /// A structured error reply. `message` is typically a library error's
 /// `Display` rendering ([`dkc_core::SolveError`]'s OOM/OOT markers pass
 /// through verbatim).
@@ -299,6 +402,26 @@ mod tests {
     fn bare_commands_parse() {
         assert_eq!(parse_request(r#"{"cmd":"snapshot"}"#).unwrap(), Request::Snapshot);
         assert_eq!(parse_request(&render_command_request("shutdown")).unwrap(), Request::Shutdown);
+        assert_eq!(parse_request(&render_command_request("fetch")).unwrap(), Request::Fetch);
+    }
+
+    #[test]
+    fn replication_and_topology_requests_roundtrip() {
+        assert_eq!(parse_request(&render_tail_request(7)).unwrap(), Request::Tail { from: 7 });
+        assert_eq!(
+            parse_request(&render_shards_request(false)).unwrap(),
+            Request::Shards { pools: false }
+        );
+        assert_eq!(
+            parse_request(&render_shards_request(true)).unwrap(),
+            Request::Shards { pools: true }
+        );
+        assert_eq!(
+            parse_request(&render_register_replica_request(1, "127.0.0.1:7950")).unwrap(),
+            Request::RegisterReplica { shard: 1, addr: "127.0.0.1:7950".into() }
+        );
+        assert!(parse_request(r#"{"cmd":"tail"}"#).is_err());
+        assert!(parse_request(r#"{"cmd":"register_replica","shard":0}"#).is_err());
     }
 
     #[test]
@@ -336,6 +459,8 @@ mod tests {
             stats_reply(&view),
             snapshot_reply(3, Some(std::path::Path::new("/tmp/base.dkcsr"))),
             snapshot_reply(3, None),
+            fetch_reply(3, Json::Obj(vec![("epoch".into(), Json::u64(3))])),
+            tail_ack(3, 1),
             shutdown_reply(3),
             error_reply("clique storage budget of 10 cliques exceeded (OOM)"),
         ] {

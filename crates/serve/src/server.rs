@@ -19,13 +19,14 @@
 //! connections (reads time out periodically so idle connections notice),
 //! and [`ServerHandle::join`] drains and joins everything.
 
+use crate::hub::{ReplicationHub, TailGap};
 use crate::protocol::{
-    error_reply, group_of_reply, parse_request, shutdown_reply, snapshot_reply, solution_reply,
-    solve_reply, stats_reply, update_reply, Query, Request,
+    error_reply, fetch_reply, group_of_reply, parse_request, shutdown_reply, snapshot_reply,
+    solution_reply, solve_reply, stats_reply, tail_ack, update_reply, Query, Request,
 };
 use crate::queue::{BoundedQueue, Pop};
 use dkc_core::SolveRequest;
-use dkc_dynamic::{EdgeUpdate, ServingSolver, SharedView};
+use dkc_dynamic::{render_record, EdgeUpdate, FsyncPolicy, ServingSolver, SharedView};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -50,6 +51,9 @@ pub struct ServerConfig {
     /// `None` derives a cap from the served graph:
     /// `max(2 × nodes, nodes + 1024) - 1`.
     pub max_node: Option<dkc_graph::NodeId>,
+    /// When the update journal is forced to stable storage
+    /// (`--fsync <per-commit|per-batch|snapshot>` on the CLI).
+    pub fsync: FsyncPolicy,
 }
 
 impl Default for ServerConfig {
@@ -60,14 +64,20 @@ impl Default for ServerConfig {
             batch_max_updates: 4096,
             batch_delay: Duration::from_millis(2),
             max_node: None,
+            fsync: FsyncPolicy::default(),
         }
     }
 }
+
+/// Committed records the replication hub retains for tailing replicas. A
+/// replica more than this many epochs behind must re-bootstrap (`fetch`).
+const TAIL_RING_CAPACITY: usize = 4096;
 
 enum WriterOp {
     Batch { updates: Vec<EdgeUpdate>, reply: mpsc::Sender<String> },
     Solve { request: Option<SolveRequest>, reply: mpsc::Sender<String> },
     Snapshot { reply: mpsc::Sender<String> },
+    Fetch { reply: mpsc::Sender<String> },
 }
 
 /// The running server. Construct with [`Server::start`].
@@ -91,14 +101,16 @@ impl Server {
     /// [`ServerHandle::stop`] is called.
     pub fn start(
         listener: TcpListener,
-        serving: ServingSolver,
+        mut serving: ServingSolver,
         config: ServerConfig,
     ) -> std::io::Result<ServerHandle> {
+        serving.set_fsync_policy(config.fsync);
         let local_addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let writer_queue = Arc::new(BoundedQueue::<WriterOp>::new(config.queue_capacity.max(1)));
         let conn_queue = Arc::new(BoundedQueue::<TcpStream>::new(64));
+        let hub = Arc::new(ReplicationHub::new(serving.epoch(), TAIL_RING_CAPACITY));
         let shared = serving.reader();
         let max_node = config.max_node.unwrap_or_else(|| {
             let n = serving.view().num_nodes() as u64;
@@ -117,14 +129,16 @@ impl Server {
                 let conn_queue = Arc::clone(&conn_queue);
                 let writer_queue = Arc::clone(&writer_queue);
                 let shared = shared.clone();
+                let hub = Arc::clone(&hub);
                 std::thread::spawn(move || {
-                    worker_loop(&conn_queue, &writer_queue, &shared, &shutdown, max_node)
+                    worker_loop(&conn_queue, &writer_queue, &shared, &hub, &shutdown, max_node)
                 })
             })
             .collect();
         let writer = {
             let writer_queue = Arc::clone(&writer_queue);
-            std::thread::spawn(move || writer_loop(serving, &writer_queue, config))
+            let hub = Arc::clone(&hub);
+            std::thread::spawn(move || writer_loop(serving, &writer_queue, &hub, config))
         };
         Ok(ServerHandle { local_addr, shutdown, writer_queue, acceptor, workers, writer })
     }
@@ -182,13 +196,14 @@ fn worker_loop(
     conn_queue: &BoundedQueue<TcpStream>,
     writer_queue: &BoundedQueue<WriterOp>,
     shared: &SharedView,
+    hub: &ReplicationHub,
     shutdown: &AtomicBool,
     max_node: dkc_graph::NodeId,
 ) {
     loop {
         match conn_queue.pop_timeout(Duration::from_millis(100)) {
             Pop::Item(stream) => {
-                handle_connection(stream, writer_queue, shared, shutdown, max_node)
+                handle_connection(stream, writer_queue, shared, hub, shutdown, max_node)
             }
             Pop::Timeout => {
                 if shutdown.load(Ordering::SeqCst) {
@@ -204,7 +219,8 @@ fn worker_loop(
 
 /// Reads one line, tolerating read timeouts (so idle connections observe
 /// shutdown). Returns `None` on EOF, connection error, or shutdown.
-fn read_line_patiently(
+/// Shared with the router and replica front ends.
+pub(crate) fn read_line_patiently(
     reader: &mut BufReader<TcpStream>,
     buf: &mut String,
     shutdown: &AtomicBool,
@@ -236,6 +252,7 @@ fn handle_connection(
     stream: TcpStream,
     writer_queue: &BoundedQueue<WriterOp>,
     shared: &SharedView,
+    hub: &ReplicationHub,
     shutdown: &AtomicBool,
     max_node: dkc_graph::NodeId,
 ) {
@@ -286,6 +303,16 @@ fn handle_connection(
                 round_trip(writer_queue, |reply| WriterOp::Solve { request, reply })
             }
             Ok(Request::Snapshot) => round_trip(writer_queue, |reply| WriterOp::Snapshot { reply }),
+            Ok(Request::Fetch) => round_trip(writer_queue, |reply| WriterOp::Fetch { reply }),
+            Ok(Request::Tail { from }) => {
+                // The connection becomes a one-way replication stream; it
+                // ends on client disconnect, shutdown, or a stale cursor.
+                tail_connection(&mut writer, shared, hub, from, shutdown);
+                return;
+            }
+            Ok(Request::Shards { .. }) | Ok(Request::RegisterReplica { .. }) => {
+                error_reply("not a sharded deployment (send this to a router)").render()
+            }
             Ok(Request::Shutdown) => {
                 let reply = shutdown_reply(shared.current().epoch()).render();
                 let _ = writeln!(writer, "{reply}");
@@ -296,6 +323,54 @@ fn handle_connection(
         };
         if writeln!(writer, "{reply}").and_then(|()| writer.flush()).is_err() {
             return;
+        }
+    }
+}
+
+/// Serves a `tail` stream: the JSON ack, then raw journal-format records
+/// as the writer commits them. Keepalive comment lines (`# …`) flow while
+/// the tail is caught up so a vanished client is noticed; replicas skip
+/// them. Ends on client disconnect, shutdown, or a stale cursor (the
+/// client must re-bootstrap with `fetch`).
+fn tail_connection(
+    writer: &mut TcpStream,
+    shared: &SharedView,
+    hub: &ReplicationHub,
+    from: u64,
+    shutdown: &AtomicBool,
+) {
+    let ack = tail_ack(shared.current().epoch(), from).render();
+    if writeln!(writer, "{ack}").and_then(|()| writer.flush()).is_err() {
+        return;
+    }
+    let mut cursor = from;
+    while !shutdown.load(Ordering::SeqCst) {
+        match hub.collect_after(cursor, Duration::from_millis(200)) {
+            Ok((next, records)) => {
+                for record in records {
+                    if writer.write_all(record.as_bytes()).is_err() {
+                        return;
+                    }
+                }
+                if writer.flush().is_err() {
+                    return;
+                }
+                cursor = next;
+            }
+            Err(TailGap::Timeout) => {
+                if writeln!(writer, "# keepalive").and_then(|()| writer.flush()).is_err() {
+                    return;
+                }
+            }
+            Err(TailGap::Stale { oldest }) => {
+                let _ = writeln!(
+                    writer,
+                    "# stale: oldest retained epoch is {oldest}, re-bootstrap with fetch"
+                );
+                let _ = writer.flush();
+                return;
+            }
+            Err(TailGap::Closed) => return,
         }
     }
 }
@@ -312,7 +387,12 @@ fn round_trip(
     rx.recv().unwrap_or_else(|_| error_reply("writer thread unavailable").render())
 }
 
-fn writer_loop(mut serving: ServingSolver, queue: &BoundedQueue<WriterOp>, config: ServerConfig) {
+fn writer_loop(
+    mut serving: ServingSolver,
+    queue: &BoundedQueue<WriterOp>,
+    hub: &ReplicationHub,
+    config: ServerConfig,
+) {
     loop {
         match queue.pop_timeout(Duration::from_millis(100)) {
             Pop::Closed => break,
@@ -344,7 +424,7 @@ fn writer_loop(mut serving: ServingSolver, queue: &BoundedQueue<WriterOp>, confi
                         Pop::Timeout | Pop::Closed => break,
                     }
                 }
-                apply_round(&mut serving, groups);
+                apply_round(&mut serving, hub, groups);
                 if let Some(op) = carried {
                     run_writer_op(&mut serving, op);
                 }
@@ -352,14 +432,24 @@ fn writer_loop(mut serving: ServingSolver, queue: &BoundedQueue<WriterOp>, confi
             Pop::Item(op) => run_writer_op(&mut serving, op),
         }
     }
-    // Graceful exit: force the journal to stable storage.
+    // Graceful exit: force the journal to stable storage and release any
+    // tailing replicas.
     serving.sync().ok();
+    hub.close();
 }
 
-fn apply_round(serving: &mut ServingSolver, groups: Vec<(Vec<EdgeUpdate>, mpsc::Sender<String>)>) {
+fn apply_round(
+    serving: &mut ServingSolver,
+    hub: &ReplicationHub,
+    groups: Vec<(Vec<EdgeUpdate>, mpsc::Sender<String>)>,
+) {
     let refs: Vec<&[EdgeUpdate]> = groups.iter().map(|(g, _)| g.as_slice()).collect();
     match serving.apply_grouped(&refs) {
         Ok((outcomes, view)) => {
+            // Mirror the journal: the merged round is ONE record and ONE
+            // epoch on the wire, exactly as `apply_grouped` journals it.
+            let flat: Vec<EdgeUpdate> = refs.iter().flat_map(|g| g.iter().copied()).collect();
+            hub.publish(view.epoch(), render_record(&flat));
             for ((_, reply), outcome) in groups.iter().zip(outcomes) {
                 let _ = reply.send(update_reply(view.epoch(), outcome, view.len()).render());
             }
@@ -389,6 +479,12 @@ fn run_writer_op(serving: &mut ServingSolver, op: WriterOp) {
                 Err(e) => error_reply(e.to_string()).render(),
             };
             let _ = reply.send(line);
+        }
+        WriterOp::Fetch { reply } => {
+            // Canonicalises the live solver (observable state unchanged),
+            // so the importer and this process continue bit-identically.
+            let state = serving.export_state();
+            let _ = reply.send(fetch_reply(serving.epoch(), state).render());
         }
     }
 }

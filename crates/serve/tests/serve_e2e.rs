@@ -233,6 +233,7 @@ fn loadgen_drives_a_server_and_reports() {
         batch: 4,
         nodes,
         seed: 9,
+        pools: None,
     };
     let report = run_loadgen(&cfg).expect("loadgen run");
     assert_eq!(report.total_ops, 120);

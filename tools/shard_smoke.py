@@ -1,0 +1,192 @@
+#!/usr/bin/env python3
+"""CI smoke client for `dkc serve --shards N` and `dkc replica`.
+
+Drives a 2-shard router deployment through the sharded protocol surface
+and the replica lifecycle: topology checks, pool-local updates that route
+cleanly, replica registration, mid-stream replica death (the router must
+degrade to the shard primary without failing a single read), and replica
+restart catch-up. Every reply is validated as JSON and recorded for
+external `python3 -m json.tool` validation.
+
+Usage:
+    shard_smoke.py --port ROUTER_PORT --replies OUT.jsonl [phase flag]
+
+Phases:
+    --topology            assert the router reports 2 shards, an epochs
+                          vector, and per-shard node pools
+    --wait-replicas N     poll router stats until N replicas are registered
+    --drive               apply pool-local updates through the router and
+                          assert the epochs vector advances
+    --degrade             after the replica was killed: reads must keep
+                          succeeding while the router drops the dead
+                          replica from rotation (replicas -> 0)
+    --catchup PORT        after a replica restart: wait until the replica
+                          on PORT reaches the router's primary epoch and
+                          has re-registered
+    --verify-restart E0 E1
+                          after a deployment restart: assert the merged
+                          stats report exactly these per-shard epochs (the
+                          persisted plan routed every shard back to its
+                          own journal), then shut the deployment down
+    --shutdown            shut the whole deployment down via the router
+"""
+
+import argparse
+import json
+import socket
+import sys
+import time
+
+
+class Client:
+    def __init__(self, port: int, replies_path: str):
+        deadline = time.time() + 30.0
+        last_err = None
+        while time.time() < deadline:
+            try:
+                self.sock = socket.create_connection(("127.0.0.1", port), timeout=10)
+                break
+            except OSError as e:  # server still starting
+                last_err = e
+                time.sleep(0.2)
+        else:
+            raise SystemExit(f"could not connect to 127.0.0.1:{port}: {last_err}")
+        self.file = self.sock.makefile("rw", encoding="utf-8", newline="\n")
+        self.replies = open(replies_path, "a", encoding="utf-8")
+
+    def call(self, request: dict) -> dict:
+        self.file.write(json.dumps(request) + "\n")
+        self.file.flush()
+        line = self.file.readline()
+        if not line:
+            raise SystemExit(f"connection closed while awaiting reply to {request}")
+        self.replies.write(line if line.endswith("\n") else line + "\n")
+        return json.loads(line)  # every reply must be valid JSON
+
+    def call_ok(self, request: dict) -> dict:
+        reply = self.call(request)
+        if reply.get("ok") is not True:
+            raise SystemExit(f"request {request} failed: {reply}")
+        return reply
+
+
+def stats(client: Client) -> dict:
+    return client.call_ok({"cmd": "query", "what": "stats"})
+
+
+def topology(client: Client) -> None:
+    topo = client.call_ok({"cmd": "shards", "pools": True})
+    assert topo["shards"] == 2, f"expected a 2-shard deployment: {topo}"
+    assert len(topo["pools"]) == 2 and all(topo["pools"]), f"empty shard pool: {topo}"
+    s = stats(client)
+    assert len(s["epochs"]) == 2, f"merged stats must carry the epoch vector: {s}"
+    assert s["epoch"] == sum(s["epochs"]), f"scalar epoch must sum the vector: {s}"
+    assert "router" in s, f"router stats block missing: {s}"
+    # Mutating and replication commands are refused with structured errors.
+    for refused in ({"cmd": "solve", "request": {"algo": "hg", "k": 3}}, {"cmd": "fetch"}):
+        reply = client.call(refused)
+        assert reply.get("ok") is False and "error" in reply, reply
+    sys.stderr.write(f"topology ok: {topo['shards']} shards, cut_edges={topo['cut_edges']}\n")
+
+
+def wait_replicas(client: Client, want: int) -> None:
+    deadline = time.time() + 30.0
+    seen = None
+    while time.time() < deadline:
+        seen = stats(client)["router"]["replicas"]
+        if seen == want:
+            sys.stderr.write(f"replicas ok: {want} registered\n")
+            return
+        time.sleep(0.2)
+    raise SystemExit(f"router never reached {want} replicas (last: {seen})")
+
+
+def drive(client: Client) -> None:
+    pools = client.call_ok({"cmd": "shards", "pools": True})["pools"]
+    before = stats(client)["epochs"]
+    for pool in pools:  # one pool-local batch per shard: both epochs advance
+        pairs = [(pool[i], pool[i + 1]) for i in range(0, min(len(pool) - 1, 8), 2)]
+        updates = [{"op": "delete", "u": u, "v": v} for (u, v) in pairs]
+        updates += [{"op": "insert", "u": u, "v": v} for (u, v) in pairs]
+        reply = client.call_ok({"cmd": "update", "updates": updates})
+        assert len(reply["epochs"]) == 2 and reply.get("cut", 0) == 0, reply
+    after = stats(client)["epochs"]
+    assert all(a > b for a, b in zip(after, before)), (before, after)
+    sol = client.call_ok({"cmd": "query", "what": "solution"})
+    assert sol["size"] == len(sol["cliques"]), "torn merged solution"
+    print(f"EPOCHS {after[0]} {after[1]}")
+    sys.stderr.write(f"drive ok: epochs {before} -> {after}\n")
+
+
+def degrade(client: Client) -> None:
+    pools = client.call_ok({"cmd": "shards", "pools": True})["pools"]
+    deadline = time.time() + 30.0
+    while time.time() < deadline:
+        # Reads must keep succeeding while the router notices the dead
+        # replica; call_ok exits nonzero on any failed reply.
+        for node in pools[0][:4]:
+            client.call_ok({"cmd": "query", "what": "group_of", "node": node})
+        if stats(client)["router"]["replicas"] == 0:
+            sys.stderr.write("degrade ok: dead replica dropped, reads never failed\n")
+            return
+        time.sleep(0.2)
+    raise SystemExit("router never dropped the dead replica from rotation")
+
+
+def catchup(client: Client, replica_port: int, replies_path: str) -> None:
+    wait_replicas(client, 1)
+    replica = Client(replica_port, replies_path)
+    deadline = time.time() + 30.0
+    primary_epoch = stats(client)["epochs"][0]
+    replica_epoch = None
+    while time.time() < deadline:
+        replica_epoch = stats(replica)["epoch"]
+        if replica_epoch >= primary_epoch:
+            sys.stderr.write(f"catchup ok: replica at epoch {replica_epoch} >= {primary_epoch}\n")
+            return
+        time.sleep(0.2)
+    raise SystemExit(f"replica stuck at epoch {replica_epoch} < primary {primary_epoch}")
+
+
+def verify_restart(client: Client, epochs: list) -> None:
+    s = stats(client)
+    assert s["epochs"] == epochs, f"restart lost shard epochs: {s['epochs']} != {epochs}"
+    sol = client.call_ok({"cmd": "query", "what": "solution"})
+    assert sol["size"] == len(sol["cliques"]), "torn merged solution after restart"
+    client.call_ok({"cmd": "shutdown"})
+    sys.stderr.write(f"restart ok: shard epochs {epochs} reproduced\n")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--port", type=int, required=True)
+    parser.add_argument("--replies", required=True)
+    parser.add_argument("--topology", action="store_true")
+    parser.add_argument("--wait-replicas", type=int, metavar="N")
+    parser.add_argument("--drive", action="store_true")
+    parser.add_argument("--degrade", action="store_true")
+    parser.add_argument("--catchup", type=int, metavar="REPLICA_PORT")
+    parser.add_argument("--verify-restart", nargs=2, type=int, metavar=("E0", "E1"))
+    parser.add_argument("--shutdown", action="store_true")
+    args = parser.parse_args()
+    client = Client(args.port, args.replies)
+    if args.topology:
+        topology(client)
+    elif args.wait_replicas is not None:
+        wait_replicas(client, args.wait_replicas)
+    elif args.drive:
+        drive(client)
+    elif args.degrade:
+        degrade(client)
+    elif args.catchup is not None:
+        catchup(client, args.catchup, args.replies)
+    elif args.verify_restart:
+        verify_restart(client, list(args.verify_restart))
+    elif args.shutdown:
+        client.call_ok({"cmd": "shutdown"})
+    else:
+        parser.error("pick a phase flag")
+
+
+if __name__ == "__main__":
+    main()
