@@ -5,7 +5,7 @@
 //!
 //! experiments:
 //!   table1 | table2 | table3 | table4 | table5 | table6 | table7 | table8
-//!   fig6 | fig7 | ablation | all
+//!   fig6 | fig7 | ablation | improve | all
 //!
 //! flags:
 //!   --scale X          dataset scale, 1.0 = paper size       (default 0.01)
@@ -23,7 +23,7 @@
 
 use dkc_bench::config::ReproConfig;
 use dkc_bench::experiments::{
-    ablation, dynamic_sweep, static_sweep, synthetic, table1, table4, table7,
+    ablation, dynamic_sweep, improve, static_sweep, synthetic, table1, table4, table7,
 };
 use std::time::Duration;
 
@@ -32,7 +32,7 @@ static ALLOC: dkc_bench::mem::TrackingAllocator = dkc_bench::mem::TrackingAlloca
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <table1|table2|table3|table4|table5|table6|table7|table8|fig6|fig7|ablation|all> \
+        "usage: repro <table1|table2|table3|table4|table5|table6|table7|table8|fig6|fig7|ablation|improve|all> \
          [--scale X] [--seed N] [--kmin N] [--kmax N] [--datasets A,B] \
          [--updates N] [--opt-timeout-ms N] [--max-cliques N] [--data-dir D]"
     );
@@ -98,6 +98,7 @@ fn main() {
             println!();
             print!("{}", ablation::run_pruning_and_scores(&cfg));
         }
+        "improve" => print!("{}", improve::run(&cfg)),
         "all" => {
             println!("{}", table1::run(&cfg));
             let sweep = static_sweep::run_sweep(&cfg);
@@ -113,7 +114,8 @@ fn main() {
             println!("{}", dynamic_sweep::render_fig7(&dy));
             println!("{}", dynamic_sweep::render_table8(&dy));
             println!("{}", ablation::run_ordering(&cfg));
-            print!("{}", ablation::run_pruning_and_scores(&cfg));
+            println!("{}", ablation::run_pruning_and_scores(&cfg));
+            print!("{}", improve::run(&cfg));
         }
         _ => usage(),
     }

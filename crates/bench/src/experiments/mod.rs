@@ -3,6 +3,7 @@
 
 pub mod ablation;
 pub mod dynamic_sweep;
+pub mod improve;
 pub mod static_sweep;
 pub mod synthetic;
 pub mod table1;

@@ -15,6 +15,7 @@
 //! | Fig. 7 (update time) | [`experiments::dynamic_sweep`] | `fig7` |
 //! | Table VIII (quality after updates) | [`experiments::dynamic_sweep`] | `table8` |
 //! | Ordering / pruning ablations | [`experiments::ablation`] | `ablation` |
+//! | Improvement uplift vs step budget (beyond the paper) | [`experiments::improve`] | `improve` |
 //!
 //! Numbers are *not* expected to match the paper's absolute values — the
 //! substrate is a laptop and the datasets synthetic stand-ins — but the

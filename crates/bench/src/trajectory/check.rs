@@ -54,6 +54,10 @@ const WALL: GateKind = GateKind::WallClock { max_ratio_pct: 500, floor: 20_000_0
 const TAIL: GateKind = GateKind::WallClock { max_ratio_pct: 1000, floor: 20_000 };
 /// Deterministic counters match exactly.
 const EXACT: GateKind = GateKind::Counter { tolerance_pct: 0 };
+/// Per-step improvement cost in µs: 5× grace, 1 ms floor (a single move
+/// proposal is far below a millisecond at the pinned scale, so the floor
+/// swallows scheduler noise without hiding a real blow-up).
+const STEP: GateKind = GateKind::WallClock { max_ratio_pct: 500, floor: 1_000 };
 
 /// The gate table. Order follows the suite.
 pub fn gates() -> &'static [GateSpec] {
@@ -76,6 +80,9 @@ pub fn gates() -> &'static [GateSpec] {
         GateSpec { metric: "serve_sharded_p99_us", kind: TAIL },
         GateSpec { metric: "router_merge_replies", kind: EXACT },
         GateSpec { metric: "serve_sharded_errors", kind: EXACT },
+        GateSpec { metric: "improve_step_us", kind: STEP },
+        GateSpec { metric: "improve_uplift", kind: EXACT },
+        GateSpec { metric: "improve_moves_applied", kind: EXACT },
     ];
     GATES
 }

@@ -17,7 +17,8 @@
 //!
 //! [`summary`] is the retrospective view: `dkc bench summary` folds every
 //! line of one or more trajectory files into a per-metric `{median, min}`
-//! table across runs (or the matching JSON document).
+//! table across runs (or the matching JSON document); `--plot` appends
+//! per-metric ASCII sparklines over the per-run medians in run order.
 
 pub mod check;
 pub mod line;
@@ -27,4 +28,6 @@ pub mod summary;
 pub use check::{check_line, gates, GateKind, GateSpec, Violation};
 pub use line::{BenchLine, MetricValue, ParseLineError, SCHEMA_VERSION};
 pub use suite::{run_suite, SuiteConfig, SuiteError, SuiteOutcome};
-pub use summary::{parse_trajectory, summarize, MetricSummary, TrajectorySummary};
+pub use summary::{
+    parse_trajectory, render_sparklines, summarize, MetricSummary, TrajectorySummary,
+};

@@ -13,6 +13,7 @@
 //! | `apply_batch_ns` | dynamic maintenance of a mixed update stream | `apply_applied` |
 //! | `serve_p{50,95,99}_us` | in-process `dkc-serve` + seeded loadgen | `serve_errors` |
 //! | `serve_sharded_p99_us` | the same loadgen against a 2-shard router | `router_merge_replies`, `serve_sharded_errors` |
+//! | `improve_step_us` | per-step cost of the `dkc-improve` pass over HG | `improve_uplift`, `improve_moves_applied` |
 //!
 //! Timings aggregate to `{median, min}` over [`SuiteConfig::reps`];
 //! counters are deterministic for a pinned configuration (and
@@ -21,7 +22,7 @@
 
 use super::line::MetricValue;
 use dkc_clique::collect_kcliques_parallel;
-use dkc_core::{Algo, Engine, SolveRequest};
+use dkc_core::{improve, Algo, Engine, ImproveConfig, SolveRequest};
 use dkc_datagen::registry::DatasetId;
 use dkc_datagen::workload::{paper_mixed_workload, Update};
 use dkc_datagen::DatasetRegistry;
@@ -29,7 +30,7 @@ use dkc_dynamic::{EdgeUpdate, ServingSolver};
 use dkc_graph::io::{
     load_graph, read_snapshot_path, write_edge_list_labeled, write_snapshot_path, LoadedGraph,
 };
-use dkc_graph::{partition_shards, Dag, NodeOrder, OrderingKind};
+use dkc_graph::{partition_shards, Dag, DynGraph, NodeOrder, OrderingKind};
 use dkc_json::Json;
 use dkc_par::ParConfig;
 use dkc_serve::protocol::{render_query_request, Query};
@@ -252,6 +253,8 @@ pub fn run_suite(cfg: &SuiteConfig) -> Result<SuiteOutcome, SuiteError> {
             ops_per_connection: cfg.serve_ops.max(1),
             warmup_ops: cfg.serve_warmup,
             update_fraction: 0.3,
+            improve_fraction: 0.0,
+            improve_steps: 64,
             batch: 8,
             nodes: (g.num_nodes() as dkc_graph::NodeId).max(2),
             seed: cfg.seed,
@@ -305,6 +308,8 @@ pub fn run_suite(cfg: &SuiteConfig) -> Result<SuiteOutcome, SuiteError> {
             ops_per_connection: cfg.serve_ops.max(1),
             warmup_ops: cfg.serve_warmup,
             update_fraction: 0.3,
+            improve_fraction: 0.0,
+            improve_steps: 64,
             batch: 8,
             nodes: (g.num_nodes() as dkc_graph::NodeId).max(2),
             seed: cfg.seed,
@@ -326,6 +331,31 @@ pub fn run_suite(cfg: &SuiteConfig) -> Result<SuiteOutcome, SuiteError> {
     push("serve_sharded_p99_us", MetricValue::summarize(p99s));
     push("router_merge_replies", MetricValue::counter(merges));
     push("serve_sharded_errors", MetricValue::counter(sharded_errors));
+
+    // 8. Improvement: the `dkc-improve` local-search pass over the HG
+    //    construction (the construction with the most headroom left; LP is
+    //    near-optimal at this scale). Step budget and seed are pinned, so
+    //    the uplift and applied-move counts are deterministic and gate
+    //    exactly; the timing is recorded as per-tried-move cost in µs.
+    const IMPROVE_STEPS: u64 = 512;
+    const IMPROVE_SEED: u64 = 42;
+    let hg_request = SolveRequest::new(Algo::Hg, cfg.k).with_par(cfg.par);
+    let mut samples = Vec::with_capacity(reps);
+    let (mut uplift, mut moves_applied) = (0u64, 0u64);
+    for _ in 0..reps {
+        let report = Engine::solve(&g, hg_request).map_err(|e| fail("hg solve", e))?;
+        let dg = DynGraph::from_csr(&g);
+        let icfg = ImproveConfig::new(IMPROVE_STEPS, IMPROVE_SEED).with_par(cfg.par);
+        let t = Instant::now();
+        let out = improve(&dg, cfg.k, report.solution.cliques(), &icfg);
+        let total_us = t.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+        samples.push(total_us / out.stats.moves_tried.max(1));
+        uplift = out.stats.uplift;
+        moves_applied = out.stats.moves_applied;
+    }
+    push("improve_step_us", MetricValue::summarize(samples));
+    push("improve_uplift", MetricValue::counter(uplift));
+    push("improve_moves_applied", MetricValue::counter(moves_applied));
 
     Ok(SuiteOutcome { metrics, nodes: g.num_nodes(), edges: g.num_edges() })
 }

@@ -168,6 +168,57 @@ impl TrajectorySummary {
     }
 }
 
+/// Renders one ASCII sparkline per metric over the per-run medians, in
+/// input (file) order — the `--plot` companion of [`summarize`]'s table.
+/// Each line scales its own metric from its min (`▁`) to its max (`█`);
+/// a flat trajectory renders as all-`▁`. Metrics keep first-appearance
+/// order; runs missing a metric are skipped in its line (the run count
+/// says how many contributed). With zero parsed runs the result says so,
+/// and a single run renders a one-glyph spark — both degenerate shapes
+/// are legitimate early-trajectory states, not errors.
+pub fn render_sparklines(lines: &[BenchLine]) -> String {
+    const GLYPHS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if lines.is_empty() {
+        return "no bench lines to plot\n".to_string();
+    }
+    let mut order: Vec<String> = Vec::new();
+    let mut series: Vec<Vec<u64>> = Vec::new();
+    for line in lines {
+        for (name, value) in &line.metrics {
+            let slot = match order.iter().position(|n| n == name) {
+                Some(i) => i,
+                None => {
+                    order.push(name.clone());
+                    series.push(Vec::new());
+                    order.len() - 1
+                }
+            };
+            series[slot].push(value.median);
+        }
+    }
+    let name_w = order.iter().map(String::len).max().unwrap_or(6);
+    let mut out = String::new();
+    for (name, values) in order.iter().zip(&series) {
+        let (lo, hi) =
+            (values.iter().copied().min().unwrap_or(0), values.iter().copied().max().unwrap_or(0));
+        let spark: String = values
+            .iter()
+            .map(|&v| {
+                if hi == lo {
+                    GLYPHS[0]
+                } else {
+                    // Scale into 0..=7; the subtraction is safe (v ≥ lo).
+                    let bucket = ((v - lo) as u128 * (GLYPHS.len() as u128 - 1) / (hi - lo) as u128)
+                        as usize;
+                    GLYPHS[bucket]
+                }
+            })
+            .collect();
+        out.push_str(&format!("{name:<name_w$}  {spark}  [{lo} .. {hi}]\n"));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -247,6 +298,50 @@ mod tests {
         assert!(s.span.is_none());
         assert_eq!(s.render_table(), "no bench lines\n");
         assert_eq!(s.to_json_value().get("span"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn sparklines_scale_per_metric_and_survive_degenerate_run_counts() {
+        // 0 runs: a message, not a panic.
+        assert_eq!(render_sparklines(&[]), "no bench lines to plot\n");
+        // 1 run: one glyph per metric, min == max.
+        let single = vec![line("h", "d1", vec![("listing_ns", MetricValue::counter(5))])];
+        let plot = render_sparklines(&single);
+        assert_eq!(plot, "listing_ns  ▁  [5 .. 5]\n");
+        // Several runs: endpoints map to ▁ and █, flat series stay ▁.
+        let lines = vec![
+            line(
+                "h",
+                "d1",
+                vec![
+                    ("listing_ns", MetricValue::counter(10)),
+                    ("kcliques", MetricValue::counter(7)),
+                ],
+            ),
+            line(
+                "h",
+                "d2",
+                vec![
+                    ("listing_ns", MetricValue::counter(55)),
+                    ("kcliques", MetricValue::counter(7)),
+                ],
+            ),
+            line(
+                "h",
+                "d3",
+                vec![
+                    ("listing_ns", MetricValue::counter(100)),
+                    ("kcliques", MetricValue::counter(7)),
+                ],
+            ),
+        ];
+        let plot = render_sparklines(&lines);
+        let rows: Vec<&str> = plot.lines().collect();
+        assert_eq!(rows.len(), 2);
+        assert!(rows[0].contains("▁▄█"), "{plot}");
+        assert!(rows[0].ends_with("[10 .. 100]"), "{plot}");
+        assert!(rows[1].contains("▁▁▁"), "{plot}");
+        assert!(rows[1].ends_with("[7 .. 7]"), "{plot}");
     }
 
     #[test]

@@ -49,7 +49,8 @@ use crate::{
 };
 use dkc_clique::Clique;
 use dkc_cliquegraph::CliqueGraphLimits;
-use dkc_graph::{CsrGraph, InducedSubgraph, NodeId, OrderingKind};
+use dkc_graph::{CsrGraph, DynGraph, InducedSubgraph, NodeId, OrderingKind};
+use dkc_improve::{ImproveConfig, ImproveStats};
 use dkc_json::Json;
 use dkc_mis::MisBudget;
 use dkc_par::ParConfig;
@@ -168,6 +169,14 @@ pub struct Budget {
     pub mis_node_limit: Option<u64>,
     /// Wall-clock limit for the exact MIS search (`None` = unlimited).
     pub mis_time_limit: Option<Duration>,
+    /// Local-search improvement step budget: when `Some(> 0)`, the engine
+    /// runs [`dkc_improve::improve`] on the solver's output as a second
+    /// timed phase (`None` = construct only). Introduced in PR 9; the JSON
+    /// wire form omits it when unset, so older renderings still parse.
+    pub improve_steps: Option<u64>,
+    /// Seed for the improvement search (`None` = 0). Same seed, budget and
+    /// input ⇒ identical improved solution for any thread count.
+    pub improve_seed: Option<u64>,
 }
 
 impl Budget {
@@ -187,6 +196,8 @@ impl Budget {
             max_conflicts: Some(OptSolver::DEFAULT_MAX_CONFLICTS),
             mis_node_limit: Some(OptSolver::DEFAULT_MIS_NODE_LIMIT),
             mis_time_limit: None,
+            improve_steps: None,
+            improve_seed: None,
         }
     }
 
@@ -216,6 +227,18 @@ impl Budget {
         self
     }
 
+    /// Enables the anytime improvement phase with the given step budget.
+    pub fn with_improve_steps(mut self, steps: u64) -> Self {
+        self.improve_steps = Some(steps);
+        self
+    }
+
+    /// Overrides the improvement search seed (default 0).
+    pub fn with_improve_seed(mut self, seed: u64) -> Self {
+        self.improve_seed = Some(seed);
+        self
+    }
+
     /// The clique-graph slice of this budget.
     pub fn clique_graph_limits(&self) -> CliqueGraphLimits {
         CliqueGraphLimits { max_cliques: self.max_cliques, max_conflicts: self.max_conflicts }
@@ -227,18 +250,35 @@ impl Budget {
     }
 
     /// Renders this budget as a [`Json`] object (the `"budget"` member of a
-    /// [`SolveReport`] / [`SolveRequest`] rendering).
+    /// [`SolveReport`] / [`SolveRequest`] rendering). The improvement
+    /// members are omitted when unset, so pre-PR-9 consumers — which only
+    /// know the four construction budgets — keep parsing these documents.
     pub fn to_json_value(self) -> Json {
-        Json::Obj(vec![
+        let mut members = vec![
             ("max_cliques".into(), Json::opt_usize(self.max_cliques)),
             ("max_conflicts".into(), Json::opt_usize(self.max_conflicts)),
             ("mis_node_limit".into(), Json::opt_u64(self.mis_node_limit)),
             ("mis_time_limit_ns".into(), Json::opt_u64(self.mis_time_limit.map(duration_to_ns))),
-        ])
+        ];
+        if let Some(steps) = self.improve_steps {
+            members.push(("improve_steps".into(), Json::u64(steps)));
+        }
+        if let Some(seed) = self.improve_seed {
+            members.push(("improve_seed".into(), Json::u64(seed)));
+        }
+        Json::Obj(members)
     }
 
-    /// Parses a budget rendered by [`Budget::to_json_value`].
+    /// Parses a budget rendered by [`Budget::to_json_value`]. The
+    /// improvement members are optional (absent in pre-PR-9 renderings)
+    /// and unknown members are ignored.
     pub fn from_json_value(v: &Json) -> Result<Self, ParseReportError> {
+        let opt_u64 = |name: &str| -> Result<Option<u64>, ParseReportError> {
+            match v.get(name) {
+                None => Ok(None),
+                Some(x) => x.as_opt_u64().ok_or_else(|| bad_field(name)),
+            }
+        };
         Ok(Budget {
             max_cliques: field(v, "max_cliques")?
                 .as_opt_usize()
@@ -253,6 +293,8 @@ impl Budget {
                 .as_opt_u64()
                 .ok_or_else(|| bad_field("mis_time_limit_ns"))?
                 .map(Duration::from_nanos),
+            improve_steps: opt_u64("improve_steps")?,
+            improve_seed: opt_u64("improve_seed")?,
         })
     }
 }
@@ -433,6 +475,9 @@ pub struct SolveReport {
     pub lp_stats: Option<LpRunStats>,
     /// Run detail for [`Algo::Opt`].
     pub opt: Option<OptDetail>,
+    /// Counters of the anytime improvement phase (present exactly when the
+    /// request's budget set `improve_steps > 0`).
+    pub improve: Option<ImproveStats>,
 }
 
 /// Failure of [`SolveReport::from_json`].
@@ -520,7 +565,7 @@ impl SolveReport {
                 ("clique_graph_conflicts".into(), Json::usize(o.clique_graph_conflicts)),
             ]),
         };
-        Json::Obj(vec![
+        let mut members = vec![
             ("algo".into(), Json::str(self.algo.cli_name())),
             ("k".into(), Json::usize(self.k)),
             ("ordering".into(), Json::str(self.ordering.token())),
@@ -533,7 +578,13 @@ impl SolveReport {
             ("cliques".into(), cliques_to_json(self.solution.cliques(), label)),
             ("lp_stats".into(), lp_stats),
             ("opt".into(), opt),
-        ])
+        ];
+        // Default-omitted (like the budget's improve members): pre-PR-9
+        // parsers never see it, post-PR-9 parsers treat absence as None.
+        if let Some(st) = &self.improve {
+            members.push(("improve".into(), st.to_json_value()));
+        }
+        Json::Obj(members)
     }
 
     /// Parses a report rendered by [`SolveReport::to_json`]. Clique member
@@ -605,6 +656,10 @@ impl SolveReport {
         for p in field(&v, "phases")?.as_arr().ok_or_else(|| bad_field("phases"))? {
             phases.push(PhaseTiming::from_json(p)?);
         }
+        let improve = match v.get("improve") {
+            None | Some(Json::Null) => None,
+            Some(s) => Some(ImproveStats::from_json_value(s).map_err(parse_err)?),
+        };
         let ordering: OrderingKind = field(&v, "ordering")?
             .as_str()
             .ok_or_else(|| bad_field("ordering"))?
@@ -623,6 +678,7 @@ impl SolveReport {
             solution,
             lp_stats,
             opt,
+            improve,
         })
     }
 }
@@ -744,18 +800,36 @@ impl Engine {
                 (solver.solve(g, req.k)?, None, None)
             }
         };
-        let elapsed = start.elapsed();
+        let solve_elapsed = start.elapsed();
+        let mut phases = vec![PhaseTiming::new("solve", solve_elapsed)];
+        let mut solution = solution;
+        let mut improve = None;
+        if let Some(steps) = req.budget.improve_steps.filter(|&s| s > 0) {
+            let phase_start = Instant::now();
+            let dg = DynGraph::from_csr(g);
+            let cfg =
+                ImproveConfig { steps, seed: req.budget.improve_seed.unwrap_or(0), par: req.par };
+            let out = dkc_improve::improve(&dg, req.k, solution.cliques(), &cfg);
+            let mut improved = Solution::new(req.k);
+            for c in out.cliques {
+                improved.push(c);
+            }
+            solution = improved;
+            improve = Some(out.stats);
+            phases.push(PhaseTiming::new("improve", phase_start.elapsed()));
+        }
         Ok(SolveReport {
             algo: req.algo,
             k: req.k,
             ordering: req.ordering,
             threads: req.par.threads,
             budget: req.budget,
-            elapsed,
-            phases: vec![PhaseTiming::new("solve", elapsed)],
+            elapsed: start.elapsed(),
+            phases,
             solution,
             lp_stats,
             opt,
+            improve,
         })
     }
 
@@ -1001,6 +1075,66 @@ mod tests {
             let covered: usize = report.partition.groups.iter().map(|g| g.len()).sum();
             assert_eq!(covered, 9, "{algo} must cover every node");
         }
+    }
+
+    #[test]
+    fn budget_json_back_compat_with_pre_improve_renderings() {
+        // A pre-PR-9 budget document carries exactly the four construction
+        // members; it must parse with the improvement members unset.
+        let old = Json::parse(
+            r#"{"max_cliques":1000,"max_conflicts":null,"mis_node_limit":null,"mis_time_limit_ns":null}"#,
+        )
+        .unwrap();
+        let b = Budget::from_json_value(&old).unwrap();
+        assert_eq!(b.max_cliques, Some(1000));
+        assert_eq!(b.improve_steps, None);
+        assert_eq!(b.improve_seed, None);
+        // A default budget renders without the new members, so pre-PR-9
+        // strict parsers (and diff-based tooling) see the old wire form.
+        let rendered = Budget::unlimited().to_json_value().render();
+        assert!(!rendered.contains("improve"), "{rendered}");
+        // Unknown members are skipped — future additions stay parseable.
+        let future = Json::parse(
+            r#"{"max_cliques":null,"max_conflicts":null,"mis_node_limit":null,"mis_time_limit_ns":null,"improve_steps":64,"some_future_member":7}"#,
+        )
+        .unwrap();
+        let b = Budget::from_json_value(&future).unwrap();
+        assert_eq!(b.improve_steps, Some(64));
+        // Round-trip with the members set.
+        let b = Budget::standard().with_improve_steps(128).with_improve_seed(9);
+        let back = Budget::from_json_value(&b.to_json_value()).unwrap();
+        assert_eq!(back, b);
+        // Pre-PR-9 report lines (no "improve" member) still parse.
+        let g = paper_fig2();
+        let report = Engine::solve(&g, SolveRequest::new(Algo::Lp, 3)).unwrap();
+        assert!(!report.to_json().contains("\"improve\""));
+        let back = SolveReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(back.improve, None);
+    }
+
+    #[test]
+    fn engine_runs_improvement_as_a_timed_phase() {
+        let g = paper_fig2();
+        // HG on fig2 leaves room; a generous improve budget must close it.
+        let budget = Budget::unlimited().with_improve_steps(256).with_improve_seed(1);
+        let req = SolveRequest::new(Algo::Hg, 3).with_budget(budget);
+        let base = Engine::solve(&g, SolveRequest::new(Algo::Hg, 3)).unwrap();
+        let report = Engine::solve(&g, req).unwrap();
+        report.solution.verify(&g).unwrap();
+        report.solution.verify_maximal(&g).unwrap();
+        assert!(report.solution.len() >= base.solution.len());
+        let st = report.improve.expect("improve stats present");
+        assert_eq!(st.uplift, (report.solution.len() - base.solution.len()) as u64);
+        assert_eq!(report.phases.len(), 2);
+        assert_eq!(report.phases[1].name, "improve");
+        // Stats and the improved solution survive the JSON round-trip.
+        let back = SolveReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(back, report);
+        assert_eq!(back.improve, Some(st));
+        // Deterministic: same request ⇒ same report modulo timings.
+        let again = Engine::solve(&g, req).unwrap();
+        assert_eq!(again.solution, report.solution);
+        assert_eq!(again.improve, report.improve);
     }
 
     #[test]

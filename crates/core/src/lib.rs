@@ -63,6 +63,11 @@ pub use opt::{GreedyCliqueGraphSolver, OptOutcome, OptSolver};
 pub use residual::{partition_all, partition_all_par, Partition};
 pub use solution::{InvalidSolution, Solution};
 
+/// The anytime improvement layer (re-export of the `dkc-improve` crate):
+/// [`Engine::solve`] runs it as a timed `improve` phase when the request's
+/// budget sets `improve_steps`.
+pub use dkc_improve::{improve, ImproveConfig, ImproveOutcome, ImproveStats, MoveKind, MoveRecord};
+
 /// The shared JSON value tree (re-export of the `dkc-json` crate): the one
 /// parse/render layer behind [`SolveReport::to_json`], the `dkc-serve`
 /// wire protocol and every other machine rendering in the workspace.

@@ -12,13 +12,23 @@
 //! - 3 4        delete edge (3, 4)
 //! + 5 6
 //! c            commit marker — the batch is durable
+//! i 256 42     improvement record: 256 local-search steps, seed 42
+//! c            improvement records commit like batches
 //! ```
 //!
-//! A batch only counts once its `c` commit marker is on disk, so a process
-//! killed mid-append leaves a *truncated tail* that replay silently
-//! discards — exactly the batch the writer never acknowledged. Malformed
-//! bytes before a commit marker are corruption and surface as
+//! A record only counts once its `c` commit marker is on disk, so a
+//! process killed mid-append leaves a *truncated tail* that replay
+//! silently discards — exactly the record the writer never acknowledged.
+//! Malformed bytes before a commit marker are corruption and surface as
 //! [`LogError::Corrupt`].
+//!
+//! Two record kinds exist (see [`LogRecord`]): edge-update batches (`b`)
+//! and improvement records (`i`, since PR 9). An improvement record logs
+//! the *parameters* of a deterministic [`dkc_improve`] run, not its moves
+//! — replaying the same (steps, seed) against the same state reproduces
+//! the same improved solution, which is what keeps restored and replicated
+//! views bit-identical to the live one. Journals written before PR 9
+//! contain only `b` records and parse unchanged.
 
 use crate::EdgeUpdate;
 use dkc_graph::NodeId;
@@ -79,6 +89,23 @@ impl std::str::FromStr for FsyncPolicy {
     }
 }
 
+/// One committed journal record: what replay must re-apply to reach the
+/// logged epoch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LogRecord {
+    /// An edge-update batch (`b … + … - … c`).
+    Batch(Vec<EdgeUpdate>),
+    /// A deterministic improvement run (`i <steps> <seed>` + `c`): replay
+    /// re-runs the local search with these parameters and must apply the
+    /// identical moves.
+    Improve {
+        /// Step budget the run was invoked with.
+        steps: u64,
+        /// Seed the run was invoked with.
+        seed: u64,
+    },
+}
+
 /// Renders one batch as its on-disk/on-wire record text (`b … + … c`).
 ///
 /// This is the exact byte sequence [`UpdateLog::append_batch`] writes, and
@@ -96,10 +123,17 @@ pub fn render_record(updates: &[EdgeUpdate]) -> String {
     out
 }
 
-/// Parses committed batch records from log-format `text` (header optional —
-/// a replication tail stream carries bare records). A trailing record
+/// Renders one improvement record as its on-disk/on-wire text
+/// (`i <steps> <seed>` + commit marker) — the byte sequence
+/// [`UpdateLog::append_improve`] writes and the hub replicates.
+pub fn render_improve_record(steps: u64, seed: u64) -> String {
+    format!("i {steps} {seed}\nc\n")
+}
+
+/// Parses committed records from log-format `text` (header optional — a
+/// replication tail stream carries bare records). A trailing record
 /// without its commit marker is discarded, exactly like file replay.
-pub fn parse_records(text: &str) -> Result<Vec<Vec<EdgeUpdate>>, LogError> {
+pub fn parse_records(text: &str) -> Result<Vec<LogRecord>, LogError> {
     parse_log(text)
 }
 
@@ -210,6 +244,22 @@ impl UpdateLog {
         Ok(())
     }
 
+    /// Appends one improvement record (`i <steps> <seed>` + commit
+    /// marker), applying the same [`FsyncPolicy`] handling as
+    /// [`UpdateLog::append_batch`].
+    pub fn append_improve(&mut self, steps: u64, seed: u64) -> Result<(), LogError> {
+        write!(self.writer, "{}", render_improve_record(steps, seed))?;
+        match self.policy {
+            FsyncPolicy::PerCommit => {
+                self.writer.flush()?;
+                self.writer.get_ref().sync_data()?;
+            }
+            FsyncPolicy::PerBatch => self.writer.flush()?,
+            FsyncPolicy::Snapshot => {}
+        }
+        Ok(())
+    }
+
     /// Forces the journal contents to stable storage (`fdatasync`).
     pub fn sync(&mut self) -> Result<(), LogError> {
         self.writer.flush()?;
@@ -231,29 +281,24 @@ impl UpdateLog {
         Ok(())
     }
 
-    /// Replaces the journal at `path` with exactly `batches` (header +
+    /// Replaces the journal at `path` with exactly `records` (header +
     /// committed records, synced), returning a fresh append handle. The
     /// restore path uses this to drop a torn tail record before new
     /// appends land behind it.
-    pub fn rewrite(
-        path: impl Into<PathBuf>,
-        batches: &[Vec<EdgeUpdate>],
-    ) -> Result<Self, LogError> {
+    pub fn rewrite(path: impl Into<PathBuf>, records: &[LogRecord]) -> Result<Self, LogError> {
         let path = path.into();
         let tmp = path.with_extension("log.tmp");
         {
             let file = File::create(&tmp)?;
             let mut writer = BufWriter::new(file);
             writeln!(writer, "{HEADER}")?;
-            for batch in batches {
-                writeln!(writer, "b {}", batch.len())?;
-                for u in batch {
-                    match *u {
-                        EdgeUpdate::Insert(a, b) => writeln!(writer, "+ {a} {b}")?,
-                        EdgeUpdate::Delete(a, b) => writeln!(writer, "- {a} {b}")?,
+            for record in records {
+                match record {
+                    LogRecord::Batch(batch) => write!(writer, "{}", render_record(batch))?,
+                    LogRecord::Improve { steps, seed } => {
+                        write!(writer, "{}", render_improve_record(*steps, *seed))?
                     }
                 }
-                writeln!(writer, "c")?;
             }
             writer.flush()?;
             writer.get_ref().sync_data()?;
@@ -262,10 +307,11 @@ impl UpdateLog {
         Self::open(path)
     }
 
-    /// Reads every **committed** batch of the journal at `path`, in append
-    /// order. A trailing record without its commit marker (the footprint
-    /// of a killed writer) is discarded; a missing file replays as empty.
-    pub fn replay(path: impl AsRef<Path>) -> Result<Vec<Vec<EdgeUpdate>>, LogError> {
+    /// Reads every **committed** record of the journal at `path`, in
+    /// append order. A trailing record without its commit marker (the
+    /// footprint of a killed writer) is discarded; a missing file replays
+    /// as empty.
+    pub fn replay(path: impl AsRef<Path>) -> Result<Vec<LogRecord>, LogError> {
         let path = path.as_ref();
         if !path.exists() {
             return Ok(Vec::new());
@@ -276,11 +322,21 @@ impl UpdateLog {
     }
 }
 
-fn parse_log(text: &str) -> Result<Vec<Vec<EdgeUpdate>>, LogError> {
+/// An uncommitted record being accumulated by [`parse_log`].
+enum Pending {
+    /// (declared length, updates so far)
+    Batch(usize, Vec<EdgeUpdate>),
+    Improve {
+        steps: u64,
+        seed: u64,
+    },
+}
+
+fn parse_log(text: &str) -> Result<Vec<LogRecord>, LogError> {
     let corrupt =
         |line: usize, message: &str| LogError::Corrupt { line, message: message.to_string() };
-    let mut batches: Vec<Vec<EdgeUpdate>> = Vec::new();
-    let mut pending: Option<(usize, Vec<EdgeUpdate>)> = None; // (declared len, updates)
+    let mut records: Vec<LogRecord> = Vec::new();
+    let mut pending: Option<Pending> = None;
     let mut saw_header = false;
     for (idx, line) in text.lines().enumerate() {
         let lineno = idx + 1;
@@ -302,16 +358,30 @@ fn parse_log(text: &str) -> Result<Vec<Vec<EdgeUpdate>>, LogError> {
                 if pending.is_some() {
                     // The previous record never committed but a new one
                     // started after it — that is corruption, not a tail.
-                    return Err(corrupt(lineno, "new batch before previous commit marker"));
+                    return Err(corrupt(lineno, "new record before previous commit marker"));
                 }
                 let len: usize = tokens
                     .next()
                     .and_then(|t| t.parse().ok())
                     .ok_or_else(|| corrupt(lineno, "bad batch length"))?;
-                pending = Some((len, Vec::with_capacity(len)));
+                pending = Some(Pending::Batch(len, Vec::with_capacity(len)));
+            }
+            "i" => {
+                if pending.is_some() {
+                    return Err(corrupt(lineno, "new record before previous commit marker"));
+                }
+                let steps: u64 = tokens
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| corrupt(lineno, "bad improve steps"))?;
+                let seed: u64 = tokens
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| corrupt(lineno, "bad improve seed"))?;
+                pending = Some(Pending::Improve { steps, seed });
             }
             "+" | "-" => {
-                let Some((_, updates)) = pending.as_mut() else {
+                let Some(Pending::Batch(_, updates)) = pending.as_mut() else {
                     return Err(corrupt(lineno, "update outside a batch record"));
                 };
                 let a: NodeId = tokens
@@ -328,15 +398,18 @@ fn parse_log(text: &str) -> Result<Vec<Vec<EdgeUpdate>>, LogError> {
                     EdgeUpdate::Delete(a, b)
                 });
             }
-            "c" => {
-                let Some((len, updates)) = pending.take() else {
-                    return Err(corrupt(lineno, "commit marker outside a batch record"));
-                };
-                if updates.len() != len {
-                    return Err(corrupt(lineno, "batch length mismatch"));
+            "c" => match pending.take() {
+                None => return Err(corrupt(lineno, "commit marker outside a record")),
+                Some(Pending::Batch(len, updates)) => {
+                    if updates.len() != len {
+                        return Err(corrupt(lineno, "batch length mismatch"));
+                    }
+                    records.push(LogRecord::Batch(updates));
                 }
-                batches.push(updates);
-            }
+                Some(Pending::Improve { steps, seed }) => {
+                    records.push(LogRecord::Improve { steps, seed });
+                }
+            },
             _ => {
                 // An unknown line in the *tail* record could be a torn
                 // write (the record never committed, so it is discarded);
@@ -349,7 +422,7 @@ fn parse_log(text: &str) -> Result<Vec<Vec<EdgeUpdate>>, LogError> {
         }
     }
     // A pending record without its commit marker is the discarded tail.
-    Ok(batches)
+    Ok(records)
 }
 
 #[cfg(test)]
@@ -362,6 +435,10 @@ mod tests {
         dir.join("updates.log")
     }
 
+    fn batch(updates: &[EdgeUpdate]) -> LogRecord {
+        LogRecord::Batch(updates.to_vec())
+    }
+
     #[test]
     fn append_then_replay_roundtrips() {
         let path = temp_log("roundtrip");
@@ -372,13 +449,61 @@ mod tests {
         log.append_batch(&b1).unwrap();
         log.append_batch(&b2).unwrap();
         log.sync().unwrap();
-        assert_eq!(UpdateLog::replay(&path).unwrap(), vec![b1.clone(), b2.clone()]);
+        assert_eq!(UpdateLog::replay(&path).unwrap(), vec![batch(&b1), batch(&b2)]);
         // Re-opening appends after the existing records.
         drop(log);
         let mut log = UpdateLog::open(&path).unwrap();
         log.append_batch(&b2).unwrap();
-        assert_eq!(UpdateLog::replay(&path).unwrap(), vec![b1, b2.clone(), b2]);
+        assert_eq!(UpdateLog::replay(&path).unwrap(), vec![batch(&b1), batch(&b2), batch(&b2)]);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn improve_records_interleave_with_batches() {
+        let path = temp_log("improve");
+        std::fs::remove_file(&path).ok();
+        let mut log = UpdateLog::open(&path).unwrap();
+        log.append_batch(&[EdgeUpdate::Insert(1, 2)]).unwrap();
+        log.append_improve(256, 42).unwrap();
+        log.append_batch(&[EdgeUpdate::Delete(1, 2)]).unwrap();
+        log.sync().unwrap();
+        let records = UpdateLog::replay(&path).unwrap();
+        assert_eq!(
+            records,
+            vec![
+                batch(&[EdgeUpdate::Insert(1, 2)]),
+                LogRecord::Improve { steps: 256, seed: 42 },
+                batch(&[EdgeUpdate::Delete(1, 2)]),
+            ]
+        );
+        // Rewrite preserves improvement records byte-for-byte.
+        drop(log);
+        let before = std::fs::read_to_string(&path).unwrap();
+        drop(UpdateLog::rewrite(&path, &records).unwrap());
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), before);
+        // A torn improve record (no commit marker) is a discarded tail.
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("i 64 7\n");
+        std::fs::write(&path, text).unwrap();
+        assert_eq!(UpdateLog::replay(&path).unwrap(), records);
+        // A malformed committed improve record is corruption.
+        std::fs::write(&path, format!("{HEADER}\ni 64\nc\n")).unwrap();
+        assert!(matches!(UpdateLog::replay(&path), Err(LogError::Corrupt { line: 2, .. })));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn render_improve_record_matches_the_wire() {
+        assert_eq!(render_improve_record(256, 42), "i 256 42\nc\n");
+        let stream = format!(
+            "{}{}",
+            render_record(&[EdgeUpdate::Insert(1, 2)]),
+            render_improve_record(8, 9)
+        );
+        assert_eq!(
+            parse_records(&stream).unwrap(),
+            vec![batch(&[EdgeUpdate::Insert(1, 2)]), LogRecord::Improve { steps: 8, seed: 9 }]
+        );
     }
 
     #[test]
@@ -392,8 +517,8 @@ mod tests {
         let mut text = std::fs::read_to_string(&path).unwrap();
         text.push_str("b 2\n+ 7 8\n");
         std::fs::write(&path, text).unwrap();
-        let batches = UpdateLog::replay(&path).unwrap();
-        assert_eq!(batches, vec![vec![EdgeUpdate::Insert(1, 2)]]);
+        let records = UpdateLog::replay(&path).unwrap();
+        assert_eq!(records, vec![batch(&[EdgeUpdate::Insert(1, 2)])]);
         std::fs::remove_file(&path).ok();
     }
 
@@ -415,7 +540,7 @@ mod tests {
         log.append_batch(&[EdgeUpdate::Delete(1, 2)]).unwrap();
         assert_eq!(
             UpdateLog::replay(&path).unwrap(),
-            vec![vec![EdgeUpdate::Insert(1, 2)], vec![EdgeUpdate::Delete(1, 2)]]
+            vec![batch(&[EdgeUpdate::Insert(1, 2)]), batch(&[EdgeUpdate::Delete(1, 2)])]
         );
         std::fs::remove_file(&path).ok();
     }
@@ -444,7 +569,7 @@ mod tests {
         // Buffered in the writer: an independent reader sees nothing yet.
         assert!(UpdateLog::replay(&path).unwrap().is_empty());
         log.sync().unwrap();
-        assert_eq!(UpdateLog::replay(&path).unwrap(), vec![vec![EdgeUpdate::Insert(1, 2)]]);
+        assert_eq!(UpdateLog::replay(&path).unwrap(), vec![batch(&[EdgeUpdate::Insert(1, 2)])]);
         // Per-commit lands immediately (and additionally fsyncs).
         log.set_policy(FsyncPolicy::PerCommit);
         log.append_batch(&[EdgeUpdate::Delete(1, 2)]).unwrap();
@@ -473,7 +598,7 @@ mod tests {
         // A headerless stream of records parses like a replayed file.
         let stream = format!("{record}{}", render_record(&[]));
         let parsed = parse_records(&stream).unwrap();
-        assert_eq!(parsed, vec![batch, Vec::new()]);
+        assert_eq!(parsed, vec![LogRecord::Batch(batch), LogRecord::Batch(Vec::new())]);
         // A torn tail in the stream is discarded, not an error.
         let torn = parse_records("b 2\n+ 1 2\n").unwrap();
         assert!(torn.is_empty());
@@ -491,7 +616,7 @@ mod tests {
         log.truncate().unwrap();
         assert!(UpdateLog::replay(&path).unwrap().is_empty());
         log.append_batch(&[EdgeUpdate::Delete(9, 9)]).unwrap();
-        assert_eq!(UpdateLog::replay(&path).unwrap(), vec![vec![EdgeUpdate::Delete(9, 9)]]);
+        assert_eq!(UpdateLog::replay(&path).unwrap(), vec![batch(&[EdgeUpdate::Delete(9, 9)])]);
         std::fs::remove_file(&path).ok();
     }
 }

@@ -3,6 +3,7 @@ use crate::state::{CliqueId, SolutionState};
 use dkc_clique::Clique;
 use dkc_core::{Algo, Engine, Solution, SolveError, SolveReport, SolveRequest};
 use dkc_graph::{CsrGraph, DynGraph, NodeId};
+use dkc_improve::{ImproveConfig, ImproveOutcome, ImproveStats};
 use std::collections::{BTreeSet, VecDeque};
 
 /// Cumulative counters over a solver's lifetime.
@@ -218,6 +219,45 @@ impl DynamicSolver {
     /// path carries them across process boundaries).
     pub(crate) fn set_stats(&mut self, stats: UpdateStats) {
         self.stats = stats;
+    }
+
+    /// Runs the deterministic local search ([`dkc_improve::improve`]) over
+    /// the current solution **without mutating the solver** — the propose
+    /// half of the improvement write path. The request's executor
+    /// configuration is reused; the outcome is a pure function of
+    /// (graph, solution, seed, steps).
+    pub fn propose_improvement(&self, steps: u64, seed: u64) -> ImproveOutcome {
+        let cfg = ImproveConfig { steps, seed, par: self.request.par };
+        let solution = self.solution();
+        dkc_improve::improve(&self.graph, self.k, solution.cliques(), &cfg)
+    }
+
+    /// Replaces the solution with an improved clique set, renormalising to
+    /// the canonical (sorted-clique) slot order and rebuilding the
+    /// candidate index — the install half of the improvement write path.
+    /// Like [`DynamicSolver::canonicalize`], this erases slot history, so
+    /// a live solver and a replayed one agree bit-for-bit afterwards.
+    pub fn install_improvement(&mut self, cliques: &[Clique]) {
+        let mut sorted = cliques.to_vec();
+        sorted.sort_unstable();
+        let mut canonical = Solution::new(self.k);
+        for c in sorted {
+            canonical.push(c);
+        }
+        self.state = SolutionState::from_solution(&canonical, self.graph.num_nodes());
+        self.index = CandidateIndex::build(&self.graph, &self.state);
+    }
+
+    /// Budgeted local-search improvement: propose, then install when any
+    /// move applied. Deterministic: the same (state, steps, seed) always
+    /// yields the same solution, which is what lets the serving journal
+    /// log just the parameters and replay the identical improvement.
+    pub fn improve(&mut self, steps: u64, seed: u64) -> ImproveStats {
+        let out = self.propose_improvement(steps, seed);
+        if out.stats.moves_applied > 0 {
+            self.install_improvement(&out.cliques);
+        }
+        out.stats
     }
 
     /// **Insertion** (Algorithm 6).

@@ -149,11 +149,12 @@ proptest! {
         ops in ops_strategy(12, 36),
         batch_size in 1usize..8,
         compact_after in 0usize..6,
+        improve_every in 0usize..4,
     ) {
         let dir = std::env::temp_dir().join(format!(
             "dkc_dyn_prop_{}_{:x}",
             std::process::id(),
-            ops.len() * 31 + batch_size * 7 + compact_after
+            ops.len() * 31 + batch_size * 7 + compact_after + improve_every * 131
         ));
         std::fs::remove_dir_all(&dir).ok();
         let req = SolveRequest::new(Algo::Lp, 3);
@@ -162,6 +163,11 @@ proptest! {
             live.apply_batch(chunk).unwrap();
             if i + 1 == compact_after {
                 live.compact().unwrap();
+            }
+            // Background-improvement slices interleave with batches in
+            // production; the journal must replay them in sequence too.
+            if improve_every > 0 && i % improve_every == 0 {
+                live.improve(16, i as u64).unwrap();
             }
         }
         let live_view = live.view();

@@ -3,9 +3,11 @@
 //! A replica bootstraps by `fetch`ing the shard primary's full serving
 //! state (the primary canonicalises first, so both sides continue from
 //! identical internal states), then holds a `tail` connection streaming
-//! committed journal records and applies each one with
-//! [`ServingSolver::apply_batch`] — bit-identical views at every epoch,
-//! because the dynamic update algorithms are deterministic.
+//! committed journal records and applies each one — batches with
+//! [`ServingSolver::apply_batch`], improvement slices by re-running
+//! [`ServingSolver::improve`] with the journaled `(steps, seed)` — giving
+//! bit-identical views at every epoch, because both the dynamic update
+//! algorithms and the local search are deterministic.
 //!
 //! Catch-up protocol, in order of escalation:
 //!
@@ -28,7 +30,7 @@ use crate::protocol::{
 };
 use crate::queue::{BoundedQueue, Pop};
 use crate::server::read_line_patiently;
-use dkc_dynamic::{parse_records, ServingSolver, SharedView};
+use dkc_dynamic::{parse_records, LogRecord, ServingSolver, SharedView};
 use dkc_json::Json;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -307,10 +309,20 @@ fn applier_loop(
             record.push('\n');
             if trimmed == "c" {
                 match parse_records(&record) {
-                    Ok(batches) => {
-                        for batch in batches {
-                            // In-memory state: apply cannot fail on I/O.
-                            let _ = serving.apply_batch(&batch);
+                    Ok(records) => {
+                        for rec in records {
+                            // In-memory state: neither apply can fail on I/O.
+                            match rec {
+                                LogRecord::Batch(batch) => {
+                                    let _ = serving.apply_batch(&batch);
+                                }
+                                // Deterministic over the replicated canonical
+                                // state: the slice applies the same moves the
+                                // primary journaled, so epochs stay in step.
+                                LogRecord::Improve { steps, seed } => {
+                                    let _ = serving.improve(steps, seed);
+                                }
+                            }
                         }
                     }
                     Err(_) => {

@@ -384,6 +384,7 @@ fn route_request(core: &RouterCore, conns: &mut ConnCache, line: &str) -> (Strin
         Request::Query(Query::Solution) => (route_solution(core, conns), false),
         Request::Query(Query::Stats) => (route_stats(core, conns), false),
         Request::Snapshot => (route_snapshot(core, conns), false),
+        Request::Improve { steps, seed } => (route_improve(core, conns, steps, seed), false),
         Request::Shards { pools } => (topology_reply(core, pools), false),
         Request::RegisterReplica { shard, addr } => (register_replica(core, shard, addr), false),
         Request::Solve(_) => (
@@ -558,6 +559,46 @@ fn route_snapshot(core: &RouterCore, conns: &mut ConnCache) -> String {
     push_epoch_members(&mut m, &epochs);
     m.push(("durable".into(), Json::Bool(durable)));
     m.push(("paths".into(), Json::Arr(paths)));
+    Json::Obj(m).render()
+}
+
+/// Fans an `improve` slice out to every shard primary (each shard's
+/// solution is independent, so per-shard slices compose) and merges the
+/// replies: summed stats, summed `|S|`, per-shard epoch vector.
+fn route_improve(
+    core: &RouterCore,
+    conns: &mut ConnCache,
+    steps: u64,
+    seed: Option<u64>,
+) -> String {
+    let line = crate::protocol::render_improve_request(steps, seed);
+    let mut epochs = Vec::new();
+    let mut size = 0u64;
+    let mut summed = [0u64; 3]; // moves_tried, moves_applied, uplift
+    for s in 0..core.shard_addrs.len() {
+        let v = match call_primary(core, conns, s, &line) {
+            Ok(v) => v,
+            Err(message) => return error_reply(message).render(),
+        };
+        epochs.push(v.get("epoch").and_then(Json::as_u64).unwrap_or(0));
+        size += v.get("size").and_then(Json::as_u64).unwrap_or(0);
+        if let Some(stats) = v.get("stats") {
+            for (slot, key) in ["moves_tried", "moves_applied", "uplift"].iter().enumerate() {
+                summed[slot] += stats.get(key).and_then(Json::as_u64).unwrap_or(0);
+            }
+        }
+    }
+    let mut m = Vec::new();
+    push_epoch_members(&mut m, &epochs);
+    m.push(("size".into(), Json::u64(size)));
+    m.push((
+        "stats".into(),
+        Json::Obj(vec![
+            ("moves_tried".into(), Json::u64(summed[0])),
+            ("moves_applied".into(), Json::u64(summed[1])),
+            ("uplift".into(), Json::u64(summed[2])),
+        ]),
+    ));
     Json::Obj(m).render()
 }
 

@@ -21,8 +21,9 @@
 
 use crate::hub::{ReplicationHub, TailGap};
 use crate::protocol::{
-    error_reply, fetch_reply, group_of_reply, parse_request, shutdown_reply, snapshot_reply,
-    solution_reply, solve_reply, stats_reply, tail_ack, update_reply, Query, Request,
+    error_reply, fetch_reply, group_of_reply, improve_reply, parse_request, shutdown_reply,
+    snapshot_reply, solution_reply, solve_reply, stats_reply, tail_ack, update_reply, Query,
+    Request,
 };
 use crate::queue::{BoundedQueue, Pop};
 use dkc_core::SolveRequest;
@@ -54,6 +55,15 @@ pub struct ServerConfig {
     /// When the update journal is forced to stable storage
     /// (`--fsync <per-commit|per-batch|snapshot>` on the CLI).
     pub fsync: FsyncPolicy,
+    /// Background improvement: local-search steps the writer spends per
+    /// idle slice (`0` = off). Applied slices journal, bump the epoch and
+    /// replicate exactly like the `improve` command; a converged slice is
+    /// remembered per epoch so an idle server stops burning CPU.
+    pub improve_slice: u64,
+    /// Base seed for server-chosen improvement slices (each slice uses
+    /// `improve_seed + slice counter`, so restarts replay identically from
+    /// the journal, not from the counter).
+    pub improve_seed: u64,
 }
 
 impl Default for ServerConfig {
@@ -65,6 +75,8 @@ impl Default for ServerConfig {
             batch_delay: Duration::from_millis(2),
             max_node: None,
             fsync: FsyncPolicy::default(),
+            improve_slice: 0,
+            improve_seed: 0,
         }
     }
 }
@@ -76,6 +88,7 @@ const TAIL_RING_CAPACITY: usize = 4096;
 enum WriterOp {
     Batch { updates: Vec<EdgeUpdate>, reply: mpsc::Sender<String> },
     Solve { request: Option<SolveRequest>, reply: mpsc::Sender<String> },
+    Improve { steps: u64, seed: Option<u64>, reply: mpsc::Sender<String> },
     Snapshot { reply: mpsc::Sender<String> },
     Fetch { reply: mpsc::Sender<String> },
 }
@@ -302,6 +315,9 @@ fn handle_connection(
             Ok(Request::Solve(request)) => {
                 round_trip(writer_queue, |reply| WriterOp::Solve { request, reply })
             }
+            Ok(Request::Improve { steps, seed }) => {
+                round_trip(writer_queue, |reply| WriterOp::Improve { steps, seed, reply })
+            }
             Ok(Request::Snapshot) => round_trip(writer_queue, |reply| WriterOp::Snapshot { reply }),
             Ok(Request::Fetch) => round_trip(writer_queue, |reply| WriterOp::Fetch { reply }),
             Ok(Request::Tail { from }) => {
@@ -387,16 +403,66 @@ fn round_trip(
     rx.recv().unwrap_or_else(|_| error_reply("writer thread unavailable").render())
 }
 
+/// The writer's improvement bookkeeping: one seed stream shared by the
+/// `improve` command (when the client names no seed) and the background
+/// idle slices, plus the convergence memo that stops idle slices from
+/// re-running against an unchanged epoch.
+struct ImproveDriver {
+    slices: u64,
+    converged_at: Option<u64>,
+}
+
+impl ImproveDriver {
+    fn next_seed(&mut self, base: u64) -> u64 {
+        let seed = base.wrapping_add(self.slices);
+        self.slices += 1;
+        seed
+    }
+
+    /// Runs one slice on the writer thread, replicating an applied slice
+    /// exactly as the journal records it. Returns the reply line.
+    fn run(
+        &mut self,
+        serving: &mut ServingSolver,
+        hub: &ReplicationHub,
+        steps: u64,
+        seed: u64,
+    ) -> String {
+        match serving.improve(steps, seed) {
+            Ok((stats, view)) => {
+                if stats.moves_applied > 0 {
+                    hub.publish(view.epoch(), dkc_dynamic::render_improve_record(steps, seed));
+                    self.converged_at = None;
+                } else {
+                    self.converged_at = Some(view.epoch());
+                }
+                improve_reply(view.epoch(), &stats, view.len()).render()
+            }
+            Err(e) => error_reply(e.to_string()).render(),
+        }
+    }
+}
+
 fn writer_loop(
     mut serving: ServingSolver,
     queue: &BoundedQueue<WriterOp>,
     hub: &ReplicationHub,
     config: ServerConfig,
 ) {
+    let mut driver = ImproveDriver { slices: 0, converged_at: None };
     loop {
         match queue.pop_timeout(Duration::from_millis(100)) {
             Pop::Closed => break,
-            Pop::Timeout => continue,
+            Pop::Timeout => {
+                // Idle: spend one bounded improvement slice, unless the
+                // last slice already converged at this epoch (a batch in
+                // between resets the memo by changing the epoch).
+                if config.improve_slice > 0 && driver.converged_at != Some(serving.epoch()) {
+                    let seed = driver.next_seed(config.improve_seed);
+                    driver.run(&mut serving, hub, config.improve_slice, seed);
+                }
+                continue;
+            }
             Pop::Item(WriterOp::Batch { updates, reply }) => {
                 // Merge further queued updates into this application round
                 // (size- and time-bounded), then apply them as one epoch.
@@ -426,10 +492,10 @@ fn writer_loop(
                 }
                 apply_round(&mut serving, hub, groups);
                 if let Some(op) = carried {
-                    run_writer_op(&mut serving, op);
+                    run_writer_op(&mut serving, hub, &mut driver, &config, op);
                 }
             }
-            Pop::Item(op) => run_writer_op(&mut serving, op),
+            Pop::Item(op) => run_writer_op(&mut serving, hub, &mut driver, &config, op),
         }
     }
     // Graceful exit: force the journal to stable storage and release any
@@ -463,7 +529,13 @@ fn apply_round(
     }
 }
 
-fn run_writer_op(serving: &mut ServingSolver, op: WriterOp) {
+fn run_writer_op(
+    serving: &mut ServingSolver,
+    hub: &ReplicationHub,
+    driver: &mut ImproveDriver,
+    config: &ServerConfig,
+    op: WriterOp,
+) {
     match op {
         WriterOp::Batch { .. } => unreachable!("batches go through apply_round"),
         WriterOp::Solve { request, reply } => {
@@ -472,6 +544,10 @@ fn run_writer_op(serving: &mut ServingSolver, op: WriterOp) {
                 Err(e) => error_reply(e.to_string()).render(),
             };
             let _ = reply.send(line);
+        }
+        WriterOp::Improve { steps, seed, reply } => {
+            let seed = seed.unwrap_or_else(|| driver.next_seed(config.improve_seed));
+            let _ = reply.send(driver.run(serving, hub, steps, seed));
         }
         WriterOp::Snapshot { reply } => {
             let line = match serving.compact() {

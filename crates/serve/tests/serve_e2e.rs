@@ -8,10 +8,11 @@ use dkc_datagen::workload::sample_edges;
 use dkc_datagen::DatasetRegistry;
 use dkc_dynamic::{EdgeUpdate, ServingSolver};
 use dkc_json::Json;
-use dkc_serve::{run_loadgen, LoadgenConfig, Server, ServerConfig};
+use dkc_serve::{run_loadgen, LoadgenConfig, Replica, ReplicaConfig, Server, ServerConfig};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
 use std::path::PathBuf;
+use std::time::{Duration, Instant};
 
 struct Client {
     writer: TcpStream,
@@ -216,6 +217,119 @@ fn solve_passthrough_and_errors_are_structured() {
     handle.join();
 }
 
+/// A central triangle {0,1,2} blocking one planted triangle per member:
+/// HG under the identity ordering bootstraps to the size-1 blocker, and
+/// one dissolve-and-recombine improvement slice reaches the optimum 3.
+fn blocker_graph() -> dkc_graph::CsrGraph {
+    dkc_graph::CsrGraph::from_edges(
+        9,
+        vec![
+            (0, 1),
+            (0, 2),
+            (1, 2),
+            (0, 3),
+            (0, 4),
+            (3, 4),
+            (1, 5),
+            (1, 6),
+            (5, 6),
+            (2, 7),
+            (2, 8),
+            (7, 8),
+        ],
+    )
+    .unwrap()
+}
+
+fn blocker_request() -> SolveRequest {
+    SolveRequest::new(Algo::Hg, 3).with_ordering(dkc_graph::OrderingKind::Identity)
+}
+
+#[test]
+fn improve_verb_journals_replicates_and_survives_restart() {
+    let dir = temp_dir("improve");
+    let serving = ServingSolver::create(&dir, &blocker_graph(), blocker_request()).unwrap();
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let handle = Server::start(listener, serving, ServerConfig::default()).unwrap();
+    let primary_addr = handle.local_addr().to_string();
+    let replica = Replica::start(
+        &primary_addr,
+        TcpListener::bind("127.0.0.1:0").unwrap(),
+        ReplicaConfig::default(),
+    )
+    .unwrap();
+
+    let mut client = Client::connect(handle.local_addr());
+    let v = client.call_ok(r#"{"cmd":"query","what":"solution"}"#);
+    assert_eq!(v.get("size").and_then(Json::as_usize), Some(1), "bootstrap picks the blocker");
+
+    // An applied slice is one epoch; the reply carries the move stats.
+    let v = client.call_ok(r#"{"cmd":"improve","steps":256,"seed":7}"#);
+    assert_eq!(v.get("epoch").and_then(Json::as_u64), Some(1));
+    assert_eq!(v.get("size").and_then(Json::as_usize), Some(3));
+    let stats = v.get("stats").expect("improve stats");
+    assert_eq!(stats.get("uplift").and_then(Json::as_u64), Some(2));
+    assert!(stats.get("moves_applied").and_then(Json::as_u64).unwrap() >= 1);
+
+    // Converged: a further slice applies nothing and costs no epoch.
+    let v = client.call_ok(r#"{"cmd":"improve","steps":256}"#);
+    assert_eq!(v.get("epoch").and_then(Json::as_u64), Some(1));
+    assert_eq!(v.get("stats").and_then(|s| s.get("moves_applied")).and_then(Json::as_u64), Some(0));
+
+    // The replica replays the journaled (steps, seed) record and lands on
+    // the byte-identical improved view at the same epoch.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while replica.epoch() < 1 {
+        assert!(Instant::now() < deadline, "replica stuck at epoch {}", replica.epoch());
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let primary_solution = client.call_ok(r#"{"cmd":"query","what":"solution"}"#).render();
+    let mut rclient = Client::connect(replica.local_addr());
+    let replica_solution = rclient.call_ok(r#"{"cmd":"query","what":"solution"}"#).render();
+    assert_eq!(replica_solution, primary_solution, "replicated improvement is byte-identical");
+    replica.stop();
+    replica.join();
+    client.call_ok(r#"{"cmd":"shutdown"}"#);
+    handle.join();
+
+    // Restart = snapshot + improve-record replay: the monotone-epoch
+    // improved view survives the restart byte for byte.
+    let restored = ServingSolver::restore(&dir).unwrap();
+    restored.solver().validate().expect("restored invariants");
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let handle = Server::start(listener, restored, ServerConfig::default()).unwrap();
+    let mut client = Client::connect(handle.local_addr());
+    let solution_after = client.call_ok(r#"{"cmd":"query","what":"solution"}"#).render();
+    assert_eq!(solution_after, primary_solution, "improved view survives restart");
+    client.call_ok(r#"{"cmd":"shutdown"}"#);
+    handle.join();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn background_improvement_slices_run_while_the_writer_is_idle() {
+    let serving = ServingSolver::in_memory(&blocker_graph(), blocker_request()).unwrap();
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let config = ServerConfig { improve_slice: 64, improve_seed: 3, ..ServerConfig::default() };
+    let handle = Server::start(listener, serving, config).unwrap();
+    let mut client = Client::connect(handle.local_addr());
+
+    // No client ever sends `improve`; the writer's idle slices must carry
+    // the blocker bootstrap to the optimum on their own.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let v = client.call_ok(r#"{"cmd":"query","what":"solution"}"#);
+        if v.get("size").and_then(Json::as_usize) == Some(3) {
+            assert!(v.get("epoch").and_then(Json::as_u64).unwrap() >= 1);
+            break;
+        }
+        assert!(Instant::now() < deadline, "idle slices never improved: {}", v.render());
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    client.call_ok(r#"{"cmd":"shutdown"}"#);
+    handle.join();
+}
+
 #[test]
 fn loadgen_drives_a_server_and_reports() {
     let g = registry_graph();
@@ -230,6 +344,8 @@ fn loadgen_drives_a_server_and_reports() {
         ops_per_connection: 40,
         warmup_ops: 0,
         update_fraction: 0.4,
+        improve_fraction: 0.0,
+        improve_steps: 64,
         batch: 4,
         nodes,
         seed: 9,

@@ -477,6 +477,8 @@ fn sharded_apply_scaling_measurement() {
         ops_per_connection: 150,
         warmup_ops: 25,
         update_fraction: 1.0,
+        improve_fraction: 0.0,
+        improve_steps: 64,
         batch: 8,
         nodes: g.num_nodes() as NodeId,
         seed: 9,
@@ -552,6 +554,8 @@ fn sharded_loadgen_pools_drive_the_router_cleanly() {
         ops_per_connection: 30,
         warmup_ops: 0,
         update_fraction: 0.5,
+        improve_fraction: 0.0,
+        improve_steps: 64,
         batch: 4,
         nodes: g.num_nodes() as NodeId,
         seed: 3,

@@ -7,9 +7,9 @@
 //! dkc serve     <dataset|graph> --k K [--port P] [--state-dir D]   dynamic serving over TCP
 //!               [--shards N] [--fsync POLICY] [--staleness N]      … sharded: router + N primaries
 //! dkc replica   <shard-addr> [--port P] [--router ADDR --shard I]  read replica tailing a shard
-//! dkc loadgen   <host:port> [--conns N] [--ops N] [--update-pct P] [--sharded]   drive a server, report latency
+//! dkc loadgen   <host:port> [--conns N] [--ops N] [--update-pct P] [--improve-pct P] [--sharded]   drive a server, report latency
 //! dkc bench     [--reps N] [--check BASELINE] [--out FILE]   pinned perf suite → one JSON line
-//! dkc bench     summary [FILES...] [--json]                  fold trajectory files into a table
+//! dkc bench     summary [FILES...] [--json] [--plot]         fold trajectory files into a table
 //! dkc convert   <in> <out> [--threads N]                     text ⇄ binary .dkcsr snapshot
 //! dkc gen       <dataset> <out> [--scale X] [--seed N]       write a stand-in as an edge list
 //! dkc cache     <dataset> --data-dir D [--scale X] [--seed N] [--json]   warm the snapshot cache
@@ -20,7 +20,9 @@
 //! `--algo hg|gc|l|lp|opt|greedy-cg`, `--ordering <kind>` (HG only),
 //! `--threads N`, and the budget knobs `--max-cliques N`,
 //! `--max-conflicts N`, `--mis-nodes N` — which apply to whichever
-//! algorithm can trip on them, not just `opt`.
+//! algorithm can trip on them, not just `opt` — plus the improvement
+//! knobs `--improve-steps N` / `--improve-seed N`, which run the
+//! `dkc-improve` local-search pass over the constructed solution.
 //!
 //! `<graph>` accepts either format — KONECT-style text edge lists (`u v`
 //! per line, `%`/`#` comments, arbitrary integer labels) or binary
@@ -68,7 +70,12 @@
 //! bounded by the router's `--staleness` (max epoch lag). `loadgen`
 //! drives a running server with a seeded update/query mix and prints
 //! throughput and latency percentiles; `--sharded` fetches the router's
-//! node pools first so updates stay intra-shard.
+//! node pools first so updates stay intra-shard, and `--improve-pct`
+//! mixes in `improve` verbs (`--improve-steps` per call). On the serve
+//! side `--improve-slice N` turns on background improvement: whenever
+//! the writer is idle it runs an N-step improvement slice, journals any
+//! slice that applied moves, and publishes the improved view as a new
+//! epoch — replicas and restarts replay the exact same slices.
 
 use disjoint_kcliques::clique::count_kcliques_parallel;
 use disjoint_kcliques::core::{Algo, Budget, Engine, SolveRequest};
@@ -92,7 +99,7 @@ use std::time::{Duration, Instant};
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  dkc stats <graph> [--kmax K] [common flags]\n  dkc solve <graph> --k K [common flags] [--json]\n  dkc partition <graph> --k K [common flags] [--json]\n  dkc serve <dataset|graph> --k K [--port P] [--state-dir D] [--data-dir D]\n            [--scale X] [--seed N] [--readers N] [--batch-max N]\n            [--batch-delay-ms MS] [--max-node N] [--shards N]\n            [--fsync per-commit|per-batch|snapshot] [--staleness N] [common flags]\n  dkc replica <shard-addr> [--port P] [--readers N] [--router ADDR --shard I]\n  dkc loadgen <host:port> [--conns N] [--ops N] [--warmup N] [--update-pct P]\n            [--batch N] [--nodes N] [--seed N] [--sharded] [--json]\n  dkc bench [--dataset NAME] [--scale X] [--seed N] [--k K] [--reps N]\n            [--threads N] [--out FILE] [--check BASELINE.json] [--stamp DATE]\n            [--host NAME] [--git-rev SHA] [--data-dir D] [--scratch D]\n            [--conns N] [--ops N] [--warmup N] [--batches N] [--batch-size N]\n  dkc bench summary [FILES...] [--json]\n  dkc convert <in> <out> [--threads N]\n  dkc gen <dataset> <out> [--scale X] [--seed N]\n  dkc cache <dataset> --data-dir D [--scale X] [--seed N] [--threads N] [--json]\n  dkc cache evict --data-dir D [--dataset NAME] [--scale X] [--seed N]\n\ncommon flags: --algo hg|gc|l|lp|opt|greedy-cg   --threads N\n              --ordering identity|degree-asc|degree-desc|degeneracy|color\n              --max-cliques N --max-conflicts N --mis-nodes N\n\n<graph> is a KONECT-style edge list or a binary .dkcsr snapshot (detected\nby content). --threads defaults to the available parallelism (env\nDKC_THREADS overrides); results are identical for any thread count.\n--algo opt defaults to the standard deterministic OOM/OOT budgets; the\nbudget flags override them for any algorithm. --json prints the engine\nreport as JSON on stdout. serve speaks newline-delimited JSON (see the\ndkc-serve crate docs); with --state-dir it journals updates and restarts\nresume at the exact epoch via snapshot + log replay. bench appends one\nJSON line per run to BENCH_<host>.json and, with --check, exits nonzero\nwhen a gated metric regresses past the committed baseline's tolerance.\nbench summary folds every line of the given trajectory files (default:\nthis host's file) into a per-metric median/min table across runs."
+        "usage:\n  dkc stats <graph> [--kmax K] [common flags]\n  dkc solve <graph> --k K [common flags] [--json]\n  dkc partition <graph> --k K [common flags] [--json]\n  dkc serve <dataset|graph> --k K [--port P] [--state-dir D] [--data-dir D]\n            [--scale X] [--seed N] [--readers N] [--batch-max N]\n            [--batch-delay-ms MS] [--max-node N] [--shards N] [--improve-slice N]\n            [--fsync per-commit|per-batch|snapshot] [--staleness N] [common flags]\n  dkc replica <shard-addr> [--port P] [--readers N] [--router ADDR --shard I]\n  dkc loadgen <host:port> [--conns N] [--ops N] [--warmup N] [--update-pct P]\n            [--improve-pct P] [--improve-steps N] [--batch N] [--nodes N]\n            [--seed N] [--sharded] [--json]\n  dkc bench [--dataset NAME] [--scale X] [--seed N] [--k K] [--reps N]\n            [--threads N] [--out FILE] [--check BASELINE.json] [--stamp DATE]\n            [--host NAME] [--git-rev SHA] [--data-dir D] [--scratch D]\n            [--conns N] [--ops N] [--warmup N] [--batches N] [--batch-size N]\n  dkc bench summary [FILES...] [--json] [--plot]\n  dkc convert <in> <out> [--threads N]\n  dkc gen <dataset> <out> [--scale X] [--seed N]\n  dkc cache <dataset> --data-dir D [--scale X] [--seed N] [--threads N] [--json]\n  dkc cache evict --data-dir D [--dataset NAME] [--scale X] [--seed N]\n\ncommon flags: --algo hg|gc|l|lp|opt|greedy-cg   --threads N\n              --ordering identity|degree-asc|degree-desc|degeneracy|color\n              --max-cliques N --max-conflicts N --mis-nodes N\n              --improve-steps N --improve-seed N\n\n<graph> is a KONECT-style edge list or a binary .dkcsr snapshot (detected\nby content). --threads defaults to the available parallelism (env\nDKC_THREADS overrides); results are identical for any thread count.\n--algo opt defaults to the standard deterministic OOM/OOT budgets; the\nbudget flags override them for any algorithm. --json prints the engine\nreport as JSON on stdout. serve speaks newline-delimited JSON (see the\ndkc-serve crate docs); with --state-dir it journals updates and restarts\nresume at the exact epoch via snapshot + log replay. bench appends one\nJSON line per run to BENCH_<host>.json and, with --check, exits nonzero\nwhen a gated metric regresses past the committed baseline's tolerance.\nbench summary folds every line of the given trajectory files (default:\nthis host's file) into a per-metric median/min table across runs;\n--plot appends per-metric ASCII sparklines in run order."
     );
     std::process::exit(2);
 }
@@ -138,6 +145,12 @@ struct Args {
     update_pct: f64,
     batch: usize,
     nodes: Option<u32>,
+    // improvement flags (budget on solving subcommands, slice size on
+    // serve, op mix on loadgen)
+    improve_steps: Option<u64>,
+    improve_seed: Option<u64>,
+    improve_slice: u64,
+    improve_pct: f64,
     // bench flags
     reps: usize,
     bench_out: Option<String>,
@@ -148,6 +161,7 @@ struct Args {
     scratch: Option<String>,
     batches: usize,
     batch_size: usize,
+    plot: bool,
 }
 
 fn parse_args() -> Args {
@@ -201,6 +215,10 @@ fn parse_args() -> Args {
         update_pct: 30.0,
         batch: 8,
         nodes: None,
+        improve_steps: None,
+        improve_seed: None,
+        improve_slice: 0,
+        improve_pct: 0.0,
         reps: 3,
         bench_out: None,
         check: None,
@@ -210,6 +228,7 @@ fn parse_args() -> Args {
         scratch: None,
         batches: 32,
         batch_size: 16,
+        plot: false,
     };
     // `convert` and `gen` take a second positional argument; `bench
     // summary` takes any number of trajectory file positionals.
@@ -292,6 +311,21 @@ fn parse_args() -> Args {
             }
             "--batch" => args.batch = value().parse().unwrap_or_else(|_| usage()),
             "--nodes" => args.nodes = Some(value().parse().unwrap_or_else(|_| usage())),
+            "--improve-steps" => {
+                args.improve_steps = Some(value().parse().unwrap_or_else(|_| usage()))
+            }
+            "--improve-seed" => {
+                args.improve_seed = Some(value().parse().unwrap_or_else(|_| usage()))
+            }
+            "--improve-slice" => args.improve_slice = value().parse().unwrap_or_else(|_| usage()),
+            "--improve-pct" => {
+                let pct: f64 = value().parse().unwrap_or_else(|_| usage());
+                if !(0.0..=100.0).contains(&pct) {
+                    usage();
+                }
+                args.improve_pct = pct;
+            }
+            "--plot" => args.plot = true,
             "--reps" => {
                 args.reps = value().parse().unwrap_or_else(|_| usage());
                 if args.reps == 0 {
@@ -353,6 +387,12 @@ fn request_from_args(args: &Args) -> SolveRequest {
     }
     if let Some(n) = args.mis_nodes {
         budget = budget.with_mis_node_limit(n);
+    }
+    if let Some(steps) = args.improve_steps {
+        budget = budget.with_improve_steps(steps);
+    }
+    if let Some(seed) = args.improve_seed {
+        budget = budget.with_improve_seed(seed);
     }
     let mut req = SolveRequest::new(args.algo, args.k).with_budget(budget).with_par(args.par);
     if let Some(ordering) = args.ordering {
@@ -449,6 +489,8 @@ fn cmd_serve(args: &Args) {
         batch_delay: Duration::from_millis(args.batch_delay_ms),
         max_node: args.max_node,
         fsync: args.fsync,
+        improve_slice: args.improve_slice,
+        improve_seed: args.improve_seed.unwrap_or(0),
     };
     let handle = match Server::start(listener, serving, config) {
         Ok(h) => h,
@@ -567,6 +609,8 @@ fn cmd_serve_sharded(args: &Args) {
         batch_delay: Duration::from_millis(args.batch_delay_ms),
         max_node: args.max_node,
         fsync: args.fsync,
+        improve_slice: args.improve_slice,
+        improve_seed: args.improve_seed.unwrap_or(0),
     };
     let mut shard_addrs = Vec::new();
     let mut shard_handles = Vec::new();
@@ -731,6 +775,8 @@ fn cmd_loadgen(args: &Args) {
         ops_per_connection: args.ops.unwrap_or(200).max(1),
         warmup_ops: args.warmup.unwrap_or(0),
         update_fraction: args.update_pct / 100.0,
+        improve_fraction: args.improve_pct / 100.0,
+        improve_steps: args.improve_steps.unwrap_or(64),
         batch: args.batch.max(1),
         nodes: args.nodes.unwrap_or(1000),
         seed: args.seed.unwrap_or(42),
@@ -755,6 +801,7 @@ fn cmd_loadgen(args: &Args) {
                     ("elapsed_us".into(), us(report.elapsed)),
                     ("ops_per_sec".into(), Json::u64(report.throughput() as u64)),
                     ("updates".into(), summary(&report.updates)),
+                    ("improves".into(), summary(&report.improves)),
                     ("queries".into(), summary(&report.queries)),
                     ("final_epoch".into(), Json::u64(report.final_epoch)),
                     ("final_size".into(), Json::usize(report.final_size)),
@@ -920,6 +967,9 @@ fn cmd_bench_summary(args: &Args) {
         if summary.hosts.is_empty() { "-".to_string() } else { summary.hosts.join(",") },
     );
     print!("{}", summary.render_table());
+    if args.plot {
+        print!("{}", disjoint_kcliques::bench::trajectory::render_sparklines(&lines));
+    }
 }
 
 /// `--host`, else `DKC_BENCH_HOST`, else `HOSTNAME`, else `unknown` —

@@ -18,6 +18,7 @@
 //! | [`mis`] | `dkc-mis` | exact branch-and-reduce and greedy MIS |
 //! | [`cliquegraph`] | `dkc-cliquegraph` | the materialised conflict graph |
 //! | [`core`] | `dkc-core` | the solvers and solution types |
+//! | [`improve`] | `dkc-improve` | anytime seeded local-search improvement over any solution |
 //! | [`dynamic`] | `dkc-dynamic` | candidate index, swaps, epoch snapshots, update log |
 //! | [`serve`] | `dkc-serve` | threaded TCP server + NDJSON protocol + loadgen |
 //! | [`json`] | `dkc-json` | the shared JSON value tree behind every machine rendering |
@@ -65,6 +66,7 @@ pub use dkc_core as core;
 pub use dkc_datagen as datagen;
 pub use dkc_dynamic as dynamic;
 pub use dkc_graph as graph;
+pub use dkc_improve as improve;
 pub use dkc_json as json;
 pub use dkc_mis as mis;
 pub use dkc_mmap as mmap;
@@ -80,5 +82,6 @@ pub mod prelude {
     };
     pub use dkc_dynamic::{DynamicSolver, EdgeUpdate, ServingSolver, SharedView, SolutionView};
     pub use dkc_graph::{CsrGraph, DynGraph, GraphStats, NodeId, OrderingKind};
+    pub use dkc_improve::{ImproveConfig, ImproveOutcome, ImproveStats};
     pub use dkc_par::ParConfig;
 }

@@ -1,0 +1,96 @@
+//! Property suite for the `dkc-improve` local-search pass, driven through
+//! the facade: on random graphs and random constructions the pass must
+//! never lose groups, must return a valid *maximal* solution, and must be
+//! a pure function of `(graph, solution, seed, budget)` — bit-identical
+//! (cliques, stats and trace) for every thread count.
+
+use disjoint_kcliques::improve::{improve, ImproveConfig};
+use disjoint_kcliques::prelude::*;
+use proptest::prelude::*;
+
+fn graph_strategy(max_n: u32, max_m: usize) -> impl Strategy<Value = CsrGraph> {
+    (6..=max_n).prop_flat_map(move |n| {
+        proptest::collection::vec((0..n, 0..n), 0..max_m)
+            .prop_map(move |edges| CsrGraph::from_edges(n as usize, edges).unwrap())
+    })
+}
+
+/// Runs a construction and hands back `(graph, base solution)`.
+fn construct(g: &CsrGraph, algo: Algo, k: usize) -> Solution {
+    Engine::solve(g, SolveRequest::new(algo, k)).expect("construction cannot fail").solution
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// |S| never decreases, and the improved set is a valid maximal
+    /// solution — for both the greedy (HG) and flagship (LP) bases.
+    #[test]
+    fn never_decreases_and_stays_valid_maximal(
+        g in graph_strategy(14, 60),
+        k in 3usize..=4,
+        steps in 1u64..64,
+        seed in 0u64..1024,
+        use_hg in any::<bool>(),
+    ) {
+        let base = construct(&g, if use_hg { Algo::Hg } else { Algo::Lp }, k);
+        let dg = DynGraph::from_csr(&g);
+        let out = improve(&dg, k, base.cliques(), &ImproveConfig::new(steps, seed));
+        prop_assert!(
+            out.cliques.len() >= base.len(),
+            "improve shrank |S|: {} -> {}", base.len(), out.cliques.len()
+        );
+        prop_assert_eq!(out.cliques.len() as u64, base.len() as u64 + out.stats.uplift);
+        prop_assert!(out.stats.moves_applied <= out.stats.moves_tried);
+        let mut improved = Solution::new(k);
+        for &c in &out.cliques {
+            improved.push(c);
+        }
+        improved.verify(&g).map_err(|e| TestCaseError::fail(format!("invalid: {e}")))?;
+        improved
+            .verify_maximal(&g)
+            .map_err(|e| TestCaseError::fail(format!("not maximal: {e}")))?;
+    }
+
+    /// The outcome — cliques, stats, AND the move trace — is identical
+    /// for 1, 2 and 8 threads.
+    #[test]
+    fn outcome_is_bit_identical_across_thread_counts(
+        g in graph_strategy(14, 60),
+        k in 3usize..=4,
+        steps in 1u64..64,
+        seed in 0u64..1024,
+    ) {
+        let base = construct(&g, Algo::Hg, k);
+        let dg = DynGraph::from_csr(&g);
+        let runs: Vec<_> = [1usize, 2, 8]
+            .iter()
+            .map(|&threads| {
+                let cfg = ImproveConfig::new(steps, seed)
+                    .with_par(ParConfig::default().with_threads(threads));
+                improve(&dg, k, base.cliques(), &cfg)
+            })
+            .collect();
+        for other in &runs[1..] {
+            prop_assert_eq!(&runs[0].cliques, &other.cliques);
+            prop_assert_eq!(&runs[0].stats, &other.stats);
+            prop_assert_eq!(&runs[0].trace, &other.trace);
+        }
+    }
+
+    /// Improving an already-improved solution with the same budget again
+    /// is still monotone (anytime semantics: more budget never hurts).
+    #[test]
+    fn reapplication_is_monotone(
+        g in graph_strategy(12, 50),
+        steps in 1u64..32,
+        seed in 0u64..256,
+    ) {
+        let k = 3;
+        let base = construct(&g, Algo::Hg, k);
+        let dg = DynGraph::from_csr(&g);
+        let first = improve(&dg, k, base.cliques(), &ImproveConfig::new(steps, seed));
+        let second = improve(&dg, k, &first.cliques, &ImproveConfig::new(steps, seed + 1));
+        prop_assert!(second.cliques.len() >= first.cliques.len());
+    }
+}

@@ -2,7 +2,8 @@
 """CI smoke client for `dkc serve`.
 
 Drives a freshly started server through the full protocol surface
-(updates -> queries -> solve -> snapshot -> shutdown), validates every
+(updates -> queries -> solve -> snapshot -> improve -> shutdown),
+validates every
 reply as JSON, writes all reply lines to a file for external
 `python3 -m json.tool` validation, and — on a second invocation with
 ``--expect-epoch/--expect-size`` — asserts that a restarted server
@@ -100,6 +101,15 @@ def drive(client: Client) -> None:
     # 7. A post-snapshot tail that only the update log will carry.
     tail = [{"op": "delete", "u": 1, "v": 2}, {"op": "insert", "u": 1, "v": 2}]
     client.call_ok({"cmd": "update", "updates": tail})
+
+    # 8. Improvement verb: a bounded local-search slice. |S| never drops;
+    #    a slice that applied moves bumps the epoch and journals itself,
+    #    so the restart verification below covers its replay too.
+    pre = client.call_ok({"cmd": "query", "what": "stats"})
+    imp = client.call_ok({"cmd": "improve", "steps": 64})
+    assert imp["size"] >= pre["size"], (pre, imp)
+    assert imp["epoch"] >= pre["epoch"], (pre, imp)
+    assert imp["stats"]["uplift"] == imp["size"] - pre["size"], (pre, imp)
 
     final = client.call_ok({"cmd": "query", "what": "stats"})
     client.call_ok({"cmd": "shutdown"})
