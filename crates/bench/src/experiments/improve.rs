@@ -49,7 +49,7 @@ pub fn run(cfg: &ReproConfig) -> String {
                 row.push(base.solution.len().to_string());
                 for b in BUDGETS {
                     let icfg = ImproveConfig::new(b, cfg.seed);
-                    let (out, elapsed) = timed(|| improve(&dg, k, base.solution.cliques(), &icfg));
+                    let (out, elapsed) = timed(|| improve(&dg, k, base.solution.store(), &icfg));
                     row.push(format!("{} (+{})", out.cliques.len(), out.stats.uplift));
                     row.push(human_ms(elapsed));
                 }

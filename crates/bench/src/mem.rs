@@ -18,6 +18,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 static CURRENT: AtomicUsize = AtomicUsize::new(0);
 static PEAK: AtomicUsize = AtomicUsize::new(0);
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
 
 /// Counting global allocator (see module docs).
 pub struct TrackingAllocator;
@@ -28,6 +29,7 @@ unsafe impl GlobalAlloc for TrackingAllocator {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         let p = unsafe { System.alloc(layout) };
         if !p.is_null() {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
             let cur = CURRENT.fetch_add(layout.size(), Ordering::Relaxed) + layout.size();
             PEAK.fetch_max(cur, Ordering::Relaxed);
         }
@@ -80,4 +82,20 @@ pub fn with_peak_tracking<T>(f: impl FnOnce() -> T) -> (T, usize) {
     let out = f();
     let peak = peak_bytes();
     (out, peak.saturating_sub(baseline))
+}
+
+/// Total successful allocation calls since process start (frees are not
+/// subtracted — this counts *events*, not live objects).
+pub fn alloc_count() -> usize {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+/// Convenience: runs `f` and reports `(result, allocation calls inside f)`.
+/// Deterministic for single-threaded regions under a fixed toolchain —
+/// the bench suite gates it exactly. Only meaningful in binaries that
+/// installed [`TrackingAllocator`]; otherwise the count is 0.
+pub fn with_alloc_tracking<T>(f: impl FnOnce() -> T) -> (T, usize) {
+    let before = alloc_count();
+    let out = f();
+    (out, alloc_count() - before)
 }

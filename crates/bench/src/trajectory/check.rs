@@ -64,6 +64,11 @@ pub fn gates() -> &'static [GateSpec] {
     const GATES: &[GateSpec] = &[
         GateSpec { metric: "listing_ns", kind: WALL },
         GateSpec { metric: "kcliques", kind: EXACT },
+        // Allocation accounting is deterministic at the pinned sequential
+        // configuration (the suite brackets single-threaded kernels), so
+        // a single extra allocation on the hot path fails the gate.
+        GateSpec { metric: "list_peak_bytes", kind: EXACT },
+        GateSpec { metric: "solve_alloc_count", kind: EXACT },
         GateSpec { metric: "lp_solve_ns", kind: WALL },
         GateSpec { metric: "lp_size", kind: EXACT },
         GateSpec { metric: "lp_heap_pops", kind: EXACT },
@@ -77,6 +82,7 @@ pub fn gates() -> &'static [GateSpec] {
         GateSpec { metric: "apply_applied", kind: EXACT },
         GateSpec { metric: "serve_p99_us", kind: TAIL },
         GateSpec { metric: "serve_errors", kind: EXACT },
+        GateSpec { metric: "serve_cached_read_p99_us", kind: TAIL },
         GateSpec { metric: "serve_sharded_p99_us", kind: TAIL },
         GateSpec { metric: "router_merge_replies", kind: EXACT },
         GateSpec { metric: "serve_sharded_errors", kind: EXACT },

@@ -4,7 +4,9 @@
 //!
 //! | Metric | Measures | Counters recorded alongside |
 //! |---|---|---|
-//! | `listing_ns` | parallel k-clique listing | `kcliques` |
+//! | `listing_ns` | parallel k-clique listing into the flat arena | `kcliques` |
+//! | `list_peak_bytes` | peak heap of a sequential arena listing | |
+//! | `solve_alloc_count` | allocation calls inside a sequential LP solve | |
 //! | `lp_solve_ns` | [`Engine::solve`] with [`Algo::Lp`] | `lp_size`, `lp_heap_pops` |
 //! | `partition_ns` | [`Engine::partition_all`] | `partition_groups` |
 //! | `text_parse_ns` | edge-list parse of the suite graph | |
@@ -12,6 +14,7 @@
 //! | `snapshot_mmap_ns` | zero-copy `.dkcsr` load via `read_snapshot_path` | |
 //! | `apply_batch_ns` | dynamic maintenance of a mixed update stream | `apply_applied` |
 //! | `serve_p{50,95,99}_us` | in-process `dkc-serve` + seeded loadgen | `serve_errors` |
+//! | `serve_cached_read_p99_us` | read-only loadgen (reply-cache hits) | |
 //! | `serve_sharded_p99_us` | the same loadgen against a 2-shard router | `router_merge_replies`, `serve_sharded_errors` |
 //! | `improve_step_us` | per-step cost of the `dkc-improve` pass over HG | `improve_uplift`, `improve_moves_applied` |
 //!
@@ -21,7 +24,8 @@
 //! lets the baseline gate compare them exactly across machines.
 
 use super::line::MetricValue;
-use dkc_clique::collect_kcliques_parallel;
+use crate::mem::{with_alloc_tracking, with_peak_tracking};
+use dkc_clique::{collect_kcliques_store, collect_kcliques_store_parallel};
 use dkc_core::{improve, Algo, Engine, ImproveConfig, SolveRequest};
 use dkc_datagen::registry::DatasetId;
 use dkc_datagen::workload::{paper_mixed_workload, Update};
@@ -138,18 +142,38 @@ pub fn run_suite(cfg: &SuiteConfig) -> Result<SuiteOutcome, SuiteError> {
     let mut metrics: Vec<(String, MetricValue)> = Vec::new();
     let mut push = |name: &str, v: MetricValue| metrics.push((name.to_string(), v));
 
-    // 1. k-clique listing (the paper's core enumeration kernel).
+    // 1. k-clique listing (the paper's core enumeration kernel), through
+    //    the flat `CliqueStore` arena — the production collector since the
+    //    arena rewire (bit-identical rows to the legacy `Vec<Clique>` path).
     let mut samples = Vec::with_capacity(reps);
     let mut kcliques = 0u64;
     for _ in 0..reps {
         let t = Instant::now();
         let dag = Dag::from_graph(&g, NodeOrder::compute(&g, OrderingKind::Degeneracy));
-        let cliques = collect_kcliques_parallel(&dag, cfg.k, cfg.par);
+        let cliques = collect_kcliques_store_parallel(&dag, cfg.k, cfg.par);
         samples.push(ns(t));
         kcliques = cliques.len() as u64;
     }
     push("listing_ns", MetricValue::summarize(samples));
     push("kcliques", MetricValue::counter(kcliques));
+
+    // 1b. Allocation accounting of the hot kernels. Both metrics are
+    //     **exact-gated**: they run sequentially (allocation events are
+    //     schedule-dependent across worker threads) and only read real
+    //     values in binaries that install `TrackingAllocator` (the `dkc`
+    //     CLI does; under `cargo test` both sides of a check read 0, which
+    //     still compares consistently).
+    let dag = Dag::from_graph(&g, NodeOrder::compute(&g, OrderingKind::Degeneracy));
+    let (store, list_peak) = with_peak_tracking(|| collect_kcliques_store(&dag, cfg.k));
+    if store.len() as u64 != kcliques {
+        return Err(fail("list alloc bracket", "sequential arena disagrees with parallel count"));
+    }
+    drop(store);
+    let seq_request = SolveRequest::new(Algo::Lp, cfg.k).with_par(ParConfig::sequential());
+    let (solve, solve_allocs) = with_alloc_tracking(|| Engine::solve(&g, seq_request));
+    solve.map_err(|e| fail("solve alloc bracket", e))?;
+    push("list_peak_bytes", MetricValue::counter(list_peak as u64));
+    push("solve_alloc_count", MetricValue::counter(solve_allocs as u64));
 
     // 2. LP solve (the flagship solver) through the engine.
     let request = SolveRequest::new(Algo::Lp, cfg.k).with_par(cfg.par);
@@ -275,6 +299,39 @@ pub fn run_suite(cfg: &SuiteConfig) -> Result<SuiteOutcome, SuiteError> {
     push("serve_p99_us", MetricValue::summarize(p99s));
     push("serve_errors", MetricValue::counter(errors));
 
+    // 6b. Cached read path: the same loadgen with **zero** update traffic,
+    //     so the epoch never moves and every solution query after the
+    //     first is a reply-cache hit served from the shared rendered body.
+    //     Gated on tail latency; the hit/miss split is not gated (which
+    //     reader renders the first body per epoch is a scheduling race).
+    let mut cached_p99s = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let serving = ServingSolver::in_memory(&g, request).map_err(|e| fail("serve init", e))?;
+        let listener =
+            std::net::TcpListener::bind(("127.0.0.1", 0)).map_err(|e| fail("serve bind", e))?;
+        let handle = Server::start(listener, serving, ServerConfig::default())
+            .map_err(|e| fail("serve start", e))?;
+        let lg = LoadgenConfig {
+            addr: handle.local_addr().to_string(),
+            connections: cfg.serve_conns.max(1),
+            ops_per_connection: cfg.serve_ops.max(1),
+            warmup_ops: cfg.serve_warmup,
+            update_fraction: 0.0,
+            improve_fraction: 0.0,
+            improve_steps: 64,
+            batch: 8,
+            nodes: (g.num_nodes() as dkc_graph::NodeId).max(2),
+            seed: cfg.seed,
+            pools: None,
+        };
+        let report = run_loadgen(&lg);
+        handle.stop();
+        handle.join();
+        let report = report.map_err(|e| fail("cached loadgen", e))?;
+        cached_p99s.push(report.queries.p99.as_micros() as u64);
+    }
+    push("serve_cached_read_p99_us", MetricValue::summarize(cached_p99s));
+
     // 7. Sharded serving: the identical seeded loadgen, with pool-local
     //    endpoints, against a 2-shard deployment behind the router. The
     //    merge counter is deterministic (the stats-op schedule is a pure
@@ -347,7 +404,7 @@ pub fn run_suite(cfg: &SuiteConfig) -> Result<SuiteOutcome, SuiteError> {
         let dg = DynGraph::from_csr(&g);
         let icfg = ImproveConfig::new(IMPROVE_STEPS, IMPROVE_SEED).with_par(cfg.par);
         let t = Instant::now();
-        let out = improve(&dg, cfg.k, report.solution.cliques(), &icfg);
+        let out = improve(&dg, cfg.k, report.solution.store(), &icfg);
         let total_us = t.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
         samples.push(total_us / out.stats.moves_tried.max(1));
         uplift = out.stats.uplift;

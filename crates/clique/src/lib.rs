@@ -23,6 +23,11 @@
 //!   arbitrary node subset of a dynamic graph, used by the candidate-clique
 //!   index of Section V (Algorithm 5).
 //! * [`Clique`] — an inline, allocation-free clique value type.
+//! * [`CliqueStore`] — a flat stride-`k` arena for clique *sets*: one
+//!   contiguous `Vec<u32>` instead of one allocation-heavy `Clique` per row,
+//!   with arena-backed collectors ([`collect_kcliques_store`],
+//!   [`collect_kcliques_store_parallel`], …) that are bit-identical to the
+//!   legacy `Vec<Clique>` collectors for every kernel mode and thread count.
 //! * [`KernelMode`] — per-root choice between the sorted-slice merge kernel
 //!   and a dense bit-matrix kernel (Rossi et al., "A Fast Parallel Maximum
 //!   Clique Algorithm for Large Sparse Graphs"). Every `*_kernel` variant
@@ -37,6 +42,7 @@ mod count;
 mod find;
 mod kernel;
 mod list;
+mod store;
 mod subset;
 mod types;
 
@@ -51,6 +57,11 @@ pub use list::{
     collect_kcliques_budgeted, collect_kcliques_kernel, collect_kcliques_parallel,
     collect_kcliques_parallel_kernel, for_each_kclique, for_each_kclique_kernel,
     for_each_kclique_rooted, for_each_kclique_while,
+};
+pub use store::{
+    collect_kcliques_store, collect_kcliques_store_bounded, collect_kcliques_store_bounded_par,
+    collect_kcliques_store_budgeted, collect_kcliques_store_kernel,
+    collect_kcliques_store_parallel, collect_kcliques_store_parallel_kernel, CliqueStore,
 };
 pub use subset::{collect_kcliques_in_subset, for_each_kclique_in_subset};
 pub use types::{Clique, MAX_K};

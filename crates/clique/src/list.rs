@@ -196,7 +196,7 @@ pub fn collect_kcliques_bounded_par(
 /// Reusable recursion state: one candidate buffer per depth plus the member
 /// stack, so enumeration performs no per-clique allocation. Holds both
 /// kernels' scratch; [`KernelMode`] picks per root.
-struct ListCtx<'a> {
+pub(crate) struct ListCtx<'a> {
     dag: &'a Dag,
     k: usize,
     mode: KernelMode,
@@ -213,7 +213,7 @@ impl<'a> ListCtx<'a> {
         Self::with_kernel(dag, k, KernelMode::default())
     }
 
-    fn with_kernel(dag: &'a Dag, k: usize, mode: KernelMode) -> Self {
+    pub(crate) fn with_kernel(dag: &'a Dag, k: usize, mode: KernelMode) -> Self {
         assert!(k >= 1, "k must be at least 1");
         ListCtx {
             dag,
@@ -228,7 +228,7 @@ impl<'a> ListCtx<'a> {
 
     /// Runs the recursion for one root. The callback returns `false` to
     /// stop; the return value propagates that request outward.
-    fn run_root<F: FnMut(&[NodeId]) -> bool>(&mut self, u: NodeId, cb: &mut F) -> bool {
+    pub(crate) fn run_root<F: FnMut(&[NodeId]) -> bool>(&mut self, u: NodeId, cb: &mut F) -> bool {
         if self.k == 1 {
             return cb(&[u]);
         }
@@ -363,7 +363,7 @@ pub(crate) fn intersect_sorted(a: &[NodeId], b: &[NodeId], out: &mut Vec<NodeId>
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
     use dkc_graph::{CsrGraph, NodeOrder, OrderingKind};
     use std::collections::BTreeSet;

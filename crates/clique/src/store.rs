@@ -1,0 +1,471 @@
+//! Flat arena storage for fixed-`k` clique sets.
+//!
+//! [`CliqueStore`] packs a set of k-cliques into one `Vec<NodeId>` with
+//! stride `k`: clique `i` occupies `data[i*k .. (i+1)*k]`, sorted ascending.
+//! Compared to `Vec<Clique>` (72 bytes per clique regardless of `k`) the
+//! arena costs `4k` bytes per clique — 6× smaller at `k = 3` — and iterating
+//! it walks one contiguous allocation instead of striding over padding.
+//!
+//! The store preserves the canonical order of whatever produced it, so the
+//! arena-backed collectors in this module are **bit-identical** to the legacy
+//! `Vec<Clique>` collectors in [`crate::list`] for every kernel mode and
+//! thread count (property-tested in `tests/proptest_clique_store.rs`).
+
+use crate::kernel::KernelMode;
+use crate::list::{for_each_kclique_kernel, for_each_kclique_while};
+use crate::types::{Clique, MAX_K};
+use dkc_graph::{Dag, NodeId};
+use dkc_par::{par_for_each_root, par_try_collect, ParConfig, SharedBudget};
+
+use crate::list::ListCtx;
+
+/// A flat arena of k-cliques: one `Vec<NodeId>` with stride `k`.
+///
+/// Rows are sorted ascending and duplicate-free (the [`Clique`] invariant);
+/// row order is whatever the producer pushed, so stores built by the
+/// enumeration collectors carry the canonical enumeration order.
+///
+/// ```
+/// use dkc_clique::CliqueStore;
+///
+/// let mut store = CliqueStore::new(3);
+/// store.push(&[5, 1, 3]); // sorted on insert
+/// store.push(&[0, 2, 4]);
+/// assert_eq!(store.len(), 2);
+/// assert_eq!(store.get(0), &[1, 3, 5]);
+/// assert_eq!(store.iter().collect::<Vec<_>>(), vec![&[1, 3, 5][..], &[0, 2, 4][..]]);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct CliqueStore {
+    k: usize,
+    data: Vec<NodeId>,
+}
+
+impl CliqueStore {
+    /// Creates an empty store for cliques of exactly `k` members.
+    ///
+    /// # Panics
+    /// Panics unless `1 <= k <= MAX_K`.
+    pub fn new(k: usize) -> Self {
+        assert!((1..=MAX_K).contains(&k), "CliqueStore k = {k} out of range 1..={MAX_K}");
+        CliqueStore { k, data: Vec::new() }
+    }
+
+    /// [`CliqueStore::new`] with room for `cliques` rows.
+    pub fn with_capacity(k: usize, cliques: usize) -> Self {
+        let mut s = CliqueStore::new(k);
+        s.data.reserve(cliques.saturating_mul(k));
+        s
+    }
+
+    /// Wraps an existing flat member array (stride-`k` rows, each sorted
+    /// ascending and duplicate-free).
+    ///
+    /// # Panics
+    /// Panics when `k` is out of range or `data.len()` is not a multiple of
+    /// `k`. Row invariants are checked in debug builds only.
+    pub fn from_flat(k: usize, data: Vec<NodeId>) -> Self {
+        assert!((1..=MAX_K).contains(&k), "CliqueStore k = {k} out of range 1..={MAX_K}");
+        assert!(
+            data.len().is_multiple_of(k),
+            "flat length {} is not a multiple of k = {k}",
+            data.len()
+        );
+        debug_assert!(
+            data.chunks_exact(k).all(|row| row.windows(2).all(|w| w[0] < w[1])),
+            "from_flat row not strictly ascending"
+        );
+        CliqueStore { k, data }
+    }
+
+    /// Copies a legacy `Vec<Clique>`-style slice into an arena.
+    ///
+    /// # Panics
+    /// Panics when any clique's length differs from `k`.
+    pub fn from_cliques(k: usize, cliques: &[Clique]) -> Self {
+        let mut s = CliqueStore::with_capacity(k, cliques.len());
+        for c in cliques {
+            s.push_clique(c);
+        }
+        s
+    }
+
+    /// The fixed clique size.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of cliques stored.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len() / self.k
+    }
+
+    /// True when no cliques are stored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Appends a clique. `nodes` need not be sorted: the members are copied
+    /// to the arena tail and sorted in place, so the push performs no heap
+    /// allocation beyond the arena's own amortised growth.
+    ///
+    /// # Panics
+    /// Panics when `nodes.len() != k`; duplicate members are caught in debug
+    /// builds only (enumeration can never produce them).
+    #[inline]
+    pub fn push(&mut self, nodes: &[NodeId]) {
+        assert_eq!(nodes.len(), self.k, "clique size {} != k = {}", nodes.len(), self.k);
+        let start = self.data.len();
+        self.data.extend_from_slice(nodes);
+        self.data[start..].sort_unstable();
+        debug_assert!(
+            self.data[start..].windows(2).all(|w| w[0] < w[1]),
+            "duplicate member in pushed clique {nodes:?}"
+        );
+    }
+
+    /// Appends an owned [`Clique`] (already sorted).
+    ///
+    /// # Panics
+    /// Panics when `c.len() != k`.
+    #[inline]
+    pub fn push_clique(&mut self, c: &Clique) {
+        assert_eq!(c.len(), self.k, "clique size {} != k = {}", c.len(), self.k);
+        self.data.extend_from_slice(c.as_slice());
+    }
+
+    /// The members of clique `i`, sorted ascending.
+    #[inline]
+    pub fn get(&self, i: usize) -> &[NodeId] {
+        &self.data[i * self.k..(i + 1) * self.k]
+    }
+
+    /// Clique `i` as an owned [`Clique`] value.
+    #[inline]
+    pub fn clique(&self, i: usize) -> Clique {
+        Clique::from_sorted(self.get(i))
+    }
+
+    /// Iterates member slices in row order.
+    #[inline]
+    pub fn iter(&self) -> std::slice::ChunksExact<'_, NodeId> {
+        self.data.chunks_exact(self.k)
+    }
+
+    /// Iterates rows as owned [`Clique`] values (the compatibility bridge
+    /// for call sites still written against `Vec<Clique>`).
+    pub fn iter_cliques(&self) -> impl Iterator<Item = Clique> + '_ {
+        self.iter().map(Clique::from_sorted)
+    }
+
+    /// The whole arena as one flat slice (stride `k`).
+    #[inline]
+    pub fn as_flat(&self) -> &[NodeId] {
+        &self.data
+    }
+
+    /// Materialises the legacy representation.
+    pub fn to_cliques(&self) -> Vec<Clique> {
+        self.iter_cliques().collect()
+    }
+
+    /// Removes clique `i` by moving the last row into its place (mirrors
+    /// `Vec::swap_remove`). Returns the removed clique.
+    pub fn swap_remove(&mut self, i: usize) -> Clique {
+        let removed = self.clique(i);
+        let last = self.len() - 1;
+        if i != last {
+            let (head, tail) = self.data.split_at_mut(last * self.k);
+            head[i * self.k..(i + 1) * self.k].copy_from_slice(tail);
+        }
+        self.data.truncate(last * self.k);
+        removed
+    }
+
+    /// Removes all cliques, keeping the arena allocation.
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
+
+    /// Sorts rows into canonical ascending order (the [`Clique`] `Ord`,
+    /// which for fixed `k` is lexicographic member order).
+    pub fn sort_canonical(&mut self) {
+        let k = self.k;
+        let mut order: Vec<usize> = (0..self.len()).collect();
+        order.sort_unstable_by(|&a, &b| {
+            self.data[a * k..(a + 1) * k].cmp(&self.data[b * k..(b + 1) * k])
+        });
+        let mut sorted = Vec::with_capacity(self.data.len());
+        for i in order {
+            sorted.extend_from_slice(&self.data[i * k..(i + 1) * k]);
+        }
+        self.data = sorted;
+    }
+
+    /// Heap bytes held by the arena.
+    pub fn memory_bytes(&self) -> usize {
+        self.data.capacity() * std::mem::size_of::<NodeId>()
+    }
+}
+
+impl std::fmt::Debug for CliqueStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "CliqueStore(k={})", self.k)?;
+        f.debug_list().entries(self.iter()).finish()
+    }
+}
+
+impl<'a> IntoIterator for &'a CliqueStore {
+    type Item = &'a [NodeId];
+    type IntoIter = std::slice::ChunksExact<'a, NodeId>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+/// Appends one clique (root-first recursion order) to a flat arena tail and
+/// sorts it in place — the zero-allocation emission step shared by every
+/// arena collector.
+#[inline]
+fn emit_flat(out: &mut Vec<NodeId>, nodes: &[NodeId]) {
+    let start = out.len();
+    out.extend_from_slice(nodes);
+    out[start..].sort_unstable();
+}
+
+/// Arena-backed [`crate::collect_kcliques`]: identical clique sequence, flat
+/// storage, zero per-clique allocations.
+pub fn collect_kcliques_store(dag: &Dag, k: usize) -> CliqueStore {
+    collect_kcliques_store_kernel(dag, k, KernelMode::default())
+}
+
+/// [`collect_kcliques_store`] with an explicit intersection kernel.
+pub fn collect_kcliques_store_kernel(dag: &Dag, k: usize, mode: KernelMode) -> CliqueStore {
+    let mut data = Vec::new();
+    for_each_kclique_kernel(dag, k, mode, |nodes| emit_flat(&mut data, nodes));
+    CliqueStore::from_flat(k, data)
+}
+
+/// Arena-backed [`crate::collect_kcliques_parallel`]: each worker emits
+/// `k` sorted ids per clique into its chunk segment, and the executor
+/// concatenates segments in ascending chunk order — since every clique
+/// contributes exactly `k` elements, the concatenation of flat segments *is*
+/// the sequential arena, bit for bit, for any thread count.
+pub fn collect_kcliques_store_parallel(dag: &Dag, k: usize, par: ParConfig) -> CliqueStore {
+    collect_kcliques_store_parallel_kernel(dag, k, par, KernelMode::default())
+}
+
+/// [`collect_kcliques_store_parallel`] with an explicit intersection kernel.
+pub fn collect_kcliques_store_parallel_kernel(
+    dag: &Dag,
+    k: usize,
+    par: ParConfig,
+    mode: KernelMode,
+) -> CliqueStore {
+    let data = par_for_each_root(
+        par,
+        dag.num_nodes(),
+        || ListCtx::with_kernel(dag, k, mode),
+        |ctx, u, out: &mut Vec<NodeId>| {
+            ctx.run_root(u as NodeId, &mut |nodes| {
+                emit_flat(out, nodes);
+                true
+            });
+        },
+    );
+    CliqueStore::from_flat(k, data)
+}
+
+/// Arena-backed [`crate::collect_kcliques_bounded`] (sequential reference).
+pub fn collect_kcliques_store_bounded(
+    dag: &Dag,
+    k: usize,
+    limit: usize,
+) -> Result<CliqueStore, usize> {
+    let mut data = Vec::new();
+    let mut overflow = false;
+    for_each_kclique_while(dag, k, |nodes| {
+        if data.len() >= limit * k {
+            overflow = true;
+            return false;
+        }
+        emit_flat(&mut data, nodes);
+        true
+    });
+    if overflow {
+        Err(limit)
+    } else {
+        Ok(CliqueStore::from_flat(k, data))
+    }
+}
+
+/// Arena-backed [`crate::collect_kcliques_bounded_par`]: the same
+/// [`SharedBudget`] lossless-pruning contract (deterministic `Err`/`Ok`,
+/// chunk-ordered output equal to the sequential arena) over flat segments.
+pub fn collect_kcliques_store_bounded_par(
+    dag: &Dag,
+    k: usize,
+    limit: usize,
+    par: ParConfig,
+    mode: KernelMode,
+) -> Result<CliqueStore, usize> {
+    let budget = SharedBudget::new(limit);
+    let data = par_try_collect(
+        par,
+        dag.num_nodes(),
+        || ListCtx::with_kernel(dag, k, mode),
+        |ctx, range, out: &mut Vec<NodeId>| {
+            for u in range {
+                let mut over = false;
+                ctx.run_root(u as NodeId, &mut |nodes| {
+                    if !budget.charge(1) {
+                        over = true;
+                        return false;
+                    }
+                    emit_flat(out, nodes);
+                    true
+                });
+                if over {
+                    return Err(limit);
+                }
+            }
+            Ok(())
+        },
+    )?;
+    Ok(CliqueStore::from_flat(k, data))
+}
+
+/// Arena-backed [`crate::collect_kcliques_budgeted`]: `Some(limit)` runs the
+/// shared-bound bounded collector, `None` the unbounded parallel one.
+pub fn collect_kcliques_store_budgeted(
+    dag: &Dag,
+    k: usize,
+    max_cliques: Option<usize>,
+    par: ParConfig,
+) -> Result<CliqueStore, usize> {
+    match max_cliques {
+        Some(limit) => {
+            collect_kcliques_store_bounded_par(dag, k, limit, par, KernelMode::default())
+        }
+        None => Ok(collect_kcliques_store_parallel(dag, k, par)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::list::tests::{dag_of, paper_graph};
+    use crate::list::{collect_kcliques, collect_kcliques_bounded, collect_kcliques_parallel};
+    use dkc_graph::OrderingKind;
+
+    #[test]
+    fn push_get_iter_roundtrip() {
+        let mut s = CliqueStore::new(3);
+        assert!(s.is_empty());
+        s.push(&[9, 4, 6]);
+        s.push(&[0, 1, 2]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.get(0), &[4, 6, 9]);
+        assert_eq!(s.clique(1), Clique::new(&[0, 1, 2]));
+        assert_eq!(s.as_flat(), &[4, 6, 9, 0, 1, 2]);
+        let rows: Vec<&[u32]> = s.iter().collect();
+        assert_eq!(rows, vec![&[4, 6, 9][..], &[0, 1, 2][..]]);
+    }
+
+    #[test]
+    fn from_cliques_and_back() {
+        let cliques = vec![Clique::new(&[3, 1, 2]), Clique::new(&[7, 5, 6])];
+        let s = CliqueStore::from_cliques(3, &cliques);
+        assert_eq!(s.to_cliques(), cliques);
+        assert_eq!(CliqueStore::from_flat(3, s.as_flat().to_vec()), s);
+    }
+
+    #[test]
+    fn swap_remove_mirrors_vec_semantics() {
+        let mut s = CliqueStore::new(2);
+        let mut v = vec![Clique::new(&[0, 1]), Clique::new(&[2, 3]), Clique::new(&[4, 5])];
+        for c in &v {
+            s.push_clique(c);
+        }
+        assert_eq!(s.swap_remove(0), v.swap_remove(0));
+        assert_eq!(s.to_cliques(), v);
+        assert_eq!(s.swap_remove(1), v.swap_remove(1));
+        assert_eq!(s.to_cliques(), v);
+        assert_eq!(s.swap_remove(0), v.swap_remove(0));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn sort_canonical_matches_clique_sort() {
+        let mut s = CliqueStore::new(3);
+        for nodes in [[4, 5, 7], [0, 2, 5], [2, 4, 5], [1, 3, 8]] {
+            s.push(&nodes);
+        }
+        let mut expected = s.to_cliques();
+        expected.sort_unstable();
+        s.sort_canonical();
+        assert_eq!(s.to_cliques(), expected);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn zero_k_rejected() {
+        let _ = CliqueStore::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn ragged_flat_rejected() {
+        let _ = CliqueStore::from_flat(3, vec![1, 2]);
+    }
+
+    #[test]
+    fn store_collectors_match_legacy_sequence() {
+        let g = paper_graph();
+        for kind in [OrderingKind::Identity, OrderingKind::Degeneracy] {
+            let dag = dag_of(&g, kind);
+            for k in 1..=4 {
+                let legacy = collect_kcliques(&dag, k);
+                assert_eq!(collect_kcliques_store(&dag, k).to_cliques(), legacy, "{kind:?} k={k}");
+                for threads in [1usize, 2, 8] {
+                    let par = ParConfig::new(threads).with_chunk(1);
+                    assert_eq!(
+                        collect_kcliques_store_parallel(&dag, k, par).to_cliques(),
+                        collect_kcliques_parallel(&dag, k, par),
+                        "{kind:?} k={k} threads={threads}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_store_matches_legacy_decisions() {
+        let g = paper_graph();
+        let dag = dag_of(&g, OrderingKind::Degeneracy);
+        for limit in [0usize, 3, 6, 7, 1000] {
+            let legacy = collect_kcliques_bounded(&dag, 3, limit);
+            let store = collect_kcliques_store_bounded(&dag, 3, limit);
+            assert_eq!(store.clone().map(|s| s.to_cliques()), legacy, "limit={limit}");
+            for threads in [1usize, 2, 8] {
+                let par = ParConfig::new(threads).with_chunk(1);
+                let par_store =
+                    collect_kcliques_store_bounded_par(&dag, 3, limit, par, KernelMode::default());
+                assert_eq!(par_store, store, "limit={limit} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn budgeted_store_dispatches_like_legacy() {
+        let g = paper_graph();
+        let dag = dag_of(&g, OrderingKind::Degeneracy);
+        let par = ParConfig::new(2);
+        assert_eq!(collect_kcliques_store_budgeted(&dag, 3, None, par).unwrap().len(), 7);
+        assert_eq!(collect_kcliques_store_budgeted(&dag, 3, Some(6), par), Err(6));
+        assert_eq!(collect_kcliques_store_budgeted(&dag, 3, Some(7), par).unwrap().len(), 7);
+    }
+}

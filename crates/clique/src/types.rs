@@ -34,6 +34,27 @@ impl Clique {
         Clique { len: nodes.len() as u8, nodes: arr }
     }
 
+    /// Builds a clique from a slice that is already sorted ascending and
+    /// duplicate-free — the invariant held by [`CliqueStore`] rows — skipping
+    /// the sort that [`Clique::new`] performs. The invariant is checked in
+    /// debug builds only.
+    ///
+    /// [`CliqueStore`]: crate::CliqueStore
+    ///
+    /// # Panics
+    /// Panics if `nodes.len() > MAX_K`.
+    #[inline]
+    pub fn from_sorted(nodes: &[NodeId]) -> Self {
+        assert!(nodes.len() <= MAX_K, "clique size {} exceeds MAX_K={MAX_K}", nodes.len());
+        debug_assert!(
+            nodes.windows(2).all(|w| w[0] < w[1]),
+            "from_sorted input not strictly ascending: {nodes:?}"
+        );
+        let mut arr = [NodeId::MAX; MAX_K];
+        arr[..nodes.len()].copy_from_slice(nodes);
+        Clique { len: nodes.len() as u8, nodes: arr }
+    }
+
     /// Number of nodes.
     #[inline]
     pub fn len(&self) -> usize {
@@ -108,6 +129,12 @@ mod tests {
         assert_eq!(c.as_slice(), &[1, 3, 5]);
         assert_eq!(c.len(), 3);
         assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn from_sorted_matches_new_on_sorted_input() {
+        assert_eq!(Clique::from_sorted(&[1, 3, 5]), Clique::new(&[5, 1, 3]));
+        assert_eq!(Clique::from_sorted(&[]), Clique::new(&[]));
     }
 
     #[test]

@@ -16,12 +16,19 @@
 //! conflict list per clique, merged from an inverted node→clique index), so
 //! building the graph no longer dominates the GC/OPT pipelines at scale;
 //! results — including budget trips — are identical for any thread count.
+//!
+//! Storage is flat throughout: the cliques live in a stride-`k`
+//! [`CliqueStore`] arena, and both the node→clique inverted index (a
+//! construction-time temporary) and the conflict adjacency are CSR
+//! offset+data pairs — two allocations each instead of one `Vec` per node or
+//! clique.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use dkc_clique::{
-    collect_kcliques_bounded_par, collect_kcliques_parallel_kernel, Clique, KernelMode,
+    collect_kcliques_store_bounded_par, collect_kcliques_store_parallel_kernel, Clique,
+    CliqueStore, KernelMode,
 };
 use dkc_graph::{CsrGraph, Dag, NodeOrder, OrderingKind};
 use dkc_par::{par_try_collect, ParConfig, SharedBudget};
@@ -76,10 +83,11 @@ impl std::error::Error for CliqueGraphError {}
 #[derive(Debug, Clone)]
 pub struct CliqueGraph {
     k: usize,
-    cliques: Vec<Clique>,
-    /// Conflict adjacency: `adj[i]` lists clique ids sharing >= 1 node with
-    /// clique `i`, sorted, de-duplicated.
-    adj: Vec<Vec<u32>>,
+    cliques: CliqueStore,
+    /// Conflict adjacency in CSR form: clique `i`'s conflicting ids (sorted,
+    /// de-duplicated) are `adj_data[adj_offsets[i]..adj_offsets[i + 1]]`.
+    adj_offsets: Vec<usize>,
+    adj_data: Vec<u32>,
     num_conflicts: usize,
 }
 
@@ -122,29 +130,47 @@ impl CliqueGraph {
         // Enforce the clique budget during collection so an over-limit
         // population aborts before materialising (deterministic OOM).
         let cliques = match limits.max_cliques {
-            Some(limit) => collect_kcliques_bounded_par(&dag, k, limit, par, mode)
+            Some(limit) => collect_kcliques_store_bounded_par(&dag, k, limit, par, mode)
                 .map_err(|limit| CliqueGraphError::TooManyCliques { limit })?,
-            None => collect_kcliques_parallel_kernel(&dag, k, par, mode),
+            None => collect_kcliques_store_parallel_kernel(&dag, k, par, mode),
         };
-        Self::from_cliques_par(g.num_nodes(), k, cliques, limits, par)
+        Self::from_store_par(g.num_nodes(), cliques, limits, par)
     }
 
-    /// Builds the conflict graph from an explicit clique list (exposed so
-    /// tests and the dynamic index can reuse the conflict machinery), with
-    /// the default executor configuration.
+    /// Builds the conflict graph from an explicit legacy clique list
+    /// (compatibility shim over [`CliqueGraph::from_store_par`]), with the
+    /// default executor configuration.
     pub fn from_cliques(
         num_nodes: usize,
         k: usize,
         cliques: Vec<Clique>,
         limits: CliqueGraphLimits,
     ) -> Result<Self, CliqueGraphError> {
-        Self::from_cliques_par(num_nodes, k, cliques, limits, ParConfig::default())
+        Self::from_store_par(
+            num_nodes,
+            CliqueStore::from_cliques(k, &cliques),
+            limits,
+            ParConfig::default(),
+        )
     }
 
-    /// [`CliqueGraph::from_cliques`] on an explicit executor: each clique's
-    /// conflict list is assembled independently by merging the inverted
-    /// per-node index over its members, so construction parallelises per
-    /// clique with no shared mutable adjacency.
+    /// Builds the conflict graph from a clique arena with the default
+    /// executor configuration. See [`CliqueGraph::from_store_par`].
+    pub fn from_store(
+        num_nodes: usize,
+        cliques: CliqueStore,
+        limits: CliqueGraphLimits,
+    ) -> Result<Self, CliqueGraphError> {
+        Self::from_store_par(num_nodes, cliques, limits, ParConfig::default())
+    }
+
+    /// Builds the conflict graph from a clique arena on an explicit
+    /// executor: each clique's conflict list is assembled independently by
+    /// merging the flat inverted per-node index over its members, so
+    /// construction parallelises per clique with no shared mutable
+    /// adjacency. Workers emit `[len, ids...]`-framed segments into flat
+    /// per-chunk buffers (no per-clique `Vec`s); the chunk-ordered
+    /// concatenation is unpacked linearly into the CSR arrays.
     ///
     /// Determinism: adjacency lists are sorted/deduped per clique and
     /// placed by clique id, so the structure is bit-identical for any
@@ -153,35 +179,48 @@ impl CliqueGraph {
     /// `2 × max_conflicts` via a shared running total — exactly the
     /// sequential builder's raw-pair accounting, and monotone, so the
     /// `Err`/`Ok` decision is schedule-independent too.
-    pub fn from_cliques_par(
+    pub fn from_store_par(
         num_nodes: usize,
-        k: usize,
-        cliques: Vec<Clique>,
+        cliques: CliqueStore,
         limits: CliqueGraphLimits,
         par: ParConfig,
     ) -> Result<Self, CliqueGraphError> {
-        // Inverted index: node -> ids of cliques containing it (ascending).
-        let mut by_node: Vec<Vec<u32>> = vec![Vec::new(); num_nodes];
-        for (i, c) in cliques.iter().enumerate() {
-            for u in c.iter() {
-                by_node[u as usize].push(i as u32);
+        let k = cliques.k();
+        let num_cliques = cliques.len();
+        // Flat inverted index: node -> ids of cliques containing it
+        // (ascending, because cliques are scanned in id order). Built as a
+        // counting pass + prefix sums + cursor fill over two allocations.
+        let mut node_offsets = vec![0usize; num_nodes + 1];
+        for &u in cliques.as_flat() {
+            node_offsets[u as usize + 1] += 1;
+        }
+        for i in 0..num_nodes {
+            node_offsets[i + 1] += node_offsets[i];
+        }
+        let mut node_data = vec![0u32; cliques.as_flat().len()];
+        let mut cursor = node_offsets.clone();
+        for (i, members) in cliques.iter().enumerate() {
+            for &u in members {
+                node_data[cursor[u as usize]] = i as u32;
+                cursor[u as usize] += 1;
             }
         }
+        let by_node = |u: u32| &node_data[node_offsets[u as usize]..node_offsets[u as usize + 1]];
         // Raw-pair budget: like the paper's OOM emulation, a pair sharing
         // two nodes counts twice, tripping the budget earlier — like real
         // memory would.
         let raw_budget = limits.max_conflicts.map(|c| SharedBudget::new(c.saturating_mul(2)));
-        let adj: Vec<Vec<u32>> =
-            par_try_collect(par, cliques.len(), Vec::<u32>::new, |gather, range, out| {
+        let framed: Vec<u32> =
+            par_try_collect(par, num_cliques, Vec::<u32>::new, |gather, range, out| {
                 for i in range {
                     let id = i as u32;
                     gather.clear();
-                    for u in cliques[i].iter() {
-                        gather.extend_from_slice(&by_node[u as usize]);
+                    for &u in cliques.get(i) {
+                        gather.extend_from_slice(by_node(u));
                     }
                     // `id` itself shows up once per member; everything else
                     // is a shared-node co-occurrence with another clique.
-                    let raw = gather.len() - cliques[i].len();
+                    let raw = gather.len() - k;
                     if let Some(budget) = &raw_budget {
                         if !budget.charge(raw) {
                             return Err(CliqueGraphError::TooManyConflicts {
@@ -191,14 +230,27 @@ impl CliqueGraph {
                     }
                     gather.sort_unstable();
                     gather.dedup();
-                    let mut list = Vec::with_capacity(gather.len().saturating_sub(1));
-                    list.extend(gather.iter().copied().filter(|&b| b != id));
-                    out.push(list);
+                    let frame_start = out.len();
+                    out.push(0); // frame length, patched below
+                    out.extend(gather.iter().copied().filter(|&b| b != id));
+                    out[frame_start] = (out.len() - frame_start - 1) as u32;
                 }
                 Ok(())
             })?;
-        let num_conflicts = adj.iter().map(|l| l.len()).sum::<usize>() / 2;
-        Ok(CliqueGraph { k, cliques, adj, num_conflicts })
+        // Unpack the framed stream into CSR offsets + data.
+        let mut adj_offsets = Vec::with_capacity(num_cliques + 1);
+        let mut adj_data = Vec::with_capacity(framed.len().saturating_sub(num_cliques));
+        adj_offsets.push(0);
+        let mut pos = 0;
+        while pos < framed.len() {
+            let len = framed[pos] as usize;
+            adj_data.extend_from_slice(&framed[pos + 1..pos + 1 + len]);
+            adj_offsets.push(adj_data.len());
+            pos += 1 + len;
+        }
+        debug_assert_eq!(adj_offsets.len(), num_cliques + 1);
+        let num_conflicts = adj_data.len() / 2;
+        Ok(CliqueGraph { k, cliques, adj_offsets, adj_data, num_conflicts })
     }
 
     /// The clique size `k`.
@@ -219,43 +271,51 @@ impl CliqueGraph {
         self.num_conflicts
     }
 
-    /// The clique behind condensed node `id`.
+    /// The clique behind condensed node `id`, materialised from its arena
+    /// row. Prefer [`CliqueGraph::clique_members`] in hot loops.
     #[inline]
-    pub fn clique(&self, id: u32) -> &Clique {
-        &self.cliques[id as usize]
+    pub fn clique(&self, id: u32) -> Clique {
+        self.cliques.clique(id as usize)
+    }
+
+    /// The sorted member slice of condensed node `id`, borrowed straight
+    /// from the arena.
+    #[inline]
+    pub fn clique_members(&self, id: u32) -> &[u32] {
+        self.cliques.get(id as usize)
     }
 
     /// All materialised cliques, in enumeration order.
     #[inline]
-    pub fn cliques(&self) -> &[Clique] {
+    pub fn cliques(&self) -> &CliqueStore {
         &self.cliques
     }
 
     /// Conflicting clique ids of `id` (sorted).
     #[inline]
     pub fn conflicts(&self, id: u32) -> &[u32] {
-        &self.adj[id as usize]
+        &self.adj_data[self.adj_offsets[id as usize]..self.adj_offsets[id as usize + 1]]
     }
 
     /// Degree of a condensed node — `deg_Gc(C)` of Definition 4.
     #[inline]
     pub fn clique_degree(&self, id: u32) -> usize {
-        self.adj[id as usize].len()
+        self.adj_offsets[id as usize + 1] - self.adj_offsets[id as usize]
     }
 
     /// Conflict edges as `(a, b)` pairs with `a < b`.
     pub fn conflict_edges(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
-        self.adj.iter().enumerate().flat_map(|(a, list)| {
-            let a = a as u32;
-            list.iter().copied().filter(move |&b| a < b).map(move |b| (a, b))
+        (0..self.num_cliques() as u32).flat_map(move |a| {
+            self.conflicts(a).iter().copied().filter(move |&b| a < b).map(move |b| (a, b))
         })
     }
 
     /// Approximate heap footprint in bytes — the quantity the paper's
     /// Table III shows exploding for OPT/GC.
     pub fn memory_bytes(&self) -> usize {
-        self.cliques.len() * std::mem::size_of::<Clique>()
-            + self.adj.iter().map(|l| l.capacity() * std::mem::size_of::<u32>()).sum::<usize>()
+        self.cliques.memory_bytes()
+            + self.adj_offsets.capacity() * std::mem::size_of::<usize>()
+            + self.adj_data.capacity() * std::mem::size_of::<u32>()
     }
 }
 
@@ -292,8 +352,8 @@ mod tests {
     fn id_of(cg: &CliqueGraph, nodes: &[NodeId]) -> u32 {
         let target = Clique::new(nodes);
         cg.cliques()
-            .iter()
-            .position(|c| *c == target)
+            .iter_cliques()
+            .position(|c| c == target)
             .map(|i| i as u32)
             .unwrap_or_else(|| panic!("clique {nodes:?} not found"))
     }
@@ -312,7 +372,7 @@ mod tests {
         // C1's neighbours are C2 = {2,4,5} and C3 = {4,5,7}... no: C3 shares
         // v6 (id 5) with C1. Verify by membership overlap instead of ids.
         for &nb in cg.conflicts(c1) {
-            assert!(!cg.clique(c1).is_disjoint(cg.clique(nb)));
+            assert!(!cg.clique(c1).is_disjoint(&cg.clique(nb)));
         }
         // Full degree sequence from Fig. 3 (keyed by clique membership).
         let expect = [
@@ -337,7 +397,7 @@ mod tests {
         for a in 0..cg.num_cliques() as u32 {
             for b in (a + 1)..cg.num_cliques() as u32 {
                 let conflict = cg.conflicts(a).binary_search(&b).is_ok();
-                let overlap = !cg.clique(a).is_disjoint(cg.clique(b));
+                let overlap = !cg.clique(a).is_disjoint(&cg.clique(b));
                 assert_eq!(conflict, overlap, "cliques {a} and {b}");
             }
         }

@@ -510,12 +510,12 @@ fn duration_to_ns(d: Duration) -> u64 {
     u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
 }
 
-fn cliques_to_json(cliques: &[Clique], label: impl Fn(NodeId) -> u64) -> Json {
+fn cliques_to_json<'a>(
+    cliques: impl Iterator<Item = &'a [NodeId]>,
+    label: impl Fn(NodeId) -> u64,
+) -> Json {
     Json::Arr(
-        cliques
-            .iter()
-            .map(|c| Json::Arr(c.iter().map(|u| Json::u64(label(u))).collect()))
-            .collect(),
+        cliques.map(|c| Json::Arr(c.iter().map(|&u| Json::u64(label(u))).collect())).collect(),
     )
 }
 
@@ -575,7 +575,7 @@ impl SolveReport {
             ("phases".into(), Json::Arr(self.phases.iter().map(|p| p.to_json()).collect())),
             ("size".into(), Json::usize(self.solution.len())),
             ("covered_nodes".into(), Json::usize(self.solution.covered_nodes())),
-            ("cliques".into(), cliques_to_json(self.solution.cliques(), label)),
+            ("cliques".into(), cliques_to_json(self.solution.iter_members(), label)),
             ("lp_stats".into(), lp_stats),
             ("opt".into(), opt),
         ];
@@ -809,7 +809,7 @@ impl Engine {
             let dg = DynGraph::from_csr(g);
             let cfg =
                 ImproveConfig { steps, seed: req.budget.improve_seed.unwrap_or(0), par: req.par };
-            let out = dkc_improve::improve(&dg, req.k, solution.cliques(), &cfg);
+            let out = dkc_improve::improve(&dg, req.k, solution.store(), &cfg);
             let mut improved = Solution::new(req.k);
             for c in out.cliques {
                 improved.push(c);
@@ -847,16 +847,20 @@ impl Engine {
         let mut covered = vec![false; n];
         let mut groups: Vec<Vec<NodeId>> = Vec::new();
 
+        // One free-list buffer reused (clear + refill) across the residual
+        // iterations instead of a fresh allocation per s.
+        let mut free: Vec<NodeId> = Vec::with_capacity(n);
         for s in (3..=req.k).rev() {
             let phase_start = Instant::now();
-            let free: Vec<NodeId> = (0..n as NodeId).filter(|&u| !covered[u as usize]).collect();
+            free.clear();
+            free.extend((0..n as NodeId).filter(|&u| !covered[u as usize]));
             if free.len() < s {
                 continue;
             }
             let sub = InducedSubgraph::of_csr(g, &free);
             let report = Engine::solve(sub.graph(), SolveRequest { k: s, ..req })?;
-            for c in report.solution.cliques() {
-                let global: Vec<NodeId> = c.iter().map(|l| sub.to_global(l)).collect();
+            for c in report.solution.iter_members() {
+                let global: Vec<NodeId> = c.iter().map(|&l| sub.to_global(l)).collect();
                 for &u in &global {
                     debug_assert!(!covered[u as usize]);
                     covered[u as usize] = true;

@@ -1,5 +1,5 @@
 use crate::{check_k, Solution, SolveError, Solver};
-use dkc_clique::{collect_kcliques_budgeted, node_scores_parallel, Clique};
+use dkc_clique::{collect_kcliques_store_budgeted, node_scores_parallel, Clique};
 use dkc_graph::{CsrGraph, Dag, NodeOrder, OrderingKind};
 use dkc_par::ParConfig;
 
@@ -54,25 +54,31 @@ impl Solver for GcSolver {
         let dag = Dag::from_graph(g, NodeOrder::compute(g, OrderingKind::Degeneracy));
         // The budget is enforced *during* collection: an over-limit clique
         // population aborts before materialising (deterministic OOM).
-        let cliques = collect_kcliques_budgeted(&dag, k, self.max_cliques, self.par)
+        let cliques = collect_kcliques_store_budgeted(&dag, k, self.max_cliques, self.par)
             .map_err(|limit| SolveError::CliqueBudget { limit })?;
         let scores = node_scores_parallel(&dag, k, self.par);
         // Fixed total clique order: ascending score, ties by canonical
-        // member order — deterministic across runs. Tupling the scores is a
-        // trivial per-clique lookup; the sort right after dominates, so
-        // this stays a plain sequential map.
-        let mut scored: Vec<(u64, Clique)> =
-            cliques.into_iter().map(|c| (c.score(&scores), c)).collect();
-        scored.sort_unstable();
+        // member order — deterministic across runs. Sorting clique *ids*
+        // against the arena (instead of tupled owned cliques) keeps the
+        // sort keys at 4 bytes; member order for fixed `k` is exactly the
+        // legacy `Clique` ordering, so the permutation is unchanged.
+        let clique_scores: Vec<u64> =
+            cliques.iter().map(|c| c.iter().map(|&u| scores[u as usize]).sum()).collect();
+        let mut order: Vec<u32> = (0..cliques.len() as u32).collect();
+        order.sort_unstable_by(|&a, &b| {
+            let (a, b) = (a as usize, b as usize);
+            clique_scores[a].cmp(&clique_scores[b]).then_with(|| cliques.get(a).cmp(cliques.get(b)))
+        });
 
         let mut valid = vec![true; g.num_nodes()];
         let mut solution = Solution::new(k);
-        for (_, c) in scored {
-            if c.iter().all(|u| valid[u as usize]) {
-                for u in c.iter() {
+        for id in order {
+            let members = cliques.get(id as usize);
+            if members.iter().all(|&u| valid[u as usize]) {
+                for &u in members {
                     valid[u as usize] = false;
                 }
-                solution.push(c);
+                solution.push(Clique::from_sorted(members));
             }
         }
         Ok(solution)

@@ -101,7 +101,7 @@ impl OptSolver {
         let mis = ExactMis::with_budget(self.mis_budget).solve(&adj);
         let mut solution = Solution::new(k);
         for id in &mis.set {
-            solution.push(*cg.clique(*id));
+            solution.push(cg.clique(*id));
         }
         Ok(OptOutcome {
             solution,
@@ -176,7 +176,7 @@ impl Solver for GreedyCliqueGraphSolver {
         let picked = greedy_mis(&adj);
         let mut solution = Solution::new(k);
         for id in picked {
-            solution.push(*cg.clique(id));
+            solution.push(cg.clique(id));
         }
         Ok(solution)
     }

@@ -1,14 +1,16 @@
-use dkc_clique::{count_kcliques, Clique};
+use dkc_clique::{count_kcliques, Clique, CliqueStore};
 use dkc_graph::{CsrGraph, Dag, NodeId, NodeOrder, OrderingKind};
 
 /// A disjoint k-clique set `S` (Definition 3).
 ///
-/// The order of cliques reflects the order the producing algorithm added
-/// them; equality of *sets* should compare [`Solution::sorted_cliques`].
+/// Backed by a flat stride-`k` [`CliqueStore`] arena: clique `i`'s members
+/// are one contiguous sorted row, so iterating a solution touches a single
+/// allocation. The order of cliques reflects the order the producing
+/// algorithm added them; equality of *sets* should compare
+/// [`Solution::sorted_cliques`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Solution {
-    k: usize,
-    cliques: Vec<Clique>,
+    cliques: CliqueStore,
 }
 
 /// Why a [`Solution`] failed validation.
@@ -63,13 +65,18 @@ impl std::error::Error for InvalidSolution {}
 impl Solution {
     /// Creates an empty solution for clique size `k`.
     pub fn new(k: usize) -> Self {
-        Solution { k, cliques: Vec::new() }
+        Solution { cliques: CliqueStore::new(k) }
+    }
+
+    /// Wraps an existing clique arena.
+    pub fn from_store(cliques: CliqueStore) -> Self {
+        Solution { cliques }
     }
 
     /// The clique size `k`.
     #[inline]
     pub fn k(&self) -> usize {
-        self.k
+        self.cliques.k()
     }
 
     /// Number of cliques `|S|` — the objective value.
@@ -90,8 +97,8 @@ impl Solution {
     /// Panics if the clique does not have exactly `k` nodes; disjointness is
     /// *not* checked here (solvers maintain it; [`Solution::verify`] audits it).
     pub fn push(&mut self, c: Clique) {
-        assert_eq!(c.len(), self.k, "clique size must equal k");
-        self.cliques.push(c);
+        assert_eq!(c.len(), self.k(), "clique size must equal k");
+        self.cliques.push_clique(&c);
     }
 
     /// Removes and returns the clique at `index` (swap-remove, O(1)).
@@ -99,34 +106,67 @@ impl Solution {
         self.cliques.swap_remove(index)
     }
 
-    /// The cliques in insertion order.
+    /// The cliques in insertion order, materialised per item from the arena
+    /// (the compatibility bridge for `Vec<Clique>`-era call sites; hot loops
+    /// should prefer [`Solution::iter_members`]).
     #[inline]
-    pub fn cliques(&self) -> &[Clique] {
+    pub fn cliques(&self) -> impl Iterator<Item = Clique> + '_ {
+        self.cliques.iter_cliques()
+    }
+
+    /// Clique `index` as an owned value.
+    #[inline]
+    pub fn clique(&self, index: usize) -> Clique {
+        self.cliques.clique(index)
+    }
+
+    /// The sorted member slice of clique `index`, borrowed from the arena.
+    #[inline]
+    pub fn members(&self, index: usize) -> &[NodeId] {
+        self.cliques.get(index)
+    }
+
+    /// Iterates member slices in insertion order.
+    #[inline]
+    pub fn iter_members(&self) -> impl Iterator<Item = &[NodeId]> + '_ {
+        self.cliques.iter()
+    }
+
+    /// The backing arena.
+    #[inline]
+    pub fn store(&self) -> &CliqueStore {
         &self.cliques
     }
 
     /// The cliques sorted canonically — use for set-level comparisons.
     pub fn sorted_cliques(&self) -> Vec<Clique> {
-        let mut v = self.cliques.clone();
+        let mut v = self.cliques.to_cliques();
         v.sort_unstable();
         v
     }
 
+    /// The backing arena with rows sorted canonically.
+    pub fn sorted_store(&self) -> CliqueStore {
+        let mut s = self.cliques.clone();
+        s.sort_canonical();
+        s
+    }
+
     /// Number of covered nodes (`k · |S|`).
     pub fn covered_nodes(&self) -> usize {
-        self.k * self.cliques.len()
+        self.cliques.as_flat().len()
     }
 
     /// Iterates all covered nodes.
     pub fn iter_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.cliques.iter().flat_map(|c| c.iter())
+        self.cliques.as_flat().iter().copied()
     }
 
     /// Builds `assignment[u] = Some(clique index)` for covered nodes.
     pub fn node_assignment(&self, num_nodes: usize) -> Vec<Option<u32>> {
         let mut assign = vec![None; num_nodes];
-        for (i, c) in self.cliques.iter().enumerate() {
-            for u in c.iter() {
+        for (i, members) in self.cliques.iter().enumerate() {
+            for &u in members {
                 debug_assert!(assign[u as usize].is_none(), "overlapping cliques");
                 assign[u as usize] = Some(i as u32);
             }
@@ -146,16 +186,12 @@ impl Solution {
     where
         F: Fn(NodeId, NodeId) -> bool,
     {
+        let k = self.k();
         let mut owner: Vec<Option<u32>> = vec![None; num_nodes];
-        for (i, c) in self.cliques.iter().enumerate() {
-            if c.len() != self.k {
-                return Err(InvalidSolution::WrongSize {
-                    index: i,
-                    got: c.len(),
-                    expected: self.k,
-                });
+        for (i, nodes) in self.cliques.iter().enumerate() {
+            if nodes.len() != k {
+                return Err(InvalidSolution::WrongSize { index: i, got: nodes.len(), expected: k });
             }
-            let nodes = c.as_slice();
             for (ai, &a) in nodes.iter().enumerate() {
                 match owner[a as usize] {
                     Some(prev) => {
@@ -186,7 +222,7 @@ impl Solution {
         let sub = dkc_graph::InducedSubgraph::of_csr(g, &free);
         let dag =
             Dag::from_graph(sub.graph(), NodeOrder::compute(sub.graph(), OrderingKind::Degeneracy));
-        if count_kcliques(&dag, self.k) > 0 {
+        if count_kcliques(&dag, self.k()) > 0 {
             return Err(InvalidSolution::NotMaximal);
         }
         Ok(())

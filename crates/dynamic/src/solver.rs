@@ -229,7 +229,7 @@ impl DynamicSolver {
     pub fn propose_improvement(&self, steps: u64, seed: u64) -> ImproveOutcome {
         let cfg = ImproveConfig { steps, seed, par: self.request.par };
         let solution = self.solution();
-        dkc_improve::improve(&self.graph, self.k, solution.cliques(), &cfg)
+        dkc_improve::improve(&self.graph, self.k, solution.store(), &cfg)
     }
 
     /// Replaces the solution with an improved clique set, renormalising to

@@ -34,7 +34,7 @@ impl SolutionState {
     pub fn from_solution(solution: &Solution, num_nodes: usize) -> Self {
         let mut state = SolutionState::new(solution.k(), num_nodes);
         for c in solution.cliques() {
-            state.add(*c);
+            state.add(c);
         }
         state
     }

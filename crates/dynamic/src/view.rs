@@ -9,24 +9,24 @@
 //! query it answers from one `Arc` sees one consistent epoch.
 
 use crate::UpdateStats;
-use dkc_clique::Clique;
+use dkc_clique::CliqueStore;
 use dkc_core::Solution;
 use dkc_graph::NodeId;
 use std::sync::{Arc, RwLock};
 
 /// One immutable, epoch-stamped snapshot of the maintained solution.
 ///
-/// Groups are stored in **canonical order** (sorted cliques), so two views
-/// of the same epoch built from the same update history — e.g. one from a
-/// live solver and one from a restart that replayed the update log — are
-/// structurally equal, membership indices included.
+/// Groups are stored in **canonical order** (sorted rows of a flat
+/// [`CliqueStore`] arena), so two views of the same epoch built from the
+/// same update history — e.g. one from a live solver and one from a restart
+/// that replayed the update log — are structurally equal, membership
+/// indices included.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SolutionView {
     epoch: u64,
-    k: usize,
     num_nodes: usize,
-    cliques: Vec<Clique>,
-    /// `owner[u] = Some(i)` iff node `u` belongs to `cliques[i]`.
+    cliques: CliqueStore,
+    /// `owner[u] = Some(i)` iff node `u` belongs to group `i`.
     owner: Vec<Option<u32>>,
     stats: UpdateStats,
 }
@@ -34,19 +34,15 @@ pub struct SolutionView {
 impl SolutionView {
     /// Builds a view from a solution (cliques are re-sorted canonically).
     pub fn new(epoch: u64, num_nodes: usize, solution: &Solution, stats: UpdateStats) -> Self {
-        let mut canonical = Solution::new(solution.k());
-        for c in solution.sorted_cliques() {
-            canonical.push(c);
+        let cliques = solution.sorted_store();
+        let mut owner = vec![None; num_nodes];
+        for (i, members) in cliques.iter().enumerate() {
+            for &u in members {
+                debug_assert!(owner[u as usize].is_none(), "overlapping groups");
+                owner[u as usize] = Some(i as u32);
+            }
         }
-        let owner = canonical.node_assignment(num_nodes);
-        SolutionView {
-            epoch,
-            k: canonical.k(),
-            num_nodes,
-            cliques: canonical.cliques().to_vec(),
-            owner,
-            stats,
-        }
+        SolutionView { epoch, num_nodes, cliques, owner, stats }
     }
 
     /// The batch epoch this view was published at (number of update
@@ -57,7 +53,7 @@ impl SolutionView {
 
     /// The clique size `k`.
     pub fn k(&self) -> usize {
-        self.k
+        self.cliques.k()
     }
 
     /// `|S|` — the number of disjoint k-cliques.
@@ -81,19 +77,23 @@ impl SolutionView {
         self.owner.get(u as usize).copied().flatten().map(|i| i as usize)
     }
 
-    /// The members of group `i` (canonical index).
-    pub fn group(&self, i: usize) -> Option<&Clique> {
-        self.cliques.get(i)
+    /// The members of group `i` (canonical index), borrowed from the arena.
+    pub fn group(&self, i: usize) -> Option<&[NodeId]> {
+        if i < self.cliques.len() {
+            Some(self.cliques.get(i))
+        } else {
+            None
+        }
     }
 
-    /// All groups, in canonical order.
-    pub fn cliques(&self) -> &[Clique] {
+    /// All groups, in canonical order, as a flat arena.
+    pub fn cliques(&self) -> &CliqueStore {
         &self.cliques
     }
 
     /// Nodes covered by some group (`k · |S|`).
     pub fn covered_nodes(&self) -> usize {
-        self.k * self.cliques.len()
+        self.cliques.as_flat().len()
     }
 
     /// Lifetime update counters at publication time.
@@ -103,9 +103,9 @@ impl SolutionView {
 
     /// Copies the view back into a [`Solution`] (canonical order).
     pub fn to_solution(&self) -> Solution {
-        let mut s = Solution::new(self.k);
-        for c in &self.cliques {
-            s.push(*c);
+        let mut s = Solution::new(self.k());
+        for c in self.cliques.iter_cliques() {
+            s.push(c);
         }
         s
     }
@@ -151,6 +151,7 @@ impl SharedView {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dkc_clique::Clique;
 
     fn demo_solution() -> Solution {
         let mut s = Solution::new(3);
@@ -171,7 +172,7 @@ mod tests {
         assert_eq!(v.group_of(7), Some(1));
         assert_eq!(v.group_of(4), None);
         assert_eq!(v.group_of(999), None);
-        assert_eq!(v.group(0).unwrap().as_slice(), &[0, 1, 2]);
+        assert_eq!(v.group(0).unwrap(), &[0, 1, 2]);
         assert_eq!(v.to_solution().len(), 2);
     }
 

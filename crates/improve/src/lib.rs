@@ -35,6 +35,7 @@
 //! # Example
 //!
 //! ```
+//! use dkc_clique::CliqueStore;
 //! use dkc_graph::DynGraph;
 //! use dkc_improve::{improve, ImproveConfig};
 //!
@@ -43,7 +44,7 @@
 //! for (a, b) in [(0, 1), (0, 2), (1, 2), (3, 4), (3, 5), (4, 5)] {
 //!     g.insert_edge(a, b);
 //! }
-//! let out = improve(&g, 3, &[], &ImproveConfig::new(64, 7));
+//! let out = improve(&g, 3, &CliqueStore::new(3), &ImproveConfig::new(64, 7));
 //! assert_eq!(out.cliques.len(), 2);
 //! assert_eq!(out.stats.uplift, 2);
 //! ```
@@ -51,7 +52,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use dkc_clique::{collect_kcliques_in_subset, Clique, MAX_K};
+use dkc_clique::{collect_kcliques_in_subset, Clique, CliqueStore, MAX_K};
 use dkc_graph::{DynGraph, NodeId};
 use dkc_json::Json;
 use dkc_par::{par_collect, ParConfig};
@@ -158,17 +159,24 @@ pub struct ImproveOutcome {
     pub trace: Vec<MoveRecord>,
 }
 
-/// Runs budgeted local-search improvement over `cliques` on `g`.
+/// Runs budgeted local-search improvement over the clique arena on `g`.
 ///
 /// See the crate docs for the move taxonomy and the anytime contract. The
 /// input must be a set of vertex-disjoint k-cliques of `g` (the solver's
-/// `verify` invariant); `k` must be in `2..=MAX_K`.
+/// `verify` invariant); `k` must be in `2..=MAX_K` and match the arena's
+/// stride.
 ///
 /// # Panics
 /// Panics when `k` is out of range or the input is not a valid disjoint
 /// k-clique set.
-pub fn improve(g: &DynGraph, k: usize, cliques: &[Clique], cfg: &ImproveConfig) -> ImproveOutcome {
+pub fn improve(
+    g: &DynGraph,
+    k: usize,
+    cliques: &CliqueStore,
+    cfg: &ImproveConfig,
+) -> ImproveOutcome {
     assert!((2..=MAX_K).contains(&k), "improve: k = {k} out of range");
+    assert_eq!(cliques.k(), k, "improve: arena stride {} != k = {k}", cliques.k());
     let n = g.num_nodes();
     let mut st = SearchState::new(g, k, cliques, n);
     let initial = cliques.len() as u64;
@@ -203,17 +211,17 @@ struct SearchState {
 }
 
 impl SearchState {
-    fn new(g: &DynGraph, k: usize, cliques: &[Clique], n: usize) -> Self {
+    fn new(g: &DynGraph, k: usize, cliques: &CliqueStore, n: usize) -> Self {
         let mut free = vec![true; n];
-        for c in cliques {
-            assert_eq!(c.len(), k, "improve: input clique has wrong size");
-            assert!(g.is_clique(c.as_slice()), "improve: input clique is not a clique of g");
-            for u in c.iter() {
+        for members in cliques.iter() {
+            assert_eq!(members.len(), k, "improve: input clique has wrong size");
+            assert!(g.is_clique(members), "improve: input clique is not a clique of g");
+            for &u in members {
                 assert!(free[u as usize], "improve: input cliques are not disjoint");
                 free[u as usize] = false;
             }
         }
-        SearchState { slots: cliques.iter().map(|c| Some(*c)).collect(), free, weights: vec![0; n] }
+        SearchState { slots: cliques.iter_cliques().map(Some).collect(), free, weights: vec![0; n] }
     }
 
     fn assign(&mut self, c: &Clique) {
@@ -609,10 +617,16 @@ mod tests {
         }
     }
 
+    /// Packs test fixtures (plain `Clique` slices) into the arena the
+    /// public API takes.
+    fn store(k: usize, cliques: &[Clique]) -> CliqueStore {
+        CliqueStore::from_cliques(k, cliques)
+    }
+
     #[test]
     fn empty_start_reaches_optimum_on_fig2() {
         let g = fig2();
-        let out = improve(&g, 3, &[], &ImproveConfig::new(256, 1));
+        let out = improve(&g, 3, &store(3, &[]), &ImproveConfig::new(256, 1));
         validate(&g, 3, &out.cliques);
         // Fig. 2 admits 3 disjoint triangles, e.g. {0,2,5},{4,6,7},{1,3,8}.
         assert_eq!(out.cliques.len(), 3);
@@ -624,7 +638,7 @@ mod tests {
     fn never_decreases_and_stats_roundtrip() {
         let g = fig2();
         let start = [Clique::new(&[4, 5, 7])];
-        let out = improve(&g, 3, &start, &ImproveConfig::new(128, 3));
+        let out = improve(&g, 3, &store(3, &start), &ImproveConfig::new(128, 3));
         validate(&g, 3, &out.cliques);
         assert!(out.cliques.len() >= start.len());
         let parsed = ImproveStats::from_json_value(&out.stats.to_json_value()).unwrap();
@@ -655,7 +669,7 @@ mod tests {
             g.insert_edge(a, b);
         }
         let start = [Clique::new(&[2, 3, 8])];
-        let out = improve(&g, 3, &start, &ImproveConfig::new(64, 9));
+        let out = improve(&g, 3, &store(3, &start), &ImproveConfig::new(64, 9));
         validate(&g, 3, &out.cliques);
         assert_eq!(out.cliques.len(), 3);
         assert!(out.trace.iter().any(|m| m.kind == MoveKind::Dissolve));
@@ -665,7 +679,7 @@ mod tests {
     fn zero_budget_is_identity() {
         let g = fig2();
         let start = [Clique::new(&[4, 5, 7])];
-        let out = improve(&g, 3, &start, &ImproveConfig::new(0, 5));
+        let out = improve(&g, 3, &store(3, &start), &ImproveConfig::new(0, 5));
         assert_eq!(out.cliques, start.to_vec());
         assert_eq!(out.stats, ImproveStats::default());
         assert!(out.trace.is_empty());
@@ -675,10 +689,10 @@ mod tests {
     fn deterministic_across_thread_counts() {
         let g = fig2();
         let start = [Clique::new(&[4, 5, 7])];
-        let base = improve(&g, 3, &start, &ImproveConfig::new(200, 11));
+        let base = improve(&g, 3, &store(3, &start), &ImproveConfig::new(200, 11));
         for threads in [2, 8] {
             let cfg = ImproveConfig::new(200, 11).with_par(ParConfig::new(threads).with_chunk(1));
-            let out = improve(&g, 3, &start, &cfg);
+            let out = improve(&g, 3, &store(3, &start), &cfg);
             assert_eq!(out, base, "threads = {threads}");
         }
     }
@@ -687,7 +701,7 @@ mod tests {
     fn seed_changes_are_still_valid() {
         let g = fig2();
         for seed in 0..8 {
-            let out = improve(&g, 3, &[], &ImproveConfig::new(100, seed));
+            let out = improve(&g, 3, &store(3, &[]), &ImproveConfig::new(100, seed));
             validate(&g, 3, &out.cliques);
             assert_eq!(out.cliques.len(), 3, "seed = {seed}");
         }
@@ -696,7 +710,7 @@ mod tests {
     #[test]
     fn budget_truncates_moves_tried() {
         let g = fig2();
-        let out = improve(&g, 3, &[], &ImproveConfig::new(2, 1));
+        let out = improve(&g, 3, &store(3, &[]), &ImproveConfig::new(2, 1));
         assert!(out.stats.moves_tried <= 2);
         validate(&g, 3, &out.cliques);
     }

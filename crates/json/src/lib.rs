@@ -175,7 +175,10 @@ impl Json {
         out
     }
 
-    fn render_into(&self, out: &mut String) {
+    /// Renders compactly into an existing buffer (appended, not cleared).
+    /// Byte-identical to [`Json::render`]; lets hot paths reuse one
+    /// `String` across replies instead of allocating per render.
+    pub fn render_into(&self, out: &mut String) {
         match self {
             Json::Null => out.push_str("null"),
             Json::Bool(true) => out.push_str("true"),

@@ -5,15 +5,18 @@ pub const DENSE_NODE_LIMIT: usize = 4096;
 
 /// A minimal adjacency-list graph for the MIS solvers.
 ///
-/// Kept dependency-free so `dkc-mis` stands alone. Neighbour lists are
-/// sorted and de-duplicated; self-loops are dropped. Graphs up to
-/// [`DENSE_NODE_LIMIT`] nodes additionally carry a dense bit-matrix mirror
-/// of the adjacency, which the exact solver's clique-cover bound uses for
-/// word-parallel candidate filtering (identical decisions, fewer binary
-/// searches).
+/// Kept dependency-free so `dkc-mis` stands alone. Adjacency is stored in
+/// CSR form — one flat offsets array plus one flat neighbour array instead
+/// of a `Vec` per node — with per-node slices sorted and de-duplicated;
+/// self-loops are dropped. Graphs up to [`DENSE_NODE_LIMIT`] nodes
+/// additionally carry a dense bit-matrix mirror of the adjacency, which the
+/// exact solver's clique-cover bound uses for word-parallel candidate
+/// filtering (identical decisions, fewer binary searches).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AdjGraph {
-    adj: Vec<Vec<u32>>,
+    /// `data[offsets[u]..offsets[u + 1]]` is the sorted neighbour slice of `u`.
+    offsets: Vec<usize>,
+    data: Vec<u32>,
     num_edges: usize,
     /// Row-major `n × stride` bit matrix; empty when `n` exceeds
     /// [`DENSE_NODE_LIMIT`] (or densification is disabled).
@@ -24,8 +27,13 @@ pub struct AdjGraph {
 impl AdjGraph {
     /// Creates an edgeless graph on `n` vertices.
     pub fn new(n: usize) -> Self {
-        let mut g =
-            AdjGraph { adj: vec![Vec::new(); n], num_edges: 0, rows: Vec::new(), stride: 0 };
+        let mut g = AdjGraph {
+            offsets: vec![0; n + 1],
+            data: Vec::new(),
+            num_edges: 0,
+            rows: Vec::new(),
+            stride: 0,
+        };
         g.densify(n <= DENSE_NODE_LIMIT);
         g
     }
@@ -42,29 +50,62 @@ impl AdjGraph {
     /// exposed so tests and benchmarks can compare the dense and sparse
     /// candidate-filtering paths on the same instance.
     pub fn from_edges_with_density(n: usize, edges: &[(u32, u32)], dense: bool) -> Self {
-        let mut g =
-            AdjGraph { adj: vec![Vec::new(); n], num_edges: 0, rows: Vec::new(), stride: 0 };
+        // Counting pass → prefix sums → cursor fill, then sort + dedup each
+        // row compacting in place: two flat allocations total, no per-node
+        // `Vec`s.
+        let mut offsets = vec![0usize; n + 1];
         for &(a, b) in edges {
             assert!((a as usize) < n && (b as usize) < n, "edge ({a},{b}) out of range");
             if a == b {
                 continue;
             }
-            g.adj[a as usize].push(b);
-            g.adj[b as usize].push(a);
+            offsets[a as usize + 1] += 1;
+            offsets[b as usize + 1] += 1;
         }
-        let mut m = 0usize;
-        for list in &mut g.adj {
-            list.sort_unstable();
-            list.dedup();
-            m += list.len();
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
         }
-        g.num_edges = m / 2;
+        let mut data = vec![0u32; offsets[n]];
+        let mut cursor = offsets.clone();
+        for &(a, b) in edges {
+            if a == b {
+                continue;
+            }
+            data[cursor[a as usize]] = b;
+            cursor[a as usize] += 1;
+            data[cursor[b as usize]] = a;
+            cursor[b as usize] += 1;
+        }
+        let mut write = 0usize;
+        let mut compacted = vec![0usize; n + 1];
+        for u in 0..n {
+            let (start, end) = (offsets[u], offsets[u + 1]);
+            data[start..end].sort_unstable();
+            let mut prev = None;
+            for i in start..end {
+                let v = data[i];
+                if prev != Some(v) {
+                    data[write] = v;
+                    write += 1;
+                    prev = Some(v);
+                }
+            }
+            compacted[u + 1] = write;
+        }
+        data.truncate(write);
+        let mut g = AdjGraph {
+            offsets: compacted,
+            data,
+            num_edges: write / 2,
+            rows: Vec::new(),
+            stride: 0,
+        };
         g.densify(dense && n <= DENSE_NODE_LIMIT);
         g
     }
 
     fn densify(&mut self, enable: bool) {
-        let n = self.adj.len();
+        let n = self.num_nodes();
         if !enable {
             self.rows.clear();
             self.stride = 0;
@@ -73,9 +114,9 @@ impl AdjGraph {
         self.stride = n.div_ceil(64).max(1);
         self.rows.clear();
         self.rows.resize(n * self.stride, 0);
-        for (u, list) in self.adj.iter().enumerate() {
+        for u in 0..n {
             let row = &mut self.rows[u * self.stride..(u + 1) * self.stride];
-            for &v in list {
+            for &v in &self.data[self.offsets[u]..self.offsets[u + 1]] {
                 row[v as usize / 64] |= 1u64 << (v as usize % 64);
             }
         }
@@ -84,7 +125,7 @@ impl AdjGraph {
     /// Number of vertices.
     #[inline]
     pub fn num_nodes(&self) -> usize {
-        self.adj.len()
+        self.offsets.len() - 1
     }
 
     /// Number of edges.
@@ -96,13 +137,13 @@ impl AdjGraph {
     /// Degree of `u`.
     #[inline]
     pub fn degree(&self, u: u32) -> usize {
-        self.adj[u as usize].len()
+        self.offsets[u as usize + 1] - self.offsets[u as usize]
     }
 
     /// Sorted neighbour slice of `u`.
     #[inline]
     pub fn neighbors(&self, u: u32) -> &[u32] {
-        &self.adj[u as usize]
+        &self.data[self.offsets[u as usize]..self.offsets[u as usize + 1]]
     }
 
     /// The dense adjacency row of `u` (bit `v` set iff `u ~ v`), when the
@@ -124,7 +165,7 @@ impl AdjGraph {
         }
         match self.dense_row(u) {
             Some(row) => row[v as usize / 64] & (1u64 << (v as usize % 64)) != 0,
-            None => self.adj[u as usize].binary_search(&v).is_ok(),
+            None => self.neighbors(u).binary_search(&v).is_ok(),
         }
     }
 }
@@ -152,6 +193,13 @@ mod tests {
     fn neighbor_lists_sorted() {
         let g = AdjGraph::from_edges(5, &[(0, 4), (0, 2), (0, 1), (0, 3)]);
         assert_eq!(g.neighbors(0), &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn csr_layout_is_canonical_under_input_order() {
+        let a = AdjGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (0, 3)]);
+        let b = AdjGraph::from_edges(4, &[(0, 3), (2, 3), (1, 0), (2, 1), (0, 1)]);
+        assert_eq!(a, b, "sorted+deduped CSR is order- and duplicate-invariant");
     }
 
     #[test]

@@ -1,12 +1,18 @@
 use crate::AdjGraph;
 
+/// Sentinel for an empty bucket / end of a bucket chain.
+const NIL: u32 = u32::MAX;
+
 /// Min-degree greedy maximum-independent-set heuristic.
 ///
 /// Repeatedly selects a vertex of minimum remaining degree, adds it to the
 /// solution, and deletes its closed neighbourhood — the "simple heuristic"
 /// the paper's Section IV-B describes for the clique graph, whose degree it
 /// then approximates with clique scores. Runs in `O(n + m)` using a lazy
-/// bucket queue.
+/// bucket queue stored flat: one `head` slot per degree plus one
+/// `(node, next)` entry arena, so no per-degree `Vec`s are allocated. Each
+/// bucket chain is LIFO — identical pop order to the per-degree-`Vec`
+/// push/pop it replaces, so the selected set is unchanged.
 pub fn greedy_mis(g: &AdjGraph) -> Vec<u32> {
     let n = g.num_nodes();
     if n == 0 {
@@ -14,30 +20,32 @@ pub fn greedy_mis(g: &AdjGraph) -> Vec<u32> {
     }
     let max_deg = (0..n as u32).map(|u| g.degree(u)).max().unwrap_or(0);
     let mut deg: Vec<usize> = (0..n as u32).map(|u| g.degree(u)).collect();
-    let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); max_deg + 1];
+    let mut head: Vec<u32> = vec![NIL; max_deg + 1];
+    let mut entries: Vec<(u32, u32)> = Vec::with_capacity(n);
+    let push = |head: &mut [u32], entries: &mut Vec<(u32, u32)>, d: usize, u: u32| {
+        entries.push((u, head[d]));
+        head[d] = (entries.len() - 1) as u32;
+    };
     for u in 0..n as u32 {
-        buckets[deg[u as usize]].push(u);
+        push(&mut head, &mut entries, deg[u as usize], u);
     }
     let mut removed = vec![false; n];
     let mut solution = Vec::new();
     let mut cur = 0usize;
-    let mut picked = 0usize;
     let mut alive = n;
     while alive > 0 {
-        while cur <= max_deg && buckets[cur].is_empty() {
+        while cur <= max_deg && head[cur] == NIL {
             cur += 1;
         }
-        let u = match buckets[cur].pop() {
-            Some(u) => u,
-            None => continue,
-        };
+        // While nodes remain alive, every alive node has a (possibly stale)
+        // entry in some bucket `<= max_deg`, so `cur` stays in range.
+        let (u, next) = entries[head[cur] as usize];
+        head[cur] = next;
         // Lazy entries: skip stale ones.
         if removed[u as usize] || deg[u as usize] != cur {
             continue;
         }
         solution.push(u);
-        picked += 1;
-        let _ = picked;
         removed[u as usize] = true;
         alive -= 1;
         // Delete N(u); decrement degrees of second-tier neighbours.
@@ -51,7 +59,7 @@ pub fn greedy_mis(g: &AdjGraph) -> Vec<u32> {
                 if !removed[w as usize] {
                     let d = deg[w as usize];
                     deg[w as usize] = d - 1;
-                    buckets[d - 1].push(w);
+                    push(&mut head, &mut entries, d - 1, w);
                     if d - 1 < cur {
                         cur = d - 1;
                     }

@@ -1,0 +1,150 @@
+//! Epoch-keyed rendered-reply cache.
+//!
+//! `solution` and `fetch` replies are pure functions of the published view's
+//! epoch, yet the reader workers used to re-render the full JSON body on
+//! every request. [`ReplyCache`] stores one rendered body per verb behind a
+//! shared `Arc<str>`: the first reader at a given epoch renders and
+//! publishes the body, every later reader at that epoch clones the `Arc`
+//! and writes the exact same bytes. The writer thread calls
+//! [`ReplyCache::invalidate`] after every publication (update batches,
+//! solve, applied improve slices), so a cached body can never outlive the
+//! epoch it renders.
+//!
+//! `stats` replies are *not* cached: they are tiny and they carry the
+//! live hit/miss counters themselves (rendered under `"reply_cache"` on the
+//! `stats` verb).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// One cached body: the epoch it was rendered at plus the shared bytes.
+type Slot = RwLock<Option<(u64, Arc<str>)>>;
+
+/// Epoch-keyed cache of rendered reply bodies, shared between the reader
+/// workers (lookup + fill) and the writer thread (invalidation).
+#[derive(Debug, Default)]
+pub(crate) struct ReplyCache {
+    solution: Slot,
+    fetch: Slot,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ReplyCache {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// The `solution` body for `epoch`: cached bytes on a hit, otherwise
+    /// `render` runs and its output is published for later readers.
+    pub(crate) fn solution_body(&self, epoch: u64, render: impl FnOnce() -> String) -> Arc<str> {
+        self.body(&self.solution, epoch, render)
+    }
+
+    /// Cached `fetch` body lookup (readers). Unlike `solution`, a miss is
+    /// filled by the *writer* (after `export_state`), so a lookup alone
+    /// counts the hit/miss.
+    pub(crate) fn fetch_lookup(&self, epoch: u64) -> Option<Arc<str>> {
+        let hit = Self::read_slot(&self.fetch, epoch);
+        self.count(hit.is_some());
+        hit
+    }
+
+    /// Publishes a freshly rendered `fetch` body (writer side).
+    pub(crate) fn store_fetch(&self, epoch: u64, body: &str) {
+        Self::write_slot(&self.fetch, Some((epoch, Arc::from(body))));
+    }
+
+    /// Drops both cached bodies. Called by the writer after every state
+    /// publication, so readers can never serve a body from a dead epoch
+    /// (the epoch key already guards this; invalidation also frees the
+    /// memory of superseded renders promptly).
+    pub(crate) fn invalidate(&self) {
+        Self::write_slot(&self.solution, None);
+        Self::write_slot(&self.fetch, None);
+    }
+
+    /// Lifetime `(hits, misses)` counters across both verbs.
+    pub(crate) fn counters(&self) -> (u64, u64) {
+        (self.hits.load(Ordering::Relaxed), self.misses.load(Ordering::Relaxed))
+    }
+
+    fn body(&self, slot: &Slot, epoch: u64, render: impl FnOnce() -> String) -> Arc<str> {
+        if let Some(body) = Self::read_slot(slot, epoch) {
+            self.count(true);
+            return body;
+        }
+        self.count(false);
+        let body: Arc<str> = Arc::from(render());
+        Self::write_slot(slot, Some((epoch, Arc::clone(&body))));
+        body
+    }
+
+    fn read_slot(slot: &Slot, epoch: u64) -> Option<Arc<str>> {
+        let guard = match slot.read() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        match &*guard {
+            Some((e, body)) if *e == epoch => Some(Arc::clone(body)),
+            _ => None,
+        }
+    }
+
+    fn write_slot(slot: &Slot, value: Option<(u64, Arc<str>)>) {
+        match slot.write() {
+            Ok(mut g) => *g = value,
+            Err(poisoned) => *poisoned.into_inner() = value,
+        }
+    }
+
+    fn count(&self, hit: bool) {
+        if hit {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_render_is_a_miss_then_hits_until_epoch_moves() {
+        let cache = ReplyCache::new();
+        let a = cache.solution_body(1, || "body-e1".to_string());
+        assert_eq!(&*a, "body-e1");
+        assert_eq!(cache.counters(), (0, 1));
+        let b = cache.solution_body(1, || unreachable!("cached"));
+        assert!(Arc::ptr_eq(&a, &b), "hit serves the shared Arc");
+        assert_eq!(cache.counters(), (1, 1));
+        // New epoch: the stale body is never served.
+        let c = cache.solution_body(2, || "body-e2".to_string());
+        assert_eq!(&*c, "body-e2");
+        assert_eq!(cache.counters(), (1, 2));
+    }
+
+    #[test]
+    fn invalidate_clears_both_slots() {
+        let cache = ReplyCache::new();
+        let _ = cache.solution_body(7, || "s".to_string());
+        cache.store_fetch(7, "f");
+        cache.invalidate();
+        assert!(cache.fetch_lookup(7).is_none());
+        let again = cache.solution_body(7, || "s2".to_string());
+        assert_eq!(&*again, "s2");
+    }
+
+    #[test]
+    fn fetch_lookup_counts_and_store_publishes() {
+        let cache = ReplyCache::new();
+        assert!(cache.fetch_lookup(3).is_none());
+        assert_eq!(cache.counters(), (0, 1));
+        cache.store_fetch(3, "fetched");
+        assert_eq!(cache.fetch_lookup(3).as_deref(), Some("fetched"));
+        assert!(cache.fetch_lookup(4).is_none(), "epoch mismatch misses");
+        assert_eq!(cache.counters(), (1, 2));
+    }
+}

@@ -84,6 +84,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cache;
 mod hub;
 pub mod loadgen;
 pub mod protocol;

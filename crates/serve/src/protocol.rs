@@ -310,7 +310,7 @@ pub fn group_of_reply(view: &SolutionView, node: NodeId) -> Json {
             let members = view.group(group).expect("group index from the same view");
             m.push((
                 "members".into(),
-                Json::Arr(members.iter().map(|u| Json::u64(u as u64)).collect()),
+                Json::Arr(members.iter().map(|&u| Json::u64(u as u64)).collect()),
             ));
         }
         None => {
@@ -332,7 +332,7 @@ pub fn solution_reply(view: &SolutionView) -> Json {
         Json::Arr(
             view.cliques()
                 .iter()
-                .map(|c| Json::Arr(c.iter().map(|u| Json::u64(u as u64)).collect()))
+                .map(|c| Json::Arr(c.iter().map(|&u| Json::u64(u as u64)).collect()))
                 .collect(),
         ),
     ));

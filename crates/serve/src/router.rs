@@ -456,6 +456,10 @@ fn route_group_of(core: &RouterCore, conns: &mut ConnCache, node: dkc_graph::Nod
     }
 }
 
+/// Fans `query solution` out to every shard and merges. Each per-shard
+/// body is served from that shard's epoch-keyed reply cache (the shard
+/// renders once per epoch, every router fan-out after that reuses the
+/// cached bytes), so repeated merges only pay for parsing + re-sorting.
 fn route_solution(core: &RouterCore, conns: &mut ConnCache) -> String {
     let line = render_query_request(Query::Solution);
     let mut epochs = Vec::new();
@@ -503,6 +507,10 @@ fn route_solution(core: &RouterCore, conns: &mut ConnCache) -> String {
     Json::Obj(m).render()
 }
 
+/// Fans `query stats` out and merges the named counter members. Shard
+/// replies carry a per-shard `reply_cache` member (hit/miss counters);
+/// the merge extracts fields by name, so that member is deliberately
+/// dropped from the merged reply — router stats stay byte-stable.
 fn route_stats(core: &RouterCore, conns: &mut ConnCache) -> String {
     let line = render_query_request(Query::Stats);
     let mut epochs = Vec::new();

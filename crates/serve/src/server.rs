@@ -19,6 +19,7 @@
 //! connections (reads time out periodically so idle connections notice),
 //! and [`ServerHandle::join`] drains and joins everything.
 
+use crate::cache::ReplyCache;
 use crate::hub::{ReplicationHub, TailGap};
 use crate::protocol::{
     error_reply, fetch_reply, group_of_reply, improve_reply, parse_request, shutdown_reply,
@@ -28,6 +29,7 @@ use crate::protocol::{
 use crate::queue::{BoundedQueue, Pop};
 use dkc_core::SolveRequest;
 use dkc_dynamic::{render_record, EdgeUpdate, FsyncPolicy, ServingSolver, SharedView};
+use dkc_json::Json;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -124,6 +126,7 @@ impl Server {
         let writer_queue = Arc::new(BoundedQueue::<WriterOp>::new(config.queue_capacity.max(1)));
         let conn_queue = Arc::new(BoundedQueue::<TcpStream>::new(64));
         let hub = Arc::new(ReplicationHub::new(serving.epoch(), TAIL_RING_CAPACITY));
+        let cache = Arc::new(ReplyCache::new());
         let shared = serving.reader();
         let max_node = config.max_node.unwrap_or_else(|| {
             let n = serving.view().num_nodes() as u64;
@@ -143,15 +146,25 @@ impl Server {
                 let writer_queue = Arc::clone(&writer_queue);
                 let shared = shared.clone();
                 let hub = Arc::clone(&hub);
+                let cache = Arc::clone(&cache);
                 std::thread::spawn(move || {
-                    worker_loop(&conn_queue, &writer_queue, &shared, &hub, &shutdown, max_node)
+                    worker_loop(
+                        &conn_queue,
+                        &writer_queue,
+                        &shared,
+                        &hub,
+                        &cache,
+                        &shutdown,
+                        max_node,
+                    )
                 })
             })
             .collect();
         let writer = {
             let writer_queue = Arc::clone(&writer_queue);
             let hub = Arc::clone(&hub);
-            std::thread::spawn(move || writer_loop(serving, &writer_queue, &hub, config))
+            let cache = Arc::clone(&cache);
+            std::thread::spawn(move || writer_loop(serving, &writer_queue, &hub, &cache, config))
         };
         Ok(ServerHandle { local_addr, shutdown, writer_queue, acceptor, workers, writer })
     }
@@ -210,13 +223,14 @@ fn worker_loop(
     writer_queue: &BoundedQueue<WriterOp>,
     shared: &SharedView,
     hub: &ReplicationHub,
+    cache: &ReplyCache,
     shutdown: &AtomicBool,
     max_node: dkc_graph::NodeId,
 ) {
     loop {
         match conn_queue.pop_timeout(Duration::from_millis(100)) {
             Pop::Item(stream) => {
-                handle_connection(stream, writer_queue, shared, hub, shutdown, max_node)
+                handle_connection(stream, writer_queue, shared, hub, cache, shutdown, max_node)
             }
             Pop::Timeout => {
                 if shutdown.load(Ordering::SeqCst) {
@@ -266,6 +280,7 @@ fn handle_connection(
     writer_queue: &BoundedQueue<WriterOp>,
     shared: &SharedView,
     hub: &ReplicationHub,
+    cache: &ReplyCache,
     shutdown: &AtomicBool,
     max_node: dkc_graph::NodeId,
 ) {
@@ -276,21 +291,49 @@ fn handle_connection(
     };
     let mut reader = BufReader::new(stream);
     let mut line = String::new();
+    // One write buffer per connection, cleared and refilled per reply —
+    // the steady-state read path allocates nothing beyond what a reply
+    // itself requires (and nothing at all on a cache hit).
+    let mut out = String::new();
     while read_line_patiently(&mut reader, &mut line, shutdown).is_some() {
         if line.trim().is_empty() {
             continue;
         }
-        let reply = match parse_request(line.trim_end()) {
-            Err(message) => error_reply(message).render(),
+        out.clear();
+        // Cache hits borrow the shared rendered body instead of copying
+        // it into `out`; exactly one of `cached` / `out` carries the reply.
+        let mut cached: Option<Arc<str>> = None;
+        match parse_request(line.trim_end()) {
+            Err(message) => error_reply(message).render_into(&mut out),
             Ok(Request::Query(query)) => {
                 // One Arc per query: every field of the reply comes from
                 // one immutable view — a consistent epoch even while the
                 // writer publishes mid-request.
                 let view = shared.current();
                 match query {
-                    Query::GroupOf(node) => group_of_reply(&view, node).render(),
-                    Query::Solution => solution_reply(&view).render(),
-                    Query::Stats => stats_reply(&view).render(),
+                    Query::GroupOf(node) => group_of_reply(&view, node).render_into(&mut out),
+                    Query::Solution => {
+                        // Epoch-keyed: the first reader at this epoch
+                        // renders, every later one serves the same bytes.
+                        cached = Some(
+                            cache.solution_body(view.epoch(), || solution_reply(&view).render()),
+                        );
+                    }
+                    Query::Stats => {
+                        // Never cached: carries the live cache counters.
+                        let (hits, misses) = cache.counters();
+                        let mut reply = stats_reply(&view);
+                        if let Json::Obj(members) = &mut reply {
+                            members.push((
+                                "reply_cache".into(),
+                                Json::Obj(vec![
+                                    ("hits".into(), Json::u64(hits)),
+                                    ("misses".into(), Json::u64(misses)),
+                                ]),
+                            ));
+                        }
+                        reply.render_into(&mut out);
+                    }
                 }
             }
             Ok(Request::Update(updates)) => {
@@ -308,18 +351,36 @@ fn handle_connection(
                     Some(top) if top > max_node => error_reply(format!(
                         "node id {top} exceeds this server's limit of {max_node}"
                     ))
-                    .render(),
-                    _ => round_trip(writer_queue, |reply| WriterOp::Batch { updates, reply }),
+                    .render_into(&mut out),
+                    _ => out.push_str(&round_trip(writer_queue, |reply| WriterOp::Batch {
+                        updates,
+                        reply,
+                    })),
                 }
             }
             Ok(Request::Solve(request)) => {
-                round_trip(writer_queue, |reply| WriterOp::Solve { request, reply })
+                out.push_str(&round_trip(writer_queue, |reply| WriterOp::Solve { request, reply }))
             }
             Ok(Request::Improve { steps, seed }) => {
-                round_trip(writer_queue, |reply| WriterOp::Improve { steps, seed, reply })
+                out.push_str(&round_trip(writer_queue, |reply| WriterOp::Improve {
+                    steps,
+                    seed,
+                    reply,
+                }));
             }
-            Ok(Request::Snapshot) => round_trip(writer_queue, |reply| WriterOp::Snapshot { reply }),
-            Ok(Request::Fetch) => round_trip(writer_queue, |reply| WriterOp::Fetch { reply }),
+            Ok(Request::Snapshot) => {
+                out.push_str(&round_trip(writer_queue, |reply| WriterOp::Snapshot { reply }));
+            }
+            Ok(Request::Fetch) => {
+                // The writer fills this slot after rendering an export at
+                // its epoch; a hit skips the writer round-trip entirely.
+                match cache.fetch_lookup(shared.current().epoch()) {
+                    Some(body) => cached = Some(body),
+                    None => {
+                        out.push_str(&round_trip(writer_queue, |reply| WriterOp::Fetch { reply }));
+                    }
+                }
+            }
             Ok(Request::Tail { from }) => {
                 // The connection becomes a one-way replication stream; it
                 // ends on client disconnect, shutdown, or a stale cursor.
@@ -327,17 +388,25 @@ fn handle_connection(
                 return;
             }
             Ok(Request::Shards { .. }) | Ok(Request::RegisterReplica { .. }) => {
-                error_reply("not a sharded deployment (send this to a router)").render()
+                error_reply("not a sharded deployment (send this to a router)")
+                    .render_into(&mut out)
             }
             Ok(Request::Shutdown) => {
-                let reply = shutdown_reply(shared.current().epoch()).render();
-                let _ = writeln!(writer, "{reply}");
+                shutdown_reply(shared.current().epoch()).render_into(&mut out);
+                let _ = writeln!(writer, "{out}");
                 let _ = writer.flush();
                 shutdown.store(true, Ordering::SeqCst);
                 return;
             }
         };
-        if writeln!(writer, "{reply}").and_then(|()| writer.flush()).is_err() {
+        // Same bytes as `writeln!(writer, "{body}")`: body then one '\n'.
+        let body: &str = cached.as_deref().unwrap_or(&out);
+        if writer
+            .write_all(body.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .and_then(|()| writer.flush())
+            .is_err()
+        {
             return;
         }
     }
@@ -425,12 +494,16 @@ impl ImproveDriver {
         &mut self,
         serving: &mut ServingSolver,
         hub: &ReplicationHub,
+        cache: &ReplyCache,
         steps: u64,
         seed: u64,
     ) -> String {
         match serving.improve(steps, seed) {
             Ok((stats, view)) => {
                 if stats.moves_applied > 0 {
+                    // An applied slice bumps the epoch: stale rendered
+                    // bodies must not linger.
+                    cache.invalidate();
                     hub.publish(view.epoch(), dkc_dynamic::render_improve_record(steps, seed));
                     self.converged_at = None;
                 } else {
@@ -447,6 +520,7 @@ fn writer_loop(
     mut serving: ServingSolver,
     queue: &BoundedQueue<WriterOp>,
     hub: &ReplicationHub,
+    cache: &ReplyCache,
     config: ServerConfig,
 ) {
     let mut driver = ImproveDriver { slices: 0, converged_at: None };
@@ -459,7 +533,7 @@ fn writer_loop(
                 // between resets the memo by changing the epoch).
                 if config.improve_slice > 0 && driver.converged_at != Some(serving.epoch()) {
                     let seed = driver.next_seed(config.improve_seed);
-                    driver.run(&mut serving, hub, config.improve_slice, seed);
+                    driver.run(&mut serving, hub, cache, config.improve_slice, seed);
                 }
                 continue;
             }
@@ -490,12 +564,12 @@ fn writer_loop(
                         Pop::Timeout | Pop::Closed => break,
                     }
                 }
-                apply_round(&mut serving, hub, groups);
+                apply_round(&mut serving, hub, cache, groups);
                 if let Some(op) = carried {
-                    run_writer_op(&mut serving, hub, &mut driver, &config, op);
+                    run_writer_op(&mut serving, hub, cache, &mut driver, &config, op);
                 }
             }
-            Pop::Item(op) => run_writer_op(&mut serving, hub, &mut driver, &config, op),
+            Pop::Item(op) => run_writer_op(&mut serving, hub, cache, &mut driver, &config, op),
         }
     }
     // Graceful exit: force the journal to stable storage and release any
@@ -507,11 +581,15 @@ fn writer_loop(
 fn apply_round(
     serving: &mut ServingSolver,
     hub: &ReplicationHub,
+    cache: &ReplyCache,
     groups: Vec<(Vec<EdgeUpdate>, mpsc::Sender<String>)>,
 ) {
     let refs: Vec<&[EdgeUpdate]> = groups.iter().map(|(g, _)| g.as_slice()).collect();
     match serving.apply_grouped(&refs) {
         Ok((outcomes, view)) => {
+            // New epoch published: drop rendered bodies before replying so
+            // no reader re-fills a slot for a dead epoch.
+            cache.invalidate();
             // Mirror the journal: the merged round is ONE record and ONE
             // epoch on the wire, exactly as `apply_grouped` journals it.
             let flat: Vec<EdgeUpdate> = refs.iter().flat_map(|g| g.iter().copied()).collect();
@@ -532,6 +610,7 @@ fn apply_round(
 fn run_writer_op(
     serving: &mut ServingSolver,
     hub: &ReplicationHub,
+    cache: &ReplyCache,
     driver: &mut ImproveDriver,
     config: &ServerConfig,
     op: WriterOp,
@@ -540,16 +619,21 @@ fn run_writer_op(
         WriterOp::Batch { .. } => unreachable!("batches go through apply_round"),
         WriterOp::Solve { request, reply } => {
             let line = match serving.solve_fresh(request) {
-                Ok(report) => solve_reply(serving.epoch(), &report).render(),
+                Ok(report) => {
+                    // A fresh solve replaces the maintained solution.
+                    cache.invalidate();
+                    solve_reply(serving.epoch(), &report).render()
+                }
                 Err(e) => error_reply(e.to_string()).render(),
             };
             let _ = reply.send(line);
         }
         WriterOp::Improve { steps, seed, reply } => {
             let seed = seed.unwrap_or_else(|| driver.next_seed(config.improve_seed));
-            let _ = reply.send(driver.run(serving, hub, steps, seed));
+            let _ = reply.send(driver.run(serving, hub, cache, steps, seed));
         }
         WriterOp::Snapshot { reply } => {
+            // Compaction changes no observable state; the cache survives.
             let line = match serving.compact() {
                 Ok(path) => snapshot_reply(serving.epoch(), path.as_deref()).render(),
                 Err(e) => error_reply(e.to_string()).render(),
@@ -560,7 +644,11 @@ fn run_writer_op(
             // Canonicalises the live solver (observable state unchanged),
             // so the importer and this process continue bit-identically.
             let state = serving.export_state();
-            let _ = reply.send(fetch_reply(serving.epoch(), state).render());
+            let body = fetch_reply(serving.epoch(), state).render();
+            // Publish for the readers: later fetches at this epoch are
+            // served straight from the cache, no writer round-trip.
+            cache.store_fetch(serving.epoch(), &body);
+            let _ = reply.send(body);
         }
     }
 }

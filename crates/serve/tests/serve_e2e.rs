@@ -58,6 +58,19 @@ fn temp_dir(tag: &str) -> PathBuf {
     dir
 }
 
+/// Re-renders a `stats` reply without the `reply_cache` member: the
+/// hit/miss counters are process-local (they restart at zero and depend
+/// on how many queries each server lifetime served), so byte comparisons
+/// across restarts must look at the replayed *state* members only.
+fn stats_without_cache_counters(v: Json) -> String {
+    match v {
+        Json::Obj(members) => {
+            Json::Obj(members.into_iter().filter(|(k, _)| k != "reply_cache").collect()).render()
+        }
+        other => other.render(),
+    }
+}
+
 #[test]
 fn concurrent_readers_see_consistent_epochs_while_writer_mutates() {
     let g = registry_graph();
@@ -157,7 +170,8 @@ fn kill_and_restart_reproduces_the_exact_view() {
         victims.iter().take(12).map(|&(a, b)| EdgeUpdate::Insert(a, b)).collect();
     client.call_ok(&dkc_serve::protocol::render_update_request(&tail));
     let solution_before = client.call_ok(r#"{"cmd":"query","what":"solution"}"#).render();
-    let stats_before = client.call_ok(r#"{"cmd":"query","what":"stats"}"#).render();
+    let stats_before =
+        stats_without_cache_counters(client.call_ok(r#"{"cmd":"query","what":"stats"}"#));
     client.call_ok(r#"{"cmd":"shutdown"}"#);
     handle.join();
 
@@ -168,9 +182,68 @@ fn kill_and_restart_reproduces_the_exact_view() {
     let handle = Server::start(listener, restored, ServerConfig::default()).unwrap();
     let mut client = Client::connect(handle.local_addr());
     let solution_after = client.call_ok(r#"{"cmd":"query","what":"solution"}"#).render();
-    let stats_after = client.call_ok(r#"{"cmd":"query","what":"stats"}"#).render();
+    let stats_after =
+        stats_without_cache_counters(client.call_ok(r#"{"cmd":"query","what":"stats"}"#));
     assert_eq!(solution_after, solution_before, "byte-identical solution reply after restart");
     assert_eq!(stats_after, stats_before, "byte-identical stats reply after restart");
+    client.call_ok(r#"{"cmd":"shutdown"}"#);
+    handle.join();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The rendered-reply cache is invisible on the wire: a cached body is
+/// byte-identical to a fresh render of the same view, across epoch bumps
+/// (cache invalidation) and across a restart (fresh cache), and the
+/// `stats` verb exposes the hit/miss counters.
+#[test]
+fn reply_cache_serves_byte_identical_bodies_across_epochs() {
+    let dir = temp_dir("reply_cache");
+    let g = registry_graph();
+    let victims = sample_edges(&g, 16, 11);
+    let serving = ServingSolver::create(&dir, &g, SolveRequest::new(Algo::Lp, 3)).unwrap();
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let handle = Server::start(listener, serving, ServerConfig::default()).unwrap();
+    let mut client = Client::connect(handle.local_addr());
+
+    // Miss then hit at epoch 0: same bytes either way.
+    let miss = client.call_ok(r#"{"cmd":"query","what":"solution"}"#).render();
+    let hit = client.call_ok(r#"{"cmd":"query","what":"solution"}"#).render();
+    assert_eq!(hit, miss, "cache hit must be byte-identical to the fresh render");
+    let stats = client.call_ok(r#"{"cmd":"query","what":"stats"}"#);
+    let counters = stats.get("reply_cache").expect("stats carries reply_cache counters");
+    assert!(counters.get("hits").and_then(Json::as_u64).unwrap() >= 1);
+    assert!(counters.get("misses").and_then(Json::as_u64).unwrap() >= 1);
+
+    // `fetch` is writer-filled: the first round-trips, the second is
+    // served straight from the cache — byte-identically.
+    let fetch_miss = client.call_ok(r#"{"cmd":"fetch"}"#).render();
+    let fetch_hit = client.call_ok(r#"{"cmd":"fetch"}"#).render();
+    assert_eq!(fetch_hit, fetch_miss, "cached fetch body must match the writer's render");
+
+    // An applied batch bumps the epoch; cached bodies from epoch 0 must
+    // never resurface.
+    let updates: Vec<EdgeUpdate> = victims.iter().map(|&(a, b)| EdgeUpdate::Delete(a, b)).collect();
+    let v = client.call_ok(&dkc_serve::protocol::render_update_request(&updates));
+    let bumped = v.get("epoch").and_then(Json::as_u64).unwrap();
+    assert!(bumped > 0);
+    let fresh = client.call_ok(r#"{"cmd":"query","what":"solution"}"#);
+    assert_eq!(fresh.get("epoch").and_then(Json::as_u64), Some(bumped), "stale body served");
+    let fresh = fresh.render();
+    let cached = client.call_ok(r#"{"cmd":"query","what":"solution"}"#).render();
+    assert_eq!(cached, fresh, "post-bump hit must match the post-bump render");
+    assert_ne!(fresh, miss, "epoch member alone must distinguish the bodies");
+
+    client.call_ok(r#"{"cmd":"shutdown"}"#);
+    handle.join();
+
+    // Restart: a brand-new (empty) cache renders the replayed view —
+    // the body equals the pre-restart cached body at the same epoch.
+    let restored = ServingSolver::restore(&dir).unwrap();
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let handle = Server::start(listener, restored, ServerConfig::default()).unwrap();
+    let mut client = Client::connect(handle.local_addr());
+    let after = client.call_ok(r#"{"cmd":"query","what":"solution"}"#).render();
+    assert_eq!(after, fresh, "restarted render equals the pre-restart cached body");
     client.call_ok(r#"{"cmd":"shutdown"}"#);
     handle.join();
     std::fs::remove_dir_all(&dir).ok();

@@ -75,7 +75,7 @@ pub use dkc_serve as serve;
 
 /// The most common imports in one place.
 pub mod prelude {
-    pub use dkc_clique::{Clique, MAX_K};
+    pub use dkc_clique::{Clique, CliqueStore, MAX_K};
     pub use dkc_core::{
         partition_all, Algo, Budget, Engine, GcSolver, HgSolver, LightweightSolver, OptSolver,
         PartitionReport, Solution, SolveError, SolveReport, SolveRequest, Solver,

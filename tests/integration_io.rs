@@ -88,7 +88,7 @@ fn text_and_snapshot_paths_solve_identically() {
 
     let a = LightweightSolver::lp().solve(&auto_text.graph, 3).unwrap();
     let b = LightweightSolver::lp().solve(&auto_snap.graph, 3).unwrap();
-    assert_eq!(a.cliques(), b.cliques(), "identical graph ⇒ identical solution");
+    assert_eq!(a, b, "identical graph ⇒ identical solution");
     a.verify(&auto_text.graph).unwrap();
 }
 
@@ -111,6 +111,6 @@ fn registry_resolution_preserves_solver_results() {
 
     let a = LightweightSolver::lp().solve(&first.loaded.graph, 4).unwrap();
     let b = LightweightSolver::lp().solve(&second.loaded.graph, 4).unwrap();
-    assert_eq!(a.cliques(), b.cliques());
+    assert_eq!(a, b);
     std::fs::remove_dir_all(&dir).ok();
 }

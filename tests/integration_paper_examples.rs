@@ -76,7 +76,7 @@ fn fig3_clique_graph_shape() {
     assert_eq!(cg.num_cliques(), 7);
     assert_eq!(cg.num_conflicts(), 11);
     // C1 = (v1, v3, v6) has degree 2 (Example 3).
-    let c1 = cg.cliques().iter().position(|c| *c == Clique::new(&[0, 2, 5])).unwrap() as u32;
+    let c1 = cg.cliques().iter().position(|c| c == [0, 2, 5]).unwrap() as u32;
     assert_eq!(cg.clique_degree(c1), 2);
 }
 

@@ -35,7 +35,7 @@ proptest! {
     ) {
         let base = construct(&g, if use_hg { Algo::Hg } else { Algo::Lp }, k);
         let dg = DynGraph::from_csr(&g);
-        let out = improve(&dg, k, base.cliques(), &ImproveConfig::new(steps, seed));
+        let out = improve(&dg, k, base.store(), &ImproveConfig::new(steps, seed));
         prop_assert!(
             out.cliques.len() >= base.len(),
             "improve shrank |S|: {} -> {}", base.len(), out.cliques.len()
@@ -68,7 +68,7 @@ proptest! {
             .map(|&threads| {
                 let cfg = ImproveConfig::new(steps, seed)
                     .with_par(ParConfig::default().with_threads(threads));
-                improve(&dg, k, base.cliques(), &cfg)
+                improve(&dg, k, base.store(), &cfg)
             })
             .collect();
         for other in &runs[1..] {
@@ -89,8 +89,8 @@ proptest! {
         let k = 3;
         let base = construct(&g, Algo::Hg, k);
         let dg = DynGraph::from_csr(&g);
-        let first = improve(&dg, k, base.cliques(), &ImproveConfig::new(steps, seed));
-        let second = improve(&dg, k, &first.cliques, &ImproveConfig::new(steps, seed + 1));
+        let first = improve(&dg, k, base.store(), &ImproveConfig::new(steps, seed));
+        let second = improve(&dg, k, &CliqueStore::from_cliques(k, &first.cliques), &ImproveConfig::new(steps, seed + 1));
         prop_assert!(second.cliques.len() >= first.cliques.len());
     }
 }
